@@ -1,0 +1,228 @@
+// Benchmarks regenerating the paper's evaluation (§VI) and micro-
+// benchmarks for the substrates. One benchmark per figure:
+//
+//	go test -bench=Fig3 -benchmem            # paper Figure 3
+//	go test -bench=Fig4 -benchmem            # paper Figure 4
+//	go test -bench=. -benchmem               # everything
+//
+// The figure benchmarks report msgs/node (the paper's y-axis) as a
+// custom metric per sweep point; wall-clock time is the simulator's
+// cost, not the system's. Full-resolution sweeps (500–3000 nodes) run
+// via cmd/flaskbench; benchmarks use a reduced sweep so `go test
+// -bench=.` stays minutes, not hours.
+package dataflasks_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dataflasks"
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/lab"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+	"dataflasks/internal/workload"
+)
+
+// benchNs is the reduced node sweep for benchmarks.
+var benchNs = []int{250, 500, 1000}
+
+// BenchmarkFig3 regenerates Figure 3 (messages per node, constant
+// slices) at each sweep point.
+func BenchmarkFig3(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var last lab.FigureRow
+			for i := 0; i < b.N; i++ {
+				last = lab.MessagesAt(n, 10, lab.FigureOptions{Seed: 42 + uint64(i)})
+			}
+			b.ReportMetric(last.MsgsPerNode, "msgs/node")
+			b.ReportMetric(float64(last.OK), "ops-ok")
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (messages per node, slices
+// proportional to nodes, replication factor 50).
+func BenchmarkFig4(b *testing.B) {
+	for _, n := range benchNs {
+		k := n / 50
+		if k < 1 {
+			k = 1
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var last lab.FigureRow
+			for i := 0; i < b.N; i++ {
+				last = lab.MessagesAt(n, k, lab.FigureOptions{Seed: 42 + uint64(i)})
+			}
+			b.ReportMetric(last.MsgsPerNode, "msgs/node")
+			b.ReportMetric(float64(last.OK), "ops-ok")
+		})
+	}
+}
+
+// BenchmarkSimulationRound measures the simulator driving one full
+// gossip round across a converged cluster (PSS + slicing + discovery).
+func BenchmarkSimulationRound(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			c := lab.NewCluster(lab.ClusterConfig{
+				N: n, Seed: 7, Node: core.Config{Slices: 10},
+			})
+			c.Run(20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Run(1)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedPut measures one epidemic write spreading through
+// a converged simulated cluster until fully drained.
+func BenchmarkSimulatedPut(b *testing.B) {
+	c := lab.NewCluster(lab.ClusterConfig{
+		N: 500, Seed: 9, Node: core.Config{Slices: 10},
+	})
+	cl := c.NewClient(client.Config{}, nil)
+	c.Run(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.StartPut(fmt.Sprintf("bench%08d", i), 1, []byte("payload"), nil)
+		c.Run(3)
+	}
+}
+
+// BenchmarkLiveClusterPut measures end-to-end acknowledged writes on a
+// real goroutine cluster (in-memory fabric).
+func BenchmarkLiveClusterPut(b *testing.B) {
+	cluster, err := dataflasks.NewCluster(40, dataflasks.Config{Slices: 4},
+		dataflasks.WithRoundPeriod(10*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // converge
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("bench%08d", i), 1, []byte("payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkMemoryStorePut(b *testing.B) {
+	s := store.NewMemory()
+	defer s.Close()
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Put(fmt.Sprintf("key%08d", i%10000), uint64(i), val)
+	}
+}
+
+func BenchmarkMemoryStoreGetLatest(b *testing.B) {
+	s := store.NewMemory()
+	defer s.Close()
+	val := make([]byte, 100)
+	for i := 0; i < 10000; i++ {
+		_ = s.Put(fmt.Sprintf("key%08d", i), 1, val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = s.Get(fmt.Sprintf("key%08d", i%10000), store.Latest)
+	}
+}
+
+func BenchmarkDiskStorePut(b *testing.B) {
+	s, err := store.OpenDisk(b.TempDir(), store.DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Put(fmt.Sprintf("key%08d", i), 1, val)
+	}
+}
+
+func BenchmarkCyclonShuffleRound(b *testing.B) {
+	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	c := pss.NewCyclon(1, pss.CyclonConfig{ViewSize: 20}, sink, sim.RNG(1, 1), nil)
+	seeds := make([]transport.NodeID, 20)
+	for i := range seeds {
+		seeds[i] = transport.NodeID(i + 2)
+	}
+	c.Bootstrap(seeds)
+	sample := make([]pss.Descriptor, 10)
+	for i := range sample {
+		sample[i] = pss.Descriptor{ID: transport.NodeID(100 + i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+		c.Handle(2, &pss.ShuffleRequest{Sample: sample})
+	}
+}
+
+func BenchmarkKeySlice(b *testing.B) {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = slicing.KeySlice(keys[i%len(keys)], 60)
+	}
+}
+
+func BenchmarkDedupSeen(b *testing.B) {
+	d := gossip.NewDedup(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Seen(gossip.RequestID(i % 16384))
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := workload.NewZipfian(100000, 0.99)
+	rng := sim.RNG(1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(rng)
+	}
+}
+
+func BenchmarkNodeHandlePut(b *testing.B) {
+	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	n := core.NewNode(1, core.Config{
+		Slices: 1, Slicer: core.SlicerStatic, SystemSize: 1000, AntiEntropyEvery: -1,
+	}, store.NewMemory(), sink)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &core.PutRequest{
+			ID:  gossip.MakeRequestID(3, uint32(i)),
+			Key: fmt.Sprintf("key%08d", i%4096), Version: uint64(i), Value: val,
+			TTL: 4, NoAck: true,
+		}})
+	}
+}

@@ -1,0 +1,152 @@
+package dataflasks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// ErrNotFound reports a read that produced no replica answer within
+// its retry budget. Epidemic reads have no authoritative negative: the
+// object may not exist, or every reached replica may be missing it.
+var ErrNotFound = errors.New("dataflasks: not found")
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("dataflasks: client closed")
+
+// Client is the blocking client API (paper §V): operations go to a
+// load-balanced contact node, spread epidemically, and the multiple
+// replies that come back are de-duplicated by request id. Safe for
+// concurrent use.
+type Client struct {
+	core *client.Core
+
+	cmds chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// newLiveClient wraps the event-driven client core in a goroutine that
+// owns it: mailbox messages, timeout ticks and API commands are
+// serialized onto one loop, preserving the core's single-threaded
+// contract.
+func newLiveClient(id NodeID, cfg client.Config, sender transport.Sender, lb client.LoadBalancer, mailbox <-chan transport.Envelope, period time.Duration) *Client {
+	c := &Client{
+		core: client.NewCore(id, cfg, sender, lb),
+		cmds: make(chan func(), 64),
+		done: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case env, ok := <-mailbox:
+				if !ok {
+					return
+				}
+				c.core.HandleMessage(env)
+			case <-ticker.C:
+				c.core.Tick()
+			case cmd := <-c.cmds:
+				cmd()
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// Close stops the client loop. In-flight operations fail with
+// ErrClientClosed.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+	})
+	c.wg.Wait()
+}
+
+// submit runs fn on the client loop.
+func (c *Client) submit(fn func()) error {
+	select {
+	case c.cmds <- fn:
+		return nil
+	case <-c.done:
+		return ErrClientClosed
+	}
+}
+
+// Put stores value under (key, version). Versions must be assigned in
+// increasing order per key by the caller — DataFlasks is the bottom
+// layer of a stratified store and does not order writes itself (§III).
+// Put returns once the configured number of replicas acknowledged.
+func (c *Client) Put(ctx context.Context, key string, version uint64, value []byte) error {
+	if version == Latest {
+		return fmt.Errorf("dataflasks: version %d is reserved for reads", Latest)
+	}
+	res := make(chan client.Result, 1)
+	err := c.submit(func() {
+		c.core.StartPut(key, version, value, func(r client.Result) { res <- r })
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case r := <-res:
+		if r.Err != nil {
+			return fmt.Errorf("dataflasks: put %q v%d: %w", key, version, r.Err)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+		return ErrClientClosed
+	}
+}
+
+// Get returns the value stored at (key, version).
+func (c *Client) Get(ctx context.Context, key string, version uint64) ([]byte, error) {
+	val, _, err := c.get(ctx, key, version)
+	return val, err
+}
+
+// GetLatest returns the newest stored version of key and its version
+// number.
+func (c *Client) GetLatest(ctx context.Context, key string) (value []byte, version uint64, err error) {
+	return c.get(ctx, key, store.Latest)
+}
+
+func (c *Client) get(ctx context.Context, key string, version uint64) ([]byte, uint64, error) {
+	res := make(chan client.Result, 1)
+	err := c.submit(func() {
+		c.core.StartGet(key, version, func(r client.Result) { res <- r })
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	select {
+	case r := <-res:
+		if r.Err != nil {
+			if errors.Is(r.Err, client.ErrTimeout) {
+				return nil, 0, fmt.Errorf("dataflasks: get %q: %w", key, ErrNotFound)
+			}
+			return nil, 0, fmt.Errorf("dataflasks: get %q: %w", key, r.Err)
+		}
+		return r.Value, r.Version, nil
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-c.done:
+		return nil, 0, ErrClientClosed
+	}
+}

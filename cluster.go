@@ -1,0 +1,316 @@
+package dataflasks
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// defaultMailbox bounds each node's in-process mailbox; overflow drops
+// messages, which epidemic protocols tolerate by design.
+const defaultMailbox = 4096
+
+// clientIDBase keeps client ids clear of node ids while fitting the
+// 32-bit origin field of request ids.
+const clientIDBase NodeID = 0xC0000000
+
+// Cluster is an in-process DataFlasks deployment: every node runs as
+// one goroutine over an in-memory fabric. It is the embedding and
+// testing mode; protocol behaviour is identical to TCP deployments.
+type Cluster struct {
+	cfg    Config
+	period time.Duration
+	net    *transport.ChanNetwork
+
+	mu      sync.Mutex
+	nodes   map[NodeID]*core.Node
+	stops   map[NodeID]chan struct{}
+	clients []*Client
+	nextID  NodeID
+	nextCl  NodeID
+	started bool
+	closed  bool
+	// deferredRuns holds node loops created before Start.
+	deferredRuns []func()
+
+	wg sync.WaitGroup
+}
+
+// ClusterOption customizes NewCluster.
+type ClusterOption func(*Cluster)
+
+// WithRoundPeriod sets the gossip round period (default 100ms — fast
+// convergence for in-process clusters).
+func WithRoundPeriod(d time.Duration) ClusterOption {
+	return func(c *Cluster) {
+		if d > 0 {
+			c.period = d
+		}
+	}
+}
+
+// NewCluster creates a stopped cluster of n nodes. Call Start to run
+// it and defer Stop.
+func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataflasks: cluster size must be positive, got %d", n)
+	}
+	if cfg.SystemSize == 0 {
+		cfg.SystemSize = n
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		period: 100 * time.Millisecond,
+		net:    transport.NewChanNetwork(),
+		nodes:  make(map[NodeID]*core.Node, n),
+		stops:  make(map[NodeID]chan struct{}, n),
+		nextID: 1,
+		nextCl: clientIDBase,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.addNodeLocked(); err != nil {
+			return nil, err
+		}
+	}
+	// Bootstrap every node with a few seeds drawn deterministically.
+	rng := sim.RNG(cfg.Seed, 0xb007)
+	ids := c.nodeIDsLocked()
+	for _, id := range ids {
+		seeds := make([]NodeID, 0, 5)
+		for len(seeds) < 5 && len(seeds) < len(ids)-1 {
+			cand := ids[rng.IntN(len(ids))]
+			if cand == id || containsID(seeds, cand) {
+				continue
+			}
+			seeds = append(seeds, cand)
+		}
+		c.nodes[id].Bootstrap(seeds)
+	}
+	return c, nil
+}
+
+func containsID(ids []NodeID, id NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// addNodeLocked creates and registers a node (not yet running).
+func (c *Cluster) addNodeLocked() (NodeID, error) {
+	id := c.nextID
+	c.nextID++
+	mailbox, sender, err := c.net.Attach(id, defaultMailbox)
+	if err != nil {
+		return 0, fmt.Errorf("dataflasks: attach node %s: %w", id, err)
+	}
+	nodeCfg := c.cfg.coreConfig()
+	nodeCfg.RoundPeriod = c.period
+	n := core.NewNode(id, nodeCfg, store.NewMemory(), sender)
+	c.nodes[id] = n
+	stop := make(chan struct{})
+	c.stops[id] = stop
+	if c.started {
+		c.runNode(n, mailbox, stop)
+	} else {
+		// Defer the goroutine to Start; remember the mailbox by
+		// closure.
+		c.deferredRuns = append(c.deferredRuns, func() { c.runNode(n, mailbox, stop) })
+	}
+	return id, nil
+}
+
+func (c *Cluster) runNode(n *core.Node, mailbox <-chan transport.Envelope, stop chan struct{}) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.period)
+		defer ticker.Stop()
+		for {
+			select {
+			case env, ok := <-mailbox:
+				if !ok {
+					return
+				}
+				n.HandleMessage(env)
+			case <-ticker.C:
+				n.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Start launches every node goroutine. It is an error to Start twice.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("dataflasks: cluster is stopped")
+	}
+	if c.started {
+		return errors.New("dataflasks: cluster already started")
+	}
+	c.started = true
+	for _, run := range c.deferredRuns {
+		run()
+	}
+	c.deferredRuns = nil
+	return nil
+}
+
+// Stop terminates all clients and nodes and waits for their
+// goroutines.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+
+	for _, cl := range clients {
+		cl.Close()
+	}
+	c.net.Close() // closes every mailbox; node loops drain and exit
+	c.wg.Wait()
+}
+
+// NodeIDs returns the live node ids in ascending order.
+func (c *Cluster) NodeIDs() []NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodeIDsLocked()
+}
+
+func (c *Cluster) nodeIDsLocked() []NodeID {
+	ids := make([]NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// AddNode grows the cluster by one bootstrapped node (usable while
+// running).
+func (c *Cluster) AddNode() (NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("dataflasks: cluster is stopped")
+	}
+	id, err := c.addNodeLocked()
+	if err != nil {
+		return 0, err
+	}
+	ids := c.nodeIDsLocked()
+	rng := sim.RNG(c.cfg.Seed, uint64(id))
+	seeds := make([]NodeID, 0, 5)
+	for len(seeds) < 5 && len(seeds) < len(ids)-1 {
+		cand := ids[rng.IntN(len(ids))]
+		if cand == id || containsID(seeds, cand) {
+			continue
+		}
+		seeds = append(seeds, cand)
+	}
+	c.nodes[id].Bootstrap(seeds)
+	if c.started {
+		// Already running: the deferred run list was consumed in
+		// addNodeLocked via runNode.
+		_ = id
+	}
+	return id, nil
+}
+
+// RemoveNode crashes a node (fail-stop, no goodbye), exercising the
+// churn tolerance.
+func (c *Cluster) RemoveNode(id NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[id]; !ok {
+		return fmt.Errorf("dataflasks: unknown node %s", id)
+	}
+	delete(c.nodes, id)
+	if stop, ok := c.stops[id]; ok {
+		close(stop)
+		delete(c.stops, id)
+	}
+	c.net.Detach(id)
+	return nil
+}
+
+// SliceOf reports a node's current slice claim (-1 while undecided).
+func (c *Cluster) SliceOf(id NodeID) (int32, error) {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return -1, fmt.Errorf("dataflasks: unknown node %s", id)
+	}
+	return n.Slice(), nil
+}
+
+// ReplicaCount reports how many live nodes hold (key, version) — a
+// testing/observability helper.
+func (c *Cluster) ReplicaCount(key string, version uint64) int {
+	c.mu.Lock()
+	nodes := make([]*core.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	count := 0
+	for _, n := range nodes {
+		if _, _, ok, err := n.Store().Get(key, version); err == nil && ok {
+			count++
+		}
+	}
+	return count
+}
+
+// NewClient attaches a client endpoint to the cluster.
+func (c *Cluster) NewClient() (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("dataflasks: cluster is stopped")
+	}
+	id := c.nextCl
+	c.nextCl++
+	mailbox, sender, err := c.net.Attach(id, defaultMailbox)
+	if err != nil {
+		return nil, fmt.Errorf("dataflasks: attach client: %w", err)
+	}
+	lb := client.NewRandomLB(c.nodeIDsLocked(), sim.RNG(c.cfg.Seed, uint64(id)))
+	cl := newLiveClient(id, client.Config{PutAcks: c.cfg.clientPutAcks()}, sender, lb, mailbox, c.period)
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}

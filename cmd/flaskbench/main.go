@@ -1,0 +1,291 @@
+// Command flaskbench regenerates every figure of the paper's
+// evaluation (§VI) plus this reproduction's extension experiments, on
+// the deterministic discrete-event simulator.
+//
+//	flaskbench -exp fig3            # paper Figure 3
+//	flaskbench -exp fig4            # paper Figure 4
+//	flaskbench -exp all             # everything
+//	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
+//
+// Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
+// fanout reconfig putflood.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dataflasks/internal/core"
+	"dataflasks/internal/lab"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, all)")
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
+		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
+	)
+	flag.Parse()
+
+	sweep := lab.DefaultNs
+	if *quick {
+		sweep = []int{200, 400, 600}
+	}
+	if *ns != "" {
+		sweep = parseNs(*ns)
+	}
+
+	runners := map[string]func(){
+		"fig3":       func() { runFig3(sweep, *seed, *quick) },
+		"fig4":       func() { runFig4(sweep, *seed, *quick) },
+		"slicing":    func() { runSlicing(*seed, *quick) },
+		"correlated": func() { runCorrelated(*seed, *quick) },
+		"churn":      func() { runChurn(*seed, *quick) },
+		"repair":     func() { runRepair(*seed, *quick) },
+		"lb":         func() { runLB(*seed, *quick) },
+		"dht":        func() { runDHT(*seed, *quick) },
+		"pss":        func() { runPSS(*seed, *quick) },
+		"fanout":     func() { runFanout(*seed, *quick) },
+		"reconfig":   func() { runReconfig(*seed, *quick) },
+		"putflood":   func() { runPutFlood(*seed, *quick) },
+	}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			runners[name]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flaskbench: unknown experiment %q (want one of %s, all)\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run()
+}
+
+func parseNs(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "flaskbench: bad -ns element %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func header(title string) func() {
+	fmt.Printf("\n=== %s ===\n", title)
+	start := time.Now()
+	return func() { fmt.Printf("--- done in %s\n", time.Since(start).Round(time.Millisecond)) }
+}
+
+func runFig3(ns []int, seed uint64, quick bool) {
+	done := header("Figure 3: avg messages per node, constant 10 slices (paper §VI)")
+	defer done()
+	slices := 10
+	if quick {
+		slices = 5
+	}
+	res := lab.Figure3(lab.FigureOptions{Ns: ns, Slices: slices, Seed: seed})
+	printFigure(res)
+}
+
+func runFig4(ns []int, seed uint64, quick bool) {
+	done := header("Figure 4: avg messages per node, slices ∝ nodes (paper §VI)")
+	defer done()
+	rf := 50
+	if quick {
+		rf = 40
+	}
+	res := lab.Figure4(lab.FigureOptions{Ns: ns, ReplicationFactor: rf, Seed: seed})
+	printFigure(res)
+}
+
+func printFigure(res lab.FigureResult) {
+	fmt.Printf("%8s %8s %14s %12s %10s %12s %6s %6s\n",
+		"N", "slices", "msgs/node", "data", "pss", "discovery", "ok", "fail")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %8d %14.1f %12.1f %10.1f %12.1f %6d %6d\n",
+			r.N, r.Slices, r.MsgsPerNode, r.DataMsgs, r.PSSMsgs, r.DiscoveryMsgs, r.OK, r.Failed)
+	}
+}
+
+func runSlicing(seed uint64, quick bool) {
+	done := header("E3: slicing convergence and accuracy")
+	defer done()
+	n, rounds := 1000, 60
+	if quick {
+		n, rounds = 300, 40
+	}
+	for _, churnRate := range []float64{0, 0.01} {
+		for _, slicer := range []core.SlicerKind{core.SlicerRank, core.SlicerSwap} {
+			points := lab.SlicingConvergence(n, 10, rounds, churnRate, slicer, seed)
+			last := points[len(points)-1]
+			fmt.Printf("slicer=%-6s churn=%.2f/round: accuracy r10=%.2f r%d=%.2f undecided=%d\n",
+				slicerName(slicer), churnRate, points[9].Accuracy, rounds, last.Accuracy, last.Undecided)
+		}
+	}
+}
+
+func slicerName(k core.SlicerKind) string {
+	switch k {
+	case core.SlicerRank:
+		return "rank"
+	case core.SlicerSwap:
+		return "swap"
+	case core.SlicerStatic:
+		return "static"
+	default:
+		return "?"
+	}
+}
+
+func runCorrelated(seed uint64, quick bool) {
+	done := header("E4: correlated slice failure — adaptive vs coin-toss slicing (§IV-A)")
+	defer done()
+	n := 500
+	if quick {
+		n = 200
+	}
+	for _, slicer := range []core.SlicerKind{core.SlicerRank, core.SlicerStatic} {
+		res := lab.CorrelatedFailure(n, 10, 0.8, slicer, 8, seed)
+		fmt.Printf("slicer=%-6s slice %d: members %d → killed %d → recovery over 40 rounds: %v\n",
+			slicerName(res.Slicer), res.TargetSlice, res.BeforeMembers, res.Killed, res.AfterMembers)
+	}
+}
+
+func runChurn(seed uint64, quick bool) {
+	done := header("E5: read availability under churn")
+	defer done()
+	n, ops := 500, 100
+	if quick {
+		n, ops = 200, 50
+	}
+	rates := []float64{0, 0.005, 0.01, 0.02, 0.05}
+	points := lab.AvailabilityUnderChurn(n, 10, rates, ops, seed)
+	fmt.Printf("%14s %8s %8s %14s %8s\n", "churn/round", "ok", "failed", "availability", "retries")
+	for _, p := range points {
+		fmt.Printf("%14.3f %8d %8d %13.1f%% %8d\n",
+			p.ChurnPerRound, p.OK, p.Failed, p.Availability*100, p.Retries)
+	}
+}
+
+func runRepair(seed uint64, quick bool) {
+	done := header("E6: replication repair via anti-entropy (§VII future work)")
+	defer done()
+	n := 400
+	if quick {
+		n = 200
+	}
+	res := lab.ReplicationRepair(n, 10, 5, seed)
+	fmt.Printf("object %q: %d replicas → kill half → %d; recovery:\n",
+		res.Key, res.InitialCount, res.AfterKillCount)
+	for _, p := range res.Timeline {
+		fmt.Printf("  +%2d rounds: %d replicas\n", p.Round, p.Replicas)
+	}
+}
+
+func runLB(seed uint64, quick bool) {
+	done := header("E7: load-balancer ablation — random vs slice cache (§VII)")
+	defer done()
+	n, ops := 500, 200
+	if quick {
+		n, ops = 200, 80
+	}
+	for _, r := range lab.LoadBalancerAblation(n, 10, ops, seed) {
+		fmt.Printf("caching=%-5v msgs/node=%8.1f data-sends/node=%8.1f msgs/op=%8.1f ok=%d fail=%d\n",
+			r.Caching, r.MsgsPerNode, r.DataPerNode, r.MsgsPerOp, r.OK, r.Failed)
+	}
+}
+
+func runDHT(seed uint64, quick bool) {
+	done := header("E8: DataFlasks vs structured DHT baseline under churn (§I)")
+	defer done()
+	n, ops := 300, 100
+	if quick {
+		n, ops = 150, 50
+	}
+	rates := []float64{0, 0.01, 0.02, 0.05}
+	rows := lab.CompareWithDHT(n, 10, ops, rates, seed)
+	fmt.Printf("%14s %16s %16s %14s %14s\n",
+		"churn/round", "flasks avail", "dht avail", "flasks msgs", "dht msgs")
+	for _, r := range rows {
+		fmt.Printf("%14.3f %15.1f%% %15.1f%% %14.1f %14.1f\n",
+			r.ChurnPerRound, r.FlasksAvail*100, r.DHTAvail*100, r.FlasksMsgs, r.DHTMsgs)
+	}
+}
+
+func runPSS(seed uint64, quick bool) {
+	done := header("E9: peer-sampling overlay quality")
+	defer done()
+	n := 1000
+	if quick {
+		n = 300
+	}
+	for _, kind := range []core.PSSKind{core.PSSCyclon, core.PSSNewscast} {
+		q := lab.MeasurePSSQuality(n, 50, kind, seed)
+		name := "cyclon"
+		if kind == core.PSSNewscast {
+			name = "newscast"
+		}
+		fmt.Printf("%-8s in-degree: mean=%.1f p50=%d p95=%d p99=%d min=%d max=%d zero-in-degree=%d\n",
+			name, q.InDegree.Mean, q.InDegree.P50, q.InDegree.P95, q.InDegree.P99,
+			q.InDegree.Min, q.InDegree.Max, q.ZeroInDegree)
+	}
+}
+
+func runFanout(seed uint64, quick bool) {
+	done := header("E10: fanout sweep vs atomic-delivery probability (§II theory)")
+	defer done()
+	n, trials := 500, 30
+	if quick {
+		n, trials = 200, 15
+	}
+	points := lab.FanoutSweep(n, []float64{-2, -1, 0, 1, 2}, trials, seed)
+	fmt.Printf("%6s %8s %12s %14s %14s\n", "c", "fanout", "mean cover", "measured p", "theory p")
+	for _, p := range points {
+		fmt.Printf("%6.1f %8d %11.1f%% %14.2f %14.2f\n",
+			p.C, p.Fanout, p.MeanCover*100, p.MeasuredP, p.TheoryP)
+	}
+}
+
+func runReconfig(seed uint64, quick bool) {
+	done := header("E11: dynamic slice-count reconfiguration (§IV-C)")
+	defer done()
+	n := 400
+	if quick {
+		n = 200
+	}
+	res := lab.SliceReconfiguration(n, 10, 5, seed)
+	fmt.Printf("object %q: k %d→%d, replicas before=%d\n",
+		res.Key, res.OldSlices, res.NewSlices, res.BeforeReps)
+	for _, p := range res.Timeline {
+		fmt.Printf("  +%2d rounds: replicas=%d slice-accuracy=%.2f\n",
+			p.Round, p.Replicas, p.SliceAccuracy)
+	}
+}
+
+func runPutFlood(seed uint64, quick bool) {
+	done := header("E12: bounded-put-flood ablation (§IV-B optimization on writes)")
+	defer done()
+	n := 400
+	if quick {
+		n = 200
+	}
+	for _, r := range lab.PutFloodAblation(n, 10, seed) {
+		fmt.Printf("bounded=%-5v msgs/node=%8.1f data-sends/node=%8.1f reps: immediate=%d repaired=%d ok=%d fail=%d\n",
+			r.Bounded, r.MsgsPerNode, r.DataPerNode, r.ImmediateReps, r.RepairedReps, r.OK, r.Failed)
+	}
+}

@@ -1,0 +1,113 @@
+// Command flaskctl is the CLI client for a DataFlasks deployment.
+//
+//	flaskctl -seeds 1@127.0.0.1:7001 put greeting 1 "hello world"
+//	flaskctl -seeds 1@127.0.0.1:7001 get greeting
+//	flaskctl -seeds 1@127.0.0.1:7001 get greeting 1
+//	flaskctl -seeds 1@127.0.0.1:7001 bench -ops 100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dataflasks"
+)
+
+func main() {
+	var (
+		seeds   = flag.String("seeds", "", "comma-separated contacts, each id@host:port (required)")
+		slices  = flag.Int("slices", 10, "cluster slice count (must match the deployment)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	)
+	flag.Parse()
+
+	if *seeds == "" || flag.NArg() == 0 {
+		usage()
+	}
+	cl, err := dataflasks.ConnectClient("127.0.0.1:0", strings.Split(*seeds, ","), dataflasks.Config{Slices: *slices})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	args := flag.Args()
+	switch args[0] {
+	case "put":
+		if len(args) != 4 {
+			usage()
+		}
+		version, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad version %q: %w", args[2], err))
+		}
+		if err := cl.Put(ctx, args[1], version, []byte(args[3])); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OK %s v%d (%d bytes)\n", args[1], version, len(args[3]))
+	case "get":
+		switch len(args) {
+		case 2:
+			value, version, err := cl.GetLatest(ctx, args[1])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s v%d: %s\n", args[1], version, value)
+		case 3:
+			version, err := strconv.ParseUint(args[2], 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad version %q: %w", args[2], err))
+			}
+			value, err := cl.Get(ctx, args[1], version)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s v%d: %s\n", args[1], version, value)
+		default:
+			usage()
+		}
+	case "bench":
+		benchFlags := flag.NewFlagSet("bench", flag.ExitOnError)
+		ops := benchFlags.Int("ops", 100, "operations to run")
+		_ = benchFlags.Parse(args[1:])
+		runBench(cl, *ops, *timeout)
+	default:
+		usage()
+	}
+}
+
+func runBench(cl *dataflasks.Client, ops int, timeout time.Duration) {
+	start := time.Now()
+	fails := 0
+	for i := 0; i < ops; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		key := fmt.Sprintf("bench%06d", i)
+		if err := cl.Put(ctx, key, 1, []byte("benchmark-payload")); err != nil {
+			fails++
+		}
+		cancel()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d puts in %s (%.1f ops/s, %d failed)\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), fails)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flaskctl -seeds id@host:port[,...] put <key> <version> <value>
+  flaskctl -seeds id@host:port[,...] get <key> [version]
+  flaskctl -seeds id@host:port[,...] bench [-ops N]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flaskctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command flasksd runs one DataFlasks node on TCP.
+//
+// A three-node cluster on one machine:
+//
+//	flasksd -id 1 -bind 127.0.0.1:7001 &
+//	flasksd -id 2 -bind 127.0.0.1:7002 -seeds 1@127.0.0.1:7001 &
+//	flasksd -id 3 -bind 127.0.0.1:7003 -seeds 1@127.0.0.1:7001 &
+//
+// Then talk to it with flaskctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dataflasks"
+)
+
+func main() {
+	var (
+		id        = flag.Uint64("id", 0, "unique node id in [1, 2^32) (required)")
+		bind      = flag.String("bind", "127.0.0.1:0", "listen address")
+		advertise = flag.String("advertise", "", "address peers dial (default: bind)")
+		seeds     = flag.String("seeds", "", "comma-separated bootstrap contacts, each id@host:port")
+		dataDir   = flag.String("data", "", "object directory (empty: in-memory)")
+		slices    = flag.Int("slices", 10, "number of slices k")
+		size      = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
+		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
+		period    = flag.Duration("period", 500*time.Millisecond, "gossip round period")
+		status    = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
+	)
+	flag.Parse()
+
+	if *id == 0 {
+		fmt.Fprintln(os.Stderr, "flasksd: -id is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var seedList []string
+	if *seeds != "" {
+		seedList = strings.Split(*seeds, ",")
+	}
+
+	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
+		ID:          dataflasks.NodeID(*id),
+		Bind:        *bind,
+		Advertise:   *advertise,
+		Seeds:       seedList,
+		DataDir:     *dataDir,
+		RoundPeriod: *period,
+		Config: dataflasks.Config{
+			Slices:     *slices,
+			SystemSize: *size,
+			Capacity:   *capacity,
+		},
+	})
+	if err != nil {
+		log.Fatalf("flasksd: %v", err)
+	}
+	log.Printf("flasksd: node %s listening on %s (slices=%d)", node.ID(), node.Addr(), *slices)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *status > 0 {
+		ticker := time.NewTicker(*status)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				log.Printf("flasksd: slice=%d peers=%d objects=%d",
+					node.Slice(), node.PeersKnown(), node.StoredObjects())
+			case <-stop:
+				shutdown(node)
+				return
+			}
+		}
+	}
+	<-stop
+	shutdown(node)
+}
+
+func shutdown(node *dataflasks.Node) {
+	log.Printf("flasksd: shutting down")
+	if err := node.Close(); err != nil {
+		log.Printf("flasksd: close: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package dataflasks
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dataflasks/internal/core"
+)
+
+func TestConfigTranslation(t *testing.T) {
+	cfg := Config{
+		Slices:     7,
+		SystemSize: 300,
+		Capacity:   2.5,
+		PSS:        Newscast,
+		Slicer:     SwapSlicer,
+	}
+	cc := cfg.coreConfig()
+	if cc.Slices != 7 || cc.SystemSize != 300 || cc.Capacity != 2.5 {
+		t.Errorf("basic fields: %+v", cc)
+	}
+	if cc.PSS != core.PSSNewscast {
+		t.Errorf("PSS = %v", cc.PSS)
+	}
+	if cc.Slicer != core.SlicerSwap {
+		t.Errorf("Slicer = %v", cc.Slicer)
+	}
+
+	if (Config{}).coreConfig().PSS != core.PSSCyclon {
+		t.Error("default PSS not Cyclon")
+	}
+	if (Config{Slicer: StaticSlicer}).coreConfig().Slicer != core.SlicerStatic {
+		t.Error("static slicer not translated")
+	}
+	if (Config{DisableAntiEntropy: true}).coreConfig().AntiEntropyEvery != -1 {
+		t.Error("DisableAntiEntropy not translated")
+	}
+	if (Config{}).coreConfig().AntiEntropyEvery != 0 {
+		t.Error("anti-entropy should default on (0 → internal default)")
+	}
+}
+
+func TestClientPutAcksTranslation(t *testing.T) {
+	tests := []struct {
+		public, internal int
+	}{
+		{0, 1},   // default: one ack
+		{3, 3},   // explicit
+		{-1, -1}, // fire-and-forget maps to the client's "no acks" mode
+	}
+	for _, tt := range tests {
+		if got := (Config{PutAcks: tt.public}).clientPutAcks(); got != tt.internal {
+			t.Errorf("clientPutAcks(%d) = %d, want %d", tt.public, got, tt.internal)
+		}
+	}
+}
+
+func TestParseSeed(t *testing.T) {
+	id, addr, err := ParseSeed("42@10.0.0.1:7000")
+	if err != nil || id != 42 || addr != "10.0.0.1:7000" {
+		t.Errorf("ParseSeed = %v, %q, %v", id, addr, err)
+	}
+	for _, bad := range []string{"", "42", "@addr", "42@", "x@addr", "99999999999999@addr"} {
+		if _, _, err := ParseSeed(bad); err == nil {
+			t.Errorf("ParseSeed(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStartNodeValidation(t *testing.T) {
+	if _, err := StartNode(NodeConfig{ID: 0}); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if _, err := StartNode(NodeConfig{ID: 1 << 33}); err == nil {
+		t.Error("id beyond 32 bits accepted")
+	}
+	if _, err := StartNode(NodeConfig{ID: 1, Bind: "127.0.0.1:0", Seeds: []string{"garbage"}}); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+func TestAddAndRemoveNodesWhileRunning(t *testing.T) {
+	c, err := NewCluster(10, Config{Slices: 2}, WithRoundPeriod(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if len(c.NodeIDs()) != 11 {
+		t.Errorf("population = %d", len(c.NodeIDs()))
+	}
+	if _, err := c.SliceOf(id); err != nil {
+		t.Errorf("SliceOf(new): %v", err)
+	}
+	if err := c.RemoveNode(id); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if err := c.RemoveNode(id); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if _, err := c.SliceOf(id); err == nil {
+		t.Error("SliceOf(removed) succeeded")
+	}
+}
+
+func TestPutRejectsReservedVersion(t *testing.T) {
+	c, err := NewCluster(5, Config{}, WithRoundPeriod(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(t)
+	defer cancel()
+	if err := cl.Put(ctx, "k", Latest, []byte("x")); err == nil {
+		t.Error("Put with reserved version accepted")
+	}
+}
+
+func contextWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}

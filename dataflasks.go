@@ -1,0 +1,145 @@
+// Package dataflasks is an epidemic, dependable key-value substrate —
+// a from-scratch Go implementation of DATAFLASKS (Maia, Matos, Vilaça,
+// Pereira, Oliveira, Rivière; DSN 2013).
+//
+// DataFlasks is the persistent bottom layer of a stratified store: it
+// assumes an upper layer (the paper's DataDroplets) that totally orders
+// writes per key by attaching version numbers, and in exchange offers
+// extreme scale and churn tolerance by being fully unstructured:
+//
+//   - membership is a gossip Peer Sampling Service (Cyclon/Newscast);
+//   - the system autonomously partitions itself into k slices ordered
+//     by node capacity, with no coordination (distributed slicing);
+//   - a key belongs to a slice, and every node of that slice stores it
+//     — the slice size is the replication factor;
+//   - requests are routed by bounded epidemic flooding over the random
+//     views until they hit the target slice, then disseminated
+//     intra-slice only;
+//   - anti-entropy between slice-mates keeps replicas converged under
+//     churn.
+//
+// Three deployment modes share the identical protocol code:
+//
+//   - Cluster: an in-process cluster of goroutine-driven nodes,
+//     for embedding and tests (this package).
+//   - Node: a real node on TCP (cmd/flasksd).
+//   - internal/lab: thousands of nodes in a deterministic
+//     discrete-event simulation (cmd/flaskbench reproduces the paper's
+//     evaluation with it).
+package dataflasks
+
+import (
+	"dataflasks/internal/core"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// Latest is the version sentinel for newest-wins reads.
+const Latest = store.Latest
+
+// NodeID identifies a node in a cluster.
+type NodeID = transport.NodeID
+
+// PSS selects the peer-sampling protocol.
+type PSS int
+
+// Peer-sampling choices.
+const (
+	// Cyclon is the default: shuffle-based membership with strong
+	// self-healing (the view turnover evicts dead peers fast).
+	Cyclon PSS = iota
+	// Newscast trades some in-degree uniformity for simplicity and
+	// very fast news propagation.
+	Newscast
+)
+
+// Slicer selects the slice-manager protocol.
+type Slicer int
+
+// Slicer choices.
+const (
+	// RankSlicer estimates each node's capacity rank from the gossip
+	// stream at zero message cost (the DSlead-style default).
+	RankSlicer Slicer = iota
+	// SwapSlicer is Jelasity–Kermarrec ordered slicing (two messages
+	// per node per round).
+	SwapSlicer
+	// StaticSlicer hashes the node id — the paper's "coin toss"
+	// baseline; it cannot rebalance after correlated failures.
+	StaticSlicer
+)
+
+// Config tunes a DataFlasks deployment. The zero value is a working
+// configuration for a mid-sized cluster; Slices and SystemSize are the
+// knobs most deployments set.
+type Config struct {
+	// Slices is the number of slices k; the expected replication
+	// factor is N/k (default 10, the paper's evaluation setting).
+	Slices int
+	// SystemSize is the expected node count N, used to size gossip
+	// fanout and flood TTLs. Zero enables the built-in gossip size
+	// estimator instead.
+	SystemSize int
+	// Capacity is this node's slicing attribute (for example free
+	// disk space). Zero draws a stable pseudo-capacity from the node
+	// id.
+	Capacity float64
+	// PSS selects the membership protocol.
+	PSS PSS
+	// Slicer selects the slice manager.
+	Slicer Slicer
+	// PutAcks is how many replica acknowledgements complete a write
+	// (default 1; -1 makes writes fire-and-forget).
+	PutAcks int
+	// AntiEntropy enables replica repair between slice-mates
+	// (default on; the zero value enables it).
+	DisableAntiEntropy bool
+	// EvictForeign lets a node drop objects outside its slice after a
+	// slice change (off by default, like the paper's conservative
+	// stance).
+	EvictForeign bool
+	// Seed makes a cluster's randomness reproducible (0 = fixed
+	// default seed).
+	Seed uint64
+}
+
+// coreConfig translates the public configuration to the internal one.
+func (c Config) coreConfig() core.Config {
+	cc := core.Config{
+		Slices:       c.Slices,
+		SystemSize:   c.SystemSize,
+		Capacity:     c.Capacity,
+		Seed:         c.Seed,
+		EvictForeign: c.EvictForeign,
+	}
+	switch c.PSS {
+	case Newscast:
+		cc.PSS = core.PSSNewscast
+	default:
+		cc.PSS = core.PSSCyclon
+	}
+	switch c.Slicer {
+	case SwapSlicer:
+		cc.Slicer = core.SlicerSwap
+	case StaticSlicer:
+		cc.Slicer = core.SlicerStatic
+	default:
+		cc.Slicer = core.SlicerRank
+	}
+	if c.DisableAntiEntropy {
+		cc.AntiEntropyEvery = -1
+	}
+	return cc
+}
+
+// clientPutAcks translates the public ack knob for the client library.
+func (c Config) clientPutAcks() int {
+	switch {
+	case c.PutAcks < 0:
+		return -1 // fire-and-forget
+	case c.PutAcks == 0:
+		return 1
+	default:
+		return c.PutAcks
+	}
+}

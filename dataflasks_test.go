@@ -1,0 +1,128 @@
+package dataflasks_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dataflasks"
+)
+
+// startCluster boots an in-process cluster with a fast gossip period
+// and registers cleanup.
+func startCluster(t *testing.T, n int, cfg dataflasks.Config) *dataflasks.Cluster {
+	t.Helper()
+	c, err := dataflasks.NewCluster(n, cfg, dataflasks.WithRoundPeriod(20*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestLiveClusterPutGet(t *testing.T) {
+	c := startCluster(t, 40, dataflasks.Config{Slices: 4})
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	// Let the overlay converge.
+	time.Sleep(800 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	if err := cl.Put(ctx, "greeting", 1, []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := cl.Get(ctx, "greeting", 1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("Get = %q, want %q", got, "hello")
+	}
+
+	if err := cl.Put(ctx, "greeting", 2, []byte("hello again")); err != nil {
+		t.Fatalf("Put v2: %v", err)
+	}
+	val, ver, err := cl.GetLatest(ctx, "greeting")
+	if err != nil {
+		t.Fatalf("GetLatest: %v", err)
+	}
+	if ver != 2 || string(val) != "hello again" {
+		t.Fatalf("GetLatest = (%q, v%d), want (%q, v2)", val, ver, "hello again")
+	}
+}
+
+func TestLiveClusterMissingKey(t *testing.T) {
+	c := startCluster(t, 30, dataflasks.Config{Slices: 3})
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = cl.Get(ctx, "never-stored", 1)
+	if !errors.Is(err, dataflasks.ErrNotFound) {
+		t.Fatalf("Get missing key: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLiveClusterSurvivesNodeRemoval(t *testing.T) {
+	c := startCluster(t, 40, dataflasks.Config{Slices: 4})
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	time.Sleep(800 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Put(ctx, "durable", 1, []byte("survives")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Crash a quarter of the cluster.
+	ids := c.NodeIDs()
+	for i := 0; i < len(ids)/4; i++ {
+		if err := c.RemoveNode(ids[i]); err != nil {
+			t.Fatalf("RemoveNode: %v", err)
+		}
+	}
+
+	got, err := cl.Get(ctx, "durable", 1)
+	if err != nil {
+		t.Fatalf("Get after churn: %v", err)
+	}
+	if string(got) != "survives" {
+		t.Fatalf("Get after churn = %q, want %q", got, "survives")
+	}
+}
+
+func TestClusterLifecycleErrors(t *testing.T) {
+	if _, err := dataflasks.NewCluster(0, dataflasks.Config{}); err == nil {
+		t.Error("NewCluster(0) should fail")
+	}
+	c, err := dataflasks.NewCluster(3, dataflasks.Config{})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := c.Start(); err == nil {
+		t.Error("second Start should fail")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if _, err := c.NewClient(); err == nil {
+		t.Error("NewClient after Stop should fail")
+	}
+}

@@ -1,0 +1,76 @@
+// Anti-entropy: kill replicas of an object and watch the surviving
+// slice-mates re-replicate it onto newcomers — the paper's §VII
+// replication-maintenance future work, implemented.
+//
+//	go run ./examples/antientropy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dataflasks"
+)
+
+func main() {
+	cluster, err := dataflasks.NewCluster(60, dataflasks.Config{Slices: 6},
+		dataflasks.WithRoundPeriod(50*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(2 * time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const key = "precious"
+	if err := client.Put(ctx, key, 1, []byte("replicate me")); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(time.Second)
+	fmt.Printf("initial replicas: %d\n", cluster.ReplicaCount(key, 1))
+
+	// Crash half the holders and add fresh nodes to take their place.
+	killed := 0
+	for _, id := range cluster.NodeIDs() {
+		if cluster.ReplicaCount(key, 1) <= 4 {
+			break
+		}
+		if s, err := cluster.SliceOf(id); err != nil || s < 0 {
+			continue
+		}
+		// Only holders matter; probing via ReplicaCount is cluster-wide,
+		// so remove nodes until the count halves.
+		before := cluster.ReplicaCount(key, 1)
+		if err := cluster.RemoveNode(id); err != nil {
+			continue
+		}
+		if cluster.ReplicaCount(key, 1) < before {
+			killed++
+			if _, err := cluster.AddNode(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if killed >= 6 {
+			break
+		}
+	}
+	fmt.Printf("crashed %d replica holders (replaced with fresh nodes): %d replicas left\n",
+		killed, cluster.ReplicaCount(key, 1))
+
+	fmt.Println("anti-entropy repairing...")
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Second)
+		fmt.Printf("  t+%2ds: %d replicas\n", i+1, cluster.ReplicaCount(key, 1))
+	}
+}

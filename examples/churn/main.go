@@ -1,0 +1,73 @@
+// Churn: hammer a cluster with node crashes and joins while a client
+// keeps reading — the dependability claim of the paper, live.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"dataflasks"
+)
+
+func main() {
+	const (
+		nodes   = 80
+		slices  = 8
+		records = 20
+	)
+	cluster, err := dataflasks.NewCluster(nodes, dataflasks.Config{Slices: slices},
+		dataflasks.WithRoundPeriod(50*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(2 * time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fmt.Printf("preloading %d records...\n", records)
+	for i := 0; i < records; i++ {
+		key := fmt.Sprintf("record%03d", i)
+		if err := client.Put(ctx, key, 1, []byte("survives churn")); err != nil {
+			log.Fatalf("preload %s: %v", key, err)
+		}
+	}
+
+	fmt.Println("reading under churn (crash one node + add one node per read)...")
+	rng := rand.New(rand.NewPCG(7, 7))
+	ok, failed := 0, 0
+	for i := 0; i < 60; i++ {
+		// Replacement churn: one out, one in.
+		ids := cluster.NodeIDs()
+		victim := ids[rng.IntN(len(ids))]
+		if err := cluster.RemoveNode(victim); err == nil {
+			if _, err := cluster.AddNode(); err != nil {
+				log.Fatalf("AddNode: %v", err)
+			}
+		}
+
+		key := fmt.Sprintf("record%03d", rng.IntN(records))
+		if _, err := client.Get(ctx, key, 1); err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	fmt.Printf("reads: %d ok, %d failed (%.0f%% availability)\n",
+		ok, failed, 100*float64(ok)/float64(ok+failed))
+	fmt.Printf("population after churn: %d nodes\n", len(cluster.NodeIDs()))
+}

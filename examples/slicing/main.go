@@ -1,0 +1,80 @@
+// Slicing: watch the cluster autonomously partition itself into slices
+// by node capacity, with no coordinator — then crash most of one slice
+// and watch the survivors rebalance (paper §IV-A).
+//
+//	go run ./examples/slicing
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dataflasks"
+)
+
+const (
+	nodes  = 100
+	slices = 5
+)
+
+func main() {
+	cluster, err := dataflasks.NewCluster(nodes, dataflasks.Config{Slices: slices},
+		dataflasks.WithRoundPeriod(50*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	fmt.Println("slices forming (each node estimates its capacity rank by gossip):")
+	for i := 0; i < 6; i++ {
+		time.Sleep(500 * time.Millisecond)
+		printHistogram(cluster)
+	}
+
+	// Correlated failure: crash 80% of slice 2 (say, a rack died).
+	var members []dataflasks.NodeID
+	for _, id := range cluster.NodeIDs() {
+		if s, err := cluster.SliceOf(id); err == nil && s == 2 {
+			members = append(members, id)
+		}
+	}
+	killed := 0
+	for _, id := range members[:len(members)*4/5] {
+		if err := cluster.RemoveNode(id); err == nil {
+			killed++
+		}
+	}
+	fmt.Printf("\n!!! correlated failure: crashed %d of %d members of slice 2\n\n", killed, len(members))
+
+	fmt.Println("rank-based slicing rebalances the survivors:")
+	for i := 0; i < 8; i++ {
+		time.Sleep(500 * time.Millisecond)
+		printHistogram(cluster)
+	}
+}
+
+func printHistogram(cluster *dataflasks.Cluster) {
+	counts := make([]int, slices)
+	undecided := 0
+	for _, id := range cluster.NodeIDs() {
+		s, err := cluster.SliceOf(id)
+		if err != nil {
+			continue
+		}
+		if s < 0 {
+			undecided++
+			continue
+		}
+		counts[s]++
+	}
+	var b strings.Builder
+	for s, c := range counts {
+		fmt.Fprintf(&b, "s%d:%-3d %-22s", s, c, strings.Repeat("█", c))
+	}
+	fmt.Printf("%s undecided:%d\n", b.String(), undecided)
+}

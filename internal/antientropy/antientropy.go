@@ -1,0 +1,233 @@
+// Package antientropy implements the replication-maintenance machinery
+// the paper leaves as future work (§VII): periodic digest exchanges
+// between slice-mates that (a) pull objects a node misses — so a node
+// that joins a slice converges to the slice's object set without a
+// dedicated state-transfer protocol — and (b) keep the replication
+// factor at slice size despite churn, message loss and TTL-expired
+// floods.
+//
+// One exchange is four messages: A→B Digest(A's headers); B→A
+// Pull(what B lacks) and B→A DigestReply(B's headers); A→B
+// Push(objects); and symmetrically A pulls what it lacks from B's
+// reply. Pushes are bounded per exchange; repeated rounds converge.
+package antientropy
+
+import (
+	"math/rand/v2"
+
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// Header identifies one object without its value.
+type Header struct {
+	Key     string
+	Version uint64
+}
+
+// Digest opens an exchange with the sender's object headers.
+type Digest struct {
+	Slice   int32
+	Headers []Header
+}
+
+// DigestReply returns the responder's headers so the initiator can pull
+// symmetrically.
+type DigestReply struct {
+	Slice   int32
+	Headers []Header
+}
+
+// Pull requests the listed objects' values.
+type Pull struct {
+	Headers []Header
+}
+
+// Push delivers requested objects.
+type Push struct {
+	Objects []store.Object
+}
+
+// Env is what the protocol needs from its host node.
+type Env struct {
+	// Store is the local object store.
+	Store store.Store
+	// Send emits a message to a peer.
+	Send transport.Sender
+	// Partner picks a random slice-mate to exchange with.
+	Partner func() (transport.NodeID, bool)
+	// Slice returns the node's current slice claim.
+	Slice func() int32
+	// KeyInSlice reports whether a key belongs to the node's current
+	// slice, gating what gets pulled and what EvictForeign drops.
+	KeyInSlice func(key string) bool
+	// OnSent, when non-nil, is called once per protocol message emitted
+	// (metrics hook).
+	OnSent func()
+}
+
+// Config tunes the exchange.
+type Config struct {
+	// MaxPush bounds objects per Push message (default 64); the rest
+	// is picked up on later rounds.
+	MaxPush int
+	// MaxDigest bounds headers per Digest; a store larger than this
+	// advertises a uniformly random subset each round, which still
+	// converges. Default 4096.
+	MaxDigest int
+	// EvictForeign drops local objects outside the node's slice during
+	// Tick (after a slice change). Default false.
+	EvictForeign bool
+}
+
+func (c *Config) defaults() {
+	if c.MaxPush <= 0 {
+		c.MaxPush = 64
+	}
+	if c.MaxDigest <= 0 {
+		c.MaxDigest = 4096
+	}
+}
+
+// Protocol runs anti-entropy for one node. Not safe for concurrent use.
+type Protocol struct {
+	cfg Config
+	env Env
+	rng *rand.Rand
+}
+
+// New creates the protocol. All Env fields except OnSent are required.
+func New(cfg Config, env Env, rng *rand.Rand) *Protocol {
+	cfg.defaults()
+	if env.Store == nil || env.Send == nil || env.Partner == nil || env.Slice == nil || env.KeyInSlice == nil {
+		panic("antientropy: incomplete Env")
+	}
+	if rng == nil {
+		panic("antientropy: New requires an rng")
+	}
+	return &Protocol{cfg: cfg, env: env, rng: rng}
+}
+
+// Tick opens one exchange with a random slice-mate and, when
+// configured, evicts foreign objects.
+func (p *Protocol) Tick() {
+	if p.cfg.EvictForeign {
+		p.evictForeign()
+	}
+	peer, ok := p.env.Partner()
+	if !ok {
+		return
+	}
+	p.send(peer, &Digest{Slice: p.env.Slice(), Headers: p.digest()})
+}
+
+// Handle processes anti-entropy traffic; it reports false for foreign
+// messages.
+func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
+	switch m := msg.(type) {
+	case *Digest:
+		if m.Slice != p.env.Slice() {
+			return true // stale partner from another slice; ignore
+		}
+		if wants := p.missing(m.Headers); len(wants) > 0 {
+			p.send(from, &Pull{Headers: wants})
+		}
+		p.send(from, &DigestReply{Slice: p.env.Slice(), Headers: p.digest()})
+		return true
+	case *DigestReply:
+		if m.Slice != p.env.Slice() {
+			return true
+		}
+		if wants := p.missing(m.Headers); len(wants) > 0 {
+			p.send(from, &Pull{Headers: wants})
+		}
+		return true
+	case *Pull:
+		p.servePull(from, m)
+		return true
+	case *Push:
+		for _, o := range m.Objects {
+			if !p.env.KeyInSlice(o.Key) {
+				continue
+			}
+			_ = p.env.Store.Put(o.Key, o.Version, o.Value)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Protocol) send(to transport.NodeID, msg interface{}) {
+	if p.env.OnSent != nil {
+		p.env.OnSent()
+	}
+	_ = p.env.Send.Send(to, msg)
+}
+
+// digest lists up to MaxDigest local headers; larger stores advertise a
+// random subset (reservoir sampling keeps the choice uniform).
+func (p *Protocol) digest() []Header {
+	out := make([]Header, 0, 128)
+	seen := 0
+	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
+		seen++
+		h := Header{Key: key, Version: version}
+		if len(out) < p.cfg.MaxDigest {
+			out = append(out, h)
+			return true
+		}
+		if j := p.rng.IntN(seen); j < p.cfg.MaxDigest {
+			out[j] = h
+		}
+		return true
+	})
+	return out
+}
+
+// missing returns the headers we lack and should hold.
+func (p *Protocol) missing(theirs []Header) []Header {
+	var wants []Header
+	for _, h := range theirs {
+		if !p.env.KeyInSlice(h.Key) {
+			continue
+		}
+		if _, _, ok, err := p.env.Store.Get(h.Key, h.Version); err == nil && !ok {
+			wants = append(wants, h)
+			if len(wants) >= p.cfg.MaxPush {
+				break
+			}
+		}
+	}
+	return wants
+}
+
+func (p *Protocol) servePull(from transport.NodeID, m *Pull) {
+	objs := make([]store.Object, 0, len(m.Headers))
+	for _, h := range m.Headers {
+		if len(objs) >= p.cfg.MaxPush {
+			break
+		}
+		val, actual, ok, err := p.env.Store.Get(h.Key, h.Version)
+		if err != nil || !ok || actual != h.Version {
+			continue
+		}
+		objs = append(objs, store.Object{Key: h.Key, Version: h.Version, Value: val})
+	}
+	if len(objs) > 0 {
+		p.send(from, &Push{Objects: objs})
+	}
+}
+
+func (p *Protocol) evictForeign() {
+	var foreign []Header
+	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
+		if !p.env.KeyInSlice(key) {
+			foreign = append(foreign, Header{Key: key, Version: version})
+		}
+		return true
+	})
+	for _, h := range foreign {
+		_ = p.env.Store.Delete(h.Key, h.Version)
+	}
+}

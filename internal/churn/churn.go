@@ -1,0 +1,120 @@
+// Package churn injects membership dynamics into simulated clusters:
+// steady background node replacement (the regime the paper argues makes
+// DHT-based stores fragile, §I) and correlated failures that wipe out
+// most of one slice at once (§IV-A's argument for adaptive slicing over
+// coin tossing).
+package churn
+
+import (
+	"math/rand/v2"
+
+	"dataflasks/internal/transport"
+)
+
+// Target is the cluster surface churn drives: harnesses implement it
+// for both DataFlasks and the DHT baseline.
+type Target interface {
+	// AliveIDs lists currently live nodes in a stable order.
+	AliveIDs() []transport.NodeID
+	// Kill crashes a node (no goodbye message — fail-stop).
+	Kill(id transport.NodeID)
+	// Spawn starts a fresh node bootstrapped from current seeds and
+	// returns its id.
+	Spawn() transport.NodeID
+}
+
+// SliceTarget additionally exposes slice membership, enabling
+// correlated slice failures.
+type SliceTarget interface {
+	Target
+	// SliceOf returns the node's current slice claim.
+	SliceOf(id transport.NodeID) int32
+}
+
+// Injector drives steady replacement churn: each Tick it kills a
+// random fraction of live nodes and spawns replacements, holding the
+// population roughly constant. Not safe for concurrent use.
+type Injector struct {
+	// Rate is the fraction of live nodes replaced per tick (for
+	// example 0.01 = 1% churn per round).
+	Rate float64
+	rng  *rand.Rand
+
+	killed  int
+	spawned int
+	// carry accumulates fractional kills so low rates still churn.
+	carry float64
+}
+
+// NewInjector creates an injector with the given per-tick replacement
+// rate.
+func NewInjector(rate float64, rng *rand.Rand) *Injector {
+	if rng == nil {
+		panic("churn: NewInjector requires an rng")
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &Injector{Rate: rate, rng: rng}
+}
+
+// Killed returns the total nodes killed so far.
+func (i *Injector) Killed() int { return i.killed }
+
+// Spawned returns the total nodes spawned so far.
+func (i *Injector) Spawned() int { return i.spawned }
+
+// Tick performs one round of replacement churn against t.
+func (i *Injector) Tick(t Target) {
+	alive := t.AliveIDs()
+	if len(alive) == 0 || i.Rate == 0 {
+		return
+	}
+	i.carry += i.Rate * float64(len(alive))
+	n := int(i.carry)
+	i.carry -= float64(n)
+	if n == 0 {
+		return
+	}
+	victims := make([]transport.NodeID, len(alive))
+	copy(victims, alive)
+	i.rng.Shuffle(len(victims), func(a, b int) { victims[a], victims[b] = victims[b], victims[a] })
+	if n > len(victims) {
+		n = len(victims)
+	}
+	for _, id := range victims[:n] {
+		t.Kill(id)
+		i.killed++
+	}
+	for j := 0; j < n; j++ {
+		t.Spawn()
+		i.spawned++
+	}
+}
+
+// KillSliceFraction crashes frac of the nodes currently claiming slice
+// s — the correlated failure of §IV-A (for example one rack holding
+// most of a slice). It returns how many nodes it killed.
+func KillSliceFraction(t SliceTarget, s int32, frac float64, rng *rand.Rand) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	var members []transport.NodeID
+	for _, id := range t.AliveIDs() {
+		if t.SliceOf(id) == s {
+			members = append(members, id)
+		}
+	}
+	if len(members) == 0 {
+		return 0
+	}
+	rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+	n := int(float64(len(members)) * frac)
+	for _, id := range members[:n] {
+		t.Kill(id)
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package churn
+
+import (
+	"testing"
+
+	"dataflasks/internal/sim"
+	"dataflasks/internal/transport"
+)
+
+// fakeCluster implements SliceTarget for injector tests.
+type fakeCluster struct {
+	alive  map[transport.NodeID]bool
+	slices map[transport.NodeID]int32
+	nextID transport.NodeID
+}
+
+func newFakeCluster(n int) *fakeCluster {
+	f := &fakeCluster{
+		alive:  make(map[transport.NodeID]bool, n),
+		slices: make(map[transport.NodeID]int32, n),
+		nextID: transport.NodeID(n + 1),
+	}
+	for i := 1; i <= n; i++ {
+		f.alive[transport.NodeID(i)] = true
+		f.slices[transport.NodeID(i)] = int32(i % 4)
+	}
+	return f
+}
+
+func (f *fakeCluster) AliveIDs() []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(f.alive))
+	for id := range f.alive {
+		out = append(out, id)
+	}
+	// Stable order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (f *fakeCluster) Kill(id transport.NodeID) { delete(f.alive, id) }
+
+func (f *fakeCluster) Spawn() transport.NodeID {
+	id := f.nextID
+	f.nextID++
+	f.alive[id] = true
+	f.slices[id] = int32(int(id) % 4)
+	return id
+}
+
+func (f *fakeCluster) SliceOf(id transport.NodeID) int32 { return f.slices[id] }
+
+func TestInjectorReplacementKeepsPopulation(t *testing.T) {
+	f := newFakeCluster(100)
+	inj := NewInjector(0.05, sim.RNG(1, 1))
+	for r := 0; r < 20; r++ {
+		inj.Tick(f)
+	}
+	if got := len(f.alive); got != 100 {
+		t.Errorf("population = %d, want 100", got)
+	}
+	if inj.Killed() != inj.Spawned() {
+		t.Errorf("killed %d != spawned %d", inj.Killed(), inj.Spawned())
+	}
+	// 5% of 100 over 20 rounds = ~100 replacements.
+	if inj.Killed() < 90 || inj.Killed() > 110 {
+		t.Errorf("killed = %d, want ~100", inj.Killed())
+	}
+}
+
+func TestInjectorFractionalRateAccumulates(t *testing.T) {
+	f := newFakeCluster(10)
+	inj := NewInjector(0.05, sim.RNG(2, 2)) // 0.5 nodes per tick
+	for r := 0; r < 10; r++ {
+		inj.Tick(f)
+	}
+	// 0.05 × 10 nodes × 10 ticks = 5 kills via the fractional carry.
+	if inj.Killed() != 5 {
+		t.Errorf("killed = %d, want 5", inj.Killed())
+	}
+}
+
+func TestInjectorZeroRate(t *testing.T) {
+	f := newFakeCluster(10)
+	inj := NewInjector(0, sim.RNG(3, 3))
+	inj.Tick(f)
+	if inj.Killed() != 0 || len(f.alive) != 10 {
+		t.Error("zero-rate injector churned")
+	}
+	if neg := NewInjector(-1, sim.RNG(3, 4)); neg.Rate != 0 {
+		t.Error("negative rate not clamped")
+	}
+}
+
+func TestKillSliceFraction(t *testing.T) {
+	f := newFakeCluster(100) // 25 nodes per slice (ids mod 4)
+	killed := KillSliceFraction(f, 2, 0.8, sim.RNG(4, 4))
+	if killed != 20 {
+		t.Errorf("killed = %d, want 20 (80%% of 25)", killed)
+	}
+	// Only slice 2 was touched.
+	remaining := 0
+	for id := range f.alive {
+		if f.slices[id] == 2 {
+			remaining++
+		}
+	}
+	if remaining != 5 {
+		t.Errorf("slice 2 has %d members left, want 5", remaining)
+	}
+	if len(f.alive) != 80 {
+		t.Errorf("population = %d, want 80", len(f.alive))
+	}
+}
+
+func TestKillSliceFractionEdgeCases(t *testing.T) {
+	f := newFakeCluster(20)
+	if got := KillSliceFraction(f, 1, 0, sim.RNG(5, 5)); got != 0 {
+		t.Errorf("frac 0 killed %d", got)
+	}
+	if got := KillSliceFraction(f, 99, 1, sim.RNG(5, 6)); got != 0 {
+		t.Errorf("empty slice killed %d", got)
+	}
+	// frac > 1 clamps to the whole slice.
+	if got := KillSliceFraction(f, 1, 5, sim.RNG(5, 7)); got != 5 {
+		t.Errorf("clamped kill = %d, want 5", got)
+	}
+}

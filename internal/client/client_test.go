@@ -1,0 +1,285 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"dataflasks/internal/core"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/transport"
+)
+
+// capture records everything the client sends.
+type capture struct {
+	sent []transport.Envelope
+}
+
+func (c *capture) sender(from transport.NodeID) transport.Sender {
+	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		c.sent = append(c.sent, transport.Envelope{From: from, To: to, Msg: msg})
+		return nil
+	})
+}
+
+func newTestCore(t *testing.T, cfg Config, nodes []transport.NodeID) (*Core, *capture) {
+	t.Helper()
+	cap := &capture{}
+	lb := NewRandomLB(nodes, sim.RNG(1, 99))
+	return NewCore(0xC0000001, cfg, cap.sender(0xC0000001), lb), cap
+}
+
+func TestPutCompletesOnAck(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1, 2, 3})
+	var res *Result
+	cl.StartPut("k", 1, []byte("v"), func(r Result) { res = &r })
+
+	if len(cap.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(cap.sent))
+	}
+	req, ok := cap.sent[0].Msg.(*core.PutRequest)
+	if !ok {
+		t.Fatalf("sent %#v", cap.sent[0].Msg)
+	}
+	if req.TTL != core.TTLUnset {
+		t.Errorf("client stamped TTL %d itself", req.TTL)
+	}
+	if res != nil {
+		t.Fatal("put completed before any ack")
+	}
+
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: req.ID, Key: "k", Version: 1}})
+	if res == nil || res.Err != nil {
+		t.Fatalf("put not completed: %+v", res)
+	}
+	if res.Acks != 1 {
+		t.Errorf("acks = %d", res.Acks)
+	}
+	if cl.Pending() != 0 {
+		t.Errorf("pending = %d", cl.Pending())
+	}
+}
+
+func TestPutRequiresDistinctAckers(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2}, []transport.NodeID{1})
+	var res *Result
+	cl.StartPut("k", 1, nil, func(r Result) { res = &r })
+	id := cap.sent[0].Msg.(*core.PutRequest).ID
+
+	// The same replica acking twice must not satisfy PutAcks=2.
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: id}})
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: id}})
+	if res != nil {
+		t.Fatal("duplicate acker completed the put")
+	}
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.PutAck{ID: id}})
+	if res == nil || res.Acks != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFireAndForgetPut(t *testing.T) {
+	cl, _ := newTestCore(t, Config{PutAcks: -1}, []transport.NodeID{1})
+	var res *Result
+	cl.StartPut("k", 1, nil, func(r Result) { res = &r })
+	if res == nil || res.Err != nil {
+		t.Fatalf("fire-and-forget put did not complete immediately: %+v", res)
+	}
+	if cl.Pending() != 0 {
+		t.Errorf("pending = %d", cl.Pending())
+	}
+}
+
+func TestGetFirstReplyWinsAndDuplicatesDropped(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1})
+	count := 0
+	var res Result
+	cl.StartGet("k", 7, func(r Result) { count++; res = r })
+	id := cap.sent[0].Msg.(*core.GetRequest).ID
+
+	reply := &core.GetReply{ID: id, Key: "k", Version: 7, Value: []byte("x"), Slice: 3}
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: reply})
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: reply}) // epidemic duplicate
+	cl.HandleMessage(transport.Envelope{From: 7, Msg: reply})
+
+	if count != 1 {
+		t.Fatalf("done callback ran %d times", count)
+	}
+	if res.Err != nil || string(res.Value) != "x" || res.Version != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRetryUsesFreshIDAndContact(t *testing.T) {
+	cl, cap := newTestCore(t, Config{TimeoutTicks: 2, Retries: 2}, []transport.NodeID{1, 2, 3, 4, 5, 6, 7, 8})
+	var res *Result
+	cl.StartGet("k", 1, func(r Result) { res = &r })
+	first := cap.sent[0].Msg.(*core.GetRequest).ID
+
+	cl.Tick()
+	cl.Tick() // deadline hits → retry
+	if len(cap.sent) != 2 {
+		t.Fatalf("sent %d messages after timeout, want 2", len(cap.sent))
+	}
+	second := cap.sent[1].Msg.(*core.GetRequest).ID
+	if second == first {
+		t.Error("retry reused the request id (would be dedup'd everywhere)")
+	}
+	if res != nil {
+		t.Fatal("op completed during retries")
+	}
+
+	// A late reply to the OLD id is ignored...
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.GetReply{ID: first, Value: []byte("old")}})
+	if res != nil {
+		t.Fatal("stale-id reply completed the op")
+	}
+	// ...while the new id completes it.
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.GetReply{ID: second, Value: []byte("new")}})
+	if res == nil || string(res.Value) != "new" || res.Retries != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRetriesExhaustToTimeout(t *testing.T) {
+	cl, _ := newTestCore(t, Config{TimeoutTicks: 1, Retries: 2}, []transport.NodeID{1})
+	var res *Result
+	cl.StartGet("k", 1, func(r Result) { res = &r })
+	for i := 0; i < 10 && res == nil; i++ {
+		cl.Tick()
+	}
+	if res == nil {
+		t.Fatal("op never failed")
+	}
+	if !errors.Is(res.Err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", res.Err)
+	}
+	if res.Retries != 2 {
+		t.Errorf("retries = %d, want 2", res.Retries)
+	}
+}
+
+func TestAcksAccumulateAcrossRetries(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2, TimeoutTicks: 2, Retries: 3}, []transport.NodeID{1})
+	var res *Result
+	cl.StartPut("k", 1, nil, func(r Result) { res = &r })
+	first := cap.sent[0].Msg.(*core.PutRequest).ID
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: first}})
+	cl.Tick()
+	cl.Tick() // retry with fresh id
+	second := cap.sent[1].Msg.(*core.PutRequest).ID
+	// One more DISTINCT replica acking the second attempt completes.
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.PutAck{ID: second}})
+	if res == nil || res.Acks != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEmptyLoadBalancerFailsAfterRetries(t *testing.T) {
+	cl, cap := newTestCore(t, Config{TimeoutTicks: 1, Retries: 1}, nil)
+	var res *Result
+	cl.StartGet("k", 1, func(r Result) { res = &r })
+	if len(cap.sent) != 0 {
+		t.Fatal("sent despite empty balancer")
+	}
+	for i := 0; i < 5 && res == nil; i++ {
+		cl.Tick()
+	}
+	if res == nil || res.Err == nil {
+		t.Fatalf("res = %+v, want timeout", res)
+	}
+}
+
+// --- load balancers ---------------------------------------------------------
+
+func TestRandomLBUniform(t *testing.T) {
+	lb := NewRandomLB([]transport.NodeID{1, 2, 3, 4}, sim.RNG(5, 5))
+	counts := map[transport.NodeID]int{}
+	for i := 0; i < 4000; i++ {
+		id, ok := lb.Contact("any")
+		if !ok {
+			t.Fatal("no contact")
+		}
+		counts[id]++
+	}
+	for id, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("node %v picked %d of 4000", id, c)
+		}
+	}
+}
+
+func TestRandomLBEmpty(t *testing.T) {
+	lb := NewRandomLB(nil, sim.RNG(1, 1))
+	if _, ok := lb.Contact("k"); ok {
+		t.Error("empty balancer returned a contact")
+	}
+	lb.SetNodes([]transport.NodeID{9})
+	if id, ok := lb.Contact("k"); !ok || id != 9 {
+		t.Errorf("Contact = %v, %v", id, ok)
+	}
+}
+
+func TestCachingLBLearnsAndForgets(t *testing.T) {
+	inner := NewRandomLB([]transport.NodeID{1, 2, 3}, sim.RNG(2, 2))
+	lb := NewCachingLB(inner, 4)
+
+	// Cold: falls back to random.
+	if _, ok := lb.Contact("key-a"); !ok {
+		t.Fatal("no fallback contact")
+	}
+	// Learn which node answered for key-a's slice, then always use it.
+	lb.ObserveReply("key-a", 2, 42)
+	for i := 0; i < 10; i++ {
+		if id, _ := lb.Contact(keyInSlice(t, 2, 4)); id != 42 {
+			t.Fatalf("cached contact = %v, want 42", id)
+		}
+	}
+	if lb.CacheSize() != 1 {
+		t.Errorf("CacheSize = %d", lb.CacheSize())
+	}
+	// A timeout evicts the node everywhere.
+	lb.Forget(42)
+	if lb.CacheSize() != 0 {
+		t.Errorf("CacheSize after Forget = %d", lb.CacheSize())
+	}
+}
+
+func TestCachingLBIgnoresNegativeSlice(t *testing.T) {
+	lb := NewCachingLB(NewRandomLB([]transport.NodeID{1}, sim.RNG(3, 3)), 4)
+	lb.ObserveReply("k", -1, 42)
+	if lb.CacheSize() != 0 {
+		t.Error("cached an unknown slice")
+	}
+}
+
+// keyInSlice finds a key that maps to the wanted slice under k slices.
+func keyInSlice(t *testing.T, want int32, k int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := "probe" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		if slicing.KeySlice(key, k) == want {
+			return key
+		}
+	}
+	t.Fatal("no key found for slice")
+	return ""
+}
+
+func TestRequestIDsAreClientScoped(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1})
+	cl.StartGet("a", 1, nil)
+	cl.StartGet("b", 1, nil)
+	id1 := cap.sent[0].Msg.(*core.GetRequest).ID
+	id2 := cap.sent[1].Msg.(*core.GetRequest).ID
+	if id1 == id2 {
+		t.Error("two ops share a request id")
+	}
+	if gossip.RequestID(id1).Origin() != cl.ID() {
+		t.Errorf("origin = %v, want %v", id1.Origin(), cl.ID())
+	}
+	if id1.Seq() == id2.Seq() {
+		t.Error("sequence numbers repeat")
+	}
+}

@@ -1,0 +1,281 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dataflasks/internal/core"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/transport"
+)
+
+// Operation outcomes.
+var (
+	// ErrTimeout reports an operation that exhausted its retries
+	// without enough replies. For gets this is also how "not found"
+	// manifests: epidemic reads have no authoritative negative.
+	ErrTimeout = errors.New("client: operation timed out")
+	// ErrNoContact reports an empty load balancer.
+	ErrNoContact = errors.New("client: no contact node available")
+)
+
+// Result is the outcome of one operation, delivered to its callback.
+type Result struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
+	Value   []byte
+	Err     error
+	// Acks is how many distinct replicas acknowledged a put.
+	Acks int
+	// Retries is how many times the operation was re-issued.
+	Retries int
+}
+
+// Config tunes the client core.
+type Config struct {
+	// PutAcks is how many distinct replica acks complete a put
+	// (default 1; 0 makes puts fire-and-forget, completing instantly).
+	PutAcks int
+	// TimeoutTicks is how many ticks an attempt may run before retry
+	// (default 20).
+	TimeoutTicks int
+	// Retries is how many fresh attempts follow a timeout (default 3).
+	// Each retry uses a new request id — duplicate-suppression caches
+	// across the system would swallow a re-used id — and a fresh
+	// contact node.
+	Retries int
+	// SelfAddr is the client's dialable address, stamped into requests
+	// so replicas on TCP fabrics can answer. Empty for in-process and
+	// simulated deployments.
+	SelfAddr string
+}
+
+func (c *Config) defaults() {
+	if c.PutAcks < 0 {
+		c.PutAcks = 0
+	} else if c.PutAcks == 0 {
+		c.PutAcks = 1
+	}
+	if c.TimeoutTicks <= 0 {
+		c.TimeoutTicks = 20
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+}
+
+type opKind int
+
+const (
+	opPut opKind = iota + 1
+	opGet
+)
+
+type pending struct {
+	kind    opKind
+	id      gossip.RequestID
+	key     string
+	version uint64
+	value   []byte
+	noAck   bool
+
+	ackFrom     map[transport.NodeID]bool
+	deadline    uint64
+	retries     int
+	lastContact transport.NodeID
+	hasContact  bool
+	done        func(Result)
+}
+
+// Core is the client library's event-driven engine: it issues requests
+// through the load balancer, tracks outstanding operations, de-dupes
+// the multiple replies epidemic routing produces (§V) and drives
+// timeouts/retries off an abstract tick clock. Not safe for concurrent
+// use; the live wrapper serializes access.
+type Core struct {
+	id  transport.NodeID
+	cfg Config
+	out transport.Sender
+	lb  LoadBalancer
+
+	seq     uint32
+	tick    uint64
+	ops     map[gossip.RequestID]*pending
+	replied *gossip.Dedup // request ids already completed (late replies)
+}
+
+// NewCore creates a client engine. id must be unique in the fabric —
+// replies are routed to it like any other message.
+func NewCore(id transport.NodeID, cfg Config, out transport.Sender, lb LoadBalancer) *Core {
+	cfg.defaults()
+	if out == nil || lb == nil {
+		panic("client: NewCore requires a sender and a load balancer")
+	}
+	return &Core{
+		id:      id,
+		cfg:     cfg,
+		out:     out,
+		lb:      lb,
+		ops:     make(map[gossip.RequestID]*pending),
+		replied: gossip.NewDedup(4096),
+	}
+}
+
+// ID returns the client's fabric identity.
+func (c *Core) ID() transport.NodeID { return c.id }
+
+// Pending returns the number of in-flight operations.
+func (c *Core) Pending() int { return len(c.ops) }
+
+// StartPut begins an asynchronous put; done runs when enough acks
+// arrive or retries are exhausted. It returns the first attempt's
+// request id.
+func (c *Core) StartPut(key string, version uint64, value []byte, done func(Result)) gossip.RequestID {
+	op := &pending{
+		kind:    opPut,
+		key:     key,
+		version: version,
+		value:   append([]byte(nil), value...),
+		noAck:   c.cfg.PutAcks == 0,
+		ackFrom: make(map[transport.NodeID]bool),
+		done:    done,
+	}
+	c.launch(op)
+	if op.noAck && op.done != nil {
+		// Fire-and-forget: complete immediately.
+		id := op.id
+		delete(c.ops, id)
+		op.done(Result{ID: id, Key: key, Version: version})
+	}
+	return op.id
+}
+
+// StartGet begins an asynchronous get; version may be store.Latest.
+func (c *Core) StartGet(key string, version uint64, done func(Result)) gossip.RequestID {
+	op := &pending{
+		kind:    opGet,
+		key:     key,
+		version: version,
+		ackFrom: make(map[transport.NodeID]bool),
+		done:    done,
+	}
+	c.launch(op)
+	return op.id
+}
+
+// launch (re)issues op with a fresh id and contact.
+func (c *Core) launch(op *pending) {
+	c.seq++
+	op.id = gossip.MakeRequestID(c.id, c.seq)
+	op.deadline = c.tick + uint64(c.cfg.TimeoutTicks)
+	c.ops[op.id] = op
+
+	contact, ok := c.lb.Contact(op.key)
+	if !ok {
+		// Leave the op pending; the timeout path will retry (the
+		// balancer may learn nodes meanwhile) and eventually fail it.
+		op.hasContact = false
+		return
+	}
+	op.lastContact = contact
+	op.hasContact = true
+	switch op.kind {
+	case opPut:
+		_ = c.out.Send(contact, &core.PutRequest{
+			ID: op.id, Key: op.key, Version: op.version, Value: op.value,
+			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
+			TTL: core.TTLUnset, NoAck: op.noAck,
+		})
+	case opGet:
+		_ = c.out.Send(contact, &core.GetRequest{
+			ID: op.id, Key: op.key, Version: op.version,
+			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
+			TTL: core.TTLUnset,
+		})
+	}
+}
+
+// HandleMessage consumes replies addressed to this client. Unknown or
+// duplicate replies are dropped, which is the §V duplicate-reply
+// handling.
+func (c *Core) HandleMessage(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case *core.PutAck:
+		op, ok := c.ops[m.ID]
+		if !ok || op.kind != opPut {
+			return
+		}
+		if op.ackFrom[env.From] {
+			return // duplicate ack from the same replica
+		}
+		op.ackFrom[env.From] = true
+		if len(op.ackFrom) >= c.cfg.PutAcks {
+			c.complete(m.ID, Result{
+				ID: m.ID, Key: op.key, Version: op.version,
+				Acks: len(op.ackFrom), Retries: op.retries,
+			})
+		}
+	case *core.GetReply:
+		op, ok := c.ops[m.ID]
+		if !ok || op.kind != opGet {
+			return // late duplicate for a completed get, or foreign id
+		}
+		c.lb.ObserveReply(op.key, m.Slice, env.From)
+		c.complete(m.ID, Result{
+			ID: m.ID, Key: op.key, Version: m.Version,
+			Value: m.Value, Retries: op.retries,
+		})
+	}
+}
+
+func (c *Core) complete(id gossip.RequestID, r Result) {
+	op := c.ops[id]
+	delete(c.ops, id)
+	c.replied.Seen(id)
+	if op != nil && op.done != nil {
+		op.done(r)
+	}
+}
+
+// Tick advances the client clock: expired attempts are retried with
+// fresh ids and contacts, and exhausted operations fail.
+func (c *Core) Tick() {
+	c.tick++
+	var expired []*pending
+	for _, op := range c.ops {
+		if c.tick >= op.deadline {
+			expired = append(expired, op)
+		}
+	}
+	// Stable order keeps simulations deterministic (map iteration is
+	// randomized).
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, op := range expired {
+		delete(c.ops, op.id)
+		if op.hasContact {
+			// The contact did not produce a completion in time; let
+			// caching balancers evict it.
+			c.lb.Forget(op.lastContact)
+		}
+		if op.retries >= c.cfg.Retries {
+			c.replied.Seen(op.id)
+			if op.done != nil {
+				op.done(Result{
+					ID: op.id, Key: op.key, Version: op.version,
+					Err:     fmt.Errorf("%w after %d attempts", ErrTimeout, op.retries+1),
+					Retries: op.retries,
+				})
+			}
+			continue
+		}
+		op.retries++
+		// Partial acks may come from a half-replicated put; keep them
+		// counting across attempts (they are distinct replicas either
+		// way).
+		c.launch(op)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"time"
+
+	"dataflasks/internal/transport"
+)
+
+// PSSKind selects the peer-sampling protocol.
+type PSSKind int
+
+// Peer-sampling protocol choices.
+const (
+	PSSCyclon PSSKind = iota + 1
+	PSSNewscast
+)
+
+// SlicerKind selects the slice-manager implementation.
+type SlicerKind int
+
+// Slicer choices.
+const (
+	// SlicerRank is the DSlead-style message-free rank estimator
+	// (DataFlasks' default).
+	SlicerRank SlicerKind = iota + 1
+	// SlicerSwap is Jelasity–Kermarrec ordered slicing.
+	SlicerSwap
+	// SlicerStatic is the hash "coin toss" baseline (§IV-A).
+	SlicerStatic
+)
+
+// Config tunes one DataFlasks node. The zero value is completed by
+// defaults(); Slices and SystemSize are the two knobs every deployment
+// sets.
+type Config struct {
+	// Slices is the number of slices k. Slice size N/k is the
+	// replication factor (§IV-C).
+	Slices int
+	// SystemSize is the deployer's estimate of N, used to size fanout
+	// and TTL. When zero the node uses its extrema-propagation size
+	// estimate (internal/aggregate).
+	SystemSize int
+
+	// PSS selects the peer-sampling protocol (default Cyclon).
+	PSS PSSKind
+	// ViewSize bounds the PSS partial view (default 20).
+	ViewSize int
+	// ShuffleLen is the Cyclon exchange length (default ViewSize/2+1).
+	ShuffleLen int
+
+	// Slicer selects the slice manager (default SlicerRank).
+	Slicer SlicerKind
+	// Capacity is the node's slicing attribute (storage capacity,
+	// §IV-A). Zero means "draw from node id" so heterogeneity exists
+	// even in lazy deployments.
+	Capacity float64
+
+	// FanoutC is the c in fanout = ln(N)+c (default 1.0; §II gives
+	// atomic-infection probability e^(-e^(-c))).
+	FanoutC float64
+	// GetCoverageC controls the TTL of the bounded global phase used
+	// for reads (§IV-B: "it is sufficient to reach only the percentage
+	// of system nodes that guarantees that some nodes of the target
+	// slice are reached"): the flood is sized to cover
+	// ~GetCoverageC·k random nodes, for slice-miss probability
+	// e^(-GetCoverageC). Default 3.
+	GetCoverageC float64
+	// BoundedPutFlood routes writes with the same bounded global phase
+	// as reads, relying on anti-entropy to finish replication. Off by
+	// default: writes use a full epidemic flood so the whole target
+	// slice stores synchronously, which is the regime the paper's
+	// write-only evaluation measures. Exposed for the ablation
+	// experiments.
+	BoundedPutFlood bool
+	// IntraFanout is the relay fanout within a slice (default 8).
+	IntraFanout int
+
+	// IntraViewTarget is the desired intra-slice view size (default 8).
+	IntraViewTarget int
+	// IntraStaleRounds evicts intra-view entries not refreshed for this
+	// many rounds (default 12).
+	IntraStaleRounds int
+	// DiscoveryMaxQueries bounds slice-mate discovery queries per round
+	// (default 6).
+	DiscoveryMaxQueries int
+
+	// DedupCapacity bounds the request-id suppression cache
+	// (default 8192).
+	DedupCapacity int
+
+	// AntiEntropyEvery runs one anti-entropy exchange every this many
+	// rounds (default 10; negative disables anti-entropy).
+	AntiEntropyEvery int
+	// AntiEntropyMaxPush bounds objects shipped per exchange
+	// (default 64).
+	AntiEntropyMaxPush int
+	// EvictForeign drops stored objects whose key no longer maps to
+	// this node's slice (after a slice change). Off by default: the
+	// paper keeps data conservatively (§VII).
+	EvictForeign bool
+
+	// RoundPeriod is the live-runtime gossip period (default 500ms);
+	// simulations drive ticks explicitly and ignore it.
+	RoundPeriod time.Duration
+
+	// AdvertiseAddr is the node's dialable address, gossiped inside
+	// PSS descriptors so TCP fabrics can build their routing
+	// directory. Empty in simulations and in-process clusters.
+	AdvertiseAddr string
+	// AddressBook receives (id, addr) pairs learned from descriptors;
+	// TCP fabrics implement it. Nil otherwise.
+	AddressBook transport.AddressBook
+
+	// Seed feeds the node's deterministic RNG stream.
+	Seed uint64
+}
+
+// withDefaults returns a copy with zero fields filled in.
+func (c Config) withDefaults() Config {
+	if c.Slices <= 0 {
+		c.Slices = 10
+	}
+	if c.PSS == 0 {
+		c.PSS = PSSCyclon
+	}
+	if c.ViewSize <= 0 {
+		c.ViewSize = 20
+	}
+	if c.Slicer == 0 {
+		c.Slicer = SlicerRank
+	}
+	if c.FanoutC == 0 {
+		c.FanoutC = 1.0
+	}
+	if c.GetCoverageC == 0 {
+		c.GetCoverageC = 3.0
+	}
+	if c.IntraFanout <= 0 {
+		c.IntraFanout = 8
+	}
+	if c.IntraViewTarget <= 0 {
+		c.IntraViewTarget = 8
+	}
+	if c.IntraStaleRounds <= 0 {
+		c.IntraStaleRounds = 12
+	}
+	if c.DiscoveryMaxQueries <= 0 {
+		c.DiscoveryMaxQueries = 6
+	}
+	if c.DedupCapacity <= 0 {
+		c.DedupCapacity = 8192
+	}
+	if c.AntiEntropyEvery < 0 {
+		c.AntiEntropyEvery = 0
+	} else if c.AntiEntropyEvery == 0 {
+		c.AntiEntropyEvery = 10
+	}
+	if c.AntiEntropyMaxPush <= 0 {
+		c.AntiEntropyMaxPush = 64
+	}
+	if c.RoundPeriod <= 0 {
+		c.RoundPeriod = 500 * time.Millisecond
+	}
+	return c
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"dataflasks/internal/pss"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+func desc(id transport.NodeID, slice int32) pss.Descriptor {
+	return pss.Descriptor{ID: id, Slice: slice}
+}
+
+func TestIntraViewTouchAndRefresh(t *testing.T) {
+	v := newIntraView(4, 10)
+	v.Touch(desc(1, 0), 1)
+	v.Touch(desc(2, 0), 1)
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Touch(desc(1, 0), 5) // refresh
+	v.Expire(12)           // 12-1 > 10 for node 2, 12-5 < 10 for node 1
+	if v.Len() != 1 {
+		t.Fatalf("after expire Len = %d", v.Len())
+	}
+	ids := v.IDs()
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("survivor = %v", ids)
+	}
+}
+
+func TestIntraViewCapacityEvictsStalest(t *testing.T) {
+	v := newIntraView(2, 100)
+	v.Touch(desc(1, 0), 1)
+	v.Touch(desc(2, 0), 5)
+	v.Touch(desc(3, 0), 9) // evicts node 1 (stalest)
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	ids := v.IDs()
+	if ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("members = %v, want [2 3]", ids)
+	}
+}
+
+func TestIntraViewFullOfFreshKeepsExisting(t *testing.T) {
+	v := newIntraView(2, 100)
+	v.Touch(desc(1, 0), 7)
+	v.Touch(desc(2, 0), 7)
+	v.Touch(desc(3, 0), 7) // everyone equally fresh: newcomer dropped
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for _, id := range v.IDs() {
+		if id == 3 {
+			t.Fatal("newcomer displaced a fresh member")
+		}
+	}
+}
+
+func TestIntraViewRemoveAndClear(t *testing.T) {
+	v := newIntraView(4, 10)
+	v.Touch(desc(1, 0), 1)
+	v.Touch(desc(2, 0), 1)
+	v.Remove(1)
+	if v.Len() != 1 {
+		t.Fatalf("Len after remove = %d", v.Len())
+	}
+	v.Clear()
+	if v.Len() != 0 {
+		t.Fatalf("Len after clear = %d", v.Len())
+	}
+}
+
+func TestIntraViewSampleIsBoundedAndDistinct(t *testing.T) {
+	v := newIntraView(16, 10)
+	for i := 1; i <= 10; i++ {
+		v.Touch(desc(transport.NodeID(i), 0), 1)
+	}
+	rng := sim.RNG(1, 1)
+	s := v.Sample(rng, 4)
+	if len(s) != 4 {
+		t.Fatalf("sample = %v", s)
+	}
+	seen := map[transport.NodeID]bool{}
+	for _, id := range s {
+		if seen[id] {
+			t.Fatalf("duplicate %v in sample", id)
+		}
+		seen[id] = true
+	}
+	if got := v.Sample(rng, 99); len(got) != 10 {
+		t.Fatalf("oversized sample = %d", len(got))
+	}
+}
+
+func TestIntraViewRandomEmpty(t *testing.T) {
+	v := newIntraView(4, 10)
+	if _, ok := v.Random(sim.RNG(1, 2)); ok {
+		t.Fatal("empty view returned a member")
+	}
+}
+
+func TestNodeSliceChangeClearsIntraView(t *testing.T) {
+	// A node whose slicer flips slices must drop its old mates.
+	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	n := NewNode(1, Config{
+		Slices: 4, Slicer: SlicerRank, SystemSize: 100, AntiEntropyEvery: -1, Seed: 3,
+	}, newTestStore(), sink)
+
+	// Rank slicer with attr drawn from id; feed samples that put us in
+	// slice 0 first.
+	for i := 0; i < 5; i++ {
+		n.slicer.Observe(transport.NodeID(100+i), n.attr+1) // everyone above us
+	}
+	n.slicer.Tick()
+	if n.Slice() != 0 {
+		t.Fatalf("slice = %d, want 0", n.Slice())
+	}
+	n.Tick() // lastSlice bookkeeping
+	n.intra.Touch(desc(50, 0), n.round)
+	if n.IntraViewSize() != 1 {
+		t.Fatal("intra view not populated")
+	}
+
+	// Now sustained samples all below us → slice flips to 3.
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 5; i++ {
+			n.slicer.Observe(transport.NodeID(200+i), n.attr-1)
+		}
+		n.Tick()
+	}
+	if n.Slice() != 3 {
+		t.Fatalf("slice = %d after flip, want 3", n.Slice())
+	}
+	if n.IntraViewSize() != 0 {
+		t.Error("slice change kept stale mates")
+	}
+}
+
+func newTestStore() store.Store { return store.NewMemory() }

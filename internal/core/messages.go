@@ -1,0 +1,84 @@
+// Package core implements the DataFlasks node — the paper's primary
+// contribution (§IV, §V): an epidemic key-value substrate in which
+// every node locally decides what to store, requests are routed by
+// bounded gossip over peer-sampling views until they reach the target
+// slice and are then disseminated intra-slice only, and replication
+// equals slice membership.
+package core
+
+import (
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/transport"
+)
+
+// PutRequest writes (Key, Version) → Value. Version ordering is the
+// upper layer's responsibility (§III); DataFlasks stores what it is
+// told. The request is flooded in two phases: a TTL-bounded global
+// phase over PSS views, switching to an intra-slice phase (Intra=true)
+// the moment it reaches a node of the target slice.
+type PutRequest struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
+	Value   []byte
+	// Origin is the client endpoint acks are sent to.
+	Origin transport.NodeID
+	// OriginAddr is the client's dialable address for TCP fabrics
+	// (empty in simulations): replicas must be able to answer a client
+	// they have never heard from.
+	OriginAddr string
+	TTL        uint8
+	Intra      bool
+	// NoAck suppresses PutAck (fire-and-forget writes).
+	NoAck bool
+}
+
+// PutAck confirms a put was stored by one replica. It is emitted only
+// by slice nodes that received the request in its global phase (the
+// slice "entry points"), which bounds acks per put by the flood's
+// expected slice hits rather than the slice size.
+type PutAck struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
+}
+
+// GetRequest reads Key at Version (store.Latest for newest). Routed
+// exactly like PutRequest. Every slice node holding the object answers
+// the Origin directly; the client library de-duplicates replies by ID
+// (paper §V).
+type GetRequest struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
+	Origin  transport.NodeID
+	// OriginAddr mirrors PutRequest.OriginAddr.
+	OriginAddr string
+	TTL        uint8
+	Intra      bool
+}
+
+// GetReply answers a GetRequest.
+type GetReply struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
+	Value   []byte
+	// Slice is the responder's slice, letting clients warm their
+	// slice-contact cache (§VII load-balancer optimization).
+	Slice int32
+}
+
+// MateQuery asks a random peer for members of the sender's slice it
+// happens to know; this is how the intra-slice view bootstraps when
+// slices are scarce in the PSS stream.
+type MateQuery struct {
+	Slice int32
+}
+
+// MateReply returns known members of the queried slice.
+type MateReply struct {
+	Slice int32
+	Mates []pss.Descriptor
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dataflasks/internal/aggregate"
+	"dataflasks/internal/antientropy"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// TTLUnset marks a request whose TTL the first DataFlasks node must
+// stamp; clients do not know the system size or slice count.
+const TTLUnset uint8 = 255
+
+// Node is one DataFlasks host (paper Figure 2): the request Handler
+// wired to the Slice Manager (a slicing protocol), the Node Sampling
+// service (a PSS) and the Data Store. It is event-driven and
+// single-threaded: the owner delivers messages via HandleMessage and
+// clock ticks via Tick, either from a discrete-event simulation or from
+// one goroutine per node in live deployments.
+type Node struct {
+	id  transport.NodeID
+	cfg Config
+
+	raw    transport.Sender
+	pssP   pss.Protocol
+	slicer slicing.Slicer
+	st     store.Store
+	dedup  *gossip.Dedup
+	intra  *intraView
+	ae     *antientropy.Protocol
+	size   *aggregate.Extrema // nil when SystemSize is configured
+
+	met   *metrics.NodeMetrics
+	rng   *rand.Rand
+	round uint64
+	attr  float64
+
+	lastSlice int32
+}
+
+// NewNode assembles a DataFlasks node. The store is owned by the caller
+// (it survives node restarts); the sender is the node's link to the
+// fabric.
+func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Sender) *Node {
+	cfg = cfg.withDefaults()
+	if st == nil {
+		panic("core: NewNode requires a store")
+	}
+	if out == nil {
+		panic("core: NewNode requires a sender")
+	}
+	n := &Node{
+		id:        id,
+		cfg:       cfg,
+		raw:       out,
+		st:        st,
+		dedup:     gossip.NewDedup(cfg.DedupCapacity),
+		met:       &metrics.NodeMetrics{},
+		rng:       sim.RNG(cfg.Seed, uint64(id)),
+		lastSlice: slicing.SliceUnknown,
+	}
+	n.intra = newIntraView(cfg.IntraViewTarget*2, cfg.IntraStaleRounds)
+
+	attr := cfg.Capacity
+	if attr == 0 {
+		// Synthesize a stable pseudo-capacity so heterogeneity exists
+		// even when the deployer does not measure one.
+		attr = sim.RNG(cfg.Seed, uint64(id)^0xcafe).Float64()
+	}
+	n.attr = attr
+
+	selfInfo := func() (float64, int32) { return attr, n.currentSlice() }
+	switch cfg.PSS {
+	case PSSNewscast:
+		n.pssP = pss.NewNewscast(id, pss.NewscastConfig{
+			ViewSize: cfg.ViewSize,
+			SelfAddr: cfg.AdvertiseAddr,
+		}, n.sender(metrics.PSSSent), n.rng, selfInfo)
+	default:
+		n.pssP = pss.NewCyclon(id, pss.CyclonConfig{
+			ViewSize:   cfg.ViewSize,
+			ShuffleLen: cfg.ShuffleLen,
+			SelfAddr:   cfg.AdvertiseAddr,
+		}, n.sender(metrics.PSSSent), n.rng, selfInfo)
+	}
+	n.pssP.SetObserver(n.observeDescriptor)
+
+	partner := func() (transport.NodeID, bool) {
+		peers := n.pssP.RandomPeers(1)
+		if len(peers) == 0 {
+			return 0, false
+		}
+		return peers[0], true
+	}
+	switch cfg.Slicer {
+	case SlicerSwap:
+		n.slicer = slicing.NewSwapSlicer(id, attr, slicing.SwapSlicerConfig{Slices: cfg.Slices},
+			n.sender(metrics.SliceSent), partner, n.rng)
+	case SlicerStatic:
+		n.slicer = slicing.NewStaticSlicer(id, cfg.Slices)
+	default:
+		n.slicer = slicing.NewRankSlicer(id, attr, slicing.RankSlicerConfig{Slices: cfg.Slices})
+	}
+
+	if cfg.SystemSize <= 0 {
+		n.size = aggregate.NewExtrema(aggregate.ExtremaConfig{},
+			n.sender(metrics.AggregateSent), partner, n.rng)
+	}
+
+	if cfg.AntiEntropyEvery > 0 {
+		n.ae = antientropy.New(
+			antientropy.Config{MaxPush: cfg.AntiEntropyMaxPush, EvictForeign: cfg.EvictForeign},
+			antientropy.Env{
+				Store:      st,
+				Send:       n.sender(metrics.AntiEntropySent),
+				Partner:    func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
+				Slice:      n.currentSlice,
+				KeyInSlice: n.keyInMySlice,
+			},
+			n.rng,
+		)
+	}
+	return n
+}
+
+// sender wraps the raw sender with message accounting under category.
+func (n *Node) sender(cat metrics.Counter) transport.Sender {
+	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		n.met.Inc(metrics.MsgSent)
+		n.met.Inc(cat)
+		err := n.raw.Send(to, msg)
+		if err != nil {
+			n.met.Inc(metrics.MsgDropped)
+		}
+		return err
+	})
+}
+
+func (n *Node) sendData(to transport.NodeID, msg interface{}) {
+	n.met.Inc(metrics.MsgSent)
+	n.met.Inc(metrics.DataSent)
+	if err := n.raw.Send(to, msg); err != nil {
+		n.met.Inc(metrics.MsgDropped)
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Metrics exposes the node's counters (read by harnesses after runs).
+func (n *Node) Metrics() *metrics.NodeMetrics { return n.met }
+
+// Store exposes the node's local store.
+func (n *Node) Store() store.Store { return n.st }
+
+// Slice returns the node's current slice claim.
+func (n *Node) Slice() int32 { return n.currentSlice() }
+
+// Attr returns the node's slicing attribute (its capacity).
+func (n *Node) Attr() float64 { return n.attr }
+
+// SliceCount returns the node's current slice count k.
+func (n *Node) SliceCount() int { return n.slicer.SliceCount() }
+
+// SetSliceCount reconfigures k (replication management, §IV-C).
+func (n *Node) SetSliceCount(k int) { n.slicer.SetSliceCount(k) }
+
+// IntraViewSize returns the current intra-slice view size.
+func (n *Node) IntraViewSize() int { return n.intra.Len() }
+
+// PSSView returns a copy of the peer-sampling view.
+func (n *Node) PSSView() []pss.Descriptor { return n.pssP.View() }
+
+// Round returns how many ticks the node has run.
+func (n *Node) Round() uint64 { return n.round }
+
+// HasSeen reports whether the node processed a request with this id
+// (observability hook for dissemination experiments).
+func (n *Node) HasSeen(id gossip.RequestID) bool { return n.dedup.Contains(id) }
+
+// SystemSizeEstimate returns the node's working estimate of N.
+func (n *Node) SystemSizeEstimate() int { return n.systemSize() }
+
+// Bootstrap seeds the PSS view with initial contacts.
+func (n *Node) Bootstrap(seeds []transport.NodeID) { n.pssP.Bootstrap(seeds) }
+
+func (n *Node) currentSlice() int32 {
+	if n.slicer == nil {
+		return slicing.SliceUnknown
+	}
+	return n.slicer.Slice()
+}
+
+func (n *Node) keyInMySlice(key string) bool {
+	mine := n.currentSlice()
+	return mine != slicing.SliceUnknown && slicing.KeySlice(key, n.slicer.SliceCount()) == mine
+}
+
+// observeDescriptor consumes the PSS uniform sample stream: it feeds
+// the rank slicer, the fabric's address directory and keeps the
+// intra-slice view warm.
+func (n *Node) observeDescriptor(d pss.Descriptor) {
+	if n.cfg.AddressBook != nil && d.Addr != "" {
+		n.cfg.AddressBook.Learn(d.ID, d.Addr)
+	}
+	n.slicer.Observe(d.ID, d.Attr)
+	mine := n.currentSlice()
+	if mine == slicing.SliceUnknown || d.Slice == pss.SliceUnknown {
+		return
+	}
+	if d.Slice == mine {
+		n.intra.Touch(d, n.round)
+	} else {
+		// The node advertises another slice now; drop a stale mate entry.
+		n.intra.Remove(d.ID)
+	}
+}
+
+// systemSize returns the configured or estimated N (at least 2).
+func (n *Node) systemSize() int {
+	if n.cfg.SystemSize > 0 {
+		return n.cfg.SystemSize
+	}
+	if n.size != nil {
+		est, _ := n.size.Estimate()
+		if est >= 2 {
+			return int(est)
+		}
+	}
+	return 2
+}
+
+func (n *Node) fanout() int {
+	return gossip.Fanout(n.systemSize(), n.cfg.FanoutC)
+}
+
+// putTTL covers the whole system: writes must reach every replica of
+// the target slice synchronously (unless BoundedPutFlood).
+func (n *Node) putTTL() uint8 {
+	if n.cfg.BoundedPutFlood {
+		return n.getTTL()
+	}
+	return gossip.TTL(n.systemSize(), n.fanout(), 2)
+}
+
+// getTTL covers ~GetCoverageC·k random nodes — just enough that some
+// target-slice node is reached w.h.p. (§IV-B).
+func (n *Node) getTTL() uint8 {
+	k := n.slicer.SliceCount()
+	target := int(math.Ceil(n.cfg.GetCoverageC * float64(k)))
+	size := n.systemSize()
+	if target > size {
+		target = size
+	}
+	return gossip.TTL(target, n.fanout(), 1)
+}
+
+// intraTTL bounds the intra-slice flood by the expected slice size.
+func (n *Node) intraTTL() uint8 {
+	sliceSize := n.systemSize() / n.slicer.SliceCount()
+	if sliceSize < 2 {
+		sliceSize = 2
+	}
+	return gossip.TTL(sliceSize, n.cfg.IntraFanout, 2)
+}
+
+// Tick runs one gossip round: peer sampling, slicing, slice-change
+// bookkeeping, view expiry, mate discovery, periodic anti-entropy and
+// the size estimator.
+func (n *Node) Tick() {
+	n.round++
+	n.pssP.Tick()
+	n.slicer.Tick()
+
+	if cur := n.currentSlice(); cur != n.lastSlice {
+		// Slice changed: the old mates are no longer ours.
+		n.intra.Clear()
+		n.lastSlice = cur
+	}
+	n.intra.Expire(n.round)
+	n.discoverMates()
+
+	if n.size != nil {
+		n.size.Tick()
+	}
+	if n.ae != nil && n.cfg.AntiEntropyEvery > 0 && n.round%uint64(n.cfg.AntiEntropyEvery) == 0 {
+		n.ae.Tick()
+	}
+	n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
+}
+
+// discoverMates tops up the intra-slice view by querying random peers
+// for members of our slice. When slices are scarce (large k) the
+// passive PSS stream rarely delivers mates and this active path carries
+// the load — the cost regime behind the paper's Figure 4.
+func (n *Node) discoverMates() {
+	mine := n.currentSlice()
+	if mine == slicing.SliceUnknown {
+		return
+	}
+	deficit := n.cfg.IntraViewTarget - n.intra.Len()
+	if deficit <= 0 {
+		return
+	}
+	queries := deficit
+	if queries > n.cfg.DiscoveryMaxQueries {
+		queries = n.cfg.DiscoveryMaxQueries
+	}
+	for _, peer := range n.pssP.RandomPeers(queries) {
+		n.met.Inc(metrics.MsgSent)
+		n.met.Inc(metrics.DiscoverySent)
+		if err := n.raw.Send(peer, &MateQuery{Slice: mine}); err != nil {
+			n.met.Inc(metrics.MsgDropped)
+		}
+	}
+}
+
+// HandleMessage dispatches one delivered message. It must only be
+// called from the node's driving loop.
+func (n *Node) HandleMessage(env transport.Envelope) {
+	n.met.Inc(metrics.MsgRecv)
+	if n.pssP.Handle(env.From, env.Msg) {
+		return
+	}
+	if n.slicer.Handle(env.From, env.Msg) {
+		return
+	}
+	if n.size != nil && n.size.Handle(env.From, env.Msg) {
+		return
+	}
+	if n.ae != nil && n.ae.Handle(env.From, env.Msg) {
+		return
+	}
+	switch m := env.Msg.(type) {
+	case *PutRequest:
+		n.onPut(m)
+	case *GetRequest:
+		n.onGet(m)
+	case *MateQuery:
+		n.onMateQuery(env.From, m)
+	case *MateReply:
+		n.onMateReply(m)
+	case *PutAck, *GetReply:
+		// Client-bound traffic that reached a node (stale origin);
+		// nothing to do.
+	default:
+		// Unknown message kinds are ignored: a mixed-version deployment
+		// must not crash old nodes.
+	}
+}
+
+// onPut implements §IV-B routing for writes. Messages are immutable
+// (the fabric may deliver one pointer to many recipients): relays work
+// on copies.
+func (n *Node) onPut(m *PutRequest) {
+	if n.dedup.Seen(m.ID) {
+		n.met.Inc(metrics.DuplicatesSuppressed)
+		return
+	}
+	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
+	mine := n.currentSlice()
+
+	if mine == target {
+		if err := n.st.Put(m.Key, m.Version, m.Value); err == nil {
+			n.met.Inc(metrics.PutsServed)
+		}
+		if !m.Intra {
+			// Entry point into the slice: acknowledge and start the
+			// intra-slice phase.
+			if !m.NoAck && m.Origin != 0 {
+				n.learnOrigin(m.Origin, m.OriginAddr)
+				n.sendData(m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
+			}
+			fwd := *m
+			fwd.Intra = true
+			fwd.TTL = n.intraTTL()
+			n.relayIntra(&fwd)
+			return
+		}
+		if m.TTL > 0 {
+			fwd := *m
+			fwd.TTL--
+			n.relayIntra(&fwd)
+		}
+		return
+	}
+
+	if m.Intra {
+		// A stale intra-view pointed at us after we changed slice; the
+		// epidemic redundancy inside the slice covers for the loss.
+		return
+	}
+	ttl := m.TTL
+	if ttl == TTLUnset {
+		ttl = n.putTTL() // first hop from a client: stamp the budget
+	}
+	n.relayGlobal(ttl, func(next uint8) interface{} {
+		fwd := *m
+		fwd.TTL = next
+		return &fwd
+	})
+}
+
+// onGet implements §IV-B routing for reads.
+func (n *Node) onGet(m *GetRequest) {
+	if n.dedup.Seen(m.ID) {
+		n.met.Inc(metrics.DuplicatesSuppressed)
+		return
+	}
+	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
+	mine := n.currentSlice()
+
+	if mine == target {
+		val, actual, ok, err := n.st.Get(m.Key, m.Version)
+		if err == nil && ok {
+			n.met.Inc(metrics.GetsServed)
+			n.learnOrigin(m.Origin, m.OriginAddr)
+			n.sendData(m.Origin, &GetReply{
+				ID: m.ID, Key: m.Key, Version: actual, Value: val, Slice: mine,
+			})
+			return
+		}
+		// We are a replica but do not hold it (fresh in the slice):
+		// keep the request alive among the mates.
+		fwd := *m
+		if !m.Intra {
+			fwd.Intra = true
+			fwd.TTL = n.intraTTL()
+		} else if m.TTL == 0 {
+			return
+		} else {
+			fwd.TTL--
+		}
+		n.relayIntra(&fwd)
+		return
+	}
+
+	if m.Intra {
+		return
+	}
+	ttl := m.TTL
+	if ttl == TTLUnset {
+		ttl = n.getTTL() // first hop from a client: stamp the budget
+	}
+	n.relayGlobal(ttl, func(next uint8) interface{} {
+		fwd := *m
+		fwd.TTL = next
+		return &fwd
+	})
+}
+
+// relayGlobal forwards a request in its global phase to fanout random
+// peers. build constructs the forwarded copy given the decremented TTL;
+// the same copy is shared across peers because receivers never mutate
+// messages.
+func (n *Node) relayGlobal(ttl uint8, build func(uint8) interface{}) {
+	if ttl == 0 {
+		return
+	}
+	peers := n.pssP.RandomPeers(n.fanout())
+	if len(peers) == 0 {
+		return
+	}
+	fwd := build(ttl - 1)
+	n.met.Inc(metrics.RequestsRelayed)
+	for _, p := range peers {
+		n.sendData(p, fwd)
+	}
+}
+
+// relayIntra forwards a request to the intra-slice view.
+func (n *Node) relayIntra(fwd interface{}) {
+	mates := n.intra.Sample(n.rng, n.cfg.IntraFanout)
+	if len(mates) == 0 {
+		return
+	}
+	n.met.Inc(metrics.RequestsRelayed)
+	for _, p := range mates {
+		n.sendData(p, fwd)
+	}
+}
+
+// learnOrigin teaches the fabric how to dial a reply's destination.
+func (n *Node) learnOrigin(origin transport.NodeID, addr string) {
+	if n.cfg.AddressBook != nil && addr != "" {
+		n.cfg.AddressBook.Learn(origin, addr)
+	}
+}
+
+func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
+	var mates []pss.Descriptor
+	if n.currentSlice() == m.Slice {
+		attr, slice := float64(0), m.Slice
+		if rs, ok := n.slicer.(*slicing.RankSlicer); ok {
+			attr = rs.Attr()
+		}
+		mates = append(mates, pss.Descriptor{ID: n.id, Age: 0, Attr: attr, Slice: slice})
+		// Our own intra view is the best source for the querier.
+		mates = append(mates, n.intra.Descriptors()...)
+	}
+	for _, d := range n.pssP.View() {
+		if d.Slice == m.Slice {
+			mates = append(mates, d)
+		}
+	}
+	if len(mates) == 0 {
+		return
+	}
+	if len(mates) > 16 {
+		mates = mates[:16]
+	}
+	n.met.Inc(metrics.MsgSent)
+	n.met.Inc(metrics.DiscoverySent)
+	if err := n.raw.Send(from, &MateReply{Slice: m.Slice, Mates: mates}); err != nil {
+		n.met.Inc(metrics.MsgDropped)
+	}
+}
+
+func (n *Node) onMateReply(m *MateReply) {
+	if m.Slice != n.currentSlice() {
+		return // we moved on since asking
+	}
+	for _, d := range m.Mates {
+		if d.ID == n.id {
+			continue
+		}
+		if n.cfg.AddressBook != nil && d.Addr != "" {
+			n.cfg.AddressBook.Learn(d.ID, d.Addr)
+		}
+		n.intra.Touch(d, n.round)
+	}
+}
+
+// StampPut prepares a client-originated put for injection at this node
+// (used by harnesses that bypass the client library).
+func (n *Node) StampPut(m *PutRequest) {
+	if m.TTL == TTLUnset {
+		m.TTL = n.putTTL()
+	}
+}
+
+// StampGet mirrors StampPut for reads.
+func (n *Node) StampGet(m *GetRequest) {
+	if m.TTL == TTLUnset {
+		m.TTL = n.getTTL()
+	}
+}
+
+// String describes the node for logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s[slice=%d/%d store=%d]", n.id, n.currentSlice(), n.slicer.SliceCount(), n.st.Count())
+}

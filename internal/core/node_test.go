@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// pssDescriptor shortens test literals.
+type pssDescriptor = pss.Descriptor
+
+// capture collects a node's outbound traffic.
+type capture struct {
+	sent []transport.Envelope
+}
+
+func (c *capture) sender(from transport.NodeID) transport.Sender {
+	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		c.sent = append(c.sent, transport.Envelope{From: from, To: to, Msg: msg})
+		return nil
+	})
+}
+
+func (c *capture) byType(pick func(interface{}) bool) []transport.Envelope {
+	var out []transport.Envelope
+	for _, env := range c.sent {
+		if pick(env.Msg) {
+			out = append(out, env)
+		}
+	}
+	return out
+}
+
+// staticNode builds a node pinned to a slice via the static slicer so
+// routing tests are deterministic and convergence-free.
+func staticNode(t *testing.T, id transport.NodeID, k int) (*Node, *capture) {
+	t.Helper()
+	cap := &capture{}
+	n := NewNode(id, Config{
+		Slices:           k,
+		Slicer:           SlicerStatic,
+		SystemSize:       100,
+		AntiEntropyEvery: -1,
+		Seed:             1,
+	}, store.NewMemory(), cap.sender(id))
+	return n, cap
+}
+
+// findNodeInSlice scans ids until the static slicer puts one in the
+// wanted slice.
+func findNodeInSlice(t *testing.T, want int32, k int) transport.NodeID {
+	t.Helper()
+	for id := transport.NodeID(1); id < 10000; id++ {
+		if slicing.NewStaticSlicer(id, k).Slice() == want {
+			return id
+		}
+	}
+	t.Fatal("no node found for slice")
+	return 0
+}
+
+// keyForSlice finds a key owned by the wanted slice.
+func keyForSlice(t *testing.T, want int32, k int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("key%06d", i)
+		if slicing.KeySlice(key, k) == want {
+			return key
+		}
+	}
+	t.Fatal("no key found")
+	return ""
+}
+
+func TestNodeStoresAndAcksInSlicePut(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
+		Value: []byte("v"), Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	if _, _, ok, _ := n.Store().Get(key, 1); !ok {
+		t.Fatal("in-slice put not stored")
+	}
+	acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutAck); return ok })
+	if len(acks) != 1 || acks[0].To != 0xC0000001 {
+		t.Fatalf("acks = %+v", acks)
+	}
+	if n.Metrics().Get(metrics.PutsServed) != 1 {
+		t.Error("PutsServed not counted")
+	}
+}
+
+func TestNodeIntraPutStoresWithoutAck(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
+		Value: []byte("v"), Origin: 0xC0000001, TTL: 4, Intra: true,
+	}})
+
+	if _, _, ok, _ := n.Store().Get(key, 1); !ok {
+		t.Fatal("intra put not stored")
+	}
+	if acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutAck); return ok }); len(acks) != 0 {
+		t.Fatalf("intra-phase copy acked: %+v", acks)
+	}
+}
+
+func TestNodeNoAckSuppressed(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1,
+		Origin: 0xC0000001, TTL: TTLUnset, NoAck: true,
+	}})
+	if acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutAck); return ok }); len(acks) != 0 {
+		t.Fatal("NoAck put acked")
+	}
+}
+
+func TestNodeRelaysForeignSlicePut(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 1, k)
+	n, cap := staticNode(t, id, k)
+	// Give the node some view so it has relay targets.
+	seeds := make([]transport.NodeID, 0, 8)
+	for s := transport.NodeID(500); s < 508; s++ {
+		seeds = append(seeds, s)
+	}
+	n.Bootstrap(seeds)
+	key := keyForSlice(t, 3, k) // not ours
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
+	}})
+
+	if _, _, ok, _ := n.Store().Get(key, 1); ok {
+		t.Fatal("node stored a foreign-slice object")
+	}
+	relays := cap.byType(func(m interface{}) bool { _, ok := m.(*PutRequest); return ok })
+	if len(relays) == 0 {
+		t.Fatal("foreign put not relayed")
+	}
+	fwd := relays[0].Msg.(*PutRequest)
+	if fwd.TTL == TTLUnset || fwd.TTL == 0 {
+		t.Errorf("forwarded TTL = %d, want stamped and decremented", fwd.TTL)
+	}
+	if fwd.Intra {
+		t.Error("global relay marked intra")
+	}
+}
+
+func TestNodeDropsExpiredTTL(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 1, k)
+	n, cap := staticNode(t, id, k)
+	n.Bootstrap([]transport.NodeID{500, 501})
+	key := keyForSlice(t, 3, k)
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: 0,
+	}})
+	if len(cap.sent) != 0 {
+		t.Fatalf("expired-TTL request relayed: %+v", cap.sent)
+	}
+}
+
+func TestNodeSuppressesDuplicates(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+	req := &PutRequest{
+		ID: gossip.MakeRequestID(1, 7), Key: key, Version: 1,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: req})
+	before := len(cap.sent)
+	n.HandleMessage(transport.Envelope{From: 78, To: id, Msg: req})
+	if len(cap.sent) != before {
+		t.Fatal("duplicate triggered more traffic")
+	}
+	if n.Metrics().Get(metrics.DuplicatesSuppressed) != 1 {
+		t.Error("duplicate not counted")
+	}
+	if !n.HasSeen(req.ID) {
+		t.Error("HasSeen = false")
+	}
+}
+
+func TestNodeServesGetAndReportsSlice(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+	_ = n.Store().Put(key, 3, []byte("served"))
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 3,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	replies := cap.byType(func(m interface{}) bool { _, ok := m.(*GetReply); return ok })
+	if len(replies) != 1 {
+		t.Fatalf("replies = %+v", cap.sent)
+	}
+	rep := replies[0].Msg.(*GetReply)
+	if string(rep.Value) != "served" || rep.Version != 3 || rep.Slice != 2 {
+		t.Errorf("reply = %+v", rep)
+	}
+	if replies[0].To != 0xC0000001 {
+		t.Errorf("reply sent to %v", replies[0].To)
+	}
+	if n.Metrics().Get(metrics.GetsServed) != 1 {
+		t.Error("GetsServed not counted")
+	}
+}
+
+func TestNodeGetLatestVersion(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+	_ = n.Store().Put(key, 1, []byte("old"))
+	_ = n.Store().Put(key, 9, []byte("new"))
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+		ID: gossip.MakeRequestID(1, 2), Key: key, Version: store.Latest,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+	replies := cap.byType(func(m interface{}) bool { _, ok := m.(*GetReply); return ok })
+	if len(replies) != 1 || replies[0].Msg.(*GetReply).Version != 9 {
+		t.Fatalf("latest reply = %+v", replies)
+	}
+}
+
+func TestNodeMissingObjectKeepsRequestAlive(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+
+	// No intra view yet → nothing to relay to, but critically: no
+	// reply must be sent (a replica without the object stays silent).
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+		ID: gossip.MakeRequestID(1, 3), Key: key, Version: 1,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+	if replies := cap.byType(func(m interface{}) bool { _, ok := m.(*GetReply); return ok }); len(replies) != 0 {
+		t.Fatal("replica without object replied")
+	}
+}
+
+func TestNodeMateQueryAnswersWithSelf(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+
+	n.HandleMessage(transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 2}})
+	replies := cap.byType(func(m interface{}) bool { _, ok := m.(*MateReply); return ok })
+	if len(replies) != 1 {
+		t.Fatalf("mate replies = %+v", cap.sent)
+	}
+	mates := replies[0].Msg.(*MateReply).Mates
+	found := false
+	for _, d := range mates {
+		if d.ID == id && d.Slice == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reply lacks self descriptor: %+v", mates)
+	}
+}
+
+func TestNodeMateQueryForeignSliceSilentWhenUnknown(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	n.HandleMessage(transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 3}})
+	if len(cap.sent) != 0 {
+		t.Fatalf("replied without knowing any slice-3 node: %+v", cap.sent)
+	}
+}
+
+func TestNodeMateReplyFillsIntraView(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, _ := staticNode(t, id, k)
+	mate := findNodeInSlice(t, 2, k)
+	if mate == id {
+		mate = findNextNodeInSlice(t, 2, k, id)
+	}
+	n.HandleMessage(transport.Envelope{From: 99, To: id, Msg: &MateReply{
+		Slice: 2,
+		Mates: []pssDescriptor{{ID: mate, Slice: 2}},
+	}})
+	if n.IntraViewSize() != 1 {
+		t.Fatalf("intra view = %d after mate reply", n.IntraViewSize())
+	}
+	// A reply for a slice we are not in is ignored.
+	other := findNodeInSlice(t, 3, k)
+	n.HandleMessage(transport.Envelope{From: 99, To: id, Msg: &MateReply{
+		Slice: 3,
+		Mates: []pssDescriptor{{ID: other, Slice: 3}},
+	}})
+	if n.IntraViewSize() != 1 {
+		t.Fatal("foreign-slice mate reply polluted intra view")
+	}
+}
+
+func findNextNodeInSlice(t *testing.T, want int32, k int, after transport.NodeID) transport.NodeID {
+	t.Helper()
+	for id := after + 1; id < after+10000; id++ {
+		if slicing.NewStaticSlicer(id, k).Slice() == want {
+			return id
+		}
+	}
+	t.Fatal("no second node found")
+	return 0
+}
+
+func TestNodeTickCountsRounds(t *testing.T) {
+	n, _ := staticNode(t, 1, 4)
+	n.Tick()
+	n.Tick()
+	if n.Round() != 2 {
+		t.Errorf("Round = %d", n.Round())
+	}
+}
+
+func TestNodeMetricsCountTraffic(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 1, k)
+	n, _ := staticNode(t, id, k)
+	n.Bootstrap([]transport.NodeID{500, 501, 502})
+	key := keyForSlice(t, 3, k)
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
+	}})
+	m := n.Metrics()
+	if m.Get(metrics.MsgRecv) != 1 {
+		t.Errorf("MsgRecv = %d", m.Get(metrics.MsgRecv))
+	}
+	if m.Get(metrics.MsgSent) == 0 || m.Get(metrics.DataSent) == 0 {
+		t.Errorf("sends not counted: sent=%d data=%d", m.Get(metrics.MsgSent), m.Get(metrics.DataSent))
+	}
+	if m.Get(metrics.RequestsRelayed) != 1 {
+		t.Errorf("RequestsRelayed = %d", m.Get(metrics.RequestsRelayed))
+	}
+}
+
+func TestNodeIgnoresUnknownMessages(t *testing.T) {
+	n, cap := staticNode(t, 1, 4)
+	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: "mystery"})
+	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &PutAck{}})
+	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &GetReply{}})
+	if len(cap.sent) != 0 {
+		t.Fatal("unknown messages triggered traffic")
+	}
+}
+
+func TestStampPutAndGet(t *testing.T) {
+	n, _ := staticNode(t, 1, 4)
+	p := &PutRequest{TTL: TTLUnset}
+	n.StampPut(p)
+	if p.TTL == TTLUnset || p.TTL == 0 {
+		t.Errorf("StampPut TTL = %d", p.TTL)
+	}
+	g := &GetRequest{TTL: TTLUnset}
+	n.StampGet(g)
+	if g.TTL == TTLUnset || g.TTL == 0 {
+		t.Errorf("StampGet TTL = %d", g.TTL)
+	}
+	if g.TTL >= p.TTL {
+		t.Errorf("get TTL %d not tighter than put TTL %d (reads are coverage-bounded)", g.TTL, p.TTL)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Slices != 10 || cfg.ViewSize != 20 || cfg.PSS != PSSCyclon || cfg.Slicer != SlicerRank {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.AntiEntropyEvery != 10 {
+		t.Errorf("AntiEntropyEvery default = %d", cfg.AntiEntropyEvery)
+	}
+	disabled := Config{AntiEntropyEvery: -1}.withDefaults()
+	if disabled.AntiEntropyEvery != 0 {
+		t.Errorf("AntiEntropyEvery -1 → %d, want 0 (disabled)", disabled.AntiEntropyEvery)
+	}
+}

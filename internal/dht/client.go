@@ -1,0 +1,194 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"dataflasks/internal/transport"
+)
+
+// ClientResult is the outcome of one DHT client operation.
+type ClientResult struct {
+	ID      uint64
+	Key     string
+	Version uint64
+	Value   []byte
+	Found   bool
+	Err     error
+	Retries int
+}
+
+// ClientConfig tunes the baseline client.
+type ClientConfig struct {
+	// TimeoutTicks per attempt (default 10 — direct routing is fast).
+	TimeoutTicks int
+	// Retries after timeouts (default 3).
+	Retries int
+}
+
+func (c *ClientConfig) defaults() {
+	if c.TimeoutTicks <= 0 {
+		c.TimeoutTicks = 10
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+}
+
+type clientOp struct {
+	id       uint64
+	isPut    bool
+	key      string
+	version  uint64
+	value    []byte
+	deadline uint64
+	retries  int
+	attempt  uint8
+	done     func(ClientResult)
+}
+
+// Client drives operations against the DHT baseline, mirroring the
+// DataFlasks client core so the comparison harness treats both stores
+// identically. Not safe for concurrent use.
+type Client struct {
+	id    transport.NodeID
+	cfg   ClientConfig
+	out   transport.Sender
+	nodes []transport.NodeID
+	rng   *rand.Rand
+
+	seq  uint64
+	tick uint64
+	ops  map[uint64]*clientOp
+}
+
+// NewClient creates a baseline client over the given contact list.
+func NewClient(id transport.NodeID, cfg ClientConfig, out transport.Sender, nodes []transport.NodeID, rng *rand.Rand) *Client {
+	cfg.defaults()
+	if out == nil || rng == nil {
+		panic("dht: NewClient requires a sender and rng")
+	}
+	cp := make([]transport.NodeID, len(nodes))
+	copy(cp, nodes)
+	return &Client{id: id, cfg: cfg, out: out, nodes: cp, rng: rng, ops: make(map[uint64]*clientOp)}
+}
+
+// SetNodes replaces the contact list.
+func (c *Client) SetNodes(nodes []transport.NodeID) {
+	c.nodes = append(c.nodes[:0], nodes...)
+}
+
+// Pending returns in-flight operation count.
+func (c *Client) Pending() int { return len(c.ops) }
+
+// StartPut begins an asynchronous put.
+func (c *Client) StartPut(key string, version uint64, value []byte, done func(ClientResult)) {
+	c.seq++
+	op := &clientOp{
+		id: c.seq, isPut: true, key: key, version: version,
+		value: append([]byte(nil), value...), done: done,
+	}
+	c.ops[op.id] = op
+	c.issue(op)
+}
+
+// StartGet begins an asynchronous latest-version get.
+func (c *Client) StartGet(key string, done func(ClientResult)) {
+	c.seq++
+	op := &clientOp{id: c.seq, key: key, done: done}
+	c.ops[op.id] = op
+	c.issue(op)
+}
+
+func (c *Client) issue(op *clientOp) {
+	op.deadline = c.tick + uint64(c.cfg.TimeoutTicks)
+	if len(c.nodes) == 0 {
+		return
+	}
+	contact := c.nodes[c.rng.IntN(len(c.nodes))]
+	if op.isPut {
+		_ = c.out.Send(contact, &PutRequest{
+			ID: op.id, Key: op.key, Version: op.version, Value: op.value, Origin: c.id,
+		})
+		return
+	}
+	_ = c.out.Send(contact, &GetRequest{
+		ID: op.id, Key: op.key, Origin: c.id, Attempt: op.attempt,
+	})
+}
+
+// HandleMessage consumes replies addressed to this client.
+func (c *Client) HandleMessage(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case *PutAck:
+		op, ok := c.ops[m.ID]
+		if !ok || !op.isPut {
+			return
+		}
+		delete(c.ops, m.ID)
+		if op.done != nil {
+			op.done(ClientResult{ID: m.ID, Key: op.key, Version: op.version, Found: true, Retries: op.retries})
+		}
+	case *GetReply:
+		op, ok := c.ops[m.ID]
+		if !ok || op.isPut {
+			return
+		}
+		if !m.Found {
+			// Negative answer: try the next replica immediately.
+			delete(c.ops, m.ID)
+			c.retry(op)
+			return
+		}
+		delete(c.ops, m.ID)
+		if op.done != nil {
+			op.done(ClientResult{
+				ID: m.ID, Key: op.key, Version: m.Version, Value: m.Value,
+				Found: true, Retries: op.retries,
+			})
+		}
+	}
+}
+
+func (c *Client) retry(op *clientOp) {
+	if op.retries >= c.cfg.Retries {
+		if op.done != nil {
+			op.done(ClientResult{
+				ID: op.id, Key: op.key,
+				Err:     fmt.Errorf("dht: %s failed after %d attempts", opName(op), op.retries+1),
+				Retries: op.retries,
+			})
+		}
+		return
+	}
+	op.retries++
+	op.attempt++
+	c.ops[op.id] = op
+	c.issue(op)
+}
+
+func opName(op *clientOp) string {
+	if op.isPut {
+		return "put"
+	}
+	return "get"
+}
+
+// Tick advances timeouts.
+func (c *Client) Tick() {
+	c.tick++
+	var expired []*clientOp
+	for _, op := range c.ops {
+		if c.tick >= op.deadline {
+			expired = append(expired, op)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, op := range expired {
+		delete(c.ops, op.id)
+		c.retry(op)
+	}
+}

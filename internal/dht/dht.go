@@ -1,0 +1,108 @@
+// Package dht implements the structured baseline DataFlasks is
+// motivated against (§I): a consistent-hashing key-value store in the
+// Dynamo/Cassandra mould — gossip-maintained full membership, direct
+// routing to the key's successor, replication to the R clockwise
+// successors. When membership is stable it is dramatically cheaper per
+// operation than epidemic dissemination; under churn its routing tables
+// lag reality and operations misroute or land on dead owners, which is
+// exactly the trade-off the comparison experiment (E8) measures.
+package dht
+
+import (
+	"sort"
+
+	"dataflasks/internal/hashmix"
+	"dataflasks/internal/transport"
+)
+
+// Position is a point on the hash ring.
+type Position uint64
+
+// NodePosition places a node on the ring (full-avalanche mixed, so
+// sequential ids spread uniformly).
+func NodePosition(id transport.NodeID) Position {
+	return Position(hashmix.HashUint64(uint64(id)))
+}
+
+// KeyPosition places a key on the ring.
+func KeyPosition(key string) Position { return Position(hashmix.HashString(key)) }
+
+// Member is one gossip membership entry.
+type Member struct {
+	ID        transport.NodeID
+	Heartbeat uint64
+	Position  Position
+}
+
+// Gossip carries membership state between nodes.
+type Gossip struct {
+	Members []Member
+}
+
+// PutRequest routes a write toward the key's owner.
+type PutRequest struct {
+	ID      uint64
+	Key     string
+	Version uint64
+	Value   []byte
+	Origin  transport.NodeID
+	Hops    uint8
+	// Replica marks a replication copy (store, do not re-route).
+	Replica bool
+}
+
+// PutAck confirms a write reached the owner.
+type PutAck struct {
+	ID uint64
+}
+
+// GetRequest routes a read toward the key's owner.
+type GetRequest struct {
+	ID     uint64
+	Key    string
+	Origin transport.NodeID
+	Hops   uint8
+	// Attempt lets the router try the next replica on re-routes.
+	Attempt uint8
+}
+
+// GetReply answers a read.
+type GetReply struct {
+	ID      uint64
+	Key     string
+	Version uint64
+	Value   []byte
+	Found   bool
+}
+
+// ring is a sorted snapshot of known-alive positions.
+type ring struct {
+	positions []Position
+	ids       []transport.NodeID // parallel to positions
+}
+
+// successor returns the first node at or after p (wrapping).
+func (r *ring) successor(p Position, offset int) (transport.NodeID, bool) {
+	if len(r.positions) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.positions), func(i int) bool { return r.positions[i] >= p })
+	i = (i + offset) % len(r.positions)
+	return r.ids[i], true
+}
+
+// replicas returns the R distinct successors of p.
+func (r *ring) replicas(p Position, count int) []transport.NodeID {
+	if len(r.ids) == 0 {
+		return nil
+	}
+	if count > len(r.ids) {
+		count = len(r.ids)
+	}
+	out := make([]transport.NodeID, 0, count)
+	for i := 0; i < count; i++ {
+		id, _ := r.successor(p, i)
+		out = append(out, id)
+	}
+	return out
+}

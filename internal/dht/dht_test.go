@@ -1,0 +1,288 @@
+package dht
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// wiring delivers synchronously between DHT nodes and a test client
+// mailbox.
+type wiring struct {
+	nodes  map[transport.NodeID]*Node
+	client []transport.Envelope // traffic to the client id
+	id     transport.NodeID     // client id
+	queue  []transport.Envelope
+}
+
+func newWiring(clientID transport.NodeID) *wiring {
+	return &wiring{nodes: make(map[transport.NodeID]*Node), id: clientID}
+}
+
+func (w *wiring) sender(from transport.NodeID) transport.Sender {
+	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		w.queue = append(w.queue, transport.Envelope{From: from, To: to, Msg: msg})
+		return nil
+	})
+}
+
+func (w *wiring) deliverAll() {
+	for len(w.queue) > 0 {
+		env := w.queue[0]
+		w.queue = w.queue[1:]
+		if env.To == w.id {
+			w.client = append(w.client, env)
+			continue
+		}
+		if n, ok := w.nodes[env.To]; ok {
+			n.HandleMessage(env)
+		}
+	}
+}
+
+// fullMeshDHT builds n nodes that all know each other.
+func fullMeshDHT(t *testing.T, n int, cfg Config) (*wiring, []*Node) {
+	t.Helper()
+	w := newWiring(0xC0000001)
+	ids := make([]transport.NodeID, 0, n)
+	for i := 1; i <= n; i++ {
+		ids = append(ids, transport.NodeID(i))
+	}
+	nodes := make([]*Node, 0, n)
+	for _, id := range ids {
+		node := NewNode(id, cfg, store.NewMemory(), w.sender(id))
+		node.Bootstrap(ids)
+		w.nodes[id] = node
+		nodes = append(nodes, node)
+	}
+	return w, nodes
+}
+
+func TestRingSuccessorWrapsAndOffsets(t *testing.T) {
+	r := &ring{
+		positions: []Position{100, 200, 300},
+		ids:       []transport.NodeID{1, 2, 3},
+	}
+	if id, _ := r.successor(150, 0); id != 2 {
+		t.Errorf("successor(150) = %v, want 2", id)
+	}
+	if id, _ := r.successor(301, 0); id != 1 {
+		t.Errorf("successor wraps to %v, want 1", id)
+	}
+	if id, _ := r.successor(150, 1); id != 3 {
+		t.Errorf("successor offset 1 = %v, want 3", id)
+	}
+	reps := r.replicas(150, 2)
+	if len(reps) != 2 || reps[0] != 2 || reps[1] != 3 {
+		t.Errorf("replicas = %v", reps)
+	}
+	if got := r.replicas(150, 99); len(got) != 3 {
+		t.Errorf("replicas clamped = %v", got)
+	}
+	empty := &ring{}
+	if _, ok := empty.successor(1, 0); ok {
+		t.Error("empty ring returned a successor")
+	}
+}
+
+func TestNodePositionsSpread(t *testing.T) {
+	var positions []Position
+	for i := 1; i <= 100; i++ {
+		positions = append(positions, NodePosition(transport.NodeID(i)))
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	// No pathological clustering: the largest arc gap should be well
+	// under a quarter of the ring for 100 mixed points.
+	var maxGap Position
+	for i := 1; i < len(positions); i++ {
+		if g := positions[i] - positions[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap > 1<<62 {
+		t.Errorf("max arc gap = %d — positions clustered", maxGap)
+	}
+}
+
+func TestDHTPutReplicatesToSuccessors(t *testing.T) {
+	w, nodes := fullMeshDHT(t, 10, Config{Replicas: 3})
+	w.queue = append(w.queue, transport.Envelope{
+		From: w.id, To: nodes[0].ID(),
+		Msg: &PutRequest{ID: 1, Key: "k", Version: 1, Value: []byte("v"), Origin: w.id},
+	})
+	w.deliverAll()
+
+	holders := 0
+	for _, n := range nodes {
+		if _, _, ok, _ := n.Store().Get("k", 1); ok {
+			holders++
+		}
+	}
+	if holders != 3 {
+		t.Errorf("replicas = %d, want 3", holders)
+	}
+	if len(w.client) != 1 {
+		t.Fatalf("client traffic = %+v", w.client)
+	}
+	if _, ok := w.client[0].Msg.(*PutAck); !ok {
+		t.Fatalf("client got %#v", w.client[0].Msg)
+	}
+}
+
+func TestDHTGetServedByAnyHolder(t *testing.T) {
+	w, nodes := fullMeshDHT(t, 10, Config{Replicas: 3})
+	w.queue = append(w.queue, transport.Envelope{
+		From: w.id, To: nodes[3].ID(),
+		Msg: &PutRequest{ID: 1, Key: "k", Version: 4, Value: []byte("v"), Origin: w.id},
+	})
+	w.deliverAll()
+	w.client = nil
+
+	w.queue = append(w.queue, transport.Envelope{
+		From: w.id, To: nodes[7].ID(),
+		Msg: &GetRequest{ID: 2, Key: "k", Origin: w.id},
+	})
+	w.deliverAll()
+	if len(w.client) != 1 {
+		t.Fatalf("client traffic = %+v", w.client)
+	}
+	rep, ok := w.client[0].Msg.(*GetReply)
+	if !ok || !rep.Found || rep.Version != 4 || string(rep.Value) != "v" {
+		t.Fatalf("reply = %#v", w.client[0].Msg)
+	}
+}
+
+func TestDHTGetMissingReportsNotFound(t *testing.T) {
+	w, nodes := fullMeshDHT(t, 5, Config{})
+	w.queue = append(w.queue, transport.Envelope{
+		From: w.id, To: nodes[0].ID(),
+		Msg: &GetRequest{ID: 9, Key: "never", Origin: w.id},
+	})
+	w.deliverAll()
+	if len(w.client) != 1 {
+		t.Fatalf("client traffic = %+v", w.client)
+	}
+	if rep := w.client[0].Msg.(*GetReply); rep.Found {
+		t.Error("missing key reported found")
+	}
+}
+
+func TestDHTMembershipGossipSpreadsAndEvicts(t *testing.T) {
+	// Two nodes that only know each other plus a third known to one.
+	w := newWiring(0xC0000001)
+	a := NewNode(1, Config{SuspectRounds: 3, GossipFanout: 2}, store.NewMemory(), w.sender(1))
+	b := NewNode(2, Config{SuspectRounds: 3, GossipFanout: 2}, store.NewMemory(), w.sender(2))
+	w.nodes[1], w.nodes[2] = a, b
+	a.Bootstrap([]transport.NodeID{2, 3}) // 3 does not exist
+	b.Bootstrap([]transport.NodeID{1})
+
+	for r := 0; r < 2; r++ {
+		a.Tick()
+		b.Tick()
+		w.deliverAll()
+	}
+	// b learned about 3 from a's gossip.
+	if b.MemberCount() != 3 {
+		t.Errorf("b members = %d, want 3 (self, a, ghost)", b.MemberCount())
+	}
+	// Ghost 3 never bumps its heartbeat: both evict it.
+	for r := 0; r < 6; r++ {
+		a.Tick()
+		b.Tick()
+		w.deliverAll()
+	}
+	if a.MemberCount() != 2 || b.MemberCount() != 2 {
+		t.Errorf("after suspicion: a=%d b=%d members, want 2", a.MemberCount(), b.MemberCount())
+	}
+}
+
+func TestDHTHopBound(t *testing.T) {
+	w, nodes := fullMeshDHT(t, 5, Config{MaxHops: 2})
+	// A request arriving with hops at the bound is not re-forwarded.
+	key := "k"
+	var owner transport.NodeID
+	r := &ring{}
+	for _, n := range nodes {
+		r.positions = append(r.positions, n.pos)
+		r.ids = append(r.ids, n.id)
+	}
+	sort.Sort(byPos{r})
+	owner, _ = r.successor(KeyPosition(key), 0)
+	var notOwner *Node
+	for _, n := range nodes {
+		if n.ID() != owner {
+			notOwner = n
+			break
+		}
+	}
+	before := notOwner.Metrics().Get(metrics.RequestsRelayed)
+	notOwner.HandleMessage(transport.Envelope{From: w.id, To: notOwner.ID(), Msg: &PutRequest{
+		ID: 5, Key: key, Version: 1, Hops: 2, Origin: w.id,
+	}})
+	if notOwner.Metrics().Get(metrics.RequestsRelayed) != before {
+		t.Error("relayed beyond MaxHops")
+	}
+}
+
+// byPos sorts a ring in place (test helper).
+type byPos struct{ r *ring }
+
+func (b byPos) Len() int { return len(b.r.positions) }
+func (b byPos) Less(i, j int) bool {
+	return b.r.positions[i] < b.r.positions[j]
+}
+func (b byPos) Swap(i, j int) {
+	b.r.positions[i], b.r.positions[j] = b.r.positions[j], b.r.positions[i]
+	b.r.ids[i], b.r.ids[j] = b.r.ids[j], b.r.ids[i]
+}
+
+func TestDHTClientRetriesAndFails(t *testing.T) {
+	var sent []transport.Envelope
+	sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		sent = append(sent, transport.Envelope{To: to, Msg: msg})
+		return nil
+	})
+	cl := NewClient(0xC0000001, ClientConfig{TimeoutTicks: 1, Retries: 2}, sender,
+		[]transport.NodeID{1, 2, 3}, randFor(1))
+	var res *ClientResult
+	cl.StartGet("k", func(r ClientResult) { res = &r })
+	for i := 0; i < 10 && res == nil; i++ {
+		cl.Tick()
+	}
+	if res == nil || res.Err == nil {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Retries != 2 {
+		t.Errorf("retries = %d", res.Retries)
+	}
+	if len(sent) != 3 {
+		t.Errorf("attempts = %d, want 3", len(sent))
+	}
+}
+
+func TestDHTClientNotFoundTriggersNextReplica(t *testing.T) {
+	var sent []transport.Envelope
+	sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		sent = append(sent, transport.Envelope{To: to, Msg: msg})
+		return nil
+	})
+	cl := NewClient(0xC0000001, ClientConfig{Retries: 3}, sender, []transport.NodeID{1}, randFor(2))
+	cl.StartGet("k", nil)
+	id := sent[0].Msg.(*GetRequest).ID
+	cl.HandleMessage(transport.Envelope{From: 1, Msg: &GetReply{ID: id, Found: false}})
+	if len(sent) != 2 {
+		t.Fatalf("no immediate re-route after not-found: %d sends", len(sent))
+	}
+	if sent[1].Msg.(*GetRequest).Attempt != 1 {
+		t.Errorf("second attempt targets replica offset %d, want 1", sent[1].Msg.(*GetRequest).Attempt)
+	}
+}
+
+// randFor builds a deterministic rng for client tests.
+func randFor(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(99, stream))
+}

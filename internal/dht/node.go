@@ -1,0 +1,312 @@
+package dht
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// Config tunes a DHT node.
+type Config struct {
+	// Replicas R is the successor-list replication factor (default 3).
+	Replicas int
+	// GossipFanout is how many peers receive membership gossip per
+	// round (default 3).
+	GossipFanout int
+	// SuspectRounds evicts members whose heartbeat has not advanced
+	// for this many rounds (default 10) — the knob that trades
+	// staleness against false suspicion under churn.
+	SuspectRounds int
+	// MaxHops bounds request forwarding (default 8).
+	MaxHops uint8
+	// Seed feeds the node's RNG.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = 3
+	}
+	if c.SuspectRounds <= 0 {
+		c.SuspectRounds = 10
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 8
+	}
+}
+
+type memberState struct {
+	member    Member
+	updatedAt uint64 // local round when heartbeat last advanced
+}
+
+// Node is one consistent-hashing store node. Event-driven and
+// single-threaded, like the DataFlasks node, so the same harness can
+// drive both.
+type Node struct {
+	id  transport.NodeID
+	pos Position
+	cfg Config
+	out transport.Sender
+	st  store.Store
+	rng *rand.Rand
+	met *metrics.NodeMetrics
+
+	round     uint64
+	heartbeat uint64
+	members   map[transport.NodeID]*memberState
+	// dead tombstones evicted members by the heartbeat they died at:
+	// gossip re-advertising the same (or older) heartbeat must not
+	// resurrect a ghost, only genuinely newer liveness can.
+	dead   map[transport.NodeID]uint64
+	cached ring
+	dirty  bool
+}
+
+// NewNode creates a DHT node over the given store and sender.
+func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Sender) *Node {
+	cfg.defaults()
+	if st == nil || out == nil {
+		panic("dht: NewNode requires a store and a sender")
+	}
+	n := &Node{
+		id:      id,
+		pos:     NodePosition(id),
+		cfg:     cfg,
+		out:     out,
+		st:      st,
+		rng:     sim.RNG(cfg.Seed, uint64(id)),
+		met:     &metrics.NodeMetrics{},
+		members: make(map[transport.NodeID]*memberState),
+		dead:    make(map[transport.NodeID]uint64),
+		dirty:   true,
+	}
+	n.members[id] = &memberState{member: Member{ID: id, Position: n.pos}}
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Metrics exposes the node's counters.
+func (n *Node) Metrics() *metrics.NodeMetrics { return n.met }
+
+// Store exposes the local store.
+func (n *Node) Store() store.Store { return n.st }
+
+// MemberCount returns the current membership view size.
+func (n *Node) MemberCount() int { return len(n.members) }
+
+// Bootstrap seeds the membership view.
+func (n *Node) Bootstrap(seeds []transport.NodeID) {
+	for _, id := range seeds {
+		if id == n.id {
+			continue
+		}
+		n.members[id] = &memberState{
+			member:    Member{ID: id, Position: NodePosition(id)},
+			updatedAt: n.round,
+		}
+	}
+	n.dirty = true
+}
+
+func (n *Node) send(to transport.NodeID, msg interface{}) {
+	n.met.Inc(metrics.MsgSent)
+	if err := n.out.Send(to, msg); err != nil {
+		n.met.Inc(metrics.MsgDropped)
+	}
+}
+
+// Tick runs one round: advance our heartbeat, gossip membership, evict
+// suspects.
+func (n *Node) Tick() {
+	n.round++
+	n.heartbeat++
+	self := n.members[n.id]
+	self.member.Heartbeat = n.heartbeat
+	self.updatedAt = n.round
+
+	// Evict silent members, tombstoning the heartbeat they died at.
+	for id, ms := range n.members {
+		if id == n.id {
+			continue
+		}
+		if n.round-ms.updatedAt > uint64(n.cfg.SuspectRounds) {
+			n.dead[id] = ms.member.Heartbeat
+			delete(n.members, id)
+			n.dirty = true
+		}
+	}
+
+	peers := n.randomPeers(n.cfg.GossipFanout)
+	if len(peers) == 0 {
+		return
+	}
+	snapshot := n.snapshot()
+	for _, p := range peers {
+		n.met.Inc(metrics.PSSSent)
+		n.send(p, &Gossip{Members: snapshot})
+	}
+}
+
+func (n *Node) snapshot() []Member {
+	out := make([]Member, 0, len(n.members))
+	for _, ms := range n.members {
+		out = append(out, ms.member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (n *Node) randomPeers(count int) []transport.NodeID {
+	ids := make([]transport.NodeID, 0, len(n.members)-1)
+	for id := range n.members {
+		if id != n.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if count >= len(ids) {
+		return ids
+	}
+	n.rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+	return ids[:count]
+}
+
+func (n *Node) ring() *ring {
+	if n.dirty {
+		n.cached = ring{}
+		type pair struct {
+			pos Position
+			id  transport.NodeID
+		}
+		pairs := make([]pair, 0, len(n.members))
+		for id, ms := range n.members {
+			pairs = append(pairs, pair{ms.member.Position, id})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].pos != pairs[j].pos {
+				return pairs[i].pos < pairs[j].pos
+			}
+			return pairs[i].id < pairs[j].id
+		})
+		for _, p := range pairs {
+			n.cached.positions = append(n.cached.positions, p.pos)
+			n.cached.ids = append(n.cached.ids, p.id)
+		}
+		n.dirty = false
+	}
+	return &n.cached
+}
+
+// HandleMessage dispatches one delivered message.
+func (n *Node) HandleMessage(env transport.Envelope) {
+	n.met.Inc(metrics.MsgRecv)
+	switch m := env.Msg.(type) {
+	case *Gossip:
+		n.onGossip(m)
+	case *PutRequest:
+		n.onPut(m)
+	case *GetRequest:
+		n.onGet(m)
+	case *PutAck, *GetReply:
+		// Client-bound traffic; ignore.
+	}
+}
+
+func (n *Node) onGossip(m *Gossip) {
+	for _, mem := range m.Members {
+		if mem.ID == n.id {
+			continue
+		}
+		if diedAt, dead := n.dead[mem.ID]; dead {
+			if mem.Heartbeat <= diedAt {
+				continue // stale gossip about a ghost
+			}
+			delete(n.dead, mem.ID) // genuinely alive again
+		}
+		ms, ok := n.members[mem.ID]
+		if !ok {
+			n.members[mem.ID] = &memberState{member: mem, updatedAt: n.round}
+			n.dirty = true
+			continue
+		}
+		if mem.Heartbeat > ms.member.Heartbeat {
+			ms.member.Heartbeat = mem.Heartbeat
+			ms.updatedAt = n.round
+		}
+	}
+}
+
+func (n *Node) onPut(m *PutRequest) {
+	if m.Replica {
+		if err := n.st.Put(m.Key, m.Version, m.Value); err == nil {
+			n.met.Inc(metrics.PutsServed)
+		}
+		return
+	}
+	r := n.ring()
+	owner, ok := r.successor(KeyPosition(m.Key), 0)
+	if !ok {
+		return
+	}
+	if owner != n.id {
+		if m.Hops >= n.cfg.MaxHops {
+			return
+		}
+		fwd := *m
+		fwd.Hops++
+		n.met.Inc(metrics.RequestsRelayed)
+		n.send(owner, &fwd)
+		return
+	}
+	// We own the key: store, replicate to successors, ack.
+	if err := n.st.Put(m.Key, m.Version, m.Value); err == nil {
+		n.met.Inc(metrics.PutsServed)
+	}
+	for _, rep := range r.replicas(KeyPosition(m.Key), n.cfg.Replicas) {
+		if rep == n.id {
+			continue
+		}
+		cp := *m
+		cp.Replica = true
+		n.met.Inc(metrics.DataSent)
+		n.send(rep, &cp)
+	}
+	if m.Origin != 0 {
+		n.send(m.Origin, &PutAck{ID: m.ID})
+	}
+}
+
+func (n *Node) onGet(m *GetRequest) {
+	// Serve locally when we hold it, regardless of ownership — a
+	// replica hit is a hit.
+	if val, ver, ok, err := n.st.Get(m.Key, store.Latest); err == nil && ok {
+		n.met.Inc(metrics.GetsServed)
+		n.send(m.Origin, &GetReply{ID: m.ID, Key: m.Key, Version: ver, Value: val, Found: true})
+		return
+	}
+	r := n.ring()
+	target, ok := r.successor(KeyPosition(m.Key), int(m.Attempt))
+	if !ok || m.Hops >= n.cfg.MaxHops {
+		return
+	}
+	if target == n.id {
+		// We should own it but do not: a recent join missed the data.
+		// Report not-found so clients can retry elsewhere.
+		n.send(m.Origin, &GetReply{ID: m.ID, Key: m.Key, Found: false})
+		return
+	}
+	fwd := *m
+	fwd.Hops++
+	n.met.Inc(metrics.RequestsRelayed)
+	n.send(target, &fwd)
+}

@@ -1,0 +1,131 @@
+// Package gossip provides the epidemic-dissemination primitives
+// DataFlasks routes requests with: duplicate suppression (relay-once
+// flooding over the PSS views) and the random-graph sizing math of
+// paper §II — with views of ln(N)+c uniformly sampled nodes, a flood in
+// which every node relays once reaches all nodes with probability
+// e^(-e^(-c)).
+package gossip
+
+import (
+	"math"
+
+	"dataflasks/internal/transport"
+)
+
+// RequestID uniquely identifies one client operation as it spreads
+// through the system; replicas use it to suppress duplicate relays and
+// clients use it to de-duplicate replies (paper §V).
+type RequestID uint64
+
+// MakeRequestID packs an origin and a per-origin sequence number. Origins
+// are 32 bits in practice (node ids assigned by the deployer), so the
+// pair is unique without coordination.
+func MakeRequestID(origin transport.NodeID, seq uint32) RequestID {
+	return RequestID(uint64(origin)<<32 | uint64(seq))
+}
+
+// Origin recovers the originating endpoint of a request id.
+func (r RequestID) Origin() transport.NodeID {
+	return transport.NodeID(uint64(r) >> 32)
+}
+
+// Seq recovers the per-origin sequence number.
+func (r RequestID) Seq() uint32 { return uint32(uint64(r) & 0xffffffff) }
+
+// Fanout returns the per-node relay fanout for a system of (estimated)
+// size n with safety term c: ceil(ln n + c), at least 1.
+func Fanout(n int, c float64) int {
+	if n < 2 {
+		return 1
+	}
+	f := int(math.Ceil(math.Log(float64(n)) + c))
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// AtomicInfectionProbability is the paper's §II bound: the probability a
+// flood with per-node fanout ln(N)+c infects every node.
+func AtomicInfectionProbability(c float64) float64 {
+	return math.Exp(-math.Exp(-c))
+}
+
+// TTL returns a hop budget sufficient for a flood with the given fanout
+// to cover n nodes: ceil(log_fanout n) plus a safety margin.
+func TTL(n, fanout, margin int) uint8 {
+	if n < 2 || fanout < 2 {
+		return uint8(clampTTL(1 + margin))
+	}
+	hops := int(math.Ceil(math.Log(float64(n)) / math.Log(float64(fanout))))
+	return uint8(clampTTL(hops + margin))
+}
+
+func clampTTL(v int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// Dedup is a bounded set of recently seen request ids with FIFO
+// eviction. Epidemic routing only needs to remember ids for roughly one
+// flood's lifetime, so a modest capacity suffices; evicting an id early
+// merely costs a duplicate relay, never correctness.
+//
+// The zero value is unusable; create with NewDedup. Not safe for
+// concurrent use.
+type Dedup struct {
+	capacity int
+	set      map[RequestID]struct{}
+	order    []RequestID // ring buffer of insertion order
+	head     int         // next eviction slot
+}
+
+// NewDedup creates a dedup cache remembering up to capacity ids.
+func NewDedup(capacity int) *Dedup {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Dedup{
+		capacity: capacity,
+		set:      make(map[RequestID]struct{}, capacity),
+		order:    make([]RequestID, 0, capacity),
+	}
+}
+
+// Seen reports whether id was observed and records it. The first call
+// for an id returns false, subsequent calls true (until evicted).
+func (d *Dedup) Seen(id RequestID) bool {
+	if _, ok := d.set[id]; ok {
+		return true
+	}
+	d.add(id)
+	return false
+}
+
+// Contains reports whether id is currently remembered, without
+// recording it.
+func (d *Dedup) Contains(id RequestID) bool {
+	_, ok := d.set[id]
+	return ok
+}
+
+// Len returns the number of remembered ids.
+func (d *Dedup) Len() int { return len(d.set) }
+
+func (d *Dedup) add(id RequestID) {
+	if len(d.order) < d.capacity {
+		d.order = append(d.order, id)
+		d.set[id] = struct{}{}
+		return
+	}
+	evicted := d.order[d.head]
+	delete(d.set, evicted)
+	d.order[d.head] = id
+	d.head = (d.head + 1) % d.capacity
+	d.set[id] = struct{}{}
+}

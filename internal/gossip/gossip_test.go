@@ -1,0 +1,197 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dataflasks/internal/transport"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	prop := func(origin uint32, seq uint32) bool {
+		id := MakeRequestID(transport.NodeID(origin), seq)
+		return id.Origin() == transport.NodeID(origin) && id.Seq() == seq
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestIDUnique(t *testing.T) {
+	a := MakeRequestID(1, 1)
+	b := MakeRequestID(1, 2)
+	c := MakeRequestID(2, 1)
+	if a == b || a == c || b == c {
+		t.Errorf("collisions: %v %v %v", a, b, c)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	tests := []struct {
+		n    int
+		c    float64
+		want int
+	}{
+		{1, 1, 1},
+		{2, 0, 1},
+		{1000, 0, 7},  // ln(1000) ≈ 6.9
+		{1000, 1, 8},  // +c
+		{3000, 1, 10}, // ln(3000)+1 ≈ 9.006 → 10
+		{100, -10, 1}, // clamped to 1
+	}
+	for _, tt := range tests {
+		if got := Fanout(tt.n, tt.c); got != tt.want {
+			t.Errorf("Fanout(%d, %v) = %d, want %d", tt.n, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestAtomicInfectionProbability(t *testing.T) {
+	// Known values of e^(-e^(-c)).
+	tests := []struct {
+		c, want float64
+	}{
+		{0, 1 / math.E},
+		{2, 0.873},
+		{-2, 0.0006},
+	}
+	for _, tt := range tests {
+		got := AtomicInfectionProbability(tt.c)
+		if math.Abs(got-tt.want) > 0.01 {
+			t.Errorf("p(c=%v) = %v, want ~%v", tt.c, got, tt.want)
+		}
+	}
+	// Monotone in c.
+	prev := 0.0
+	for c := -3.0; c <= 5; c += 0.5 {
+		p := AtomicInfectionProbability(c)
+		if p < prev {
+			t.Fatalf("probability not monotone at c=%v", c)
+		}
+		prev = p
+	}
+}
+
+func TestTTL(t *testing.T) {
+	// fanout 10: 10^3 = 1000 ≥ 1000 nodes.
+	if got := TTL(1000, 10, 0); got != 3 {
+		t.Errorf("TTL(1000, 10, 0) = %d, want 3", got)
+	}
+	if got := TTL(1000, 10, 2); got != 5 {
+		t.Errorf("TTL(1000, 10, 2) = %d, want 5", got)
+	}
+	// Degenerate cases clamp to at least 1.
+	if got := TTL(1, 10, 0); got < 1 {
+		t.Errorf("TTL(1,10,0) = %d, want >= 1", got)
+	}
+	if got := TTL(1000, 1, 0); got < 1 {
+		t.Errorf("TTL with fanout 1 = %d, want >= 1", got)
+	}
+	// Never overflows uint8.
+	if got := TTL(1<<30, 2, 300); got != 255 {
+		t.Errorf("TTL clamp = %d, want 255", got)
+	}
+}
+
+func TestDedupBasic(t *testing.T) {
+	d := NewDedup(8)
+	id := MakeRequestID(1, 1)
+	if d.Seen(id) {
+		t.Fatal("first Seen returned true")
+	}
+	if !d.Seen(id) {
+		t.Fatal("second Seen returned false")
+	}
+	if !d.Contains(id) {
+		t.Fatal("Contains returned false for remembered id")
+	}
+	if d.Contains(MakeRequestID(9, 9)) {
+		t.Fatal("Contains returned true for unknown id")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDedupEvictsFIFO(t *testing.T) {
+	d := NewDedup(3)
+	ids := []RequestID{
+		MakeRequestID(1, 1), MakeRequestID(1, 2),
+		MakeRequestID(1, 3), MakeRequestID(1, 4),
+	}
+	for _, id := range ids {
+		d.Seen(id)
+	}
+	if d.Contains(ids[0]) {
+		t.Error("oldest id not evicted")
+	}
+	for _, id := range ids[1:] {
+		if !d.Contains(id) {
+			t.Errorf("id %v evicted too early", id)
+		}
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want capacity 3", d.Len())
+	}
+}
+
+func TestDedupEvictedIDCanBeSeenAgain(t *testing.T) {
+	d := NewDedup(2)
+	a := MakeRequestID(1, 1)
+	d.Seen(a)
+	d.Seen(MakeRequestID(1, 2))
+	d.Seen(MakeRequestID(1, 3)) // evicts a
+	if d.Seen(a) {
+		t.Fatal("evicted id reported as seen")
+	}
+	if !d.Seen(a) {
+		t.Fatal("re-added id not remembered")
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	// After any sequence of distinct inserts, the most recent
+	// min(cap, len) ids are remembered and Len never exceeds capacity.
+	prop := func(seqs []uint32) bool {
+		const cap = 16
+		d := NewDedup(cap)
+		seen := make(map[RequestID]bool)
+		var order []RequestID
+		for _, s := range seqs {
+			id := MakeRequestID(1, s)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			order = append(order, id)
+			d.Seen(id)
+		}
+		if d.Len() > cap {
+			return false
+		}
+		start := 0
+		if len(order) > cap {
+			start = len(order) - cap
+		}
+		for _, id := range order[start:] {
+			if !d.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedupDefaultCapacity(t *testing.T) {
+	d := NewDedup(0)
+	for i := 0; i < 5000; i++ {
+		d.Seen(MakeRequestID(1, uint32(i)))
+	}
+	if d.Len() != 4096 {
+		t.Errorf("default capacity: Len = %d, want 4096", d.Len())
+	}
+}

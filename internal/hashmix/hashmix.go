@@ -1,0 +1,36 @@
+// Package hashmix provides a 64-bit finalizer and helpers shared by
+// every place that turns a hash into a ring position or slice index.
+//
+// FNV-1a alone is not enough: its final multiply leaves the high bits
+// of short inputs (8-byte node ids, short keys) barely mixed, which
+// once collapsed an entire 200-node cluster into a single slice. The
+// splitmix64 finalizer gives full avalanche.
+package hashmix
+
+import "hash/fnv"
+
+// Mix64 is the splitmix64 finalizer: every input bit avalanches to
+// every output bit.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// HashString hashes s with FNV-1a and finalizes with Mix64.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return Mix64(h.Sum64())
+}
+
+// HashUint64 mixes a 64-bit value directly (ids need no FNV pass).
+func HashUint64(v uint64) uint64 { return Mix64(v) }
+
+// Frac maps a mixed hash to [0, 1) with 53 bits of precision.
+func Frac(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,77 @@
+package hashmix
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Fatal("adjacent inputs collide")
+	}
+}
+
+func TestFracInRange(t *testing.T) {
+	prop := func(v uint64) bool {
+		f := Frac(Mix64(v))
+		return f >= 0 && f < 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequentialIDsSpread is the regression test for the bug where all
+// 200 sequential node ids landed in one slice: the high bits of the
+// mixed hash must vary for dense small inputs.
+func TestSequentialIDsSpread(t *testing.T) {
+	const n, buckets = 1000, 10
+	counts := make([]int, buckets)
+	for i := 1; i <= n; i++ {
+		b := int(Frac(HashUint64(uint64(i))) * buckets)
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/2 || c > n/buckets*2 {
+			t.Errorf("bucket %d has %d of %d (want ~%d): %v", b, c, n, n/buckets, counts)
+		}
+	}
+}
+
+func TestSequentialKeysSpread(t *testing.T) {
+	const n, buckets = 1000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		b := int(Frac(HashString(fmt.Sprintf("user%08d", i))) * buckets)
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/2 || c > n/buckets*2 {
+			t.Errorf("bucket %d has %d of %d: %v", b, c, n, counts)
+		}
+	}
+}
+
+func TestHashStringDiffersFromHashUint64(t *testing.T) {
+	// Different domains should not trivially collide.
+	if HashString("1") == HashUint64(1) {
+		t.Error("string and uint64 domains collide on trivial input")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// splitmix64's finalizer is a bijection: no two inputs in a dense
+	// range may collide.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}

@@ -1,0 +1,140 @@
+package lab
+
+import (
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E11 — dynamic slice-count reconfiguration (§IV-C replication
+// management): halving k doubles the replication factor of every
+// object, with anti-entropy moving the data.
+
+// ReconfigPoint tracks an object's replica count through a k change.
+type ReconfigPoint struct {
+	Round    int
+	Replicas int
+	// SliceAccuracy tracks how quickly the population re-sorts.
+	SliceAccuracy float64
+}
+
+// ReconfigResult reports a live k change.
+type ReconfigResult struct {
+	Key        string
+	OldSlices  int
+	NewSlices  int
+	BeforeReps int
+	Timeline   []ReconfigPoint
+}
+
+// SliceReconfiguration writes an object under kOld slices, then
+// reconfigures every node to kNew at runtime and watches replication
+// adapt. Halving k should roughly double the replica count.
+func SliceReconfiguration(n, kOld, kNew int, seed uint64) ReconfigResult {
+	c := NewCluster(ClusterConfig{
+		N:    n,
+		Seed: seed,
+		Node: core.Config{Slices: kOld, AntiEntropyEvery: 3},
+	})
+	cl := c.NewClient(client.Config{}, nil)
+	c.Run(40)
+
+	const key = "reconfigured"
+	cl.StartPut(key, 1, []byte("elastic"), nil)
+	c.Run(15)
+
+	res := ReconfigResult{
+		Key:        key,
+		OldSlices:  kOld,
+		NewSlices:  kNew,
+		BeforeReps: c.ReplicaCount(key, 1),
+	}
+
+	// Reconfigure every node — in production this would arrive via a
+	// management epidemic; the mechanism under test is the adaptation,
+	// not the announcement.
+	for _, node := range c.Nodes() {
+		node.SetSliceCount(kNew)
+	}
+	// Accuracy is now measured against kNew.
+	c.cfg.Node.Slices = kNew
+
+	for r := 5; r <= 50; r += 5 {
+		c.Run(5)
+		res.Timeline = append(res.Timeline, ReconfigPoint{
+			Round:         r,
+			Replicas:      c.ReplicaCount(key, 1),
+			SliceAccuracy: c.SliceAccuracy(),
+		})
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// E12 — bounded-put-flood ablation: routing writes with the coverage-
+// bounded global phase (§IV-B's optimization applied to puts) slashes
+// message cost, while anti-entropy recovers the replication the
+// truncated flood does not deliver synchronously.
+
+// PutFloodRow compares one flood policy.
+type PutFloodRow struct {
+	Bounded bool
+	// MsgsPerNode during the measured workload.
+	MsgsPerNode float64
+	DataPerNode float64
+	// ImmediateReps is the replica count right after the floods drain.
+	ImmediateReps int
+	// RepairedReps is the count after anti-entropy catches up.
+	RepairedReps int
+	OK, Failed   int
+}
+
+// PutFloodAblation runs the same write workload with full and bounded
+// put floods.
+func PutFloodAblation(n, k int, seed uint64) []PutFloodRow {
+	rows := make([]PutFloodRow, 0, 2)
+	for _, bounded := range []bool{false, true} {
+		c := NewCluster(ClusterConfig{
+			N:    n,
+			Seed: seed,
+			Node: core.Config{
+				Slices:           k,
+				BoundedPutFlood:  bounded,
+				AntiEntropyEvery: 3,
+			},
+		})
+		cl := c.NewClient(client.Config{}, nil)
+		c.Run(30)
+		c.ResetMetrics()
+
+		var ok, failed int
+		done := func(r client.Result) {
+			if r.Err != nil {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		const probe = "probe-object"
+		cl.StartPut(probe, 1, []byte("x"), done)
+		for i := 0; i < 29; i++ {
+			cl.StartPut(workload.Key(i), 1, []byte("x"), done)
+		}
+		c.Run(10)
+
+		row := PutFloodRow{
+			Bounded:       bounded,
+			ImmediateReps: c.ReplicaCount(probe, 1),
+			OK:            ok,
+			Failed:        failed,
+		}
+		c.Run(40) // anti-entropy window
+		row.RepairedReps = c.ReplicaCount(probe, 1)
+		row.MsgsPerNode = metrics.SummarizeValues(c.MessagesPerNode()).Mean
+		row.DataPerNode = metrics.Summarize(c.NodeMetrics(), metrics.DataSent).Mean
+		rows = append(rows, row)
+	}
+	return rows
+}

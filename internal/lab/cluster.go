@@ -1,0 +1,345 @@
+// Package lab assembles simulated DataFlasks (and baseline DHT)
+// clusters on the discrete-event engine and implements every experiment
+// of the paper's evaluation plus this reproduction's extensions. It is
+// the Minha-equivalent test bench: thousands of unmodified protocol
+// nodes in virtual time on one machine, bit-for-bit reproducible per
+// seed.
+package lab
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"dataflasks/internal/churn"
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// Round is the virtual gossip period every protocol ticks at.
+const Round = time.Second
+
+// clientIDBase keeps client ids out of the node id range while still
+// fitting the 32-bit origin field of request ids.
+const clientIDBase = 0xC0000000
+
+// ClusterConfig sets up a simulated DataFlasks cluster.
+type ClusterConfig struct {
+	// N is the initial node count.
+	N int
+	// Node is the per-node configuration; SystemSize and Seed are
+	// overridden per cluster/node.
+	Node core.Config
+	// Seed drives every random choice in the cluster.
+	Seed uint64
+	// SeedContacts is how many bootstrap contacts each node gets
+	// (default 5).
+	SeedContacts int
+	// LossRate drops messages uniformly at random.
+	LossRate float64
+	// Latency overrides the fabric latency model (default LAN).
+	Latency transport.LatencyModel
+	// StoreFactory builds each node's store (default memory).
+	StoreFactory func(id transport.NodeID) store.Store
+	// AutoSystemSize leaves Node.SystemSize zero so nodes run the
+	// gossip size estimator instead of being told N.
+	AutoSystemSize bool
+}
+
+// Cluster is a simulated DataFlasks deployment.
+type Cluster struct {
+	Engine *sim.Engine
+	Net    *transport.SimNetwork
+
+	cfg     ClusterConfig
+	rng     *rand.Rand
+	nodes   map[transport.NodeID]*core.Node
+	order   []transport.NodeID // alive nodes, ascending id
+	tickers map[transport.NodeID]func()
+	clients map[transport.NodeID]*client.Core
+	nextID  transport.NodeID
+	nextCl  transport.NodeID
+}
+
+var _ churn.SliceTarget = (*Cluster)(nil)
+
+// NewCluster builds and bootstraps a cluster (no rounds run yet).
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.N <= 0 {
+		panic("lab: cluster needs N > 0")
+	}
+	if cfg.SeedContacts <= 0 {
+		cfg.SeedContacts = 5
+	}
+	if cfg.StoreFactory == nil {
+		cfg.StoreFactory = func(transport.NodeID) store.Store { return store.NewMemory() }
+	}
+	engine := sim.NewEngine()
+	net := transport.NewSimNetwork(engine, transport.SimNetworkConfig{
+		Latency:  cfg.Latency,
+		LossRate: cfg.LossRate,
+		Seed:     cfg.Seed,
+	})
+	c := &Cluster{
+		Engine:  engine,
+		Net:     net,
+		cfg:     cfg,
+		rng:     sim.RNG(cfg.Seed, 0x1ab),
+		nodes:   make(map[transport.NodeID]*core.Node, cfg.N),
+		tickers: make(map[transport.NodeID]func()),
+		clients: make(map[transport.NodeID]*client.Core),
+		nextID:  1,
+		nextCl:  clientIDBase,
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.addNode()
+	}
+	// Bootstrap views over the full initial population.
+	for _, id := range c.order {
+		c.nodes[id].Bootstrap(c.randomSeeds(id))
+	}
+	return c
+}
+
+// addNode creates, attaches and schedules one node (without bootstrap).
+func (c *Cluster) addNode() transport.NodeID {
+	id := c.nextID
+	c.nextID++
+
+	nodeCfg := c.cfg.Node
+	nodeCfg.Seed = c.cfg.Seed
+	if !c.cfg.AutoSystemSize {
+		nodeCfg.SystemSize = c.cfg.N
+	}
+
+	var n *core.Node
+	sender := c.Net.Attach(id, func(env transport.Envelope) { n.HandleMessage(env) })
+	n = core.NewNode(id, nodeCfg, c.cfg.StoreFactory(id), sender)
+	c.nodes[id] = n
+	c.insertOrdered(id)
+
+	// Stagger ticks uniformly inside the round so the cluster is not in
+	// lockstep (Minha models the same phase noise).
+	offset := time.Duration(c.rng.Int64N(int64(Round)))
+	stop := c.Engine.Ticker(c.Engine.Now()+offset, Round, func(time.Duration) { n.Tick() })
+	c.tickers[id] = stop
+	return id
+}
+
+func (c *Cluster) insertOrdered(id transport.NodeID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
+}
+
+func (c *Cluster) randomSeeds(self transport.NodeID) []transport.NodeID {
+	seeds := make([]transport.NodeID, 0, c.cfg.SeedContacts)
+	for len(seeds) < c.cfg.SeedContacts && len(seeds) < len(c.order)-1 {
+		cand := c.order[c.rng.IntN(len(c.order))]
+		if cand == self {
+			continue
+		}
+		dup := false
+		for _, s := range seeds {
+			if s == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seeds = append(seeds, cand)
+		}
+	}
+	return seeds
+}
+
+// Run advances the simulation by the given number of gossip rounds.
+func (c *Cluster) Run(rounds int) {
+	c.Engine.Run(c.Engine.Now() + time.Duration(rounds)*Round)
+}
+
+// N returns the live node count.
+func (c *Cluster) N() int { return len(c.order) }
+
+// Nodes returns the live nodes in ascending id order.
+func (c *Cluster) Nodes() []*core.Node {
+	out := make([]*core.Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// Node returns one node by id (nil when dead/unknown).
+func (c *Cluster) Node(id transport.NodeID) *core.Node { return c.nodes[id] }
+
+// AliveIDs implements churn.Target.
+func (c *Cluster) AliveIDs() []transport.NodeID {
+	out := make([]transport.NodeID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Kill implements churn.Target: fail-stop crash.
+func (c *Cluster) Kill(id transport.NodeID) {
+	if _, ok := c.nodes[id]; !ok {
+		return
+	}
+	c.Net.Detach(id)
+	if stop := c.tickers[id]; stop != nil {
+		stop()
+	}
+	delete(c.tickers, id)
+	delete(c.nodes, id)
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	if i < len(c.order) && c.order[i] == id {
+		c.order = append(c.order[:i], c.order[i+1:]...)
+	}
+}
+
+// Spawn implements churn.Target: a fresh node joins, bootstrapped from
+// live seeds.
+func (c *Cluster) Spawn() transport.NodeID {
+	id := c.addNode()
+	c.nodes[id].Bootstrap(c.randomSeeds(id))
+	return id
+}
+
+// SliceOf implements churn.SliceTarget.
+func (c *Cluster) SliceOf(id transport.NodeID) int32 {
+	n, ok := c.nodes[id]
+	if !ok {
+		return -1
+	}
+	return n.Slice()
+}
+
+// NewClient attaches a client endpoint with the given configuration and
+// load balancer (nil lb = random over current nodes).
+func (c *Cluster) NewClient(cfg client.Config, lb client.LoadBalancer) *client.Core {
+	id := c.nextCl
+	c.nextCl++
+	if lb == nil {
+		lb = client.NewRandomLB(c.AliveIDs(), sim.RNG(c.cfg.Seed, uint64(id)))
+	}
+	var cl *client.Core
+	sender := c.Net.Attach(id, func(env transport.Envelope) { cl.HandleMessage(env) })
+	cl = client.NewCore(id, cfg, sender, lb)
+	c.clients[id] = cl
+	stop := c.Engine.Ticker(c.Engine.Now()+Round/2, Round, func(time.Duration) { cl.Tick() })
+	_ = stop // clients live for the whole simulation
+	return cl
+}
+
+// Inject delivers a request directly to a node's handler at the current
+// virtual instant, bypassing the client library (used by experiments
+// that measure raw dissemination).
+func (c *Cluster) Inject(contact transport.NodeID, msg interface{}) {
+	n, ok := c.nodes[contact]
+	if !ok {
+		return
+	}
+	c.Engine.Schedule(0, func() {
+		n.HandleMessage(transport.Envelope{From: 0, To: contact, Msg: msg})
+	})
+}
+
+// ResetMetrics zeroes every node's counters and the fabric stats — the
+// evaluation measures the workload phase only, after warm-up, like the
+// paper's experiments.
+func (c *Cluster) ResetMetrics() {
+	for _, n := range c.nodes {
+		n.Metrics().Reset()
+	}
+}
+
+// MessagesPerNode returns each live node's sent+received message count
+// (the paper's Figures 3/4 metric).
+func (c *Cluster) MessagesPerNode() []uint64 {
+	out := make([]uint64, 0, len(c.order))
+	for _, id := range c.order {
+		m := c.nodes[id].Metrics()
+		out = append(out, m.Get(metrics.MsgSent)+m.Get(metrics.MsgRecv))
+	}
+	return out
+}
+
+// NodeMetrics returns the live nodes' metric handles in id order.
+func (c *Cluster) NodeMetrics() []*metrics.NodeMetrics {
+	out := make([]*metrics.NodeMetrics, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id].Metrics())
+	}
+	return out
+}
+
+// SliceSizes returns how many live nodes currently claim each slice
+// (index SliceUnknown claims are under key -1).
+func (c *Cluster) SliceSizes() map[int32]int {
+	out := make(map[int32]int)
+	for _, id := range c.order {
+		out[c.nodes[id].Slice()]++
+	}
+	return out
+}
+
+// SliceAccuracy compares every node's claim against its true
+// rank-derived slice and returns the fraction of correct claims.
+func (c *Cluster) SliceAccuracy() float64 {
+	if len(c.order) == 0 {
+		return 0
+	}
+	k := c.cfg.Node.Slices
+	if k <= 0 {
+		k = 10
+	}
+	// True slice: position of the node's attribute among all live
+	// attributes.
+	type nodeAttr struct {
+		id   transport.NodeID
+		attr float64
+	}
+	attrs := make([]nodeAttr, 0, len(c.order))
+	for _, id := range c.order {
+		attrs = append(attrs, nodeAttr{id: id, attr: c.nodes[id].Attr()})
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		if attrs[i].attr != attrs[j].attr {
+			return attrs[i].attr < attrs[j].attr
+		}
+		return attrs[i].id < attrs[j].id
+	})
+	truth := make(map[transport.NodeID]int32, len(attrs))
+	for rank, na := range attrs {
+		truth[na.id] = int32(rank * k / len(attrs))
+	}
+	correct := 0
+	for _, id := range c.order {
+		if c.nodes[id].Slice() == truth[id] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(c.order))
+}
+
+// ReplicaCount returns how many live nodes hold (key, version).
+func (c *Cluster) ReplicaCount(key string, version uint64) int {
+	count := 0
+	for _, id := range c.order {
+		if _, _, ok, err := c.nodes[id].Store().Get(key, version); err == nil && ok {
+			count++
+		}
+	}
+	return count
+}
+
+// String summarizes the cluster for logs.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster[n=%d t=%s events=%d]", len(c.order), c.Engine.Now(), c.Engine.Executed())
+}

@@ -1,0 +1,120 @@
+package lab
+
+import (
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+)
+
+// DefaultNs is the paper's node-count sweep (§VI).
+var DefaultNs = []int{500, 1000, 1500, 2000, 2500, 3000}
+
+// FigureOptions tunes the two headline experiments.
+type FigureOptions struct {
+	// Ns is the node-count sweep (default DefaultNs).
+	Ns []int
+	// Slices for Figure 3's constant-k run (default 10, as in §VI).
+	Slices int
+	// ReplicationFactor for Figure 4's constant-replication run:
+	// k = N / ReplicationFactor (default 50, giving k=10 at N=500 so
+	// the two experiments coincide at the smallest scale).
+	ReplicationFactor int
+	// Workload drives the measured phase.
+	Workload WorkloadOptions
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o *FigureOptions) defaults() {
+	if len(o.Ns) == 0 {
+		o.Ns = DefaultNs
+	}
+	if o.Slices <= 0 {
+		o.Slices = 10
+	}
+	if o.ReplicationFactor <= 0 {
+		o.ReplicationFactor = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// FigureRow is one point of a figure's series.
+type FigureRow struct {
+	N      int
+	Slices int
+	// MsgsPerNode is the mean per-node sent+received message count
+	// during the measured workload (the paper's y-axis).
+	MsgsPerNode float64
+	// Breakdown components (mean per-node sends).
+	DataMsgs      float64
+	PSSMsgs       float64
+	DiscoveryMsgs float64
+	// OK/Failed operations.
+	OK, Failed int
+}
+
+// FigureResult is a regenerated figure.
+type FigureResult struct {
+	Name   string
+	Rows   []FigureRow
+	Series metrics.Series
+}
+
+// MessagesAt runs one (N, slices) configuration and returns its row.
+func MessagesAt(n, slices int, opts FigureOptions) FigureRow {
+	cluster := NewCluster(ClusterConfig{
+		N:    n,
+		Seed: opts.Seed + uint64(n)*7 + uint64(slices),
+		Node: core.Config{
+			Slices: slices,
+		},
+	})
+	stats := cluster.RunWorkload(opts.Workload)
+	return FigureRow{
+		N:             n,
+		Slices:        slices,
+		MsgsPerNode:   stats.Messages.Mean,
+		DataMsgs:      stats.DataMessages.Mean,
+		PSSMsgs:       stats.PSSMessages.Mean,
+		DiscoveryMsgs: stats.DiscoveryMessages.Mean,
+		OK:            stats.OK,
+		Failed:        stats.Failed,
+	}
+}
+
+// Figure3 regenerates the paper's Figure 3: average messages per node
+// with a constant number of slices while N grows 500→3000. Expected
+// shape: roughly flat — extra nodes only deepen replication.
+func Figure3(opts FigureOptions) FigureResult {
+	opts.defaults()
+	res := FigureResult{Name: "Figure 3: messages per node, constant slices"}
+	res.Series.Name = res.Name
+	for _, n := range opts.Ns {
+		row := MessagesAt(n, opts.Slices, opts)
+		res.Rows = append(res.Rows, row)
+		res.Series.Append(float64(n), row.MsgsPerNode)
+	}
+	return res
+}
+
+// Figure4 regenerates the paper's Figure 4: average messages per node
+// with slices proportional to nodes (constant replication factor).
+// Expected shape: above Figure 3 and growing sub-linearly — the random
+// contact node is almost never in the target slice and slice-mate
+// discovery works harder as slices get scarce.
+func Figure4(opts FigureOptions) FigureResult {
+	opts.defaults()
+	res := FigureResult{Name: "Figure 4: messages per node, slices proportional to nodes"}
+	res.Series.Name = res.Name
+	for _, n := range opts.Ns {
+		k := n / opts.ReplicationFactor
+		if k < 1 {
+			k = 1
+		}
+		row := MessagesAt(n, k, opts)
+		res.Rows = append(res.Rows, row)
+		res.Series.Append(float64(n), row.MsgsPerNode)
+	}
+	return res
+}

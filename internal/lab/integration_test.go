@@ -1,0 +1,110 @@
+package lab
+
+import (
+	"testing"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// TestAutoSystemSize runs a cluster where nodes are NOT told N: the
+// extrema-propagation estimator must converge well enough that fanout
+// and TTL budgets work and operations complete.
+func TestAutoSystemSize(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		N:              150,
+		Seed:           51,
+		AutoSystemSize: true,
+		Node:           core.Config{Slices: 5},
+	})
+	cl := c.NewClient(client.Config{}, nil)
+	c.Run(40)
+
+	// Every node's estimate should be within 2x of the truth.
+	bad := 0
+	for _, n := range c.Nodes() {
+		est := n.SystemSizeEstimate()
+		if est < 75 || est > 300 {
+			bad++
+		}
+	}
+	if bad > 15 {
+		t.Errorf("%d of 150 nodes estimate N badly", bad)
+	}
+
+	var res client.Result
+	gotRes := false
+	cl.StartPut("auto", 1, []byte("sized by gossip"), func(r client.Result) { res = r; gotRes = true })
+	c.Run(10)
+	if !gotRes || res.Err != nil {
+		t.Fatalf("put with estimated N: gotRes=%v err=%v", gotRes, res.Err)
+	}
+	if reps := c.ReplicaCount("auto", 1); reps < 10 {
+		t.Errorf("replicated to %d nodes only", reps)
+	}
+}
+
+// TestLossyNetwork verifies the epidemic substrate absorbs 10% message
+// loss: operations still complete (with retries) and replication still
+// reaches most of the slice.
+func TestLossyNetwork(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		N:        150,
+		Seed:     53,
+		LossRate: 0.10,
+		Node:     core.Config{Slices: 5, AntiEntropyEvery: 5},
+	})
+	cl := c.NewClient(client.Config{}, nil)
+	c.Run(35)
+
+	ok, failed := 0, 0
+	done := func(r client.Result) {
+		if r.Err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		cl.StartPut("lossy-key-"+string(rune('a'+i)), 1, []byte("lossy"), done)
+	}
+	c.Run(60)
+	if ok < 9 {
+		t.Errorf("under 10%% loss only %d/10 puts completed (%d failed)", ok, failed)
+	}
+	if net := c.Net.Stats(); net.Dropped == 0 {
+		t.Error("loss injection inactive")
+	}
+}
+
+// TestDiskBackedCluster runs a simulated cluster whose nodes persist to
+// disk, exercising the store integration end to end.
+func TestDiskBackedCluster(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCluster(ClusterConfig{
+		N:    40,
+		Seed: 57,
+		Node: core.Config{Slices: 2},
+		StoreFactory: func(id transport.NodeID) store.Store {
+			d, err := store.OpenDisk(dir+"/"+id.String(), store.DiskOptions{})
+			if err != nil {
+				t.Fatalf("OpenDisk: %v", err)
+			}
+			return d
+		},
+	})
+	cl := c.NewClient(client.Config{}, nil)
+	c.Run(25)
+
+	var res client.Result
+	cl.StartPut("durable", 1, []byte("on disk"), func(r client.Result) { res = r })
+	c.Run(10)
+	if res.Err != nil {
+		t.Fatalf("put: %v", res.Err)
+	}
+	if reps := c.ReplicaCount("durable", 1); reps < 5 {
+		t.Errorf("disk replicas = %d", reps)
+	}
+}

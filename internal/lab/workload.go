@@ -1,0 +1,186 @@
+package lab
+
+import (
+	"time"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/workload"
+)
+
+// WorkloadOptions drives one measured workload phase against a cluster,
+// mirroring the paper's §VI methodology: warm up the overlay, reset
+// counters, run a YCSB-style workload, drain, measure.
+type WorkloadOptions struct {
+	// Ops is the number of operations (default 50, the scale at which
+	// the paper's per-node message counts land in the hundreds).
+	Ops int
+	// OpsPerRound is the injection rate (default 2).
+	OpsPerRound int
+	// Mix is the operation mix (default write-only, as in §VI).
+	Mix workload.Mix
+	// Records is the key-space size (default Ops).
+	Records int
+	// ValueSize is the payload size (default 100).
+	ValueSize int
+	// Warmup rounds before measuring (default 30).
+	Warmup int
+	// Drain rounds after the last injection (default 15).
+	Drain int
+	// PutAcks required per put (default 1).
+	PutAcks int
+	// CachingLB enables the §VII slice-cache load balancer.
+	CachingLB bool
+	// Preload inserts every record before the measured phase (needed
+	// by read mixes).
+	Preload bool
+	// Seed feeds the workload generator.
+	Seed uint64
+}
+
+func (o *WorkloadOptions) defaults() {
+	if o.Ops <= 0 {
+		o.Ops = 50
+	}
+	if o.OpsPerRound <= 0 {
+		o.OpsPerRound = 2
+	}
+	if o.Mix == (workload.Mix{}) {
+		o.Mix = workload.WriteOnly
+	}
+	if o.Records <= 0 {
+		o.Records = o.Ops
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 100
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 30
+	}
+	if o.Drain <= 0 {
+		o.Drain = 15
+	}
+	if o.PutAcks == 0 {
+		o.PutAcks = 1
+	}
+}
+
+// WorkloadStats reports one measured workload phase.
+type WorkloadStats struct {
+	// Ops issued, completed OK and failed.
+	Ops, OK, Failed int
+	// Retries across all operations.
+	Retries int
+	// Messages is the distribution of per-node sent+received messages
+	// during the measured phase (the Figures 3/4 metric).
+	Messages metrics.Summary
+	// DataMessages isolates request-dissemination sends per node.
+	DataMessages metrics.Summary
+	// DiscoveryMessages isolates slice-mate discovery sends per node.
+	DiscoveryMessages metrics.Summary
+	// PSSMessages isolates peer-sampling sends per node.
+	PSSMessages metrics.Summary
+	// Rounds measured (workload + drain).
+	Rounds int
+}
+
+// RunWorkload executes the §VI methodology against the cluster and
+// returns the measured statistics.
+func (c *Cluster) RunWorkload(opts WorkloadOptions) WorkloadStats {
+	opts.defaults()
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Records:   opts.Records,
+		ValueSize: opts.ValueSize,
+		Mix:       opts.Mix,
+		Seed:      opts.Seed ^ c.cfg.Seed,
+	})
+	if err != nil {
+		panic(err) // options are programmer-controlled in the harness
+	}
+
+	var lb client.LoadBalancer
+	rng := sim.RNG(c.cfg.Seed, 0xc11e)
+	random := client.NewRandomLB(c.AliveIDs(), rng)
+	lb = random
+	if opts.CachingLB {
+		k := c.cfg.Node.Slices
+		if k <= 0 {
+			k = 10
+		}
+		lb = client.NewCachingLB(random, k)
+	}
+	cl := c.NewClient(client.Config{PutAcks: opts.PutAcks}, lb)
+
+	// Warm-up: let the PSS mix, slicing converge and intra views fill.
+	c.Run(opts.Warmup)
+
+	// Optional preload (unmeasured): insert the whole key space.
+	versions := make(map[string]uint64, opts.Records)
+	if opts.Preload {
+		c.preload(cl, versions, opts)
+	}
+
+	c.ResetMetrics()
+
+	stats := WorkloadStats{Ops: opts.Ops}
+	done := func(r client.Result) {
+		stats.Retries += r.Retries
+		if r.Err != nil {
+			stats.Failed++
+			return
+		}
+		stats.OK++
+	}
+
+	issued := 0
+	injectRounds := (opts.Ops + opts.OpsPerRound - 1) / opts.OpsPerRound
+	for round := 0; round < injectRounds; round++ {
+		c.Engine.Schedule(time.Duration(round)*Round, func() {
+			for i := 0; i < opts.OpsPerRound && issued < opts.Ops; i++ {
+				op := gen.Next()
+				switch op.Kind {
+				case workload.OpRead:
+					cl.StartGet(op.Key, store.Latest, done)
+				default:
+					versions[op.Key]++
+					cl.StartPut(op.Key, versions[op.Key], op.Value, done)
+				}
+				issued++
+			}
+		})
+	}
+	measured := injectRounds + opts.Drain
+	c.Run(measured)
+
+	stats.Rounds = measured
+	stats.Messages = metrics.SummarizeValues(c.MessagesPerNode())
+	stats.DataMessages = metrics.Summarize(c.NodeMetrics(), metrics.DataSent)
+	stats.DiscoveryMessages = metrics.Summarize(c.NodeMetrics(), metrics.DiscoverySent)
+	stats.PSSMessages = metrics.Summarize(c.NodeMetrics(), metrics.PSSSent)
+	return stats
+}
+
+// preload inserts every record and waits for completion (unmeasured).
+func (c *Cluster) preload(cl *client.Core, versions map[string]uint64, opts WorkloadOptions) {
+	perRound := opts.OpsPerRound * 4
+	if perRound < 8 {
+		perRound = 8
+	}
+	idx := 0
+	rounds := (opts.Records + perRound - 1) / perRound
+	for r := 0; r < rounds; r++ {
+		c.Engine.Schedule(time.Duration(r)*Round, func() {
+			for i := 0; i < perRound && idx < opts.Records; i++ {
+				key := workload.Key(idx)
+				versions[key] = 1
+				value := make([]byte, opts.ValueSize)
+				cl.StartPut(key, 1, value, nil)
+				idx++
+			}
+		})
+	}
+	c.Run(rounds + opts.Drain)
+}

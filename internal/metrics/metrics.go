@@ -1,0 +1,282 @@
+// Package metrics provides lightweight counters, histograms and series
+// used by the DataFlasks evaluation harness. Counters are plain uint64
+// guarded by the owner (protocol code is single-threaded per node); the
+// Registry aggregates across nodes at collection time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter names used by the node runtime. Keeping them as typed constants
+// avoids typo'd strings scattered through protocol code.
+type Counter int
+
+const (
+	// MsgSent counts every protocol message a node handed to the transport.
+	MsgSent Counter = iota
+	// MsgRecv counts every protocol message delivered to a node.
+	MsgRecv
+	// MsgDropped counts sends that failed (dead peer, full mailbox).
+	MsgDropped
+	// PSSSent counts peer-sampling shuffle messages sent.
+	PSSSent
+	// SliceSent counts slicing protocol messages sent.
+	SliceSent
+	// DiscoverySent counts slice-mate discovery messages sent.
+	DiscoverySent
+	// DataSent counts put/get/reply dissemination messages sent.
+	DataSent
+	// AntiEntropySent counts anti-entropy digest/pull messages sent.
+	AntiEntropySent
+	// AggregateSent counts push-sum aggregation messages sent.
+	AggregateSent
+	// StoredObjects counts objects currently held by the local store.
+	StoredObjects
+	// PutsServed counts put requests this node stored locally.
+	PutsServed
+	// GetsServed counts get requests this node answered from its store.
+	GetsServed
+	// RequestsRelayed counts requests forwarded during routing.
+	RequestsRelayed
+	// DuplicatesSuppressed counts requests dropped by the dedup cache.
+	DuplicatesSuppressed
+
+	numCounters
+)
+
+var counterNames = [...]string{
+	MsgSent:              "msg_sent",
+	MsgRecv:              "msg_recv",
+	MsgDropped:           "msg_dropped",
+	PSSSent:              "pss_sent",
+	SliceSent:            "slice_sent",
+	DiscoverySent:        "discovery_sent",
+	DataSent:             "data_sent",
+	AntiEntropySent:      "antientropy_sent",
+	AggregateSent:        "aggregate_sent",
+	StoredObjects:        "stored_objects",
+	PutsServed:           "puts_served",
+	GetsServed:           "gets_served",
+	RequestsRelayed:      "requests_relayed",
+	DuplicatesSuppressed: "duplicates_suppressed",
+}
+
+// String returns the snake_case name of the counter.
+func (c Counter) String() string {
+	if c < 0 || int(c) >= len(counterNames) {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// NumCounters is the number of defined counters.
+const NumCounters = int(numCounters)
+
+// NodeMetrics holds one node's counters. The zero value is ready to use.
+// It is not safe for concurrent use; each node mutates only its own
+// metrics from its own event loop, and aggregation happens after the
+// run (simulation) or via Snapshot (live runtime).
+type NodeMetrics struct {
+	counts [numCounters]uint64
+}
+
+// Inc adds one to counter c.
+func (m *NodeMetrics) Inc(c Counter) { m.counts[c]++ }
+
+// Add adds delta to counter c.
+func (m *NodeMetrics) Add(c Counter, delta uint64) { m.counts[c] += delta }
+
+// Set overwrites counter c (used for gauges such as StoredObjects).
+func (m *NodeMetrics) Set(c Counter, v uint64) { m.counts[c] = v }
+
+// Get returns the current value of counter c.
+func (m *NodeMetrics) Get(c Counter) uint64 { return m.counts[c] }
+
+// Snapshot copies the current counter values.
+func (m *NodeMetrics) Snapshot() [NumCounters]uint64 {
+	var out [NumCounters]uint64
+	copy(out[:], m.counts[:])
+	return out
+}
+
+// Reset zeroes all counters.
+func (m *NodeMetrics) Reset() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+}
+
+// Summary aggregates one counter across a population of nodes.
+type Summary struct {
+	N      int
+	Total  uint64
+	Mean   float64
+	Min    uint64
+	Max    uint64
+	P50    uint64
+	P95    uint64
+	P99    uint64
+	Stddev float64
+}
+
+// Summarize computes distribution statistics for counter c across nodes.
+func Summarize(nodes []*NodeMetrics, c Counter) Summary {
+	if len(nodes) == 0 {
+		return Summary{}
+	}
+	vals := make([]uint64, 0, len(nodes))
+	for _, n := range nodes {
+		vals = append(vals, n.Get(c))
+	}
+	return SummarizeValues(vals)
+}
+
+// SummarizeValues computes distribution statistics for raw samples.
+func SummarizeValues(vals []uint64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := make([]uint64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var total uint64
+	for _, v := range sorted {
+		total += v
+	}
+	mean := float64(total) / float64(len(sorted))
+	var ss float64
+	for _, v := range sorted {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return Summary{
+		N:      len(sorted),
+		Total:  total,
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentile(sorted, 0.50),
+		P95:    percentile(sorted, 0.95),
+		P99:    percentile(sorted, 0.99),
+		Stddev: math.Sqrt(ss / float64(len(sorted))),
+	}
+}
+
+// percentile returns the value at quantile q of an ascending-sorted slice
+// using the nearest-rank method.
+func percentile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Histogram is a fixed-bucket histogram for small non-negative values
+// (for example per-node in-degree). The zero value is unusable; create
+// with NewHistogram.
+type Histogram struct {
+	buckets []uint64
+	width   uint64
+	over    uint64
+	count   uint64
+	sum     uint64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+// Values >= n*width are counted in an overflow bucket.
+func NewHistogram(n int, width uint64) *Histogram {
+	if n <= 0 || width == 0 {
+		panic("metrics: histogram needs n > 0 and width > 0")
+	}
+	return &Histogram{buckets: make([]uint64, n), width: width}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	idx := v / h.width
+	if int(idx) >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean of observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Overflow returns the count of samples beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// String renders a compact ASCII view, one line per non-empty bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%4d,%4d) %6d %s\n",
+			uint64(i)*h.width, uint64(i+1)*h.width, c, bar(c, h.count))
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "[%4d,  +∞) %6d %s\n",
+			uint64(len(h.buckets))*h.width, h.over, bar(h.over, h.count))
+	}
+	return b.String()
+}
+
+func bar(c, total uint64) string {
+	if total == 0 {
+		return ""
+	}
+	n := int(float64(c) / float64(total) * 40)
+	return strings.Repeat("#", n)
+}
+
+// Series accumulates (x, y) points for a figure and renders them as the
+// rows the paper's plots report.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders aligned "x y" rows with a header, mirroring gnuplot input.
+func (s *Series) Table(xLabel, yLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# %-12s %s\n", s.Name, xLabel, yLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%-14.6g %.6g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package pss
+
+import (
+	"math/rand/v2"
+
+	"dataflasks/internal/transport"
+)
+
+// CyclonConfig tunes the Cyclon shuffle protocol.
+type CyclonConfig struct {
+	// ViewSize bounds the partial view (paper §II: ln(N)+c entries
+	// suffice for epidemic dissemination; 20 is the customary default).
+	ViewSize int
+	// ShuffleLen is how many descriptors each exchange carries.
+	ShuffleLen int
+	// SelfAddr is this node's dialable address, gossiped with its
+	// descriptor (empty in simulations).
+	SelfAddr string
+}
+
+func (c *CyclonConfig) defaults() {
+	if c.ViewSize <= 0 {
+		c.ViewSize = 20
+	}
+	if c.ShuffleLen <= 0 {
+		c.ShuffleLen = c.ViewSize/2 + 1
+	}
+	if c.ShuffleLen > c.ViewSize {
+		c.ShuffleLen = c.ViewSize
+	}
+}
+
+// Cyclon implements inexpensive membership management via view shuffles
+// (Voulgaris, Gavidia, van Steen). Each round a node contacts its oldest
+// neighbour, trades a random sample including a fresh self-descriptor,
+// and replaces the entries it sent with the entries it received. Dead
+// peers age out because initiating a shuffle removes the target: if it
+// never answers, it is simply gone from the view.
+//
+// Cyclon is not safe for concurrent use; the owning node drives it from
+// its single event loop.
+type Cyclon struct {
+	self     transport.NodeID
+	cfg      CyclonConfig
+	view     View
+	out      transport.Sender
+	rng      *rand.Rand
+	selfInfo SelfInfo
+	observer Observer
+
+	// One shuffle is outstanding at a time; sent descriptors are
+	// replaced by the reply's.
+	pendingPeer transport.NodeID
+	pendingSent []Descriptor
+	hasPending  bool
+}
+
+var _ Protocol = (*Cyclon)(nil)
+
+// NewCyclon creates a Cyclon instance for self. selfInfo may be nil when
+// the deployment does not use slicing metadata.
+func NewCyclon(self transport.NodeID, cfg CyclonConfig, out transport.Sender, rng *rand.Rand, selfInfo SelfInfo) *Cyclon {
+	cfg.defaults()
+	if out == nil {
+		panic("pss: NewCyclon requires a sender")
+	}
+	if rng == nil {
+		panic("pss: NewCyclon requires an rng")
+	}
+	if selfInfo == nil {
+		selfInfo = func() (float64, int32) { return 0, SliceUnknown }
+	}
+	return &Cyclon{self: self, cfg: cfg, out: out, rng: rng, selfInfo: selfInfo}
+}
+
+// Bootstrap implements Protocol.
+func (c *Cyclon) Bootstrap(seeds []transport.NodeID) {
+	for _, id := range seeds {
+		if id == c.self {
+			continue
+		}
+		c.view.Add(Descriptor{ID: id, Age: 0, Slice: SliceUnknown})
+	}
+	c.view.TruncateOldest(c.cfg.ViewSize)
+}
+
+// SetObserver implements Protocol.
+func (c *Cyclon) SetObserver(o Observer) { c.observer = o }
+
+// View implements Protocol.
+func (c *Cyclon) View() []Descriptor { return c.view.Entries() }
+
+// Alive implements Protocol.
+func (c *Cyclon) Alive() int { return c.view.Len() }
+
+// RandomPeers implements Protocol.
+func (c *Cyclon) RandomPeers(n int) []transport.NodeID {
+	sub := c.view.RandomSubset(c.rng, n)
+	out := make([]transport.NodeID, len(sub))
+	for i, d := range sub {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// selfDescriptor stamps a fresh descriptor for the local node.
+func (c *Cyclon) selfDescriptor() Descriptor {
+	attr, slice := c.selfInfo()
+	return Descriptor{ID: c.self, Age: 0, Attr: attr, Slice: slice, Addr: c.cfg.SelfAddr}
+}
+
+// Tick implements Protocol: one shuffle initiation.
+func (c *Cyclon) Tick() {
+	c.view.IncrementAges()
+	target, ok := c.view.Oldest()
+	if !ok {
+		return
+	}
+	// Removing the target is Cyclon's failure handling: only a reply
+	// reinstates a (fresh) descriptor for it.
+	c.view.Remove(target.ID)
+
+	sample := c.view.RandomSubset(c.rng, c.cfg.ShuffleLen-1)
+	sample = append(sample, c.selfDescriptor())
+
+	c.pendingPeer = target.ID
+	c.pendingSent = sample
+	c.hasPending = true
+	_ = c.out.Send(target.ID, &ShuffleRequest{Sample: sample})
+}
+
+// Handle implements Protocol.
+func (c *Cyclon) Handle(from transport.NodeID, msg interface{}) bool {
+	switch m := msg.(type) {
+	case *ShuffleRequest:
+		c.onRequest(from, m)
+		return true
+	case *ShuffleReply:
+		c.onReply(from, m)
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Cyclon) onRequest(from transport.NodeID, m *ShuffleRequest) {
+	// Answer with a random sample of our own. A fresh self-descriptor
+	// tops up short replies: without it, two nodes that both just
+	// shuffled their last entry away would trade empty samples forever
+	// and a sparsely-bootstrapped overlay could never grow.
+	reply := c.view.RandomSubset(c.rng, c.cfg.ShuffleLen-1)
+	reply = append(reply, c.selfDescriptor())
+	_ = c.out.Send(from, &ShuffleReply{Sample: reply})
+	c.merge(m.Sample, reply)
+}
+
+func (c *Cyclon) onReply(from transport.NodeID, m *ShuffleReply) {
+	sent := []Descriptor(nil)
+	if c.hasPending && c.pendingPeer == from {
+		sent = c.pendingSent
+		c.hasPending = false
+		c.pendingSent = nil
+	}
+	c.merge(m.Sample, sent)
+}
+
+// merge folds received descriptors into the view: entries for self are
+// skipped, known entries keep the younger copy, and when the view is
+// full, descriptors we sent away in this exchange are evicted first (in
+// the order they were sent, which keeps simulations deterministic),
+// then the oldest.
+func (c *Cyclon) merge(received, sentAway []Descriptor) {
+	sentQueue := make([]transport.NodeID, 0, len(sentAway))
+	for _, d := range sentAway {
+		if d.ID != c.self {
+			sentQueue = append(sentQueue, d.ID)
+		}
+	}
+	for _, d := range received {
+		if d.ID == c.self {
+			continue
+		}
+		if c.observer != nil {
+			c.observer(d)
+		}
+		if c.view.Contains(d.ID) {
+			c.view.Add(d) // keeps the younger copy
+			continue
+		}
+		if c.view.Len() < c.cfg.ViewSize {
+			c.view.Add(d)
+			continue
+		}
+		if evicted := c.evictSent(&sentQueue); evicted {
+			c.view.Add(d)
+			continue
+		}
+		// View full of entries we did not send: replace the oldest if
+		// the incoming descriptor is fresher.
+		oldest, _ := c.view.Oldest()
+		if d.Age < oldest.Age {
+			c.view.Remove(oldest.ID)
+			c.view.Add(d)
+		}
+	}
+}
+
+// evictSent removes the next view entry that was shipped out in the
+// current exchange, freeing a slot.
+func (c *Cyclon) evictSent(sentQueue *[]transport.NodeID) bool {
+	q := *sentQueue
+	for len(q) > 0 {
+		id := q[0]
+		q = q[1:]
+		if c.view.Remove(id) {
+			*sentQueue = q
+			return true
+		}
+	}
+	*sentQueue = q
+	return false
+}

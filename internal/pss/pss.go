@@ -1,0 +1,55 @@
+package pss
+
+import (
+	"errors"
+
+	"dataflasks/internal/transport"
+)
+
+// Errors reported by view invariant checks.
+var (
+	errSelfInView      = errors.New("pss: view contains self")
+	errDuplicateInView = errors.New("pss: view contains duplicate")
+)
+
+// SelfInfo supplies the caller's current slicing attribute and slice
+// claim, stamped into every self-descriptor the protocol emits.
+type SelfInfo func() (attr float64, slice int32)
+
+// Observer receives every remote descriptor learned through gossip: the
+// uniform random node stream that upper protocols (slicing, discovery)
+// consume.
+type Observer func(Descriptor)
+
+// ShuffleRequest initiates a Cyclon exchange (also reused by Newscast,
+// where Sample carries the full view plus self).
+type ShuffleRequest struct {
+	Sample []Descriptor
+}
+
+// ShuffleReply answers a ShuffleRequest with the receiver's sample.
+type ShuffleReply struct {
+	Sample []Descriptor
+}
+
+// Protocol is the peer-sampling interface the node runtime drives.
+type Protocol interface {
+	// Bootstrap seeds the view with initial contacts.
+	Bootstrap(seeds []transport.NodeID)
+	// Tick runs one gossip round (initiates one exchange).
+	Tick()
+	// Handle processes a message; it reports false when the message is
+	// not a peer-sampling message.
+	Handle(from transport.NodeID, msg interface{}) bool
+	// View returns a copy of the current partial view.
+	View() []Descriptor
+	// RandomPeers returns up to n distinct peers drawn uniformly from
+	// the view.
+	RandomPeers(n int) []transport.NodeID
+	// SetObserver registers the descriptor-stream consumer. Only one
+	// observer is supported; the node runtime fans out internally.
+	SetObserver(Observer)
+	// Alive reports peers believed reachable (the whole view; epidemic
+	// protocols have no failure detector beyond view turnover).
+	Alive() int
+}

@@ -1,0 +1,151 @@
+package pss
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dataflasks/internal/transport"
+)
+
+func TestViewAddKeepsYounger(t *testing.T) {
+	var v View
+	v.Add(Descriptor{ID: 1, Age: 5})
+	if changed := v.Add(Descriptor{ID: 1, Age: 9}); changed {
+		t.Error("older duplicate replaced younger entry")
+	}
+	if changed := v.Add(Descriptor{ID: 1, Age: 2, Slice: 3}); !changed {
+		t.Error("younger duplicate did not replace entry")
+	}
+	d, ok := v.Get(1)
+	if !ok || d.Age != 2 || d.Slice != 3 {
+		t.Errorf("entry = %+v, want age 2 slice 3", d)
+	}
+	// Equal age refreshes metadata (ties go to the incoming copy).
+	if changed := v.Add(Descriptor{ID: 1, Age: 2, Slice: 4}); !changed {
+		t.Error("equal-age duplicate did not refresh entry")
+	}
+	if d, _ := v.Get(1); d.Slice != 4 {
+		t.Errorf("equal-age refresh kept slice %d, want 4", d.Slice)
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d, want 1", v.Len())
+	}
+}
+
+func TestViewRemove(t *testing.T) {
+	var v View
+	v.Add(Descriptor{ID: 1})
+	v.Add(Descriptor{ID: 2})
+	if !v.Remove(1) {
+		t.Error("Remove(1) = false")
+	}
+	if v.Remove(1) {
+		t.Error("second Remove(1) = true")
+	}
+	if v.Contains(1) || !v.Contains(2) {
+		t.Error("wrong membership after remove")
+	}
+}
+
+func TestViewOldestAndTruncate(t *testing.T) {
+	var v View
+	for i, age := range []uint32{3, 9, 1, 7} {
+		v.Add(Descriptor{ID: transport.NodeID(i + 1), Age: age})
+	}
+	d, ok := v.Oldest()
+	if !ok || d.Age != 9 {
+		t.Errorf("Oldest = %+v, want age 9", d)
+	}
+	v.TruncateOldest(2)
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d after truncate, want 2", v.Len())
+	}
+	// The two youngest survive.
+	if !v.Contains(3) || !v.Contains(1) {
+		t.Errorf("truncate kept wrong entries: %+v", v.Entries())
+	}
+}
+
+func TestViewIncrementAges(t *testing.T) {
+	var v View
+	v.Add(Descriptor{ID: 1, Age: 0})
+	v.Add(Descriptor{ID: 2, Age: 5})
+	v.IncrementAges()
+	a, _ := v.Get(1)
+	b, _ := v.Get(2)
+	if a.Age != 1 || b.Age != 6 {
+		t.Errorf("ages = %d, %d; want 1, 6", a.Age, b.Age)
+	}
+}
+
+func TestViewRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var v View
+	for i := 1; i <= 10; i++ {
+		v.Add(Descriptor{ID: transport.NodeID(i)})
+	}
+	sub := v.RandomSubset(rng, 4)
+	if len(sub) != 4 {
+		t.Fatalf("subset size = %d, want 4", len(sub))
+	}
+	seen := map[transport.NodeID]bool{}
+	for _, d := range sub {
+		if seen[d.ID] {
+			t.Fatalf("duplicate %v in subset", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	if got := v.RandomSubset(rng, 99); len(got) != 10 {
+		t.Errorf("oversized subset = %d, want all 10", len(got))
+	}
+	if got := v.RandomSubset(rng, 0); got != nil {
+		t.Errorf("zero subset = %v, want nil", got)
+	}
+}
+
+func TestViewEntriesIsCopy(t *testing.T) {
+	var v View
+	v.Add(Descriptor{ID: 1, Age: 1})
+	ents := v.Entries()
+	ents[0].Age = 99
+	d, _ := v.Get(1)
+	if d.Age == 99 {
+		t.Error("Entries aliases internal storage")
+	}
+}
+
+func TestViewInvariantsProperty(t *testing.T) {
+	// Any sequence of adds and removes preserves: no duplicates, no
+	// self after CheckInvariants' contract.
+	const self = transport.NodeID(0xFFFF)
+	prop := func(ops []uint16) bool {
+		var v View
+		for _, op := range ops {
+			id := transport.NodeID(op % 64)
+			if id == self {
+				continue
+			}
+			if op%3 == 0 {
+				v.Remove(id)
+			} else {
+				v.Add(Descriptor{ID: id, Age: uint32(op % 7)})
+			}
+		}
+		return v.CheckInvariants(self) == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewCheckInvariantsDetectsSelf(t *testing.T) {
+	var v View
+	v.Add(Descriptor{ID: 7})
+	if err := v.CheckInvariants(7); err == nil {
+		t.Error("self in view not detected")
+	}
+	if err := v.CheckInvariants(8); err != nil {
+		t.Errorf("false positive: %v", err)
+	}
+}

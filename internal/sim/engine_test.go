@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.RunUntilIdle(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run(time.Second)
+	ran := false
+	e.Schedule(-5*time.Second, func() { ran = true })
+	e.RunUntilIdle(0)
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now() != time.Second {
+		t.Errorf("clamped event moved time to %v", e.Now())
+	}
+}
+
+func TestEngineRunStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1*time.Second, func() { ran++ })
+	e.Schedule(5*time.Second, func() { ran++ })
+	e.Run(2 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s (advanced to deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(10 * time.Second)
+	if ran != 2 {
+		t.Fatalf("second Run: ran %d events total, want 2", ran)
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(time.Second, recurse)
+		}
+	}
+	e.Schedule(time.Second, recurse)
+	e.RunUntilIdle(0)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineRunUntilIdleBudget(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.Schedule(time.Millisecond, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exceeded budget")
+		}
+	}()
+	e.RunUntilIdle(100)
+}
+
+func TestEngineScheduleNilPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil fn")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestTickerFiresAndStops(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	stop := e.Ticker(time.Second, 2*time.Second, func(now time.Duration) {
+		ticks = append(ticks, now)
+	})
+	e.Run(7 * time.Second)
+	// Fires at 1s, 3s, 5s, 7s.
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %v, want 4 firings", ticks)
+	}
+	stop()
+	e.Run(20 * time.Second)
+	if len(ticks) != 4 {
+		t.Fatalf("ticker fired after stop: %v", ticks)
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var stop func()
+	stop = e.Ticker(0, time.Second, func(time.Duration) {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.Run(30 * time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestRNGStreamsIndependentAndDeterministic(t *testing.T) {
+	a1 := RNG(7, 1)
+	a2 := RNG(7, 1)
+	b := RNG(7, 2)
+	var sameAB, sameA12 int
+	for i := 0; i < 100; i++ {
+		x1, x2, y := a1.Uint64(), a2.Uint64(), b.Uint64()
+		if x1 == x2 {
+			sameA12++
+		}
+		if x1 == y {
+			sameAB++
+		}
+	}
+	if sameA12 != 100 {
+		t.Errorf("same seed+stream diverged: %d/100 equal", sameA12)
+	}
+	if sameAB > 1 {
+		t.Errorf("different streams collide: %d/100 equal", sameAB)
+	}
+}
+
+func TestEngineExecutedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunUntilIdle(0)
+	if e.Executed() != 17 {
+		t.Fatalf("Executed = %d, want 17", e.Executed())
+	}
+}
+
+func TestScheduleAtPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5*time.Second, func() {})
+	e.Run(5 * time.Second)
+	ran := false
+	e.ScheduleAt(time.Second, func() { ran = true }) // in the past
+	e.RunUntilIdle(0)
+	if !ran || e.Now() != 5*time.Second {
+		t.Fatalf("past ScheduleAt: ran=%v now=%v", ran, e.Now())
+	}
+}

@@ -1,0 +1,153 @@
+package slicing
+
+import "dataflasks/internal/transport"
+
+// RankSlicerConfig tunes the rank-estimation slicer.
+type RankSlicerConfig struct {
+	// Slices is the initial slice count k.
+	Slices int
+	// Alpha is the EWMA smoothing factor applied to the per-round rank
+	// estimate. Smaller is steadier, larger adapts faster. Default 0.2.
+	Alpha float64
+	// StickRounds is how many consecutive rounds a new slice target must
+	// persist before the claim switches (hysteresis against flapping,
+	// the "steady" in Slead). Default 3.
+	StickRounds int
+	// MinSamples is how many samples a round needs before it updates
+	// the estimate. Default 3.
+	MinSamples int
+}
+
+func (c *RankSlicerConfig) defaults() {
+	if c.Slices <= 0 {
+		c.Slices = 1
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.StickRounds <= 0 {
+		c.StickRounds = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+}
+
+// RankSlicer estimates the local node's attribute rank from the uniform
+// sample stream the Peer Sampling Service delivers: the fraction of
+// observed attributes below our own converges to our normalized rank.
+// It keeps only O(1) state (two counters and an EWMA), which is the
+// defining property of Slead/DSlead. The slice claim is
+// floor(rank·k), with hysteresis so transient noise does not flap the
+// claim — important because slice changes trigger state transfer.
+//
+// RankSlicer is not safe for concurrent use.
+type RankSlicer struct {
+	self transport.NodeID
+	attr float64
+	cfg  RankSlicerConfig
+
+	k          int
+	estimate   float64 // EWMA of rank in [0,1]
+	haveEst    bool
+	claim      int32
+	pendTarget int32 // candidate slice waiting out hysteresis
+	pendRounds int
+
+	roundBelow int
+	roundTotal int
+}
+
+var _ Slicer = (*RankSlicer)(nil)
+
+// NewRankSlicer creates a rank-estimation slicer for a node with the
+// given attribute (for example its storage capacity).
+func NewRankSlicer(self transport.NodeID, attr float64, cfg RankSlicerConfig) *RankSlicer {
+	cfg.defaults()
+	return &RankSlicer{
+		self:       self,
+		attr:       attr,
+		cfg:        cfg,
+		k:          cfg.Slices,
+		claim:      SliceUnknown,
+		pendTarget: SliceUnknown,
+	}
+}
+
+// Attr returns the node's slicing attribute.
+func (s *RankSlicer) Attr() float64 { return s.attr }
+
+// Estimate returns the current rank estimate in [0,1] (0 before any
+// samples).
+func (s *RankSlicer) Estimate() float64 { return s.estimate }
+
+// Slice implements Slicer.
+func (s *RankSlicer) Slice() int32 { return s.claim }
+
+// SliceCount implements Slicer.
+func (s *RankSlicer) SliceCount() int { return s.k }
+
+// SetSliceCount implements Slicer. Non-positive counts are ignored.
+func (s *RankSlicer) SetSliceCount(k int) {
+	if k <= 0 || k == s.k {
+		return
+	}
+	s.k = k
+	if s.haveEst {
+		// Re-derive the claim immediately: a reconfiguration is a
+		// deliberate global event, not noise to smooth over.
+		s.claim = fracToSlice(s.estimate, s.k)
+		s.pendTarget = SliceUnknown
+		s.pendRounds = 0
+	}
+}
+
+// Observe implements Slicer: count how the sample orders against us.
+func (s *RankSlicer) Observe(id transport.NodeID, attr float64) {
+	if id == s.self {
+		return
+	}
+	s.roundTotal++
+	if less(attr, id, s.attr, s.self) {
+		s.roundBelow++
+	}
+}
+
+// Handle implements Slicer. The rank slicer is message-free: all its
+// input piggybacks on peer sampling.
+func (s *RankSlicer) Handle(transport.NodeID, interface{}) bool { return false }
+
+// Tick implements Slicer: fold this round's samples into the estimate
+// and update the claim under hysteresis.
+func (s *RankSlicer) Tick() {
+	if s.roundTotal < s.cfg.MinSamples {
+		return
+	}
+	frac := float64(s.roundBelow) / float64(s.roundTotal)
+	s.roundBelow, s.roundTotal = 0, 0
+
+	if !s.haveEst {
+		s.estimate = frac
+		s.haveEst = true
+		s.claim = fracToSlice(s.estimate, s.k)
+		return
+	}
+	s.estimate = s.cfg.Alpha*frac + (1-s.cfg.Alpha)*s.estimate
+
+	target := fracToSlice(s.estimate, s.k)
+	switch {
+	case target == s.claim:
+		s.pendTarget = SliceUnknown
+		s.pendRounds = 0
+	case target == s.pendTarget:
+		s.pendRounds++
+		if s.pendRounds >= s.cfg.StickRounds {
+			s.claim = target
+			s.pendTarget = SliceUnknown
+			s.pendRounds = 0
+		}
+	default:
+		s.pendTarget = target
+		s.pendRounds = 1
+	}
+}

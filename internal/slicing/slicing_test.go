@@ -1,0 +1,350 @@
+package slicing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dataflasks/internal/transport"
+)
+
+func TestKeySliceBounds(t *testing.T) {
+	prop := func(key string, k uint8) bool {
+		slices := int(k%32) + 1
+		s := KeySlice(key, slices)
+		return s >= 0 && s < int32(slices)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySliceStable(t *testing.T) {
+	if KeySlice("alpha", 10) != KeySlice("alpha", 10) {
+		t.Error("KeySlice not deterministic")
+	}
+}
+
+func TestKeySliceUniform(t *testing.T) {
+	const n, k = 10000, 10
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[KeySlice(Key(i), k)]++
+	}
+	for s, c := range counts {
+		if c < n/k*7/10 || c > n/k*13/10 {
+			t.Errorf("slice %d holds %d of %d keys (want ~%d)", s, c, n, n/k)
+		}
+	}
+}
+
+// Key formats a test key (mirrors the workload generator's format).
+func Key(i int) string {
+	return "user" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) +
+		string(rune('0'+(i/100)%10)) + string(rune('0'+(i/1000)%10))
+}
+
+func TestKeySliceDegenerate(t *testing.T) {
+	if s := KeySlice("x", 0); s != 0 {
+		t.Errorf("k=0 → %d, want 0", s)
+	}
+	if s := KeySlice("x", 1); s != 0 {
+		t.Errorf("k=1 → %d, want 0", s)
+	}
+}
+
+func TestFracToSliceEdges(t *testing.T) {
+	if s := fracToSlice(0, 10); s != 0 {
+		t.Errorf("frac 0 → %d", s)
+	}
+	if s := fracToSlice(0.999999, 10); s != 9 {
+		t.Errorf("frac ~1 → %d", s)
+	}
+	if s := fracToSlice(1.0, 10); s != 9 {
+		t.Errorf("frac 1 clamps to %d, want 9", s)
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	// Attribute ties break by id, so ranks form a strict total order.
+	if !less(1.0, 1, 1.0, 2) {
+		t.Error("tie not broken by id")
+	}
+	if less(1.0, 2, 1.0, 1) {
+		t.Error("tie broken wrong way")
+	}
+	if !less(0.5, 9, 1.0, 1) {
+		t.Error("attribute order ignored")
+	}
+}
+
+// --- RankSlicer -----------------------------------------------------------
+
+// feedRank feeds the slicer rounds of samples drawn uniformly from a
+// fixed attribute population.
+func feedRank(s *RankSlicer, population []float64, ids []transport.NodeID, rounds, perRound int, rng *rand.Rand) {
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			j := rng.IntN(len(population))
+			s.Observe(ids[j], population[j])
+		}
+		s.Tick()
+	}
+}
+
+func TestRankSlicerConverges(t *testing.T) {
+	const n, k = 100, 5
+	population := make([]float64, n)
+	ids := make([]transport.NodeID, n)
+	for i := range population {
+		population[i] = float64(i) / n // attribute = true rank fraction
+		ids[i] = transport.NodeID(i + 1)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+
+	// A node with attribute 0.52 (true rank ~52%) should claim slice 2
+	// of 5 ([0.4, 0.6)).
+	s := NewRankSlicer(999, 0.52, RankSlicerConfig{Slices: k})
+	feedRank(s, population, ids, 40, 10, rng)
+	if got := s.Slice(); got != 2 {
+		t.Errorf("slice = %d (estimate %.3f), want 2", got, s.Estimate())
+	}
+
+	// Extremes.
+	low := NewRankSlicer(998, -1, RankSlicerConfig{Slices: k})
+	feedRank(low, population, ids, 40, 10, rng)
+	if got := low.Slice(); got != 0 {
+		t.Errorf("lowest node slice = %d, want 0", got)
+	}
+	high := NewRankSlicer(997, 2, RankSlicerConfig{Slices: k})
+	feedRank(high, population, ids, 40, 10, rng)
+	if got := high.Slice(); got != k-1 {
+		t.Errorf("highest node slice = %d, want %d", got, k-1)
+	}
+}
+
+func TestRankSlicerUnknownBeforeSamples(t *testing.T) {
+	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 10})
+	if s.Slice() != SliceUnknown {
+		t.Errorf("slice = %d before any samples, want unknown", s.Slice())
+	}
+	s.Tick() // no samples: still unknown
+	if s.Slice() != SliceUnknown {
+		t.Error("tick without samples decided a slice")
+	}
+}
+
+func TestRankSlicerHysteresis(t *testing.T) {
+	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 2, Alpha: 1, StickRounds: 3, MinSamples: 1})
+	// First decision is immediate.
+	s.Observe(2, 0.9)
+	s.Observe(3, 0.8)
+	s.Observe(4, 0.7)
+	s.Tick()
+	if s.Slice() != 0 {
+		t.Fatalf("initial slice = %d, want 0", s.Slice())
+	}
+	// A single contradictory round must not flip the claim...
+	s.Observe(2, 0.1)
+	s.Observe(3, 0.2)
+	s.Observe(4, 0.3)
+	s.Tick()
+	if s.Slice() != 0 {
+		t.Fatalf("one noisy round flipped the slice")
+	}
+	// ...but a sustained change must.
+	for i := 0; i < 3; i++ {
+		s.Observe(2, 0.1)
+		s.Observe(3, 0.2)
+		s.Observe(4, 0.3)
+		s.Tick()
+	}
+	if s.Slice() != 1 {
+		t.Fatalf("sustained change did not flip the slice: %d", s.Slice())
+	}
+}
+
+func TestRankSlicerSetSliceCount(t *testing.T) {
+	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 2, MinSamples: 1})
+	s.Observe(2, 0.9)
+	s.Observe(3, 0.1)
+	s.Tick()
+	if s.SliceCount() != 2 {
+		t.Fatalf("SliceCount = %d", s.SliceCount())
+	}
+	s.SetSliceCount(10)
+	if s.SliceCount() != 10 {
+		t.Fatalf("SliceCount after set = %d", s.SliceCount())
+	}
+	// The claim re-derives immediately from the estimate (~0.5 → slice 5).
+	if got := s.Slice(); got < 3 || got > 6 {
+		t.Errorf("slice after reconfiguration = %d (estimate %.2f)", got, s.Estimate())
+	}
+	s.SetSliceCount(0) // ignored
+	if s.SliceCount() != 10 {
+		t.Error("SetSliceCount(0) changed k")
+	}
+}
+
+func TestRankSlicerIgnoresSelfSamples(t *testing.T) {
+	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 2, MinSamples: 1})
+	s.Observe(1, 0.9) // self: ignored
+	s.Tick()
+	if s.Slice() != SliceUnknown {
+		t.Error("self sample advanced the estimate")
+	}
+}
+
+// --- SwapSlicer -----------------------------------------------------------
+
+// swapHarness wires n swap slicers with synchronous delivery. Ticks are
+// staggered (deliveries happen after each node's tick) as they are in
+// real deployments; fully lockstep rounds would make every responder
+// Busy.
+type swapHarness struct {
+	ids   []transport.NodeID
+	nodes map[transport.NodeID]*SwapSlicer
+	queue []transport.Envelope
+}
+
+func newSwapHarness(n int, k int, attrs []float64) *swapHarness {
+	h := &swapHarness{nodes: make(map[transport.NodeID]*SwapSlicer, n)}
+	ids := make([]transport.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = transport.NodeID(i + 1)
+	}
+	h.ids = ids
+	for i := 0; i < n; i++ {
+		id := ids[i]
+		rng := rand.New(rand.NewPCG(11, uint64(i)))
+		partnerRng := rand.New(rand.NewPCG(13, uint64(i)))
+		partner := func() (transport.NodeID, bool) {
+			for {
+				p := ids[partnerRng.IntN(n)]
+				if p != id {
+					return p, true
+				}
+			}
+		}
+		sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+			h.queue = append(h.queue, transport.Envelope{From: id, To: to, Msg: msg})
+			return nil
+		})
+		h.nodes[id] = NewSwapSlicer(id, attrs[i], SwapSlicerConfig{Slices: k}, sender, partner, rng)
+	}
+	return h
+}
+
+func (h *swapHarness) round() {
+	for _, id := range h.ids {
+		h.nodes[id].Tick()
+		for len(h.queue) > 0 {
+			env := h.queue[0]
+			h.queue = h.queue[1:]
+			h.nodes[env.To].Handle(env.From, env.Msg)
+		}
+	}
+}
+
+func TestSwapSlicerConverges(t *testing.T) {
+	const n, k = 60, 3
+	attrs := make([]float64, n)
+	for i := range attrs {
+		attrs[i] = float64((i * 7919) % n) // permuted attributes
+	}
+	h := newSwapHarness(n, k, attrs)
+	for r := 0; r < 80; r++ {
+		h.round()
+	}
+	// Count nodes whose claimed slice matches their true rank slice.
+	correct := 0
+	for id, s := range h.nodes {
+		rank := 0
+		for j := range attrs {
+			other := transport.NodeID(j + 1)
+			if other == id {
+				continue
+			}
+			if less(attrs[j], other, attrs[int(id)-1], id) {
+				rank++
+			}
+		}
+		want := int32(rank * k / n)
+		if s.Slice() == want {
+			correct++
+		}
+	}
+	if correct < n*7/10 {
+		t.Errorf("only %d/%d nodes in their rank slice after 80 rounds", correct, n)
+	}
+}
+
+func TestSwapSlicerValuesStayPermutation(t *testing.T) {
+	const n = 20
+	attrs := make([]float64, n)
+	for i := range attrs {
+		attrs[i] = float64(i)
+	}
+	h := newSwapHarness(n, 4, attrs)
+	before := map[float64]int{}
+	for _, s := range h.nodes {
+		before[s.X()]++
+	}
+	for r := 0; r < 50; r++ {
+		h.round()
+	}
+	after := map[float64]int{}
+	for _, s := range h.nodes {
+		after[s.X()]++
+	}
+	// With synchronous rounds (one exchange at a time per pair) the
+	// value multiset is preserved exactly.
+	for v, c := range before {
+		if after[v] != c {
+			t.Errorf("value %v count changed %d → %d", v, c, after[v])
+		}
+	}
+}
+
+func TestMisordered(t *testing.T) {
+	// attr order a<b but x order a>b → must swap.
+	if !misordered(1, 1, 0.9, 2, 2, 0.1) {
+		t.Error("misordered pair not detected")
+	}
+	// consistent order → no swap.
+	if misordered(1, 1, 0.1, 2, 2, 0.9) {
+		t.Error("ordered pair flagged")
+	}
+}
+
+// --- StaticSlicer ---------------------------------------------------------
+
+func TestStaticSlicerSpreadsAndIsStable(t *testing.T) {
+	const n, k = 500, 10
+	counts := make([]int, k)
+	for i := 1; i <= n; i++ {
+		s := NewStaticSlicer(transport.NodeID(i), k)
+		if s.Slice() != NewStaticSlicer(transport.NodeID(i), k).Slice() {
+			t.Fatal("static slice not stable")
+		}
+		counts[s.Slice()]++
+	}
+	for s, c := range counts {
+		if c < n/k/2 || c > n/k*2 {
+			t.Errorf("slice %d has %d of %d nodes: %v", s, c, n, counts)
+		}
+	}
+}
+
+func TestStaticSlicerNoProtocolActivity(t *testing.T) {
+	s := NewStaticSlicer(1, 4)
+	before := s.Slice()
+	s.Tick()
+	s.Observe(2, 0.5)
+	if s.Handle(2, &SwapRequest{}) {
+		t.Error("static slicer claimed a message")
+	}
+	if s.Slice() != before {
+		t.Error("static slice moved")
+	}
+}

@@ -1,0 +1,53 @@
+package slicing
+
+import (
+	"dataflasks/internal/hashmix"
+	"dataflasks/internal/transport"
+)
+
+// StaticSlicer assigns slices by hashing the node id — the "coin toss"
+// alternative the paper discusses and rejects (§IV-A): it distributes
+// nodes uniformly but, being memoryless, cannot rebalance after a
+// correlated failure wipes out most of one slice. It exists as the
+// baseline for the correlated-failure experiment (E4).
+type StaticSlicer struct {
+	self transport.NodeID
+	k    int
+	frac float64
+}
+
+var _ Slicer = (*StaticSlicer)(nil)
+
+// NewStaticSlicer creates the hash-based baseline slicer.
+func NewStaticSlicer(self transport.NodeID, slices int) *StaticSlicer {
+	if slices <= 0 {
+		slices = 1
+	}
+	return &StaticSlicer{
+		self: self,
+		k:    slices,
+		frac: hashmix.Frac(hashmix.HashUint64(uint64(self))),
+	}
+}
+
+// Slice implements Slicer.
+func (s *StaticSlicer) Slice() int32 { return fracToSlice(s.frac, s.k) }
+
+// SliceCount implements Slicer.
+func (s *StaticSlicer) SliceCount() int { return s.k }
+
+// SetSliceCount implements Slicer.
+func (s *StaticSlicer) SetSliceCount(k int) {
+	if k > 0 {
+		s.k = k
+	}
+}
+
+// Observe implements Slicer (no-op).
+func (s *StaticSlicer) Observe(transport.NodeID, float64) {}
+
+// Tick implements Slicer (no-op).
+func (s *StaticSlicer) Tick() {}
+
+// Handle implements Slicer (no-op).
+func (s *StaticSlicer) Handle(transport.NodeID, interface{}) bool { return false }

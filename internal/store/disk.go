@@ -1,0 +1,216 @@
+package store
+
+import (
+	"encoding/base32"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Disk is the persistent engine: one file per (key, version), written
+// atomically (temp file + rename) so a crash never leaves a torn
+// object. An in-memory index of headers is rebuilt by scanning the
+// directory on open, which is how a restarted DataFlasks node recovers
+// the state it must serve to the soft-state layer (§III).
+//
+// File layout: <dir>/<base32(key)>@<version>.obj. Safe for concurrent
+// use.
+type Disk struct {
+	mu     sync.RWMutex
+	dir    string
+	mem    *Memory // index of headers; values live on disk only
+	fsync  bool
+	closed bool
+}
+
+var _ Store = (*Disk)(nil)
+
+// keyEncoding is a padding-free, filesystem-safe encoding.
+var keyEncoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// maxKeyLen bounds keys so encoded file names stay within common
+// filesystem limits.
+const maxKeyLen = 128
+
+// DiskOptions tunes the disk engine.
+type DiskOptions struct {
+	// Fsync forces an fsync per write for durability over speed.
+	Fsync bool
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir and
+// rebuilds the header index from the files present.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	d := &Disk{dir: dir, mem: NewMemory(), fsync: opts.Fsync}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		key, version, ok := parseObjectName(e.Name())
+		if !ok {
+			continue // foreign file; leave it alone
+		}
+		// Index the header; the value stays on disk.
+		if err := d.mem.Put(key, version, nil); err != nil {
+			return nil, fmt.Errorf("store: index %s: %w", e.Name(), err)
+		}
+	}
+	return d, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func objectName(key string, version uint64) string {
+	return keyEncoding.EncodeToString([]byte(key)) + "@" + strconv.FormatUint(version, 10) + ".obj"
+}
+
+func parseObjectName(name string) (key string, version uint64, ok bool) {
+	if !strings.HasSuffix(name, ".obj") {
+		return "", 0, false
+	}
+	base := strings.TrimSuffix(name, ".obj")
+	at := strings.LastIndexByte(base, '@')
+	if at < 0 {
+		return "", 0, false
+	}
+	raw, err := keyEncoding.DecodeString(base[:at])
+	if err != nil {
+		return "", 0, false
+	}
+	v, err := strconv.ParseUint(base[at+1:], 10, 64)
+	if err != nil || v == Latest {
+		return "", 0, false
+	}
+	return string(raw), v, true
+}
+
+// Put implements Store.
+func (d *Disk) Put(key string, version uint64, value []byte) error {
+	if version == Latest {
+		return ErrBadVersion
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), maxKeyLen)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, _, exists, _ := d.mem.Get(key, version); exists {
+		return nil // idempotent re-put
+	}
+	final := filepath.Join(d.dir, objectName(key, version))
+	tmp, err := os.CreateTemp(d.dir, "tmp-*.partial")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write object: %w", err)
+	}
+	if d.fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return fmt.Errorf("store: sync object: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close object: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publish object: %w", err)
+	}
+	return d.mem.Put(key, version, nil)
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string, version uint64) ([]byte, uint64, bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, 0, false, ErrClosed
+	}
+	_, actual, ok, err := d.mem.Get(key, version)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, objectName(key, actual)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("store: read object: %w", err)
+	}
+	return data, actual, true, nil
+}
+
+// Versions implements Store.
+func (d *Disk) Versions(key string) ([]uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.mem.Versions(key)
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string, version uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, _, ok, _ := d.mem.Get(key, version); !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(d.dir, objectName(key, version))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete object: %w", err)
+	}
+	return d.mem.Delete(key, version)
+}
+
+// ForEach implements Store.
+func (d *Disk) ForEach(fn func(key string, version uint64) bool) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.mem.ForEach(fn)
+}
+
+// Count implements Store.
+func (d *Disk) Count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0
+	}
+	return d.mem.Count()
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return d.mem.Close()
+}

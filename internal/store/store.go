@@ -1,0 +1,65 @@
+// Package store implements the Data Store abstraction of the paper's
+// node architecture (§V): a versioned object store addressed by
+// (key, version). Versions are assigned by the upper layer
+// (DataDroplets) which totally orders puts, so the store never resolves
+// conflicts — it keeps the versions it is given and serves exact-version
+// or latest-version reads.
+//
+// Two engines are provided: a memory engine for simulations and caches,
+// and a disk engine (file per object, atomic rename writes) for the
+// persistence DataFlasks owes the soft-state layer above it (§III).
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Latest is the version sentinel for newest-wins reads.
+const Latest uint64 = ^uint64(0)
+
+// Object is one stored (key, version, value) triple.
+type Object struct {
+	Key     string
+	Version uint64
+	Value   []byte
+}
+
+// Store is the node-local persistence interface.
+//
+// Implementations must be safe for concurrent use: the node event loop,
+// anti-entropy and test harnesses may touch the store from different
+// goroutines in live deployments.
+type Store interface {
+	// Put stores value under (key, version). Storing an existing
+	// (key, version) pair again is idempotent: the upper layer totally
+	// orders puts, so equal pairs carry equal values and the second
+	// write is a no-op.
+	Put(key string, version uint64, value []byte) error
+	// Get returns the value at (key, version); version Latest returns
+	// the highest stored version. ok is false when absent.
+	Get(key string, version uint64) (value []byte, actualVersion uint64, ok bool, err error)
+	// Versions returns the stored versions of key in ascending order.
+	Versions(key string) ([]uint64, error)
+	// Delete removes one version of key; it is a no-op when absent.
+	Delete(key string, version uint64) error
+	// ForEach visits every stored object header (no value) in
+	// unspecified order; returning false stops iteration. Used to build
+	// anti-entropy digests and slice handoffs.
+	ForEach(fn func(key string, version uint64) bool) error
+	// Count returns the number of stored objects (versions, not keys).
+	Count() int
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// Errors shared by engines.
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrKeyTooLong reports a key exceeding an engine's limit.
+	ErrKeyTooLong = errors.New("store: key too long")
+	// ErrBadVersion reports the reserved Latest sentinel used as a
+	// concrete version in Put.
+	ErrBadVersion = fmt.Errorf("store: version %d is reserved", Latest)
+)

@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// engines returns a fresh instance of every Store implementation; the
+// whole suite runs against each.
+func engines(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return map[string]Store{
+		"memory": NewMemory(),
+		"disk":   disk,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if err := s.Put("k", 1, []byte("v1")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			val, ver, ok, err := s.Get("k", 1)
+			if err != nil || !ok {
+				t.Fatalf("Get: ok=%v err=%v", ok, err)
+			}
+			if ver != 1 || !bytes.Equal(val, []byte("v1")) {
+				t.Fatalf("Get = (%q, v%d)", val, ver)
+			}
+		})
+	}
+}
+
+func TestStoreLatestResolution(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for _, v := range []uint64{3, 1, 7, 5} { // out of order
+				if err := s.Put("k", v, []byte{byte(v)}); err != nil {
+					t.Fatalf("Put v%d: %v", v, err)
+				}
+			}
+			val, ver, ok, err := s.Get("k", Latest)
+			if err != nil || !ok {
+				t.Fatalf("Get latest: ok=%v err=%v", ok, err)
+			}
+			if ver != 7 || val[0] != 7 {
+				t.Fatalf("latest = v%d (%v), want v7", ver, val)
+			}
+		})
+	}
+}
+
+func TestStoreVersionsSorted(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for _, v := range []uint64{9, 2, 5} {
+				_ = s.Put("k", v, nil)
+			}
+			vs, err := s.Versions("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []uint64{2, 5, 9}
+			if len(vs) != 3 {
+				t.Fatalf("Versions = %v", vs)
+			}
+			for i := range want {
+				if vs[i] != want[i] {
+					t.Fatalf("Versions = %v, want %v", vs, want)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreMissing(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if _, _, ok, err := s.Get("ghost", 1); ok || err != nil {
+				t.Errorf("missing key: ok=%v err=%v", ok, err)
+			}
+			if _, _, ok, _ := s.Get("ghost", Latest); ok {
+				t.Error("missing key latest: ok")
+			}
+			_ = s.Put("k", 2, nil)
+			if _, _, ok, _ := s.Get("k", 1); ok {
+				t.Error("missing version reported present")
+			}
+			vs, err := s.Versions("ghost")
+			if err != nil || vs != nil {
+				t.Errorf("Versions(ghost) = %v, %v", vs, err)
+			}
+		})
+	}
+}
+
+func TestStoreIdempotentPut(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("k", 1, []byte("original"))
+			if err := s.Put("k", 1, []byte("different")); err != nil {
+				t.Fatalf("re-put errored: %v", err)
+			}
+			val, _, _, _ := s.Get("k", 1)
+			if string(val) != "original" {
+				t.Errorf("re-put overwrote: %q", val)
+			}
+			if s.Count() != 1 {
+				t.Errorf("Count = %d after re-put", s.Count())
+			}
+		})
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("k", 1, []byte("a"))
+			_ = s.Put("k", 2, []byte("b"))
+			if err := s.Delete("k", 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok, _ := s.Get("k", 1); ok {
+				t.Error("deleted version still present")
+			}
+			if _, _, ok, _ := s.Get("k", 2); !ok {
+				t.Error("sibling version vanished")
+			}
+			if err := s.Delete("k", 1); err != nil {
+				t.Errorf("double delete errored: %v", err)
+			}
+			if err := s.Delete("ghost", 1); err != nil {
+				t.Errorf("delete missing key errored: %v", err)
+			}
+			if s.Count() != 1 {
+				t.Errorf("Count = %d, want 1", s.Count())
+			}
+		})
+	}
+}
+
+func TestStoreReservedVersion(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if err := s.Put("k", Latest, nil); !errors.Is(err, ErrBadVersion) {
+				t.Errorf("Put(Latest) err = %v, want ErrBadVersion", err)
+			}
+		})
+	}
+}
+
+func TestStoreForEach(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("a", 1, nil)
+			_ = s.Put("a", 2, nil)
+			_ = s.Put("b", 1, nil)
+			var seen []string
+			err := s.ForEach(func(key string, version uint64) bool {
+				seen = append(seen, fmt.Sprintf("%s@%d", key, version))
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != 3 {
+				t.Fatalf("ForEach visited %v", seen)
+			}
+			// Early stop.
+			count := 0
+			_ = s.ForEach(func(string, uint64) bool {
+				count++
+				return false
+			})
+			if count != 1 {
+				t.Errorf("early stop visited %d", count)
+			}
+		})
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			buf := []byte("mutate me")
+			_ = s.Put("k", 1, buf)
+			buf[0] = 'X'
+			val, _, _, _ := s.Get("k", 1)
+			if val[0] == 'X' {
+				t.Error("store aliased caller's put buffer")
+			}
+			val[0] = 'Y'
+			val2, _, _, _ := s.Get("k", 1)
+			if val2[0] == 'Y' {
+				t.Error("store aliased returned buffer")
+			}
+		})
+	}
+}
+
+func TestStoreClosedErrors(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s.Close()
+			if err := s.Put("k", 1, nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("Put after close: %v", err)
+			}
+			if _, _, _, err := s.Get("k", 1); !errors.Is(err, ErrClosed) {
+				t.Errorf("Get after close: %v", err)
+			}
+			if err := s.ForEach(func(string, uint64) bool { return true }); !errors.Is(err, ErrClosed) {
+				t.Errorf("ForEach after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreRoundTripProperty(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	prop := func(key string, version uint64, value []byte) bool {
+		if version == Latest {
+			version--
+		}
+		if err := s.Put(key, version, value); err != nil {
+			return false
+		}
+		got, ver, ok, err := s.Get(key, version)
+		return err == nil && ok && ver == version && bytes.Equal(got, value)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryCapped(t *testing.T) {
+	s := NewMemoryCapped(3)
+	defer s.Close()
+	for v := uint64(1); v <= 5; v++ {
+		_ = s.Put("k", v, []byte{byte(v)})
+	}
+	vs, _ := s.Versions("k")
+	if len(vs) != 3 || vs[0] != 3 {
+		t.Fatalf("capped versions = %v, want [3 4 5]", vs)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	_, _, ok, _ := s.Get("k", 1)
+	if ok {
+		t.Error("GC'd version still readable")
+	}
+}
+
+// --- disk-specific behaviour ----------------------------------------------
+
+func TestDiskRecoversAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Put("persist", 3, []byte("across restarts"))
+	_ = d.Put("persist", 5, []byte("newer"))
+	_ = d.Put("other", 1, []byte("x"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Count() != 3 {
+		t.Fatalf("recovered %d objects, want 3", d2.Count())
+	}
+	val, ver, ok, err := d2.Get("persist", Latest)
+	if err != nil || !ok || ver != 5 || string(val) != "newer" {
+		t.Fatalf("recovered latest = (%q, v%d, %v, %v)", val, ver, ok, err)
+	}
+}
+
+func TestDiskIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp-123.partial"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Count() != 0 {
+		t.Fatalf("indexed %d foreign files", d.Count())
+	}
+}
+
+func TestDiskKeyTooLong(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	long := make([]byte, 200)
+	if err := d.Put(string(long), 1, nil); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("long key err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+func TestDiskBinaryKeysAndValues(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	key := string([]byte{0, 1, 2, '/', '\\', 0xff})
+	value := []byte{0, 255, 128, 7}
+	if err := d.Put(key, 1, value); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := d.Get(key, 1)
+	if err != nil || !ok || !bytes.Equal(got, value) {
+		t.Fatalf("binary roundtrip = (%v, %v, %v)", got, ok, err)
+	}
+}
+
+func TestObjectNameRoundTrip(t *testing.T) {
+	prop := func(key string, version uint64) bool {
+		if len(key) > maxKeyLen || version == Latest {
+			return true
+		}
+		name := objectName(key, version)
+		gotKey, gotVer, ok := parseObjectName(name)
+		return ok && gotKey == key && gotVer == version
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseObjectNameRejectsGarbage(t *testing.T) {
+	// Note "@1.obj" is NOT garbage: it is the valid encoding of the
+	// empty key.
+	for _, name := range []string{
+		"", "foo", "foo.obj", "abc@x.obj", "!!!@1.obj",
+		"MFXA@18446744073709551615.obj", // version == Latest sentinel
+	} {
+		if _, _, ok := parseObjectName(name); ok {
+			t.Errorf("parseObjectName(%q) accepted", name)
+		}
+	}
+}
+
+func TestDiskDeleteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_ = d.Put("k", 1, []byte("x"))
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("%d files after put", len(files))
+	}
+	_ = d.Delete("k", 1)
+	files, _ = os.ReadDir(dir)
+	if len(files) != 0 {
+		t.Fatalf("%d files after delete", len(files))
+	}
+}

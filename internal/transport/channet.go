@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ChanNetwork is an in-process fabric for live goroutine clusters: each
+// attached node owns a bounded mailbox channel drained by its own event
+// loop. Sends never block; a full mailbox drops the message, which
+// models a congested link and is safe for epidemic protocols.
+type ChanNetwork struct {
+	mu        sync.RWMutex
+	mailboxes map[NodeID]chan Envelope
+	closed    bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewChanNetwork creates an empty in-process fabric.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{mailboxes: make(map[NodeID]chan Envelope)}
+}
+
+// Attach registers id with a mailbox of the given capacity and returns
+// the receive channel plus the node's sender. The caller must drain the
+// channel until Detach (or Close) closes it.
+func (n *ChanNetwork) Attach(id NodeID, mailbox int) (<-chan Envelope, Sender, error) {
+	if mailbox <= 0 {
+		mailbox = 1024
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, nil, ErrClosed
+	}
+	if _, ok := n.mailboxes[id]; ok {
+		return nil, nil, ErrUnknownPeer // id already in use
+	}
+	ch := make(chan Envelope, mailbox)
+	n.mailboxes[id] = ch
+	sender := SenderFunc(func(to NodeID, msg interface{}) error {
+		return n.send(id, to, msg)
+	})
+	return ch, sender, nil
+}
+
+// Detach removes id and closes its mailbox. In-flight sends to id after
+// Detach are dropped.
+func (n *ChanNetwork) Detach(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ch, ok := n.mailboxes[id]; ok {
+		delete(n.mailboxes, id)
+		close(ch)
+	}
+}
+
+// Close detaches every node. Further Attach and Send calls fail.
+func (n *ChanNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for id, ch := range n.mailboxes {
+		delete(n.mailboxes, id)
+		close(ch)
+	}
+}
+
+// Stats returns fabric-level delivery counters.
+func (n *ChanNetwork) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+	}
+}
+
+func (n *ChanNetwork) send(from, to NodeID, msg interface{}) error {
+	n.sent.Add(1)
+	// The read lock is held across the channel send so Detach/Close
+	// (which close the mailbox under the write lock) cannot race a
+	// send into a closed channel. The send is non-blocking, so the
+	// lock is never held for long.
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		n.dropped.Add(1)
+		return ErrClosed
+	}
+	ch, ok := n.mailboxes[to]
+	if !ok {
+		n.dropped.Add(1)
+		return ErrUnknownPeer
+	}
+	select {
+	case ch <- Envelope{From: from, To: to, Msg: msg}:
+		n.delivered.Add(1)
+		return nil
+	default:
+		n.dropped.Add(1)
+		return ErrDropped
+	}
+}

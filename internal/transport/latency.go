@@ -1,0 +1,41 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// LatencyModel draws a one-way delivery delay. Implementations must be
+// cheap; they run once per simulated message.
+type LatencyModel func(rng *rand.Rand) time.Duration
+
+// FixedLatency always returns d.
+func FixedLatency(d time.Duration) LatencyModel {
+	return func(*rand.Rand) time.Duration { return d }
+}
+
+// UniformLatency draws uniformly from [min, max].
+func UniformLatency(min, max time.Duration) LatencyModel {
+	if max < min {
+		min, max = max, min
+	}
+	span := max - min
+	return func(rng *rand.Rand) time.Duration {
+		if span == 0 {
+			return min
+		}
+		return min + time.Duration(rng.Int64N(int64(span)+1))
+	}
+}
+
+// LANLatency approximates a datacenter network: 0.2ms base plus an
+// exponential tail with 0.3ms mean, capped at 10ms.
+func LANLatency() LatencyModel {
+	return func(rng *rand.Rand) time.Duration {
+		d := 200*time.Microsecond + time.Duration(rng.ExpFloat64()*float64(300*time.Microsecond))
+		if d > 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		return d
+	}
+}

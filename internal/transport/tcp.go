@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPEnvelope is the frame exchanged on TCP streams. It mirrors
+// wire.Envelope; it lives here so the transport has no dependency on
+// protocol packages (wire.Register teaches gob the payload types).
+type TCPEnvelope struct {
+	From     NodeID
+	FromAddr string
+	To       NodeID
+	Msg      interface{}
+}
+
+// TCPNetwork is the real-deployment fabric: one persistent outbound
+// gob stream per peer, lazily dialed through an address directory that
+// the overlay itself populates (PSS descriptors carry addresses; see
+// AddressBook). Inbound connections are decoded by per-connection
+// goroutines and handed to the node's handler.
+//
+// Sends are best-effort, matching the epidemic model: a failed dial or
+// write drops the message and tears the connection down; gossip
+// redundancy covers the loss.
+type TCPNetwork struct {
+	self     NodeID
+	addr     string // advertised address
+	ln       net.Listener
+	handler  func(Envelope)
+	dialTime time.Duration
+
+	mu    sync.RWMutex
+	peers map[NodeID]string
+	conns map[NodeID]*tcpConn
+	// all tracks every live net.Conn (inbound and outbound) so Close
+	// can unblock their reader goroutines.
+	all map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+var _ AddressBook = (*TCPNetwork)(nil)
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// ListenTCP binds the fabric. bind is the listen address ("host:port",
+// port 0 allowed); advertise is the address peers should dial (empty =
+// the bound address). handler receives every decoded envelope on
+// per-connection goroutines; it must be safe for concurrent use (the
+// node runtime funnels into a mailbox).
+func ListenTCP(self NodeID, bind, advertise string, handler func(Envelope)) (*TCPNetwork, error) {
+	if handler == nil {
+		return nil, errors.New("transport: ListenTCP requires a handler")
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+	t := &TCPNetwork{
+		self:     self,
+		addr:     advertise,
+		ln:       ln,
+		handler:  handler,
+		dialTime: 3 * time.Second,
+		peers:    make(map[NodeID]string),
+		conns:    make(map[NodeID]*tcpConn),
+		all:      make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the advertised address.
+func (t *TCPNetwork) Addr() string { return t.addr }
+
+// Learn implements AddressBook.
+func (t *TCPNetwork) Learn(id NodeID, addr string) {
+	if id == t.self || addr == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.peers[id] != addr {
+		t.peers[id] = addr
+		// The old connection (if any) points at a stale address.
+		if c, ok := t.conns[id]; ok {
+			delete(t.conns, id)
+			_ = c.conn.Close()
+		}
+	}
+}
+
+// PeerCount returns the directory size.
+func (t *TCPNetwork) PeerCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.peers)
+}
+
+// Stats returns delivery counters.
+func (t *TCPNetwork) Stats() Stats {
+	return Stats{Sent: t.sent.Load(), Delivered: t.delivered.Load(), Dropped: t.dropped.Load()}
+}
+
+// Sender returns the fabric's sender for the local node.
+func (t *TCPNetwork) Sender() Sender {
+	return SenderFunc(func(to NodeID, msg interface{}) error {
+		return t.send(to, msg)
+	})
+}
+
+// Close stops the listener and all connections and waits for the
+// reader goroutines.
+func (t *TCPNetwork) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := t.ln.Close()
+	t.mu.Lock()
+	for id := range t.conns {
+		delete(t.conns, id)
+	}
+	for conn := range t.all {
+		delete(t.all, conn)
+		_ = conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false when the fabric
+// is already closed (the caller must close the conn itself).
+func (t *TCPNetwork) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return false
+	}
+	t.all[conn] = struct{}{}
+	return true
+}
+
+func (t *TCPNetwork) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.all, conn)
+	t.mu.Unlock()
+}
+
+func (t *TCPNetwork) send(to NodeID, msg interface{}) error {
+	t.sent.Add(1)
+	if t.closed.Load() {
+		t.dropped.Add(1)
+		return ErrClosed
+	}
+	c, err := t.connTo(to)
+	if err != nil {
+		t.dropped.Add(1)
+		return err
+	}
+	env := TCPEnvelope{From: t.self, FromAddr: t.addr, To: to, Msg: msg}
+	c.mu.Lock()
+	err = c.enc.Encode(&env)
+	c.mu.Unlock()
+	if err != nil {
+		t.dropConn(to, c)
+		t.dropped.Add(1)
+		return fmt.Errorf("%w: %v", ErrDropped, err)
+	}
+	t.delivered.Add(1)
+	return nil
+}
+
+func (t *TCPNetwork) connTo(to NodeID) (*tcpConn, error) {
+	t.mu.RLock()
+	c, ok := t.conns[to]
+	addr := t.peers[to]
+	t.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	if addr == "" {
+		return nil, ErrUnknownPeer
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.dialTime)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrPeerDown, addr, err)
+	}
+	nc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.mu.Lock()
+	if t.closed.Load() {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost the race; keep the established one.
+		t.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	t.conns[to] = nc
+	t.all[conn] = struct{}{}
+	t.mu.Unlock()
+
+	// Outbound connections are bidirectional: read replies from them.
+	t.wg.Add(1)
+	go t.readLoop(conn)
+	return nc, nil
+}
+
+func (t *TCPNetwork) dropConn(id NodeID, c *tcpConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[id]; ok && cur == c {
+		delete(t.conns, id)
+	}
+	t.mu.Unlock()
+	_ = c.conn.Close()
+}
+
+func (t *TCPNetwork) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !t.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes envelopes until the stream dies. Sender addresses
+// are learned opportunistically, so answering a brand-new peer works
+// immediately.
+func (t *TCPNetwork) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env TCPEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if t.closed.Load() {
+			return
+		}
+		if env.FromAddr != "" {
+			t.Learn(env.From, env.FromAddr)
+		}
+		t.handler(Envelope{From: env.From, To: env.To, Msg: env.Msg})
+	}
+}

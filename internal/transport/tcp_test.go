@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"encoding/gob"
+	"sync"
+	"testing"
+	"time"
+)
+
+type tcpTestMsg struct {
+	Text string
+}
+
+func init() {
+	gob.Register(&tcpTestMsg{})
+}
+
+// collector gathers delivered envelopes thread-safely.
+type collector struct {
+	mu   sync.Mutex
+	envs []Envelope
+	cond chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{cond: make(chan struct{}, 64)}
+}
+
+func (c *collector) handler(env Envelope) {
+	c.mu.Lock()
+	c.envs = append(c.envs, env)
+	c.mu.Unlock()
+	select {
+	case c.cond <- struct{}{}:
+	default:
+	}
+}
+
+func (c *collector) waitFor(t *testing.T, n int, timeout time.Duration) []Envelope {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		c.mu.Lock()
+		if len(c.envs) >= n {
+			out := make([]Envelope, len(c.envs))
+			copy(out, c.envs)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.cond:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d envelopes", n)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	colB := newCollector()
+	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	colA := newCollector()
+	a, err := ListenTCP(1, "127.0.0.1:0", "", colA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Learn(2, b.Addr())
+	if err := a.Sender().Send(2, &tcpTestMsg{Text: "over the wire"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	envs := colB.waitFor(t, 1, 5*time.Second)
+	if envs[0].From != 1 {
+		t.Errorf("From = %v", envs[0].From)
+	}
+	if m, ok := envs[0].Msg.(*tcpTestMsg); !ok || m.Text != "over the wire" {
+		t.Errorf("Msg = %#v", envs[0].Msg)
+	}
+
+	// B learned A's address from the inbound stream and can reply
+	// without ever having been configured.
+	if b.PeerCount() != 1 {
+		t.Fatalf("b.PeerCount = %d, want 1", b.PeerCount())
+	}
+	if err := b.Sender().Send(1, &tcpTestMsg{Text: "right back"}); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	replies := colA.waitFor(t, 1, 5*time.Second)
+	if m := replies[0].Msg.(*tcpTestMsg); m.Text != "right back" {
+		t.Errorf("reply = %#v", replies[0].Msg)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Sender().Send(9, &tcpTestMsg{}); err == nil {
+		t.Error("send to unknown peer succeeded")
+	}
+	if a.Stats().Dropped != 1 {
+		t.Errorf("stats = %+v", a.Stats())
+	}
+}
+
+func TestTCPDeadPeer(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Learn(2, "127.0.0.1:1") // nothing listens there
+	if err := a.Sender().Send(2, &tcpTestMsg{}); err == nil {
+		t.Error("send to dead peer succeeded")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Learn(2, "127.0.0.1:1")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sender().Send(2, &tcpTestMsg{}); err == nil {
+		t.Error("send after close succeeded")
+	}
+	// Idempotent close.
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestTCPLearnReplacesStaleAddress(t *testing.T) {
+	colB := newCollector()
+	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Learn(2, "127.0.0.1:1") // stale
+	_ = a.Sender().Send(2, &tcpTestMsg{})
+	a.Learn(2, b.Addr()) // corrected by gossip
+	if err := a.Sender().Send(2, &tcpTestMsg{Text: "found you"}); err != nil {
+		t.Fatalf("send after re-learn: %v", err)
+	}
+	colB.waitFor(t, 1, 5*time.Second)
+}
+
+func TestTCPConcurrentSends(t *testing.T) {
+	colB := newCollector()
+	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Learn(2, b.Addr())
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				_ = a.Sender().Send(2, &tcpTestMsg{Text: "burst"})
+			}
+		}()
+	}
+	wg.Wait()
+	colB.waitFor(t, n, 10*time.Second)
+}

@@ -1,0 +1,68 @@
+// Package transport defines how DataFlasks nodes exchange messages and
+// provides three interchangeable fabrics: a deterministic simulated
+// network driven by the discrete-event engine, an in-process channel
+// network for live goroutine clusters, and a TCP network for real
+// deployments. Protocol code depends only on the small Sender interface,
+// so the same node logic runs unchanged on all three.
+package transport
+
+import (
+	"errors"
+	"strconv"
+)
+
+// NodeID identifies a node (or a client endpoint) in the system.
+// IDs are opaque to the protocols; uniqueness is the deployer's job.
+type NodeID uint64
+
+// String formats the id as the paper's evaluation tables do ("n42").
+func (id NodeID) String() string { return "n" + strconv.FormatUint(uint64(id), 10) }
+
+// Envelope is one addressed protocol message in flight.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Msg  interface{}
+}
+
+// Sender lets a node emit messages. Send is best-effort: epidemic
+// protocols tolerate loss, so failures surface as an error for
+// accounting but never block.
+type Sender interface {
+	Send(to NodeID, msg interface{}) error
+}
+
+// SenderFunc adapts a function to the Sender interface.
+type SenderFunc func(to NodeID, msg interface{}) error
+
+// Send implements Sender.
+func (f SenderFunc) Send(to NodeID, msg interface{}) error { return f(to, msg) }
+
+// AddressBook lets protocol layers feed learned (id → address)
+// mappings to fabrics that need them (TCP). Simulated fabrics ignore
+// addresses entirely.
+type AddressBook interface {
+	// Learn records that id is reachable at addr. Implementations must
+	// be safe for concurrent use and tolerate re-learning.
+	Learn(id NodeID, addr string)
+}
+
+// Common delivery errors.
+var (
+	// ErrUnknownPeer reports a destination that is not registered.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrPeerDown reports a destination that is registered but stopped.
+	ErrPeerDown = errors.New("transport: peer down")
+	// ErrDropped reports a message dropped by loss injection or a full
+	// mailbox.
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrClosed reports use of a closed endpoint or network.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Stats aggregates fabric-level delivery accounting.
+type Stats struct {
+	Sent      uint64 // messages accepted for delivery
+	Delivered uint64 // messages handed to a handler
+	Dropped   uint64 // messages lost (loss model, dead peer, full mailbox)
+}

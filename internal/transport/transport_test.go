@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dataflasks/internal/sim"
+)
+
+// --- SimNetwork -------------------------------------------------------------
+
+func simPair(t *testing.T, cfg SimNetworkConfig) (*sim.Engine, *SimNetwork) {
+	t.Helper()
+	engine := sim.NewEngine()
+	return engine, NewSimNetwork(engine, cfg)
+}
+
+func TestSimNetworkDelivers(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{Latency: FixedLatency(time.Millisecond)})
+	var got []Envelope
+	net.Attach(2, func(env Envelope) { got = append(got, env) })
+	s1 := net.Attach(1, func(Envelope) {})
+
+	if err := s1.Send(2, "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	engine.RunUntilIdle(0)
+	if len(got) != 1 || got[0].From != 1 || got[0].Msg != "hello" {
+		t.Fatalf("delivered = %+v", got)
+	}
+	stats := net.Stats()
+	if stats.Sent != 1 || stats.Delivered != 1 || stats.Dropped != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSimNetworkUnknownPeer(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{})
+	s := net.Attach(1, func(Envelope) {})
+	if err := s.Send(99, "x"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+	engine.RunUntilIdle(0)
+	if net.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d", net.Stats().Dropped)
+	}
+}
+
+func TestSimNetworkDetachDropsInFlight(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{Latency: FixedLatency(time.Second)})
+	delivered := 0
+	net.Attach(2, func(Envelope) { delivered++ })
+	s1 := net.Attach(1, func(Envelope) {})
+	_ = s1.Send(2, "in flight")
+	net.Detach(2) // crash before delivery
+	engine.RunUntilIdle(0)
+	if delivered != 0 {
+		t.Error("message delivered to crashed node")
+	}
+	// Sends from a crashed node drop too.
+	if err := s1.Send(2, "x"); err == nil {
+		t.Error("send to detached peer succeeded")
+	}
+}
+
+func TestSimNetworkSenderOfDetachedNodeFails(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{})
+	net.Attach(2, func(Envelope) {})
+	s1 := net.Attach(1, func(Envelope) {})
+	net.Detach(1)
+	if err := s1.Send(2, "zombie"); !errors.Is(err, ErrPeerDown) {
+		t.Errorf("zombie send err = %v, want ErrPeerDown", err)
+	}
+	engine.RunUntilIdle(0)
+}
+
+func TestSimNetworkLossRate(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{LossRate: 0.5, Seed: 7, Latency: FixedLatency(0)})
+	delivered := 0
+	net.Attach(2, func(Envelope) { delivered++ })
+	s1 := net.Attach(1, func(Envelope) {})
+	const total = 1000
+	for i := 0; i < total; i++ {
+		_ = s1.Send(2, i)
+	}
+	engine.RunUntilIdle(0)
+	if delivered < total/3 || delivered > total*2/3 {
+		t.Errorf("delivered %d of %d at 50%% loss", delivered, total)
+	}
+}
+
+func TestSimNetworkPartitionAndHeal(t *testing.T) {
+	engine, net := simPair(t, SimNetworkConfig{Latency: FixedLatency(0)})
+	delivered := map[NodeID]int{}
+	for id := NodeID(1); id <= 4; id++ {
+		id := id
+		net.Attach(id, func(Envelope) { delivered[id]++ })
+	}
+	s1 := net.Attach(1, func(Envelope) { delivered[1]++ })
+
+	heal := net.Partition(func(id NodeID) bool { return id <= 2 })
+	_ = s1.Send(2, "same side")
+	_ = s1.Send(3, "cross")
+	engine.RunUntilIdle(0)
+	if delivered[2] != 1 || delivered[3] != 0 {
+		t.Fatalf("partition: delivered = %v", delivered)
+	}
+	heal()
+	_ = s1.Send(3, "healed")
+	engine.RunUntilIdle(0)
+	if delivered[3] != 1 {
+		t.Fatalf("heal: delivered = %v", delivered)
+	}
+}
+
+func TestSimNetworkDeterministic(t *testing.T) {
+	run := func() uint64 {
+		engine, net := simPair(t, SimNetworkConfig{LossRate: 0.3, Seed: 42})
+		net.Attach(2, func(Envelope) {})
+		s1 := net.Attach(1, func(Envelope) {})
+		for i := 0; i < 200; i++ {
+			_ = s1.Send(2, i)
+		}
+		engine.RunUntilIdle(0)
+		return net.Stats().Delivered
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed delivered %d vs %d", a, b)
+	}
+}
+
+// --- ChanNetwork -------------------------------------------------------------
+
+func TestChanNetworkRoundTrip(t *testing.T) {
+	net := NewChanNetwork()
+	defer net.Close()
+	rx2, _, err := net.Attach(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, err := net.Attach(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Send(2, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	env := <-rx2
+	if env.From != 1 || env.Msg != "ping" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestChanNetworkDuplicateAttach(t *testing.T) {
+	net := NewChanNetwork()
+	defer net.Close()
+	if _, _, err := net.Attach(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.Attach(1, 1); err == nil {
+		t.Error("duplicate attach succeeded")
+	}
+}
+
+func TestChanNetworkFullMailboxDrops(t *testing.T) {
+	net := NewChanNetwork()
+	defer net.Close()
+	_, _, err := net.Attach(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1, _ := net.Attach(1, 1)
+	if err := s1.Send(2, "fits"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Send(2, "overflow"); !errors.Is(err, ErrDropped) {
+		t.Errorf("err = %v, want ErrDropped", err)
+	}
+	if net.Stats().Dropped != 1 {
+		t.Errorf("stats = %+v", net.Stats())
+	}
+}
+
+func TestChanNetworkDetachClosesMailbox(t *testing.T) {
+	net := NewChanNetwork()
+	defer net.Close()
+	rx, _, _ := net.Attach(1, 1)
+	net.Detach(1)
+	if _, ok := <-rx; ok {
+		t.Error("mailbox not closed")
+	}
+	_, s2, _ := net.Attach(2, 1)
+	if err := s2.Send(1, "gone"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to detached: %v", err)
+	}
+}
+
+func TestChanNetworkConcurrentSendAndDetach(t *testing.T) {
+	// The race this guards: Detach closes the mailbox while senders are
+	// mid-send. Run with -race to exercise it.
+	net := NewChanNetwork()
+	defer net.Close()
+	rx, _, _ := net.Attach(1, 64)
+	go func() {
+		for range rx {
+			// drain until closed
+		}
+	}()
+	_, sender, _ := net.Attach(2, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				_ = sender.Send(1, j)
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	net.Detach(1)
+	wg.Wait()
+}
+
+func TestChanNetworkCloseIsIdempotent(t *testing.T) {
+	net := NewChanNetwork()
+	net.Close()
+	net.Close()
+	if _, _, err := net.Attach(1, 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("attach after close: %v", err)
+	}
+}
+
+// --- latency models -----------------------------------------------------------
+
+func TestLatencyModels(t *testing.T) {
+	rng := sim.RNG(1, 1)
+	fixed := FixedLatency(3 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if d := fixed(rng); d != 3*time.Millisecond {
+			t.Fatalf("fixed = %v", d)
+		}
+	}
+	uni := UniformLatency(time.Millisecond, 2*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		d := uni(rng)
+		if d < time.Millisecond || d > 2*time.Millisecond {
+			t.Fatalf("uniform out of range: %v", d)
+		}
+	}
+	// Swapped bounds normalize.
+	swapped := UniformLatency(2*time.Millisecond, time.Millisecond)
+	if d := swapped(rng); d < time.Millisecond || d > 2*time.Millisecond {
+		t.Fatalf("swapped-bounds uniform = %v", d)
+	}
+	lan := LANLatency()
+	for i := 0; i < 1000; i++ {
+		d := lan(rng)
+		if d < 200*time.Microsecond || d > 10*time.Millisecond {
+			t.Fatalf("lan latency out of bounds: %v", d)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,59 @@
+// Package wire defines the on-the-wire representation for real (TCP)
+// deployments: gob-encoded envelopes over length-delimited persistent
+// streams. Gob keeps the codec honest with zero hand-rolled parsing
+// while remaining pure stdlib; simulated and in-process fabrics skip
+// encoding entirely and pass message pointers.
+package wire
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"dataflasks/internal/aggregate"
+	"dataflasks/internal/antientropy"
+	"dataflasks/internal/core"
+	"dataflasks/internal/dht"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/transport"
+)
+
+// Envelope is the wire frame: the logical envelope plus the sender's
+// dialable address, which lets receivers answer nodes they have never
+// dialed.
+type Envelope struct {
+	From     transport.NodeID
+	FromAddr string
+	To       transport.NodeID
+	Msg      interface{}
+}
+
+var registerOnce sync.Once
+
+// Register records every protocol message type with gob. Safe to call
+// multiple times.
+func Register() {
+	registerOnce.Do(func() {
+		gob.Register(&pss.ShuffleRequest{})
+		gob.Register(&pss.ShuffleReply{})
+		gob.Register(&slicing.SwapRequest{})
+		gob.Register(&slicing.SwapReply{})
+		gob.Register(&aggregate.ExtremaMsg{})
+		gob.Register(&aggregate.PushSumMsg{})
+		gob.Register(&antientropy.Digest{})
+		gob.Register(&antientropy.DigestReply{})
+		gob.Register(&antientropy.Pull{})
+		gob.Register(&antientropy.Push{})
+		gob.Register(&core.PutRequest{})
+		gob.Register(&core.PutAck{})
+		gob.Register(&core.GetRequest{})
+		gob.Register(&core.GetReply{})
+		gob.Register(&core.MateQuery{})
+		gob.Register(&core.MateReply{})
+		gob.Register(&dht.Gossip{})
+		gob.Register(&dht.PutRequest{})
+		gob.Register(&dht.PutAck{})
+		gob.Register(&dht.GetRequest{})
+		gob.Register(&dht.GetReply{})
+	})
+}

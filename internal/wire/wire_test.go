@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"dataflasks/internal/antientropy"
+	"dataflasks/internal/core"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+)
+
+// roundTrip encodes and decodes an envelope through a fresh gob stream.
+func roundTrip(t *testing.T, env Envelope) Envelope {
+	t.Helper()
+	Register()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register()
+	Register() // must not panic on double registration
+}
+
+func TestEnvelopeRoundTripAllMessageTypes(t *testing.T) {
+	msgs := []interface{}{
+		&pss.ShuffleRequest{Sample: []pss.Descriptor{{ID: 3, Age: 2, Attr: 0.5, Slice: 1, Addr: "h:1"}}},
+		&pss.ShuffleReply{Sample: []pss.Descriptor{{ID: 4}}},
+		&slicing.SwapRequest{Attr: 1.5, X: 0.25, Seq: 9},
+		&slicing.SwapReply{Attr: 2.5, X: 0.75, Swapped: true, Seq: 9},
+		&antientropy.Digest{Slice: 2, Headers: []antientropy.Header{{Key: "k", Version: 7}}},
+		&antientropy.DigestReply{Slice: 2, Headers: []antientropy.Header{{Key: "j", Version: 1}}},
+		&antientropy.Pull{Headers: []antientropy.Header{{Key: "k", Version: 7}}},
+		&antientropy.Push{Objects: []store.Object{{Key: "k", Version: 7, Value: []byte("v")}}},
+		&core.PutRequest{
+			ID: gossip.MakeRequestID(9, 1), Key: "k", Version: 2, Value: []byte("payload"),
+			Origin: 9, OriginAddr: "c:9", TTL: 5, Intra: true,
+		},
+		&core.PutAck{ID: 1, Key: "k", Version: 2},
+		&core.GetRequest{ID: 2, Key: "k", Version: store.Latest, Origin: 9, OriginAddr: "c:9", TTL: 3},
+		&core.GetReply{ID: 2, Key: "k", Version: 4, Value: []byte("v"), Slice: 3},
+		&core.MateQuery{Slice: 7},
+		&core.MateReply{Slice: 7, Mates: []pss.Descriptor{{ID: 11, Slice: 7, Addr: "h:2"}}},
+	}
+	for _, msg := range msgs {
+		env := Envelope{From: 1, FromAddr: "127.0.0.1:999", To: 2, Msg: msg}
+		got := roundTrip(t, env)
+		if got.From != 1 || got.FromAddr != "127.0.0.1:999" || got.To != 2 {
+			t.Errorf("%T: envelope header = %+v", msg, got)
+		}
+		if !reflect.DeepEqual(got.Msg, msg) {
+			t.Errorf("%T round trip:\n got %#v\nwant %#v", msg, got.Msg, msg)
+		}
+	}
+}
+
+func TestVersionSentinelSurvivesGob(t *testing.T) {
+	// store.Latest is MaxUint64; gob must carry it exactly.
+	env := roundTrip(t, Envelope{Msg: &core.GetRequest{Version: store.Latest}})
+	if env.Msg.(*core.GetRequest).Version != store.Latest {
+		t.Error("Latest sentinel corrupted")
+	}
+}
+
+func TestEmptyAndNilFieldsSurvive(t *testing.T) {
+	env := roundTrip(t, Envelope{Msg: &core.PutRequest{Key: "", Value: nil}})
+	got := env.Msg.(*core.PutRequest)
+	if got.Key != "" || len(got.Value) != 0 {
+		t.Errorf("empty fields = %#v", got)
+	}
+}
+
+func TestStreamCarriesManyEnvelopes(t *testing.T) {
+	// Persistent connections reuse one encoder; type info must only be
+	// sent once and later envelopes still decode.
+	Register()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := 0; i < 10; i++ {
+		env := Envelope{From: 1, To: 2, Msg: &core.PutAck{ID: gossip.RequestID(i)}}
+		if err := enc.Encode(&env); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	firstLen := buf.Len()
+	dec := gob.NewDecoder(&buf)
+	for i := 0; i < 10; i++ {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if env.Msg.(*core.PutAck).ID != gossip.RequestID(i) {
+			t.Fatalf("envelope %d out of order", i)
+		}
+	}
+	if firstLen == 0 {
+		t.Fatal("nothing encoded")
+	}
+}

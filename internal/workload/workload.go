@@ -1,0 +1,264 @@
+// Package workload is the YCSB substitute used by the evaluation
+// harness: it generates keyed operations with the same key-choosers
+// (uniform, zipfian, latest) and operation mixes (workloads A/B/C plus
+// the write-only mix the paper's §VI experiments use) as the original
+// benchmark, against the DataFlasks API instead of a Java client.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dataflasks/internal/hashmix"
+)
+
+// OpKind is one generated operation's type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpInsert OpKind = iota + 1
+	OpUpdate
+	OpRead
+)
+
+// String names the op kind like YCSB's output.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpRead:
+		return "READ"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+	// Value is nil for reads.
+	Value []byte
+}
+
+// Mix is an operation mix; proportions must sum to 1.
+type Mix struct {
+	Read   float64
+	Update float64
+	Insert float64
+}
+
+// The standard mixes.
+var (
+	// WriteOnly is the mix of the paper's §VI experiments.
+	WriteOnly = Mix{Insert: 1}
+	// MixA is YCSB workload A: 50/50 read/update.
+	MixA = Mix{Read: 0.5, Update: 0.5}
+	// MixB is YCSB workload B: 95/5 read/update.
+	MixB = Mix{Read: 0.95, Update: 0.05}
+	// MixC is YCSB workload C: read only.
+	MixC = Mix{Read: 1}
+)
+
+// Config tunes a generator.
+type Config struct {
+	// Records is the key-space size preloaded/inserted ("recordcount").
+	Records int
+	// ValueSize is the object payload size in bytes (default 100,
+	// mirroring YCSB's 10×100B fields scaled down for simulation).
+	ValueSize int
+	// Mix is the operation mix (default WriteOnly).
+	Mix Mix
+	// Chooser picks keys for reads/updates (default Uniform).
+	Chooser Chooser
+	// Seed feeds the generator's RNG.
+	Seed uint64
+}
+
+// Generator produces a deterministic operation stream. Not safe for
+// concurrent use.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	inserted int
+}
+
+// NewGenerator validates cfg and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("workload: Records must be positive, got %d", cfg.Records)
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = WriteOnly
+	}
+	sum := cfg.Mix.Read + cfg.Mix.Update + cfg.Mix.Insert
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: mix proportions sum to %v, want 1", sum)
+	}
+	if cfg.Chooser == nil {
+		cfg.Chooser = NewUniform(cfg.Records)
+	}
+	return &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x79c5)),
+	}, nil
+}
+
+// Key formats record i as a YCSB-style key.
+func Key(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.Mix.Insert:
+		key := Key(g.inserted % g.cfg.Records)
+		g.inserted++
+		return Op{Kind: OpInsert, Key: key, Value: g.value()}
+	case r < g.cfg.Mix.Insert+g.cfg.Mix.Update:
+		return Op{Kind: OpUpdate, Key: g.chooseKey(), Value: g.value()}
+	default:
+		return Op{Kind: OpRead, Key: g.chooseKey()}
+	}
+}
+
+// Inserted returns how many inserts were generated.
+func (g *Generator) Inserted() int { return g.inserted }
+
+func (g *Generator) chooseKey() string {
+	// Reads/updates over inserted records when any exist, else over the
+	// whole preload space.
+	limit := g.inserted
+	if limit <= 0 || limit > g.cfg.Records {
+		limit = g.cfg.Records
+	}
+	idx := g.cfg.Chooser.Next(g.rng)
+	return Key(idx % limit)
+}
+
+func (g *Generator) value() []byte {
+	buf := make([]byte, g.cfg.ValueSize)
+	for i := range buf {
+		buf[i] = byte('a' + g.rng.IntN(26))
+	}
+	return buf
+}
+
+// Chooser picks record indices in [0, Records).
+type Chooser interface {
+	Next(rng *rand.Rand) int
+}
+
+// Uniform picks uniformly.
+type Uniform struct{ n int }
+
+// NewUniform creates a uniform chooser over n records.
+func NewUniform(n int) *Uniform {
+	if n <= 0 {
+		n = 1
+	}
+	return &Uniform{n: n}
+}
+
+// Next implements Chooser.
+func (u *Uniform) Next(rng *rand.Rand) int { return rng.IntN(u.n) }
+
+// Zipfian is YCSB's scrambled zipfian chooser (Gray et al.'s
+// algorithm): item popularity follows a zipf law with exponent theta,
+// and ranks are hashed so hot keys spread across the key space.
+type Zipfian struct {
+	n     int
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+// NewZipfian creates a zipfian chooser over n records with the YCSB
+// default skew (theta = 0.99).
+func NewZipfian(n int, theta float64) *Zipfian {
+	if n <= 0 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// nextRank draws a popularity rank (0 = most popular), unscrambled.
+func (z *Zipfian) nextRank(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// Next implements Chooser.
+func (z *Zipfian) Next(rng *rand.Rand) int {
+	// Scramble so popular items are spread over the key space (YCSB's
+	// "scrambled zipfian").
+	return int(hashmix.HashUint64(uint64(z.nextRank(rng))) % uint64(z.n))
+}
+
+// Latest skews toward recently inserted records (YCSB's "latest"
+// distribution): zipfian over recency.
+type Latest struct {
+	z        *Zipfian
+	inserted func() int
+}
+
+// NewLatest creates a latest-skewed chooser; inserted reports the
+// current insert count.
+func NewLatest(n int, inserted func() int) *Latest {
+	if inserted == nil {
+		panic("workload: NewLatest requires an inserted func")
+	}
+	return &Latest{z: NewZipfian(n, 0.99), inserted: inserted}
+}
+
+// Next implements Chooser. The offset from the newest record follows
+// the UNSCRAMBLED zipf law: rank 0 = the most recent insert (YCSB's
+// SkewedLatest semantics).
+func (l *Latest) Next(rng *rand.Rand) int {
+	limit := l.inserted()
+	if limit <= 0 {
+		return 0
+	}
+	off := l.z.nextRank(rng)
+	idx := limit - 1 - off%limit
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Records: 0}); err == nil {
+		t.Error("Records=0 accepted")
+	}
+	if _, err := NewGenerator(Config{Records: 10, Mix: Mix{Read: 0.5}}); err == nil {
+		t.Error("mix summing to 0.5 accepted")
+	}
+	if _, err := NewGenerator(Config{Records: 10}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestWriteOnlyMix(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("write-only produced %v", op.Kind)
+		}
+		if op.Value == nil {
+			t.Fatal("insert without value")
+		}
+	}
+	if g.Inserted() != 200 {
+		t.Errorf("Inserted = %d", g.Inserted())
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 100, Mix: MixB, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[g.Next().Kind]++
+	}
+	reads := float64(counts[OpRead]) / total
+	if reads < 0.93 || reads > 0.97 {
+		t.Errorf("workload B reads = %.3f, want ~0.95", reads)
+	}
+	if counts[OpInsert] != 0 {
+		t.Errorf("workload B produced %d inserts", counts[OpInsert])
+	}
+}
+
+func TestValuesSized(t *testing.T) {
+	g, _ := NewGenerator(Config{Records: 10, ValueSize: 37, Seed: 3})
+	if op := g.Next(); len(op.Value) != 37 {
+		t.Errorf("value size = %d", len(op.Value))
+	}
+}
+
+func TestKeysDeterministicFormat(t *testing.T) {
+	if Key(42) != "user00000042" {
+		t.Errorf("Key(42) = %q", Key(42))
+	}
+	if !strings.HasPrefix(Key(0), "user") {
+		t.Errorf("Key(0) = %q", Key(0))
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	run := func() []string {
+		g, _ := NewGenerator(Config{Records: 50, Mix: MixA, Seed: 9})
+		var keys []string
+		for i := 0; i < 100; i++ {
+			keys = append(keys, g.Next().Key)
+		}
+		return keys
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformChooserBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	u := NewUniform(10)
+	prop := func(uint8) bool {
+		v := u.Next(rng)
+		return v >= 0 && v < 10
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	z := NewZipfian(1000, 0.99)
+	for i := 0; i < 10000; i++ {
+		v := z.Next(rng)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 1000
+	z := NewZipfian(n, 0.99)
+	counts := make(map[int]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(rng)]++
+	}
+	// The hottest key must be far above uniform (50 draws/key).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 500 {
+		t.Errorf("hottest key drawn %d times; distribution not skewed", max)
+	}
+	// But hot keys must be scrambled across the space, not all at 0.
+	if counts[0] == max && counts[1] > max/2 {
+		t.Error("hot keys not scrambled")
+	}
+}
+
+func TestLatestChooserPrefersRecent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	inserted := 1000
+	l := NewLatest(1000, func() int { return inserted })
+	recent := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := l.Next(rng)
+		if v < 0 || v >= inserted {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= inserted-100 {
+			recent++
+		}
+	}
+	// The newest 10% of keys should receive well over 10% of draws.
+	if float64(recent)/draws < 0.3 {
+		t.Errorf("recent keys drew only %.1f%%", 100*float64(recent)/draws)
+	}
+}
+
+func TestLatestChooserEmpty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	l := NewLatest(10, func() int { return 0 })
+	if v := l.Next(rng); v != 0 {
+		t.Errorf("empty latest = %d", v)
+	}
+}
+
+func TestReadsTargetInsertedKeys(t *testing.T) {
+	g, _ := NewGenerator(Config{Records: 1000, Mix: Mix{Insert: 0.5, Read: 0.5}, Seed: 6})
+	for i := 0; i < 500; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		// Keys must be inside the already-inserted range (or the full
+		// preload space before any insert).
+		if g.Inserted() > 0 && op.Key >= Key(g.Inserted()) && op.Key < Key(1000) {
+			t.Fatalf("read %q beyond inserted prefix %d", op.Key, g.Inserted())
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for kind, want := range map[OpKind]string{OpInsert: "INSERT", OpUpdate: "UPDATE", OpRead: "READ"} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", kind, kind.String())
+		}
+	}
+	if !strings.Contains(OpKind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}

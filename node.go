@@ -1,0 +1,216 @@
+package dataflasks
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+	"dataflasks/internal/wire"
+)
+
+// NodeConfig configures a standalone TCP node.
+type NodeConfig struct {
+	// ID must be unique across the deployment and fit in 32 bits.
+	ID NodeID
+	// Bind is the listen address ("host:port"; port 0 allowed).
+	Bind string
+	// Advertise is the address peers dial (default: the bound
+	// address).
+	Advertise string
+	// Seeds are bootstrap contacts, each "id@host:port".
+	Seeds []string
+	// DataDir persists objects on disk; empty keeps them in memory.
+	DataDir string
+	// RoundPeriod is the gossip period (default 500ms).
+	RoundPeriod time.Duration
+	// Config carries the protocol configuration.
+	Config Config
+}
+
+// Node is a standalone DataFlasks host on TCP — the deployable unit
+// behind cmd/flasksd.
+type Node struct {
+	id   NodeID
+	net  *transport.TCPNetwork
+	core *core.Node
+	st   store.Store
+
+	mailbox chan transport.Envelope
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// ParseSeed parses "id@host:port".
+func ParseSeed(s string) (NodeID, string, error) {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return 0, "", fmt.Errorf("dataflasks: seed %q must be id@host:port", s)
+	}
+	id, err := strconv.ParseUint(s[:at], 10, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("dataflasks: seed %q: bad id: %w", s, err)
+	}
+	return NodeID(id), s[at+1:], nil
+}
+
+// StartNode boots a TCP node: it listens, learns its seeds and starts
+// gossiping immediately.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID == 0 || uint64(cfg.ID) > 1<<32-1 {
+		return nil, fmt.Errorf("dataflasks: node id %d must be in [1, 2^32)", cfg.ID)
+	}
+	if cfg.RoundPeriod <= 0 {
+		cfg.RoundPeriod = 500 * time.Millisecond
+	}
+	wire.Register()
+
+	n := &Node{
+		id:      cfg.ID,
+		mailbox: make(chan transport.Envelope, defaultMailbox),
+		done:    make(chan struct{}),
+	}
+	// The TCP fabric decodes on per-connection goroutines; funnel into
+	// the mailbox so the protocol core stays single-threaded.
+	handler := func(env transport.Envelope) {
+		select {
+		case n.mailbox <- env:
+		default: // congested: drop, gossip redundancy covers it
+		}
+	}
+	tcpNet, err := transport.ListenTCP(cfg.ID, cfg.Bind, cfg.Advertise, handler)
+	if err != nil {
+		return nil, err
+	}
+	n.net = tcpNet
+
+	if cfg.DataDir != "" {
+		disk, err := store.OpenDisk(cfg.DataDir, store.DiskOptions{})
+		if err != nil {
+			tcpNet.Close()
+			return nil, err
+		}
+		n.st = disk
+	} else {
+		n.st = store.NewMemory()
+	}
+
+	coreCfg := cfg.Config.coreConfig()
+	coreCfg.RoundPeriod = cfg.RoundPeriod
+	coreCfg.AdvertiseAddr = tcpNet.Addr()
+	coreCfg.AddressBook = tcpNet
+	n.core = core.NewNode(cfg.ID, coreCfg, n.st, tcpNet.Sender())
+
+	seedIDs := make([]NodeID, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		id, addr, err := ParseSeed(s)
+		if err != nil {
+			tcpNet.Close()
+			_ = n.st.Close()
+			return nil, err
+		}
+		tcpNet.Learn(id, addr)
+		seedIDs = append(seedIDs, id)
+	}
+	n.core.Bootstrap(seedIDs)
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(cfg.RoundPeriod)
+		defer ticker.Stop()
+		for {
+			select {
+			case env := <-n.mailbox:
+				n.core.HandleMessage(env)
+			case <-ticker.C:
+				n.core.Tick()
+			case <-n.done:
+				return
+			}
+		}
+	}()
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Addr returns the advertised address.
+func (n *Node) Addr() string { return n.net.Addr() }
+
+// Slice returns the node's current slice claim (-1 while undecided).
+func (n *Node) Slice() int32 { return n.core.Slice() }
+
+// StoredObjects returns how many object versions the node holds.
+func (n *Node) StoredObjects() int { return n.st.Count() }
+
+// PeersKnown returns the size of the fabric's learned address
+// directory.
+func (n *Node) PeersKnown() int { return n.net.PeerCount() }
+
+// Close shuts the node down and releases the store.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		err = n.net.Close()
+		if cerr := n.st.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// ConnectClient opens a blocking client against a TCP deployment.
+// Seeds are "id@host:port" contacts; bind may be ":0".
+func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("dataflasks: ConnectClient needs at least one seed")
+	}
+	wire.Register()
+	// Client ids live in their own range; collisions across
+	// independent clients are avoided by random draw.
+	id := clientIDBase + NodeID(rand.Uint32N(1<<24))
+
+	mailbox := make(chan transport.Envelope, defaultMailbox)
+	handler := func(env transport.Envelope) {
+		select {
+		case mailbox <- env:
+		default:
+		}
+	}
+	tcpNet, err := transport.ListenTCP(id, bind, "", handler)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		sid, addr, err := ParseSeed(s)
+		if err != nil {
+			tcpNet.Close()
+			return nil, err
+		}
+		tcpNet.Learn(sid, addr)
+		ids = append(ids, sid)
+	}
+	lb := client.NewRandomLB(ids, rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())))
+	period := 500 * time.Millisecond
+	clientCfg := client.Config{PutAcks: cfg.clientPutAcks(), SelfAddr: tcpNet.Addr()}
+	cl := newLiveClient(id, clientCfg, tcpNet.Sender(), lb, mailbox, period)
+	// Tie the fabric's lifetime to the client.
+	go func() {
+		cl.wg.Wait()
+		_ = tcpNet.Close()
+	}()
+	return cl, nil
+}

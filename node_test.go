@@ -1,0 +1,84 @@
+package dataflasks_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dataflasks"
+)
+
+func TestTCPClusterPutGet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster in -short mode")
+	}
+	const n = 8
+	cfg := dataflasks.Config{Slices: 2, SystemSize: n, Seed: 5}
+
+	nodes := make([]*dataflasks.Node, 0, n)
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+
+	first, err := dataflasks.StartNode(dataflasks.NodeConfig{
+		ID: 1, Bind: "127.0.0.1:0", Config: cfg,
+		RoundPeriod: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartNode 1: %v", err)
+	}
+	nodes = append(nodes, first)
+	seed := fmt.Sprintf("1@%s", first.Addr())
+
+	for i := 2; i <= n; i++ {
+		nd, err := dataflasks.StartNode(dataflasks.NodeConfig{
+			ID: dataflasks.NodeID(i), Bind: "127.0.0.1:0",
+			Seeds: []string{seed}, Config: cfg,
+			RoundPeriod: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartNode %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+
+	// Let gossip spread addresses and slices.
+	time.Sleep(2 * time.Second)
+
+	for _, nd := range nodes {
+		if nd.PeersKnown() < n/2 {
+			t.Errorf("node %s knows only %d peers", nd.ID(), nd.PeersKnown())
+		}
+	}
+
+	cl, err := dataflasks.ConnectClient("127.0.0.1:0", []string{seed}, cfg)
+	if err != nil {
+		t.Fatalf("ConnectClient: %v", err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Put(ctx, "tcp-key", 1, []byte("over the wire")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := cl.Get(ctx, "tcp-key", 1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "over the wire" {
+		t.Fatalf("Get = %q, want %q", got, "over the wire")
+	}
+
+	// The write must have replicated beyond one node.
+	total := 0
+	for _, nd := range nodes {
+		total += nd.StoredObjects()
+	}
+	if total < 2 {
+		t.Errorf("object stored on %d nodes total, want >= 2", total)
+	}
+}
