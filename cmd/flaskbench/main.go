@@ -8,24 +8,27 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood.
+// fanout reconfig putflood store.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dataflasks/internal/core"
 	"dataflasks/internal/lab"
+	"dataflasks/internal/store"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, all)")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
@@ -53,8 +56,9 @@ func main() {
 		"fanout":     func() { runFanout(*seed, *quick) },
 		"reconfig":   func() { runReconfig(*seed, *quick) },
 		"putflood":   func() { runPutFlood(*seed, *quick) },
+		"store":      func() { runStore(*quick) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -288,4 +292,127 @@ func runPutFlood(seed uint64, quick bool) {
 		fmt.Printf("bounded=%-5v msgs/node=%8.1f data-sends/node=%8.1f reps: immediate=%d repaired=%d ok=%d fail=%d\n",
 			r.Bounded, r.MsgsPerNode, r.DataPerNode, r.ImmediateReps, r.RepairedReps, r.OK, r.Failed)
 	}
+}
+
+func runStore(quick bool) {
+	done := header("E13: store engines — put/get throughput and recovery time")
+	defer done()
+	puts, fsyncPuts := 20000, 2000
+	if quick {
+		puts, fsyncPuts = 4000, 400
+	}
+	fmt.Printf("%12s %8s %12s %12s %12s %10s\n",
+		"engine", "fsync", "puts", "put ops/s", "get ops/s", "recover")
+	for _, row := range []struct {
+		name  string
+		fsync bool
+		open  func(dir string, fsync bool) (store.Store, error)
+	}{
+		{"memory", false, func(string, bool) (store.Store, error) { return store.NewMemory(), nil }},
+		{"disk", false, openDisk},
+		{"disk", true, openDisk},
+		{"log", false, openLog},
+		{"log", true, openLog},
+	} {
+		n := puts
+		if row.fsync {
+			n = fsyncPuts // fsync-per-object engines are orders slower
+		}
+		res, err := measureStore(row.open, row.name, row.fsync, n)
+		if err != nil {
+			fmt.Printf("%12s %8v measurement failed: %v\n", row.name, row.fsync, err)
+			continue
+		}
+		recover := "-"
+		if res.recover > 0 {
+			recover = res.recover.Round(time.Millisecond).String()
+		}
+		fmt.Printf("%12s %8v %12d %12.0f %12.0f %10s\n",
+			row.name, row.fsync, n, res.putOps, res.getOps, recover)
+	}
+}
+
+func openDisk(dir string, fsync bool) (store.Store, error) {
+	return store.OpenDisk(dir, store.DiskOptions{Fsync: fsync})
+}
+
+func openLog(dir string, fsync bool) (store.Store, error) {
+	return store.OpenLog(dir, store.LogOptions{Fsync: fsync})
+}
+
+type storeResult struct {
+	putOps  float64
+	getOps  float64
+	recover time.Duration
+}
+
+// measureStore drives one engine: n puts from 8 concurrent writers
+// (fsync engines coalesce via group commit), n random gets, then — for
+// persistent engines — a reopen to time recovery.
+func measureStore(open func(dir string, fsync bool) (store.Store, error), name string, fsync bool, n int) (storeResult, error) {
+	dir, err := os.MkdirTemp("", "flaskbench-store-")
+	if err != nil {
+		return storeResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := open(dir, fsync)
+	if err != nil {
+		return storeResult{}, err
+	}
+	val := make([]byte, 1024)
+	const writers = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += writers {
+				if err := s.Put(fmt.Sprintf("key%08d", i), 1, val); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		s.Close()
+		return storeResult{}, firstErr
+	}
+	res := storeResult{putOps: float64(n) / time.Since(start).Seconds()}
+
+	rng := rand.New(rand.NewPCG(1, 9))
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if _, _, ok, err := s.Get(fmt.Sprintf("key%08d", rng.IntN(n)), store.Latest); err != nil || !ok {
+			s.Close()
+			return storeResult{}, fmt.Errorf("get: ok=%v err=%v", ok, err)
+		}
+	}
+	res.getOps = float64(n) / time.Since(start).Seconds()
+	if err := s.Close(); err != nil {
+		return storeResult{}, err
+	}
+
+	if name != "memory" {
+		start = time.Now()
+		s2, err := open(dir, fsync)
+		if err != nil {
+			return storeResult{}, err
+		}
+		res.recover = time.Since(start)
+		if s2.Count() != n {
+			s2.Close()
+			return storeResult{}, fmt.Errorf("recovered %d of %d objects", s2.Count(), n)
+		}
+		s2.Close()
+	}
+	return res, nil
 }

@@ -29,6 +29,11 @@ func main() {
 		advertise = flag.String("advertise", "", "address peers dial (default: bind)")
 		seeds     = flag.String("seeds", "", "comma-separated bootstrap contacts, each id@host:port")
 		dataDir   = flag.String("data", "", "object directory (empty: in-memory)")
+		engine    = flag.String("engine", "log", "persistence engine with -data: log, disk or memory")
+		fsync     = flag.Bool("fsync", true, "block writes until durable (log engine group-commits)")
+		segBytes  = flag.Int64("segment-bytes", 0, "log segment roll size (0: 64 MiB default)")
+		commitWin = flag.Duration("commit-window", 0, "log group-commit window (0: natural batching)")
+		compact   = flag.Float64("compact-live", 0, "compact sealed log segments below this live ratio (0: 0.5 default, <0 disables)")
 		slices    = flag.Int("slices", 10, "number of slices k")
 		size      = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
 		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
@@ -46,6 +51,18 @@ func main() {
 	if *seeds != "" {
 		seedList = strings.Split(*seeds, ",")
 	}
+	var engineKind dataflasks.Engine
+	switch *engine {
+	case "log":
+		engineKind = dataflasks.LogEngine
+	case "disk":
+		engineKind = dataflasks.DiskEngine
+	case "memory":
+		engineKind = dataflasks.MemoryEngine
+	default:
+		fmt.Fprintf(os.Stderr, "flasksd: unknown -engine %q (want log, disk or memory)\n", *engine)
+		os.Exit(2)
+	}
 
 	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
 		ID:          dataflasks.NodeID(*id),
@@ -55,9 +72,14 @@ func main() {
 		DataDir:     *dataDir,
 		RoundPeriod: *period,
 		Config: dataflasks.Config{
-			Slices:     *slices,
-			SystemSize: *size,
-			Capacity:   *capacity,
+			Slices:           *slices,
+			SystemSize:       *size,
+			Capacity:         *capacity,
+			Engine:           engineKind,
+			Fsync:            *fsync,
+			SegmentMaxBytes:  *segBytes,
+			CommitWindow:     *commitWin,
+			CompactLiveRatio: *compact,
 		},
 	})
 	if err != nil {

@@ -29,6 +29,8 @@
 package dataflasks
 
 import (
+	"time"
+
 	"dataflasks/internal/core"
 	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
@@ -55,6 +57,24 @@ const (
 
 // Slicer selects the slice-manager protocol.
 type Slicer int
+
+// Engine selects the persistence engine behind a node's data
+// directory.
+type Engine int
+
+// Engine choices.
+const (
+	// LogEngine (the default for nodes with a data directory) is the
+	// log-structured engine: segmented append-only files, checksummed
+	// records, group-commit fsync and background compaction.
+	LogEngine Engine = iota
+	// DiskEngine is the file-per-object engine — simple and
+	// debuggable, but one file (and with Fsync one fsync) per write.
+	DiskEngine
+	// MemoryEngine keeps objects in RAM even when a data directory is
+	// configured.
+	MemoryEngine
+)
 
 // Slicer choices.
 const (
@@ -98,6 +118,22 @@ type Config struct {
 	// slice change (off by default, like the paper's conservative
 	// stance).
 	EvictForeign bool
+	// Engine selects the persistence engine used with a data
+	// directory (default LogEngine).
+	Engine Engine
+	// Fsync makes writes block until durable; the log engine coalesces
+	// concurrent writers into one fsync (group commit).
+	Fsync bool
+	// SegmentMaxBytes is the log engine's segment roll size
+	// (default 64 MiB).
+	SegmentMaxBytes int64
+	// CommitWindow is the log engine's group-commit window (default 0:
+	// batches form naturally while an fsync is in flight).
+	CommitWindow time.Duration
+	// CompactLiveRatio is the live-byte ratio under which the log
+	// engine compacts sealed segments (default 0.5; negative
+	// disables).
+	CompactLiveRatio float64
 	// Seed makes a cluster's randomness reproducible (0 = fixed
 	// default seed).
 	Seed uint64
@@ -128,6 +164,20 @@ func (c Config) coreConfig() core.Config {
 	}
 	if c.DisableAntiEntropy {
 		cc.AntiEntropyEvery = -1
+	}
+	cc.Store = core.StoreConfig{
+		Fsync:            c.Fsync,
+		SegmentMaxBytes:  c.SegmentMaxBytes,
+		CommitWindow:     c.CommitWindow,
+		CompactLiveRatio: c.CompactLiveRatio,
+	}
+	switch c.Engine {
+	case DiskEngine:
+		cc.Store.Engine = core.StoreDisk
+	case MemoryEngine:
+		cc.Store.Engine = core.StoreMemory
+	default:
+		cc.Store.Engine = core.StoreLog
 	}
 	return cc
 }

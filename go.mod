@@ -1,0 +1,3 @@
+module dataflasks
+
+go 1.22

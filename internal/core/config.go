@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 )
 
@@ -28,6 +29,62 @@ const (
 	// SlicerStatic is the hash "coin toss" baseline (§IV-A).
 	SlicerStatic
 )
+
+// StoreEngine selects the node-local persistence engine.
+type StoreEngine int
+
+// Store engine choices.
+const (
+	// StoreMemory keeps objects in RAM — simulations, caches, tests.
+	StoreMemory StoreEngine = iota + 1
+	// StoreDisk is the file-per-object engine: simple, debuggable,
+	// one file (and with Fsync one fsync) per write.
+	StoreDisk
+	// StoreLog is the log-structured engine: segmented append-only
+	// files, checksummed records, group-commit fsync and background
+	// compaction. The default for persistent deployments.
+	StoreLog
+)
+
+// StoreConfig selects and tunes the persistence engine. The zero value
+// means "memory without a data directory, log with one".
+type StoreConfig struct {
+	// Engine picks the implementation (default: StoreLog when a data
+	// directory is given, StoreMemory otherwise).
+	Engine StoreEngine
+	// Fsync makes writes block until durable. The log engine amortizes
+	// the cost across concurrent writers via group commit.
+	Fsync bool
+	// SegmentMaxBytes is the log engine's segment roll size
+	// (default 64 MiB).
+	SegmentMaxBytes int64
+	// CommitWindow is the log engine's group-commit window (default 0:
+	// batches form naturally while an fsync is in flight).
+	CommitWindow time.Duration
+	// CompactLiveRatio is the live-byte ratio under which the log
+	// engine compacts sealed segments (default 0.5; negative disables).
+	CompactLiveRatio float64
+}
+
+// Open builds the configured engine rooted at dir. An empty dir (or
+// StoreMemory) yields the memory engine.
+func (sc StoreConfig) Open(dir string) (store.Store, error) {
+	engine := sc.Engine
+	if dir == "" || engine == StoreMemory {
+		return store.NewMemory(), nil
+	}
+	switch engine {
+	case StoreDisk:
+		return store.OpenDisk(dir, store.DiskOptions{Fsync: sc.Fsync})
+	default:
+		return store.OpenLog(dir, store.LogOptions{
+			Fsync:            sc.Fsync,
+			SegmentMaxBytes:  sc.SegmentMaxBytes,
+			CommitWindow:     sc.CommitWindow,
+			CompactLiveRatio: sc.CompactLiveRatio,
+		})
+	}
+}
 
 // Config tunes one DataFlasks node. The zero value is completed by
 // defaults(); Slices and SystemSize are the two knobs every deployment
@@ -102,6 +159,10 @@ type Config struct {
 	// RoundPeriod is the live-runtime gossip period (default 500ms);
 	// simulations drive ticks explicitly and ignore it.
 	RoundPeriod time.Duration
+
+	// Store selects and tunes the persistence engine. The node runtime
+	// (not the protocol core) opens it against its data directory.
+	Store StoreConfig
 
 	// AdvertiseAddr is the node's dialable address, gossiped inside
 	// PSS descriptors so TCP fabrics can build their routing

@@ -9,6 +9,7 @@ package lab
 import (
 	"fmt"
 	"math/rand/v2"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -44,8 +45,15 @@ type ClusterConfig struct {
 	LossRate float64
 	// Latency overrides the fabric latency model (default LAN).
 	Latency transport.LatencyModel
-	// StoreFactory builds each node's store (default memory).
+	// StoreFactory builds each node's store (default: built from Store
+	// and StoreDir, which means memory when both are zero).
 	StoreFactory func(id transport.NodeID) store.Store
+	// Store selects the persistence engine used when StoreFactory is
+	// nil, so any experiment can run over any engine.
+	Store core.StoreConfig
+	// StoreDir roots the per-node data directories of non-memory
+	// engines; each node stores under StoreDir/<id>.
+	StoreDir string
 	// AutoSystemSize leaves Node.SystemSize zero so nodes run the
 	// gossip size estimator instead of being told N.
 	AutoSystemSize bool
@@ -68,6 +76,28 @@ type Cluster struct {
 
 var _ churn.SliceTarget = (*Cluster)(nil)
 
+// StoreFactoryFor builds per-node stores of the configured engine,
+// each rooted in its own subdirectory of baseDir. It lets every
+// experiment run the identical workload over the memory, disk or log
+// engine. A config needing a directory without one panics — that is a
+// harness bug, not a runtime condition.
+func StoreFactoryFor(sc core.StoreConfig, baseDir string) func(id transport.NodeID) store.Store {
+	if baseDir == "" && sc.Engine != 0 && sc.Engine != core.StoreMemory {
+		panic("lab: persistent store engine configured without StoreDir")
+	}
+	return func(id transport.NodeID) store.Store {
+		dir := ""
+		if baseDir != "" {
+			dir = filepath.Join(baseDir, id.String())
+		}
+		s, err := sc.Open(dir)
+		if err != nil {
+			panic(fmt.Sprintf("lab: open store for node %s: %v", id, err))
+		}
+		return s
+	}
+}
+
 // NewCluster builds and bootstraps a cluster (no rounds run yet).
 func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.N <= 0 {
@@ -77,7 +107,13 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cfg.SeedContacts = 5
 	}
 	if cfg.StoreFactory == nil {
-		cfg.StoreFactory = func(transport.NodeID) store.Store { return store.NewMemory() }
+		sc := cfg.Store
+		if sc == (core.StoreConfig{}) {
+			// Honor the knob on the embedded node config too, so
+			// setting it there is not a silent no-op.
+			sc = cfg.Node.Store
+		}
+		cfg.StoreFactory = StoreFactoryFor(sc, cfg.StoreDir)
 	}
 	engine := sim.NewEngine()
 	net := transport.NewSimNetwork(engine, transport.SimNetworkConfig{
@@ -186,20 +222,33 @@ func (c *Cluster) AliveIDs() []transport.NodeID {
 	return out
 }
 
-// Kill implements churn.Target: fail-stop crash.
+// Kill implements churn.Target: fail-stop crash. The node's store is
+// closed (its on-disk state stays, as after a real crash) so engines
+// with background goroutines or open files release them.
 func (c *Cluster) Kill(id transport.NodeID) {
-	if _, ok := c.nodes[id]; !ok {
+	n, ok := c.nodes[id]
+	if !ok {
 		return
 	}
 	c.Net.Detach(id)
 	if stop := c.tickers[id]; stop != nil {
 		stop()
 	}
+	_ = n.Store().Close()
 	delete(c.tickers, id)
 	delete(c.nodes, id)
 	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
 	if i < len(c.order) && c.order[i] == id {
 		c.order = append(c.order[:i], c.order[i+1:]...)
+	}
+}
+
+// Close releases every alive node's store. Memory-backed clusters do
+// not need it; log/disk-backed ones hold open files (and the log
+// engine a compaction goroutine) per node until closed.
+func (c *Cluster) Close() {
+	for _, id := range c.order {
+		_ = c.nodes[id].Store().Close()
 	}
 }
 

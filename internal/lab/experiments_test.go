@@ -91,6 +91,9 @@ func TestLoadBalancerCachingReducesTraffic(t *testing.T) {
 }
 
 func TestDHTComparisonDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping the slowest comparison sweep")
+	}
 	rows := CompareWithDHT(120, 5, 40, []float64{0, 0.05}, 19)
 	calm, stormy := rows[0], rows[1]
 	// Both work when calm.

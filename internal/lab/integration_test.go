@@ -5,8 +5,6 @@ import (
 
 	"dataflasks/internal/client"
 	"dataflasks/internal/core"
-	"dataflasks/internal/store"
-	"dataflasks/internal/transport"
 )
 
 // TestAutoSystemSize runs a cluster where nodes are NOT told N: the
@@ -79,32 +77,35 @@ func TestLossyNetwork(t *testing.T) {
 	}
 }
 
-// TestDiskBackedCluster runs a simulated cluster whose nodes persist to
-// disk, exercising the store integration end to end.
-func TestDiskBackedCluster(t *testing.T) {
-	dir := t.TempDir()
-	c := NewCluster(ClusterConfig{
-		N:    40,
-		Seed: 57,
-		Node: core.Config{Slices: 2},
-		StoreFactory: func(id transport.NodeID) store.Store {
-			d, err := store.OpenDisk(dir+"/"+id.String(), store.DiskOptions{})
-			if err != nil {
-				t.Fatalf("OpenDisk: %v", err)
-			}
-			return d
-		},
-	})
-	cl := c.NewClient(client.Config{}, nil)
-	c.Run(25)
+// TestPersistentBackedCluster runs a simulated cluster whose nodes
+// persist via each durable engine, exercising the store integration
+// (and the engine-selection plumbing) end to end.
+func TestPersistentBackedCluster(t *testing.T) {
+	for name, engine := range map[string]core.StoreEngine{
+		"disk": core.StoreDisk,
+		"log":  core.StoreLog,
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCluster(ClusterConfig{
+				N:        40,
+				Seed:     57,
+				Node:     core.Config{Slices: 2},
+				Store:    core.StoreConfig{Engine: engine},
+				StoreDir: t.TempDir(),
+			})
+			defer c.Close()
+			cl := c.NewClient(client.Config{}, nil)
+			c.Run(25)
 
-	var res client.Result
-	cl.StartPut("durable", 1, []byte("on disk"), func(r client.Result) { res = r })
-	c.Run(10)
-	if res.Err != nil {
-		t.Fatalf("put: %v", res.Err)
-	}
-	if reps := c.ReplicaCount("durable", 1); reps < 5 {
-		t.Errorf("disk replicas = %d", reps)
+			var res client.Result
+			cl.StartPut("durable", 1, []byte("on disk"), func(r client.Result) { res = r })
+			c.Run(10)
+			if res.Err != nil {
+				t.Fatalf("put: %v", res.Err)
+			}
+			if reps := c.ReplicaCount("durable", 1); reps < 5 {
+				t.Errorf("%s replicas = %d", name, reps)
+			}
+		})
 	}
 }

@@ -24,6 +24,14 @@ type Disk struct {
 	mem    *Memory // index of headers; values live on disk only
 	fsync  bool
 	closed bool
+
+	// dirSyncs counts directory fsyncs; tests assert the rename is
+	// followed by one so the new directory entry is durable.
+	dirSyncs int
+	// dirDirty is set when a directory fsync failed after a rename, so
+	// a retried (idempotent) Put re-attempts the sync instead of
+	// short-circuiting to success with the entry still undurable.
+	dirDirty bool
 }
 
 var _ Store = (*Disk)(nil)
@@ -109,7 +117,13 @@ func (d *Disk) Put(key string, version uint64, value []byte) error {
 		return ErrClosed
 	}
 	if _, _, exists, _ := d.mem.Get(key, version); exists {
-		return nil // idempotent re-put
+		// Idempotent re-put — but if an earlier directory sync failed,
+		// the entry may not be durable yet; retry it before claiming
+		// success.
+		if d.fsync && d.dirDirty {
+			return d.syncDir()
+		}
+		return nil
 	}
 	final := filepath.Join(d.dir, objectName(key, version))
 	tmp, err := os.CreateTemp(d.dir, "tmp-*.partial")
@@ -137,7 +151,40 @@ func (d *Disk) Put(key string, version uint64, value []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: publish object: %w", err)
 	}
-	return d.mem.Put(key, version, nil)
+	// Index first: the rename already published the object, so the
+	// index must reflect it even if the directory sync below fails —
+	// otherwise Get/ForEach disagree with what a reopen would recover.
+	if err := d.mem.Put(key, version, nil); err != nil {
+		return err
+	}
+	if d.fsync {
+		// The rename made the object visible, but only an fsync of the
+		// directory makes its entry durable: without it a crash can
+		// lose an acknowledged object even though its data blocks were
+		// synced.
+		if err := d.syncDir(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs the store directory so entry changes (rename, remove)
+// survive a crash. Caller holds mu.
+func (d *Disk) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		d.dirDirty = true
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		d.dirDirty = true
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	d.dirDirty = false
+	d.dirSyncs++
+	return nil
 }
 
 // Get implements Store.
@@ -183,6 +230,11 @@ func (d *Disk) Delete(key string, version uint64) error {
 	}
 	if err := os.Remove(filepath.Join(d.dir, objectName(key, version))); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: delete object: %w", err)
+	}
+	if d.fsync {
+		if err := d.syncDir(); err != nil {
+			return err
+		}
 	}
 	return d.mem.Delete(key, version)
 }

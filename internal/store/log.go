@@ -1,0 +1,844 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is the log-structured engine: objects are appended to segmented
+// write-ahead files as length-prefixed, CRC32-checksummed records, and
+// an in-memory header index maps (key, version) to the record's
+// location. Opening a log replays every segment sequentially to rebuild
+// the index; a torn record at the tail of the last segment (a crash
+// mid-append) is truncated away instead of failing recovery, so a node
+// always comes back with every object it made durable.
+//
+// The hot write path is one sequential write per Put. With Fsync
+// enabled, concurrent writers coalesce into a single fsync per
+// commit-window (group commit): each Put appends under the log lock,
+// registers a waiter, and the committer goroutine syncs the active
+// segment once for every waiter that appended before the sync.
+// Deletes append tombstone records so they survive restarts.
+//
+// Segments seal at SegmentMaxBytes and a background compactor rewrites
+// the prefix of sealed segments whose live ratio (bytes of records
+// still referenced by the index over total bytes) fell below
+// CompactLiveRatio, dropping superseded duplicates, deleted objects and
+// tombstones. Compaction only ever processes a downward-closed prefix
+// of segments: a tombstone is always appended at or after its target
+// put, so dropping every tombstone in a prefix can never resurrect a
+// record in the segments that remain.
+//
+// Safe for concurrent use.
+type Log struct {
+	mu   sync.RWMutex
+	dir  string
+	dirF *os.File
+	opts LogOptions
+
+	index  map[string]*logKey
+	count  int
+	segs   map[uint64]*segment
+	segIDs []uint64 // ascending; last is the active segment
+	active *segment
+	closed bool
+
+	// compactErr is the result of the most recent compaction pass; the
+	// background loop has no caller to return it to.
+	compactErr error
+
+	// Group commit: waiters are Puts/Deletes blocked on durability.
+	commitMu sync.Mutex
+	waiters  []chan error
+
+	commitKick  chan struct{}
+	compactKick chan struct{}
+	stop        chan struct{}
+	wg          sync.WaitGroup
+}
+
+var _ Store = (*Log)(nil)
+
+// LogOptions tunes the log engine. The zero value is a working
+// configuration: no fsync, 64 MiB segments, compaction below 50% live.
+type LogOptions struct {
+	// Fsync makes Put and Delete block until the record is on stable
+	// storage. Concurrent writers share fsyncs via group commit.
+	Fsync bool
+	// SegmentMaxBytes seals the active segment once it reaches this
+	// size (default 64 MiB).
+	SegmentMaxBytes int64
+	// CommitWindow is how long the committer waits after the first
+	// pending writer before syncing, letting a batch grow. Zero (the
+	// default) syncs immediately: batches still form naturally from
+	// writers that arrive while the previous fsync is in flight.
+	CommitWindow time.Duration
+	// CompactLiveRatio triggers compaction of sealed segments whose
+	// live-byte ratio falls below it (default 0.5; negative disables
+	// compaction).
+	CompactLiveRatio float64
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 64 << 20
+	}
+	if o.CompactLiveRatio == 0 {
+		o.CompactLiveRatio = 0.5
+	}
+	return o
+}
+
+// segment is one append-only file of the log.
+type segment struct {
+	id   uint64
+	f    *os.File
+	size int64
+	live int64 // bytes of records the index still points at
+}
+
+// recLoc locates one record inside a segment.
+type recLoc struct {
+	seg uint64
+	off int64
+	len int64
+}
+
+// logKey indexes the stored versions of one key.
+type logKey struct {
+	versions []uint64 // ascending
+	locs     map[uint64]recLoc
+}
+
+// Record layout, little-endian:
+//
+//	u32 body length | u32 CRC32(body) | body
+//	body: u8 type | u64 version | u16 key length | key | value
+//
+// The CRC covers the whole body, so a torn header, torn body or bit rot
+// anywhere in the record fails verification.
+const (
+	recHeaderLen = 8
+	recFixedLen  = 1 + 8 + 2
+	recPut       = byte(1)
+	recTomb      = byte(2)
+	maxRecBody   = 1 << 30
+)
+
+// record is one decoded log record; value aliases the decode buffer.
+type record struct {
+	typ     byte
+	key     string
+	version uint64
+	value   []byte
+}
+
+func appendRecord(dst []byte, typ byte, key string, version uint64, value []byte) []byte {
+	body := recFixedLen + len(key) + len(value)
+	start := len(dst)
+	dst = append(dst, make([]byte, recHeaderLen+body)...)
+	b := dst[start:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(body))
+	p := b[recHeaderLen:]
+	p[0] = typ
+	binary.LittleEndian.PutUint64(p[1:9], version)
+	binary.LittleEndian.PutUint16(p[9:11], uint16(len(key)))
+	copy(p[11:], key)
+	copy(p[11+len(key):], value)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(p))
+	return dst
+}
+
+// parseRecord decodes the record at the head of b. ok is false for a
+// short, corrupt or nonsensical record — the caller decides whether
+// that means a torn tail (truncate) or corruption (fail).
+func parseRecord(b []byte) (rec record, size int, ok bool) {
+	if len(b) < recHeaderLen {
+		return record{}, 0, false
+	}
+	body := binary.LittleEndian.Uint32(b[0:4])
+	if body < recFixedLen || body > maxRecBody || len(b) < recHeaderLen+int(body) {
+		return record{}, 0, false
+	}
+	p := b[recHeaderLen : recHeaderLen+int(body)]
+	if crc32.ChecksumIEEE(p) != binary.LittleEndian.Uint32(b[4:8]) {
+		return record{}, 0, false
+	}
+	typ := p[0]
+	if typ != recPut && typ != recTomb {
+		return record{}, 0, false
+	}
+	version := binary.LittleEndian.Uint64(p[1:9])
+	keyLen := int(binary.LittleEndian.Uint16(p[9:11]))
+	if recFixedLen+keyLen > int(body) || version == Latest ||
+		(typ == recTomb && recFixedLen+keyLen != int(body)) {
+		return record{}, 0, false
+	}
+	return record{
+		typ:     typ,
+		key:     string(p[11 : 11+keyLen]),
+		version: version,
+		value:   p[11+keyLen:],
+	}, recHeaderLen + int(body), true
+}
+
+func segmentName(id uint64) string {
+	return fmt.Sprintf("%010d.seg", id)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// OpenLog opens (creating if needed) a log store rooted at dir and
+// rebuilds the header index by replaying every segment in order.
+func OpenLog(dir string, opts LogOptions) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	dirF, err := os.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open dir: %w", err)
+	}
+	l := &Log{
+		dir:         dir,
+		dirF:        dirF,
+		opts:        opts,
+		index:       make(map[string]*logKey),
+		segs:        make(map[uint64]*segment),
+		commitKick:  make(chan struct{}, 1),
+		compactKick: make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		dirF.Close()
+		return nil, fmt.Errorf("store: scan dir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegmentName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if err := l.replaySegment(id, i == len(ids)-1); err != nil {
+			l.closeFiles()
+			return nil, err
+		}
+	}
+	if len(ids) == 0 {
+		seg, err := l.createSegment(1)
+		if err != nil {
+			l.closeFiles()
+			return nil, err
+		}
+		l.active = seg
+	} else {
+		l.active = l.segs[ids[len(ids)-1]]
+		if l.active.size >= l.opts.SegmentMaxBytes {
+			if err := l.seal(); err != nil {
+				l.closeFiles()
+				return nil, err
+			}
+		}
+	}
+	l.wg.Add(1)
+	go l.compactLoop()
+	if l.opts.Fsync {
+		l.wg.Add(1)
+		go l.commitLoop()
+	}
+	return l, nil
+}
+
+// Dir returns the store's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// replaySegment scans one segment sequentially, applying puts and
+// tombstones to the index. A record that fails verification in the
+// last segment is a torn tail: the file is truncated at the last good
+// offset. Anywhere else it is corruption and replay fails.
+func (l *Log) replaySegment(id uint64, last bool) error {
+	path := filepath.Join(l.dir, segmentName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: read segment: %w", err)
+	}
+	seg := &segment{id: id, f: f}
+	l.segs[id] = seg
+	l.segIDs = append(l.segIDs, id)
+	off := 0
+	for off < len(data) {
+		rec, n, ok := parseRecord(data[off:])
+		if !ok {
+			if !last {
+				return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, id, off)
+			}
+			if err := f.Truncate(int64(off)); err != nil {
+				return fmt.Errorf("store: truncate torn tail: %w", err)
+			}
+			break
+		}
+		switch rec.typ {
+		case recPut:
+			k := l.index[rec.key]
+			if k == nil {
+				k = &logKey{locs: make(map[uint64]recLoc, 1)}
+				l.index[rec.key] = k
+			}
+			if _, dup := k.locs[rec.version]; !dup {
+				k.locs[rec.version] = recLoc{seg: id, off: int64(off), len: int64(n)}
+				k.versions = insertSorted(k.versions, rec.version)
+				seg.live += int64(n)
+				l.count++
+			}
+		case recTomb:
+			if k := l.index[rec.key]; k != nil {
+				if loc, ok := k.locs[rec.version]; ok {
+					l.dropIndexed(k, rec.key, rec.version, loc)
+				}
+			}
+		}
+		off += n
+	}
+	seg.size = int64(off)
+	// The handle's write offset must sit at the replayed end (the file
+	// was read separately), or appends would overwrite the head.
+	if _, err := f.Seek(seg.size, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek segment end: %w", err)
+	}
+	return nil
+}
+
+// dropIndexed removes (key, version) from the index and discounts its
+// record from the owning segment's live bytes. Caller holds mu.
+func (l *Log) dropIndexed(k *logKey, key string, version uint64, loc recLoc) {
+	delete(k.locs, version)
+	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i] >= version })
+	if i < len(k.versions) && k.versions[i] == version {
+		k.versions = append(k.versions[:i], k.versions[i+1:]...)
+	}
+	if len(k.versions) == 0 {
+		delete(l.index, key)
+	}
+	if seg := l.segs[loc.seg]; seg != nil {
+		seg.live -= loc.len
+	}
+	l.count--
+}
+
+// createSegment opens a fresh segment file and makes its directory
+// entry durable. Caller holds mu (or is inside Open).
+func (l *Log) createSegment(id uint64) (*segment, error) {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(id)), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create segment: %w", err)
+	}
+	if err := l.dirF.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync dir: %w", err)
+	}
+	seg := &segment{id: id, f: f}
+	l.segs[id] = seg
+	l.segIDs = append(l.segIDs, id)
+	return seg, nil
+}
+
+// seal syncs the active segment and rolls to a new one. Caller holds
+// mu.
+func (l *Log) seal() error {
+	if err := l.active.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync sealed segment: %w", err)
+	}
+	seg, err := l.createSegment(l.active.id + 1)
+	if err != nil {
+		return err
+	}
+	l.active = seg
+	l.kickCompact()
+	return nil
+}
+
+// appendLocked writes one encoded record to the active segment and
+// rolls it when full. On a short write the segment is truncated back so
+// the log stays parseable. Caller holds mu.
+func (l *Log) appendLocked(rec []byte) (off int64, err error) {
+	off = l.active.size
+	if _, err := l.active.f.Write(rec); err != nil {
+		_ = l.active.f.Truncate(off)
+		_, _ = l.active.f.Seek(off, io.SeekStart)
+		return 0, fmt.Errorf("store: append record: %w", err)
+	}
+	l.active.size += int64(len(rec))
+	return off, nil
+}
+
+// enqueueDurable registers a group-commit waiter. Must be called while
+// holding mu so Close cannot set closed between the append and the
+// registration (it would strand the waiter).
+func (l *Log) enqueueDurable() chan error {
+	ch := make(chan error, 1)
+	l.commitMu.Lock()
+	l.waiters = append(l.waiters, ch)
+	l.commitMu.Unlock()
+	return ch
+}
+
+func (l *Log) kickCommit() {
+	select {
+	case l.commitKick <- struct{}{}:
+	default:
+	}
+}
+
+func (l *Log) kickCompact() {
+	select {
+	case l.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// Put implements Store.
+func (l *Log) Put(key string, version uint64, value []byte) error {
+	if version == Latest {
+		return ErrBadVersion
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), maxKeyLen)
+	}
+	if len(value) > maxRecBody-recFixedLen-len(key) {
+		// A record the parser would reject must never be acknowledged:
+		// it would read back as corruption and poison replay.
+		return fmt.Errorf("%w: value %d bytes (max %d)", ErrValueTooLarge, len(value), maxRecBody-recFixedLen-len(key))
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	k := l.index[key]
+	if k != nil {
+		if _, dup := k.locs[version]; dup {
+			// Idempotent re-put — but under Fsync the caller is being
+			// told the object is durable, and the original record may
+			// still be waiting on its group commit. Join it.
+			var ch chan error
+			if l.opts.Fsync {
+				ch = l.enqueueDurable()
+			}
+			l.mu.Unlock()
+			if ch == nil {
+				return nil
+			}
+			l.kickCommit()
+			return <-ch
+		}
+	}
+	rec := appendRecord(nil, recPut, key, version, value)
+	off, err := l.appendLocked(rec)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if k == nil {
+		k = &logKey{locs: make(map[uint64]recLoc, 1)}
+		l.index[key] = k
+	}
+	k.locs[version] = recLoc{seg: l.active.id, off: off, len: int64(len(rec))}
+	k.versions = insertSorted(k.versions, version)
+	l.active.live += int64(len(rec))
+	l.count++
+	var sealErr error
+	if l.active.size >= l.opts.SegmentMaxBytes {
+		sealErr = l.seal()
+	}
+	var ch chan error
+	if l.opts.Fsync {
+		ch = l.enqueueDurable()
+	}
+	l.mu.Unlock()
+	if sealErr != nil {
+		return sealErr
+	}
+	if ch == nil {
+		return nil
+	}
+	l.kickCommit()
+	return <-ch
+}
+
+// Get implements Store. The record is re-verified against its checksum
+// on every read, so a torn or rotted record is reported as ErrCorrupt
+// rather than served.
+func (l *Log) Get(key string, version uint64) ([]byte, uint64, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, 0, false, ErrClosed
+	}
+	k := l.index[key]
+	if k == nil || len(k.versions) == 0 {
+		return nil, 0, false, nil
+	}
+	v := version
+	if version == Latest {
+		v = k.versions[len(k.versions)-1]
+	}
+	loc, ok := k.locs[v]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	buf := make([]byte, loc.len)
+	if _, err := l.segs[loc.seg].f.ReadAt(buf, loc.off); err != nil {
+		return nil, 0, false, fmt.Errorf("store: read record: %w", err)
+	}
+	rec, _, ok := parseRecord(buf)
+	if !ok || rec.typ != recPut || rec.key != key || rec.version != v {
+		return nil, 0, false, fmt.Errorf("%w: %q version %d", ErrCorrupt, key, v)
+	}
+	return rec.value, v, true, nil
+}
+
+// Versions implements Store.
+func (l *Log) Versions(key string) ([]uint64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	k := l.index[key]
+	if k == nil {
+		return nil, nil
+	}
+	out := make([]uint64, len(k.versions))
+	copy(out, k.versions)
+	return out, nil
+}
+
+// Delete implements Store. It appends a tombstone record so the delete
+// survives restarts, then drops the version from the index.
+func (l *Log) Delete(key string, version uint64) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	k := l.index[key]
+	if k == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	loc, ok := k.locs[version]
+	if !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	rec := appendRecord(nil, recTomb, key, version, nil)
+	if _, err := l.appendLocked(rec); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.dropIndexed(k, key, version, loc)
+	var sealErr error
+	if l.active.size >= l.opts.SegmentMaxBytes {
+		sealErr = l.seal()
+	}
+	var ch chan error
+	if l.opts.Fsync {
+		ch = l.enqueueDurable()
+	}
+	l.mu.Unlock()
+	l.kickCompact()
+	if sealErr != nil {
+		return sealErr
+	}
+	if ch == nil {
+		return nil
+	}
+	l.kickCommit()
+	return <-ch
+}
+
+// ForEach implements Store. Like Memory, it iterates a sorted snapshot
+// of the headers so fn may call back into the store.
+func (l *Log) ForEach(fn func(key string, version uint64) bool) error {
+	l.mu.RLock()
+	if l.closed {
+		l.mu.RUnlock()
+		return ErrClosed
+	}
+	snapshot := make([]Object, 0, l.count)
+	for key, k := range l.index {
+		for _, v := range k.versions {
+			snapshot = append(snapshot, Object{Key: key, Version: v})
+		}
+	}
+	l.mu.RUnlock()
+	sort.Slice(snapshot, func(i, j int) bool {
+		if snapshot[i].Key != snapshot[j].Key {
+			return snapshot[i].Key < snapshot[j].Key
+		}
+		return snapshot[i].Version < snapshot[j].Version
+	})
+	for _, o := range snapshot {
+		if !fn(o.Key, o.Version) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count implements Store.
+func (l *Log) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return 0
+	}
+	return l.count
+}
+
+// SegmentCount returns how many segment files the log currently has
+// (including the active one). Exposed for tests and metrics.
+func (l *Log) SegmentCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.segIDs)
+}
+
+// commitLoop is the group committer: it turns any number of pending
+// durability waiters into one fsync of the active segment.
+func (l *Log) commitLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.commitKick:
+		}
+		if l.opts.CommitWindow > 0 {
+			time.Sleep(l.opts.CommitWindow)
+		}
+		l.commitMu.Lock()
+		ws := l.waiters
+		l.waiters = nil
+		l.commitMu.Unlock()
+		if len(ws) == 0 {
+			continue
+		}
+		// Every waiter in ws appended before this point, to the current
+		// active file or to one already synced by a seal, so one fsync
+		// of the active file covers the batch. The sync runs outside mu
+		// so writers keep appending meanwhile, growing the next batch.
+		l.mu.RLock()
+		f := l.active.f
+		l.mu.RUnlock()
+		err := f.Sync()
+		if err != nil && errors.Is(err, os.ErrClosed) {
+			// The snapshot raced with a seal + compaction: the file was
+			// sealed (synced) and then compacted away. Both paths made
+			// every waiter's record durable before closing it.
+			err = nil
+		}
+		for _, ch := range ws {
+			ch <- err
+		}
+	}
+}
+
+// compactLoop runs segment compaction in the background whenever a
+// seal or delete suggests dead bytes may have accumulated.
+func (l *Log) compactLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.compactKick:
+		}
+		l.compactOnce()
+	}
+}
+
+// Compact forces one synchronous compaction evaluation. The background
+// loop calls the same logic; tests and operators can call it directly.
+func (l *Log) Compact() error { return l.compactOnce() }
+
+// CompactionErr returns the error of the most recent compaction pass
+// (nil when it succeeded). Background compaction has no caller to
+// report to, so failures — ENOSPC, I/O errors, a corrupt sealed
+// segment — are surfaced here instead of disappearing.
+func (l *Log) CompactionErr() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.compactErr
+}
+
+func (l *Log) compactOnce() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.compactLocked()
+	l.compactErr = err
+	return err
+}
+
+func (l *Log) compactLocked() error {
+	if l.closed || l.opts.CompactLiveRatio < 0 {
+		return nil
+	}
+	// Candidates form a downward-closed prefix of the sealed segments,
+	// up to the newest one below the live-ratio threshold. The prefix
+	// property is what makes dropping tombstones safe: a tombstone's
+	// target put is always in the same or an earlier segment.
+	cut := -1
+	for i, id := range l.segIDs {
+		if id == l.active.id {
+			break
+		}
+		seg := l.segs[id]
+		if seg.size > 0 && float64(seg.live)/float64(seg.size) < l.opts.CompactLiveRatio {
+			cut = i
+		}
+	}
+	if cut < 0 {
+		return nil
+	}
+	prefix := append([]uint64(nil), l.segIDs[:cut+1]...)
+	for _, id := range prefix {
+		if err := l.rewriteLive(l.segs[id]); err != nil {
+			return err
+		}
+	}
+	// New copies must be durable before the old ones disappear.
+	if err := l.active.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync compacted records: %w", err)
+	}
+	// Remove in ascending order, syncing the directory after each
+	// unlink: the filesystem does not persist un-fsynced directory
+	// updates in issue order, and a crash that keeps a put's segment
+	// while losing its tombstone's would resurrect deleted data. With
+	// the per-remove sync, a surviving tombstone may at worst point at
+	// an already-removed put (harmless). Bookkeeping is trimmed per
+	// segment so an error return leaves segs and segIDs consistent for
+	// the next pass.
+	for _, id := range prefix {
+		seg := l.segs[id]
+		// os.File tolerates a concurrent Sync from the group committer:
+		// the loser observes os.ErrClosed, which the committer maps to
+		// success (sealing already synced this file).
+		seg.f.Close()
+		err := os.Remove(filepath.Join(l.dir, segmentName(id)))
+		if err == nil {
+			err = l.dirF.Sync()
+		}
+		delete(l.segs, id)
+		l.segIDs = l.segIDs[1:] // prefix sits at the front
+		if err != nil {
+			return fmt.Errorf("store: remove compacted segment %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// rewriteLive copies every record of seg that is still the index's
+// current location into the active segment, updating the index as it
+// goes. Tombstones and superseded records are left behind. Caller
+// holds mu.
+func (l *Log) rewriteLive(seg *segment) error {
+	data := make([]byte, seg.size)
+	if seg.size > 0 {
+		if _, err := seg.f.ReadAt(data, 0); err != nil {
+			return fmt.Errorf("store: read segment %d: %w", seg.id, err)
+		}
+	}
+	var off int64
+	for off < seg.size {
+		rec, n, ok := parseRecord(data[off:])
+		if !ok {
+			return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, seg.id, off)
+		}
+		if rec.typ == recPut {
+			if k := l.index[rec.key]; k != nil {
+				if loc, live := k.locs[rec.version]; live && loc.seg == seg.id && loc.off == off {
+					newOff, err := l.appendLocked(data[off : off+int64(n)])
+					if err != nil {
+						return err
+					}
+					k.locs[rec.version] = recLoc{seg: l.active.id, off: newOff, len: int64(n)}
+					l.active.live += int64(n)
+					seg.live -= int64(n)
+					if l.active.size >= l.opts.SegmentMaxBytes {
+						if err := l.seal(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		off += int64(n)
+	}
+	return nil
+}
+
+// Close implements Store. Pending group-commit waiters receive the
+// result of one final fsync.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.wg.Wait()
+	// No new waiters can register once closed is set (registration
+	// happens under mu), so this drain is complete.
+	l.commitMu.Lock()
+	ws := l.waiters
+	l.waiters = nil
+	l.commitMu.Unlock()
+	err := l.active.f.Sync()
+	for _, ch := range ws {
+		ch <- err
+	}
+	l.closeFiles()
+	l.index = nil
+	l.count = 0
+	return err
+}
+
+func (l *Log) closeFiles() {
+	for _, seg := range l.segs {
+		seg.f.Close()
+	}
+	l.dirF.Close()
+}

@@ -5,9 +5,12 @@
 // conflicts — it keeps the versions it is given and serves exact-version
 // or latest-version reads.
 //
-// Two engines are provided: a memory engine for simulations and caches,
-// and a disk engine (file per object, atomic rename writes) for the
-// persistence DataFlasks owes the soft-state layer above it (§III).
+// Three engines are provided: a memory engine for simulations and
+// caches; a disk engine (file per object, atomic rename writes) that is
+// simple and debuggable; and a log engine (segmented append-only files,
+// CRC-checksummed records, group-commit fsync, background compaction)
+// whose batched sequential writes carry the persistence DataFlasks owes
+// the soft-state layer above it (§III) at epidemic replication rates.
 package store
 
 import (
@@ -62,4 +65,10 @@ var (
 	// ErrBadVersion reports the reserved Latest sentinel used as a
 	// concrete version in Put.
 	ErrBadVersion = fmt.Errorf("store: version %d is reserved", Latest)
+	// ErrCorrupt reports a record that fails checksum or structural
+	// verification; a corrupt record is never served as data.
+	ErrCorrupt = errors.New("store: corrupt record")
+	// ErrValueTooLarge reports a value exceeding an engine's record
+	// size limit.
+	ErrValueTooLarge = errors.New("store: value too large")
 )

@@ -18,9 +18,23 @@ func engines(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatalf("OpenDisk: %v", err)
 	}
+	lg, err := OpenLog(t.TempDir(), LogOptions{})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
 	return map[string]Store{
 		"memory": NewMemory(),
 		"disk":   disk,
+		"log":    lg,
+	}
+}
+
+// persistentEngines returns a reopenable factory per durable engine, so
+// recovery tests run against each.
+func persistentEngines() map[string]func(dir string) (Store, error) {
+	return map[string]func(dir string) (Store, error){
+		"disk": func(dir string) (Store, error) { return OpenDisk(dir, DiskOptions{Fsync: true}) },
+		"log":  func(dir string) (Store, error) { return OpenLog(dir, LogOptions{Fsync: true}) },
 	}
 }
 

@@ -92,18 +92,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.net = tcpNet
 
-	if cfg.DataDir != "" {
-		disk, err := store.OpenDisk(cfg.DataDir, store.DiskOptions{})
-		if err != nil {
-			tcpNet.Close()
-			return nil, err
-		}
-		n.st = disk
-	} else {
-		n.st = store.NewMemory()
-	}
-
 	coreCfg := cfg.Config.coreConfig()
+	st, err := coreCfg.Store.Open(cfg.DataDir)
+	if err != nil {
+		tcpNet.Close()
+		return nil, err
+	}
+	n.st = st
 	coreCfg.RoundPeriod = cfg.RoundPeriod
 	coreCfg.AdvertiseAddr = tcpNet.Addr()
 	coreCfg.AddressBook = tcpNet
