@@ -234,6 +234,31 @@ func BenchmarkStorePutFsync(b *testing.B) {
 	}
 }
 
+// BenchmarkLogStorePutBatch is the batched write path: 64 objects per
+// PutBatch, one lock acquisition, one encoded append and one
+// group-commit fsync per batch — against which BenchmarkStorePutFsync
+// pays per object.
+func BenchmarkLogStorePutBatch(b *testing.B) {
+	s, err := store.OpenLog(b.TempDir(), store.LogOptions{Fsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 100)
+	const batchSize = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs := make([]store.Object, batchSize)
+		for j := range objs {
+			objs[j] = store.Object{Key: fmt.Sprintf("key%08d-%02d", i, j), Version: 1, Value: val}
+		}
+		if err := s.PutBatch(objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batchSize, "objs/op")
+}
+
 // BenchmarkLogRecovery measures reopening (sequential replay + index
 // rebuild) of a log holding 10k objects.
 func BenchmarkLogRecovery(b *testing.B) {

@@ -8,7 +8,7 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood store.
+// fanout reconfig putflood store compact.
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, all)")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
@@ -57,8 +58,9 @@ func main() {
 		"reconfig":   func() { runReconfig(*seed, *quick) },
 		"putflood":   func() { runPutFlood(*seed, *quick) },
 		"store":      func() { runStore(*quick) },
+		"compact":    func() { runCompact(*quick) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -330,6 +332,166 @@ func runStore(quick bool) {
 		fmt.Printf("%12s %8v %12d %12.0f %12.0f %10s\n",
 			row.name, row.fsync, n, res.putOps, res.getOps, recover)
 	}
+}
+
+// runCompact measures the two claims of the non-blocking compaction
+// work: (a) foreground Get/Put latency stays bounded while a
+// rate-limited compaction pass churns in the background, and (b) the
+// batched write path amortizes group commit — PutBatch of 64 objects
+// versus 64 sequential fsync'd Puts.
+func runCompact(quick bool) {
+	done := header("E14: log engine — foreground latency under compaction, batched write path")
+	defer done()
+	n, window := 20000, 1500*time.Millisecond
+	if quick {
+		n, window = 4000, 700*time.Millisecond
+	}
+	const valSize = 1024
+
+	// Errors here are regressions (a Get failing or corrupting during
+	// an active pass), not reporting noise: fail hard so the CI smoke
+	// step catches them.
+	baseGet, basePut, err := compactLatency(n, window, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaskbench: compact baseline: %v\n", err)
+		os.Exit(1)
+	}
+	churnGet, churnPut, err := compactLatency(n, window, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaskbench: compact under load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%24s %14s %14s\n", "", "get p99", "put p99")
+	fmt.Printf("%24s %14s %14s\n", "no compaction", baseGet, basePut)
+	fmt.Printf("%24s %14s %14s\n", "compaction active", churnGet, churnPut)
+	fmt.Printf("%24s %13.2fx %13.2fx\n", "ratio", ratio(churnGet, baseGet), ratio(churnPut, basePut))
+
+	seq, batch, err := putBatchHeadToHead(64, valSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaskbench: putbatch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("64 fsync'd Puts: %s; PutBatch(64): %s — %.1fx\n",
+		seq.Round(time.Microsecond), batch.Round(time.Microsecond), ratio(seq, batch))
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// compactLatency fills a log store with compaction debt (small
+// segments, most objects deleted) and measures foreground Get/Put p99
+// over a fixed wall-clock window. With compactDuring, deletes run
+// under an aggressive live-ratio threshold and a copy-rate cap sized
+// so the background pass cycles copy bursts and throttle sleeps for
+// the whole window (pass duration ≈ 4× the window); without it,
+// compaction is disabled and the same debt just sits there.
+func compactLatency(n int, window time.Duration, compactDuring bool) (getP99, putP99 time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "flaskbench-compact-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	val := make([]byte, 1024)
+	opts := store.LogOptions{SegmentMaxBytes: 1 << 20, CompactLiveRatio: -1}
+	if compactDuring {
+		// The pass's charged work is roughly the whole data set (reads)
+		// plus the ~10% live copies; spread it over ~4 windows.
+		opts.CompactLiveRatio = 0.95
+		work := int64(n) * int64(len(val)) * 11 / 10
+		opts.CompactRateBytesPerSec = work / int64(4*window/time.Second+1)
+	}
+	l, err := store.OpenLog(dir, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+
+	key := func(i int) string { return fmt.Sprintf("key%08d", i) }
+	for i := 0; i < n; i += 256 {
+		batch := make([]store.Object, 0, 256)
+		for j := i; j < i+256 && j < n; j++ {
+			batch = append(batch, store.Object{Key: key(j), Version: 1, Value: val})
+		}
+		if err := l.PutBatch(batch); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Kill 90%: sealed segments collapse below any live-ratio
+	// threshold. With compaction enabled the deletes kick the
+	// background pass, which starts copying (rate-limited) right away.
+	for i := 0; i < n*9/10; i++ {
+		if err := l.Delete(key(i), 1); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	survivors := n - n*9/10
+	rng := rand.New(rand.NewPCG(7, 13))
+	var getLat, putLat []time.Duration
+	deadline := time.Now().Add(window)
+	for i := 0; time.Now().Before(deadline); i++ {
+		k := key(n*9/10 + rng.IntN(survivors))
+		start := time.Now()
+		if _, _, ok, err := l.Get(k, store.Latest); err != nil || !ok {
+			return 0, 0, fmt.Errorf("get %s: ok=%v err=%v", k, ok, err)
+		}
+		getLat = append(getLat, time.Since(start))
+		if i%4 == 0 {
+			start = time.Now()
+			if err := l.Put(fmt.Sprintf("new%08d", i), 1, val); err != nil {
+				return 0, 0, err
+			}
+			putLat = append(putLat, time.Since(start))
+		}
+	}
+	return p99(getLat), p99(putLat), nil
+}
+
+func p99(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*99/100]
+}
+
+// putBatchHeadToHead times n sequential fsync'd Puts against one
+// PutBatch of n objects on a fresh fsync'd log store.
+func putBatchHeadToHead(n, valSize int) (seq, batch time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "flaskbench-batch-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := store.OpenLog(dir, store.LogOptions{Fsync: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+	val := make([]byte, valSize)
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := l.Put(fmt.Sprintf("seq%08d", i), 1, val); err != nil {
+			return 0, 0, err
+		}
+	}
+	seq = time.Since(start)
+
+	objs := make([]store.Object, n)
+	for i := range objs {
+		objs[i] = store.Object{Key: fmt.Sprintf("batch%08d", i), Version: 1, Value: val}
+	}
+	start = time.Now()
+	if err := l.PutBatch(objs); err != nil {
+		return 0, 0, err
+	}
+	batch = time.Since(start)
+	return seq, batch, nil
 }
 
 func openDisk(dir string, fsync bool) (store.Store, error) {

@@ -34,6 +34,7 @@ func main() {
 		segBytes  = flag.Int64("segment-bytes", 0, "log segment roll size (0: 64 MiB default)")
 		commitWin = flag.Duration("commit-window", 0, "log group-commit window (0: natural batching)")
 		compact   = flag.Float64("compact-live", 0, "compact sealed log segments below this live ratio (0: 0.5 default, <0 disables)")
+		compactBw = flag.Int64("compact-rate", 0, "log compaction copy throughput cap in bytes/sec (0: unlimited)")
 		slices    = flag.Int("slices", 10, "number of slices k")
 		size      = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
 		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
@@ -72,14 +73,15 @@ func main() {
 		DataDir:     *dataDir,
 		RoundPeriod: *period,
 		Config: dataflasks.Config{
-			Slices:           *slices,
-			SystemSize:       *size,
-			Capacity:         *capacity,
-			Engine:           engineKind,
-			Fsync:            *fsync,
-			SegmentMaxBytes:  *segBytes,
-			CommitWindow:     *commitWin,
-			CompactLiveRatio: *compact,
+			Slices:                 *slices,
+			SystemSize:             *size,
+			Capacity:               *capacity,
+			Engine:                 engineKind,
+			Fsync:                  *fsync,
+			SegmentMaxBytes:        *segBytes,
+			CommitWindow:           *commitWin,
+			CompactLiveRatio:       *compact,
+			CompactRateBytesPerSec: *compactBw,
 		},
 	})
 	if err != nil {

@@ -134,6 +134,10 @@ type Config struct {
 	// engine compacts sealed segments (default 0.5; negative
 	// disables).
 	CompactLiveRatio float64
+	// CompactRateBytesPerSec throttles the log engine's background
+	// compaction copy I/O in bytes per second (0 = unlimited), keeping
+	// maintenance from starving foreground requests.
+	CompactRateBytesPerSec int64
 	// Seed makes a cluster's randomness reproducible (0 = fixed
 	// default seed).
 	Seed uint64
@@ -166,10 +170,11 @@ func (c Config) coreConfig() core.Config {
 		cc.AntiEntropyEvery = -1
 	}
 	cc.Store = core.StoreConfig{
-		Fsync:            c.Fsync,
-		SegmentMaxBytes:  c.SegmentMaxBytes,
-		CommitWindow:     c.CommitWindow,
-		CompactLiveRatio: c.CompactLiveRatio,
+		Fsync:                  c.Fsync,
+		SegmentMaxBytes:        c.SegmentMaxBytes,
+		CommitWindow:           c.CommitWindow,
+		CompactLiveRatio:       c.CompactLiveRatio,
+		CompactRateBytesPerSec: c.CompactRateBytesPerSec,
 	}
 	switch c.Engine {
 	case DiskEngine:

@@ -13,6 +13,7 @@
 package antientropy
 
 import (
+	"errors"
 	"math/rand/v2"
 
 	"dataflasks/internal/store"
@@ -146,16 +147,42 @@ func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
 		p.servePull(from, m)
 		return true
 	case *Push:
+		// One store call for the whole push: the log engine turns the
+		// batch into a single append and one group-commit fsync instead
+		// of a lock acquisition (and fsync) per object. The message may
+		// be shared with other recipients, so filter into a fresh slice.
+		batch := make([]store.Object, 0, len(m.Objects))
 		for _, o := range m.Objects {
 			if !p.env.KeyInSlice(o.Key) {
 				continue
 			}
-			_ = p.env.Store.Put(o.Key, o.Version, o.Value)
+			batch = append(batch, o)
+		}
+		if len(batch) == 0 {
+			return true
+		}
+		if err := p.env.Store.PutBatch(batch); isInvalidObject(err) {
+			// A statically invalid object fails the whole batch; fall
+			// back to per-object puts so one stray object cannot block
+			// the repair of the rest. I/O errors are NOT retried per
+			// object — they would fail identically N more times; later
+			// rounds repair what this one could not.
+			for _, o := range batch {
+				_ = p.env.Store.Put(o.Key, o.Version, o.Value)
+			}
 		}
 		return true
 	default:
 		return false
 	}
+}
+
+// isInvalidObject reports whether err is a static validation failure
+// (as opposed to an I/O or lifecycle error).
+func isInvalidObject(err error) bool {
+	return errors.Is(err, store.ErrBadVersion) ||
+		errors.Is(err, store.ErrKeyTooLong) ||
+		errors.Is(err, store.ErrValueTooLarge)
 }
 
 func (p *Protocol) send(to transport.NodeID, msg interface{}) {

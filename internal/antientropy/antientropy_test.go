@@ -115,6 +115,26 @@ func TestExchangeSkipsForeignKeys(t *testing.T) {
 	}
 }
 
+// TestPushWithInvalidObjectStillStoresRest covers the PutBatch
+// fallback: a statically invalid object (which no honest store could
+// have produced) fails the batch, and the per-object fallback must
+// still land the valid ones.
+func TestPushWithInvalidObjectStillStoresRest(t *testing.T) {
+	const slice, k = 1, 4
+	h := newPair(t, Config{}, slice, k)
+	keys := keysInSlice(t, slice, k, 2)
+	h.b.Handle(1, &Push{Objects: []store.Object{
+		{Key: keys[0], Version: store.Latest, Value: []byte("bogus")},
+		{Key: keys[1], Version: 3, Value: []byte("good")},
+	}})
+	if val, _, ok, _ := h.sb.Get(keys[1], 3); !ok || string(val) != "good" {
+		t.Errorf("valid object lost to the invalid one: %q %v", val, ok)
+	}
+	if h.sb.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (invalid object dropped)", h.sb.Count())
+	}
+}
+
 func TestExchangeIgnoresOtherSlicesDigest(t *testing.T) {
 	const k = 4
 	h := newPair(t, Config{}, 1, k)

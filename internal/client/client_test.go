@@ -176,6 +176,49 @@ func TestAcksAccumulateAcrossRetries(t *testing.T) {
 	}
 }
 
+// TestPutAckToSupersededAttemptCounts pins the retry-aliasing fix: a
+// retry re-issues the put under a fresh request id, but acks provoked
+// by the PREVIOUS attempt are from distinct replicas of the same
+// (key, version) and may still be in flight. Dropping them made
+// PutAcks>1 operations time out needlessly; the old id must stay
+// aliased to the live op.
+func TestPutAckToSupersededAttemptCounts(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2, TimeoutTicks: 2, Retries: 3}, []transport.NodeID{1})
+	var res *Result
+	cl.StartPut("k", 1, nil, func(r Result) { res = &r })
+	first := cap.sent[0].Msg.(*core.PutRequest).ID
+
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: first}})
+	cl.Tick()
+	cl.Tick() // deadline hits → retry under a fresh id
+	second := cap.sent[1].Msg.(*core.PutRequest).ID
+	if second == first {
+		t.Fatal("retry reused the request id")
+	}
+	// The replica that already acked attempt one acking again — via the
+	// old id — is still one replica and must not complete the op.
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: first}})
+	if res != nil {
+		t.Fatal("duplicate replica completed the put via the old id")
+	}
+	// A second, distinct replica whose ack is addressed to the OLD
+	// attempt id completes the op: the acks are split across attempts.
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.PutAck{ID: first}})
+	if res == nil || res.Err != nil || res.Acks != 2 || res.Retries != 1 {
+		t.Fatalf("res = %+v, want 2 acks across attempts", res)
+	}
+	if cl.Pending() != 0 {
+		t.Errorf("pending = %d", cl.Pending())
+	}
+	// Late acks to either id of the completed op are dropped.
+	doneAcks := res.Acks
+	cl.HandleMessage(transport.Envelope{From: 7, Msg: &core.PutAck{ID: first}})
+	cl.HandleMessage(transport.Envelope{From: 7, Msg: &core.PutAck{ID: second}})
+	if res.Acks != doneAcks || cl.Pending() != 0 {
+		t.Error("late ack revived a completed op")
+	}
+}
+
 func TestEmptyLoadBalancerFailsAfterRetries(t *testing.T) {
 	cl, cap := newTestCore(t, Config{TimeoutTicks: 1, Retries: 1}, nil)
 	var res *Result

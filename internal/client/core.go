@@ -89,6 +89,9 @@ type pending struct {
 	lastContact transport.NodeID
 	hasContact  bool
 	done        func(Result)
+	// attempts holds the superseded request ids of earlier attempts of
+	// this op; acks addressed to them still count (see Core.aliases).
+	attempts []gossip.RequestID
 }
 
 // Core is the client library's event-driven engine: it issues requests
@@ -102,10 +105,16 @@ type Core struct {
 	out transport.Sender
 	lb  LoadBalancer
 
-	seq     uint32
-	tick    uint64
-	ops     map[gossip.RequestID]*pending
-	replied *gossip.Dedup // request ids already completed (late replies)
+	seq  uint32
+	tick uint64
+	ops  map[gossip.RequestID]*pending
+	// aliases maps the request ids of superseded put attempts to their
+	// live op: a retry re-issues under a fresh id (dedup caches across
+	// the system would swallow a re-used one), but acks for the previous
+	// attempt may still be in flight and are from distinct replicas all
+	// the same — dropping them makes PutAcks>1 operations time out
+	// needlessly.
+	aliases map[gossip.RequestID]*pending
 }
 
 // NewCore creates a client engine. id must be unique in the fabric —
@@ -121,7 +130,7 @@ func NewCore(id transport.NodeID, cfg Config, out transport.Sender, lb LoadBalan
 		out:     out,
 		lb:      lb,
 		ops:     make(map[gossip.RequestID]*pending),
-		replied: gossip.NewDedup(4096),
+		aliases: make(map[gossip.RequestID]*pending),
 	}
 }
 
@@ -145,11 +154,9 @@ func (c *Core) StartPut(key string, version uint64, value []byte, done func(Resu
 		done:    done,
 	}
 	c.launch(op)
-	if op.noAck && op.done != nil {
+	if op.noAck {
 		// Fire-and-forget: complete immediately.
-		id := op.id
-		delete(c.ops, id)
-		op.done(Result{ID: id, Key: key, Version: version})
+		c.complete(op, Result{ID: op.id, Key: key, Version: version})
 	}
 	return op.id
 }
@@ -206,6 +213,11 @@ func (c *Core) HandleMessage(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case *core.PutAck:
 		op, ok := c.ops[m.ID]
+		if !ok {
+			// An ack for a superseded attempt of a still-live put: the
+			// replica stored the same (key, version), so it counts.
+			op, ok = c.aliases[m.ID]
+		}
 		if !ok || op.kind != opPut {
 			return
 		}
@@ -214,8 +226,8 @@ func (c *Core) HandleMessage(env transport.Envelope) {
 		}
 		op.ackFrom[env.From] = true
 		if len(op.ackFrom) >= c.cfg.PutAcks {
-			c.complete(m.ID, Result{
-				ID: m.ID, Key: op.key, Version: op.version,
+			c.complete(op, Result{
+				ID: op.id, Key: op.key, Version: op.version,
 				Acks: len(op.ackFrom), Retries: op.retries,
 			})
 		}
@@ -225,18 +237,22 @@ func (c *Core) HandleMessage(env transport.Envelope) {
 			return // late duplicate for a completed get, or foreign id
 		}
 		c.lb.ObserveReply(op.key, m.Slice, env.From)
-		c.complete(m.ID, Result{
+		c.complete(op, Result{
 			ID: m.ID, Key: op.key, Version: m.Version,
 			Value: m.Value, Retries: op.retries,
 		})
 	}
 }
 
-func (c *Core) complete(id gossip.RequestID, r Result) {
-	op := c.ops[id]
-	delete(c.ops, id)
-	c.replied.Seen(id)
-	if op != nil && op.done != nil {
+// complete finishes op, retiring its current id and every superseded
+// attempt id; late replies to any of them then miss both maps and are
+// dropped by HandleMessage.
+func (c *Core) complete(op *pending, r Result) {
+	delete(c.ops, op.id)
+	for _, id := range op.attempts {
+		delete(c.aliases, id)
+	}
+	if op.done != nil {
 		op.done(r)
 	}
 }
@@ -255,27 +271,29 @@ func (c *Core) Tick() {
 	// randomized).
 	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
 	for _, op := range expired {
-		delete(c.ops, op.id)
 		if op.hasContact {
 			// The contact did not produce a completion in time; let
 			// caching balancers evict it.
 			c.lb.Forget(op.lastContact)
 		}
 		if op.retries >= c.cfg.Retries {
-			c.replied.Seen(op.id)
-			if op.done != nil {
-				op.done(Result{
-					ID: op.id, Key: op.key, Version: op.version,
-					Err:     fmt.Errorf("%w after %d attempts", ErrTimeout, op.retries+1),
-					Retries: op.retries,
-				})
-			}
+			c.complete(op, Result{
+				ID: op.id, Key: op.key, Version: op.version,
+				Err:     fmt.Errorf("%w after %d attempts", ErrTimeout, op.retries+1),
+				Retries: op.retries,
+			})
 			continue
 		}
+		delete(c.ops, op.id)
 		op.retries++
 		// Partial acks may come from a half-replicated put; keep them
 		// counting across attempts (they are distinct replicas either
-		// way).
+		// way) — and keep the old id aliased to the op, so acks the
+		// previous attempt already provoked count too when they land.
+		if op.kind == opPut {
+			op.attempts = append(op.attempts, op.id)
+			c.aliases[op.id] = op
+		}
 		c.launch(op)
 	}
 }

@@ -64,6 +64,10 @@ type StoreConfig struct {
 	// CompactLiveRatio is the live-byte ratio under which the log
 	// engine compacts sealed segments (default 0.5; negative disables).
 	CompactLiveRatio float64
+	// CompactRateBytesPerSec throttles the log engine's compaction
+	// copy I/O (0 = unlimited) so background maintenance cannot starve
+	// foreground requests.
+	CompactRateBytesPerSec int64
 }
 
 // Open builds the configured engine rooted at dir. An empty dir (or
@@ -78,10 +82,11 @@ func (sc StoreConfig) Open(dir string) (store.Store, error) {
 		return store.OpenDisk(dir, store.DiskOptions{Fsync: sc.Fsync})
 	default:
 		return store.OpenLog(dir, store.LogOptions{
-			Fsync:            sc.Fsync,
-			SegmentMaxBytes:  sc.SegmentMaxBytes,
-			CommitWindow:     sc.CommitWindow,
-			CompactLiveRatio: sc.CompactLiveRatio,
+			Fsync:                  sc.Fsync,
+			SegmentMaxBytes:        sc.SegmentMaxBytes,
+			CommitWindow:           sc.CommitWindow,
+			CompactLiveRatio:       sc.CompactLiveRatio,
+			CompactRateBytesPerSec: sc.CompactRateBytesPerSec,
 		})
 	}
 }

@@ -370,13 +370,18 @@ func (n *Node) onPut(m *PutRequest) {
 	mine := n.currentSlice()
 
 	if mine == target {
-		if err := n.st.Put(m.Key, m.Version, m.Value); err == nil {
+		err := n.st.Put(m.Key, m.Version, m.Value)
+		if err == nil {
 			n.met.Inc(metrics.PutsServed)
 		}
 		if !m.Intra {
-			// Entry point into the slice: acknowledge and start the
-			// intra-slice phase.
-			if !m.NoAck && m.Origin != 0 {
+			// Entry point into the slice: acknowledge — only if the
+			// local store really holds the object now; acking a failed
+			// Put (disk full, oversized value, closed store) would tell
+			// the client a write is replicated when no one stored it —
+			// and start the intra-slice phase either way, since mates
+			// may still succeed.
+			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
 				n.sendData(m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
 			}
@@ -496,6 +501,9 @@ func (n *Node) learnOrigin(origin transport.NodeID, addr string) {
 	}
 }
 
+// maxMateReply bounds descriptors per MateReply.
+const maxMateReply = 16
+
 func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
 	var mates []pss.Descriptor
 	if n.currentSlice() == m.Slice {
@@ -512,17 +520,42 @@ func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
 			mates = append(mates, d)
 		}
 	}
+	// The same mate can sit in both the intra view and the PSS view;
+	// dedup so the reply never wastes a slot, and truncate by uniform
+	// sampling so PSS-sourced candidates (always appended last) are not
+	// systematically starved out of the reply.
+	mates = dedupSampleMates(mates, maxMateReply, n.rng)
 	if len(mates) == 0 {
 		return
-	}
-	if len(mates) > 16 {
-		mates = mates[:16]
 	}
 	n.met.Inc(metrics.MsgSent)
 	n.met.Inc(metrics.DiscoverySent)
 	if err := n.raw.Send(from, &MateReply{Slice: m.Slice, Mates: mates}); err != nil {
 		n.met.Inc(metrics.MsgDropped)
 	}
+}
+
+// dedupSampleMates drops duplicate descriptors by ID (first occurrence
+// wins) and, when more than max remain, keeps a uniform random sample
+// so no source is favored by its position in the slice.
+func dedupSampleMates(mates []pss.Descriptor, max int, rng *rand.Rand) []pss.Descriptor {
+	seen := make(map[transport.NodeID]bool, len(mates))
+	uniq := mates[:0]
+	for _, d := range mates {
+		if seen[d.ID] {
+			continue
+		}
+		seen[d.ID] = true
+		uniq = append(uniq, d)
+	}
+	if len(uniq) <= max {
+		return uniq
+	}
+	for i := 0; i < max; i++ {
+		j := i + rng.IntN(len(uniq)-i)
+		uniq[i], uniq[j] = uniq[j], uniq[i]
+	}
+	return uniq[:max]
 }
 
 func (n *Node) onMateReply(m *MateReply) {

@@ -7,6 +7,7 @@ import (
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/metrics"
 	"dataflasks/internal/pss"
+	"dataflasks/internal/sim"
 	"dataflasks/internal/slicing"
 	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
@@ -98,6 +99,45 @@ func TestNodeStoresAndAcksInSlicePut(t *testing.T) {
 	}
 	if n.Metrics().Get(metrics.PutsServed) != 1 {
 		t.Error("PutsServed not counted")
+	}
+}
+
+// failingStore wraps a store whose Put always fails, as a full disk or
+// closed engine would.
+type failingStore struct {
+	store.Store
+}
+
+func (f *failingStore) Put(string, uint64, []byte) error {
+	return fmt.Errorf("store: disk full")
+}
+
+// TestNodeNoAckWhenStoreFails pins the durability contract: a node
+// whose local Put failed must not acknowledge the write — an acked put
+// that was never stored would let the client count a phantom replica.
+func TestNodeNoAckWhenStoreFails(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	cap := &capture{}
+	n := NewNode(id, Config{
+		Slices:           k,
+		Slicer:           SlicerStatic,
+		SystemSize:       100,
+		AntiEntropyEvery: -1,
+		Seed:             1,
+	}, &failingStore{Store: store.NewMemory()}, cap.sender(id))
+	key := keyForSlice(t, 2, k)
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
+		Value: []byte("v"), Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	if acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutAck); return ok }); len(acks) != 0 {
+		t.Fatalf("failed store Put was acknowledged: %+v", acks)
+	}
+	if n.Metrics().Get(metrics.PutsServed) != 0 {
+		t.Error("failed put counted as served")
 	}
 }
 
@@ -321,6 +361,61 @@ func TestNodeMateReplyFillsIntraView(t *testing.T) {
 	}})
 	if n.IntraViewSize() != 1 {
 		t.Fatal("foreign-slice mate reply polluted intra view")
+	}
+}
+
+func TestDedupSampleMatesRemovesDuplicates(t *testing.T) {
+	rng := sim.RNG(3, 3)
+	// The same mate known via the intra view and the PSS view must use
+	// one reply slot, not two.
+	mates := []pssDescriptor{
+		{ID: 1, Slice: 2}, {ID: 2, Slice: 2}, {ID: 1, Slice: 2}, {ID: 3, Slice: 2}, {ID: 2, Slice: 2},
+	}
+	got := dedupSampleMates(mates, 16, rng)
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d descriptors, want 3: %+v", len(got), got)
+	}
+	seen := map[transport.NodeID]bool{}
+	for _, d := range got {
+		if seen[d.ID] {
+			t.Fatalf("duplicate ID %v survived dedup", d.ID)
+		}
+		seen[d.ID] = true
+	}
+}
+
+// TestDedupSampleMatesUniform pins the truncation fix: mates[:16] used
+// to always favor the head of the candidate list (the responder's own
+// view), starving candidates appended later (the PSS view). A uniform
+// sample must regularly include tail candidates.
+func TestDedupSampleMatesUniform(t *testing.T) {
+	const candidates, max = 40, 16
+	tailPicks := 0
+	for trial := 0; trial < 50; trial++ {
+		rng := sim.RNG(uint64(trial), 7)
+		mates := make([]pssDescriptor, candidates)
+		for i := range mates {
+			mates[i] = pssDescriptor{ID: transport.NodeID(i + 1), Slice: 2}
+		}
+		got := dedupSampleMates(mates, max, rng)
+		if len(got) != max {
+			t.Fatalf("sampled %d, want %d", len(got), max)
+		}
+		seen := map[transport.NodeID]bool{}
+		for _, d := range got {
+			if seen[d.ID] {
+				t.Fatalf("duplicate ID %v in sample", d.ID)
+			}
+			seen[d.ID] = true
+			if d.ID > candidates-10 { // one of the 10 tail ("PSS-sourced") candidates
+				tailPicks++
+			}
+		}
+	}
+	// E[tail picks] = 50 trials * 10 tail * 16/40 = 200; zero means the
+	// old head-biased truncation is back.
+	if tailPicks < 50 {
+		t.Fatalf("tail candidates picked %d times over 50 trials; sampling is not uniform", tailPicks)
 	}
 }
 

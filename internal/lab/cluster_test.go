@@ -6,6 +6,7 @@ import (
 	"dataflasks/internal/client"
 	"dataflasks/internal/core"
 	"dataflasks/internal/store"
+	"dataflasks/internal/workload"
 )
 
 func smallCluster(t *testing.T, n, slices int, seed uint64) *Cluster {
@@ -87,6 +88,31 @@ func TestClusterVersionedReads(t *testing.T) {
 	}
 	if rLatest.Err != nil || rLatest.Version != 3 {
 		t.Errorf("latest get: err=%v version=%d, want version 3", rLatest.Err, rLatest.Version)
+	}
+}
+
+// TestWorkloadPreloadDirect drives a read-only workload over a key
+// space bulk-loaded straight into the slice owners' stores (PutBatch
+// per node), verifying the direct preload seeds reads the epidemic
+// path can serve.
+func TestWorkloadPreloadDirect(t *testing.T) {
+	c := smallCluster(t, 100, 5, 17)
+	stats := c.RunWorkload(WorkloadOptions{
+		Ops:           30,
+		Mix:           workload.MixC, // read only
+		Records:       40,
+		PreloadDirect: true,
+		Seed:          5,
+	})
+	if stats.OK < stats.Ops*8/10 {
+		t.Fatalf("reads over direct preload: ok=%d failed=%d of %d", stats.OK, stats.Failed, stats.Ops)
+	}
+	// Every record must be replicated: each key's slice owners were
+	// batch-seeded before the measured phase.
+	for i := 0; i < 40; i++ {
+		if c.ReplicaCount(workload.Key(i), 1) == 0 {
+			t.Fatalf("record %d not present on any node after direct preload", i)
+		}
 	}
 }
 

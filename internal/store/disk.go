@@ -116,6 +116,37 @@ func (d *Disk) Put(key string, version uint64, value []byte) error {
 	if d.closed {
 		return ErrClosed
 	}
+	return d.putLocked(key, version, value)
+}
+
+// PutBatch implements Store: the batch is validated up front and
+// applied under one lock acquisition (still one file per object — the
+// layout has no cheaper batch representation).
+func (d *Disk) PutBatch(objs []Object) error {
+	for _, o := range objs {
+		if o.Version == Latest {
+			return ErrBadVersion
+		}
+		if len(o.Key) > maxKeyLen {
+			return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(o.Key), maxKeyLen)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	for _, o := range objs {
+		if err := d.putLocked(o.Key, o.Version, o.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putLocked stores one object. Caller holds mu and has validated the
+// key and version.
+func (d *Disk) putLocked(key string, version uint64, value []byte) error {
 	if _, _, exists, _ := d.mem.Get(key, version); exists {
 		// Idempotent re-put — but if an earlier directory sync failed,
 		// the entry may not be durable yet; retry it before claiming
@@ -218,17 +249,19 @@ func (d *Disk) Versions(key string) ([]uint64, error) {
 	return d.mem.Versions(key)
 }
 
-// Delete implements Store.
+// Delete implements Store. Version Latest resolves to the newest
+// stored version, mirroring Get.
 func (d *Disk) Delete(key string, version uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
-	if _, _, ok, _ := d.mem.Get(key, version); !ok {
+	_, actual, ok, _ := d.mem.Get(key, version)
+	if !ok {
 		return nil
 	}
-	if err := os.Remove(filepath.Join(d.dir, objectName(key, version))); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(filepath.Join(d.dir, objectName(key, actual))); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: delete object: %w", err)
 	}
 	if d.fsync {
@@ -236,7 +269,7 @@ func (d *Disk) Delete(key string, version uint64) error {
 			return err
 		}
 	}
-	return d.mem.Delete(key, version)
+	return d.mem.Delete(key, actual)
 }
 
 // ForEach implements Store.

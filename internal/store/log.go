@@ -39,6 +39,14 @@ import (
 // put, so dropping every tombstone in a prefix can never resurrect a
 // record in the segments that remain.
 //
+// A compaction pass runs almost entirely outside the store lock so the
+// foreground Put/Get/Delete path never stalls behind segment-sized
+// I/O: live record locations are snapshotted under a brief read lock,
+// segment reads and the copy loop run with no lock held (throttled by
+// CompactRateBytesPerSec), each copied batch is revalidated against
+// the current index under a short write lock before the swap, and
+// records deleted mid-flight are simply discarded.
+//
 // Safe for concurrent use.
 type Log struct {
 	mu   sync.RWMutex
@@ -56,6 +64,9 @@ type Log struct {
 	// compactErr is the result of the most recent compaction pass; the
 	// background loop has no caller to return it to.
 	compactErr error
+	// compactMu serializes compaction passes (the background loop and
+	// direct Compact calls) without blocking the store lock.
+	compactMu sync.Mutex
 
 	// Group commit: waiters are Puts/Deletes blocked on durability.
 	commitMu sync.Mutex
@@ -87,6 +98,11 @@ type LogOptions struct {
 	// live-byte ratio falls below it (default 0.5; negative disables
 	// compaction).
 	CompactLiveRatio float64
+	// CompactRateBytesPerSec throttles compaction copy throughput
+	// (bytes read plus bytes re-appended per second) so background
+	// maintenance cannot monopolize the disk under foreground load.
+	// Zero means unlimited.
+	CompactRateBytesPerSec int64
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -426,18 +442,26 @@ func (l *Log) kickCompact() {
 	}
 }
 
+// validateRecord rejects a put the record format cannot represent: a
+// record the parser would refuse must never be acknowledged — it would
+// read back as corruption and poison replay.
+func validateRecord(key string, value []byte) error {
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), maxKeyLen)
+	}
+	if len(value) > maxRecBody-recFixedLen-len(key) {
+		return fmt.Errorf("%w: value %d bytes (max %d)", ErrValueTooLarge, len(value), maxRecBody-recFixedLen-len(key))
+	}
+	return nil
+}
+
 // Put implements Store.
 func (l *Log) Put(key string, version uint64, value []byte) error {
 	if version == Latest {
 		return ErrBadVersion
 	}
-	if len(key) > maxKeyLen {
-		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), maxKeyLen)
-	}
-	if len(value) > maxRecBody-recFixedLen-len(key) {
-		// A record the parser would reject must never be acknowledged:
-		// it would read back as corruption and poison replay.
-		return fmt.Errorf("%w: value %d bytes (max %d)", ErrValueTooLarge, len(value), maxRecBody-recFixedLen-len(key))
+	if err := validateRecord(key, value); err != nil {
+		return err
 	}
 	l.mu.Lock()
 	if l.closed {
@@ -495,6 +519,107 @@ func (l *Log) Put(key string, version uint64, value []byte) error {
 	return <-ch
 }
 
+// PutBatch implements Store: the whole batch becomes one encoded
+// append buffer written under a single lock acquisition, and — with
+// Fsync — one group-commit waiter, so the cost of durability is paid
+// once per batch instead of once per object.
+func (l *Log) PutBatch(objs []Object) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	for _, o := range objs {
+		if o.Version == Latest {
+			return ErrBadVersion
+		}
+		if err := validateRecord(o.Key, o.Value); err != nil {
+			return err
+		}
+	}
+	type entry struct {
+		key string
+		ver uint64
+		len int64
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	var buf []byte
+	var entries []entry
+	// flush appends the buffered records as one write, indexes them and
+	// rolls the segment when full, so a batch larger than
+	// SegmentMaxBytes still produces bounded segment files.
+	flush := func() error {
+		if len(entries) == 0 {
+			return nil
+		}
+		off, err := l.appendLocked(buf)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			k := l.index[e.key]
+			if k == nil {
+				k = &logKey{locs: make(map[uint64]recLoc, 1)}
+				l.index[e.key] = k
+			}
+			k.locs[e.ver] = recLoc{seg: l.active.id, off: off, len: e.len}
+			k.versions = insertSorted(k.versions, e.ver)
+			l.active.live += e.len
+			l.count++
+			off += e.len
+		}
+		buf, entries = buf[:0], entries[:0]
+		if l.active.size >= l.opts.SegmentMaxBytes {
+			return l.seal()
+		}
+		return nil
+	}
+	inBatch := make(map[string]map[uint64]bool)
+	for _, o := range objs {
+		if k := l.index[o.Key]; k != nil {
+			if _, dup := k.locs[o.Version]; dup {
+				continue // idempotent re-put
+			}
+		}
+		if inBatch[o.Key][o.Version] {
+			continue // duplicate within the batch
+		}
+		if inBatch[o.Key] == nil {
+			inBatch[o.Key] = make(map[uint64]bool, 1)
+		}
+		inBatch[o.Key][o.Version] = true
+		if len(buf) > 0 && l.active.size+int64(len(buf)) >= l.opts.SegmentMaxBytes {
+			if err := flush(); err != nil {
+				l.mu.Unlock()
+				return err
+			}
+		}
+		before := len(buf)
+		buf = appendRecord(buf, recPut, o.Key, o.Version, o.Value)
+		entries = append(entries, entry{key: o.Key, ver: o.Version, len: int64(len(buf) - before)})
+	}
+	if err := flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	var ch chan error
+	if l.opts.Fsync {
+		// One waiter covers the batch: every record was appended before
+		// the committer's next fsync of the active segment (records
+		// behind a mid-batch seal were synced by the seal itself). An
+		// all-duplicate batch still joins the group commit, like Put.
+		ch = l.enqueueDurable()
+	}
+	l.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	l.kickCommit()
+	return <-ch
+}
+
 // Get implements Store. The record is re-verified against its checksum
 // on every read, so a torn or rotted record is reported as ErrCorrupt
 // rather than served.
@@ -544,7 +669,9 @@ func (l *Log) Versions(key string) ([]uint64, error) {
 }
 
 // Delete implements Store. It appends a tombstone record so the delete
-// survives restarts, then drops the version from the index.
+// survives restarts, then drops the version from the index. Version
+// Latest resolves to the newest stored version, mirroring Get; the
+// tombstone always carries the resolved concrete version.
 func (l *Log) Delete(key string, version uint64) error {
 	l.mu.Lock()
 	if l.closed {
@@ -552,9 +679,12 @@ func (l *Log) Delete(key string, version uint64) error {
 		return ErrClosed
 	}
 	k := l.index[key]
-	if k == nil {
+	if k == nil || len(k.versions) == 0 {
 		l.mu.Unlock()
 		return nil
+	}
+	if version == Latest {
+		version = k.versions[len(k.versions)-1]
 	}
 	loc, ok := k.locs[version]
 	if !ok {
@@ -703,21 +833,120 @@ func (l *Log) CompactionErr() error {
 }
 
 func (l *Log) compactOnce() error {
+	l.compactMu.Lock()
+	err := l.compactPass()
+	l.compactMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	err := l.compactLocked()
 	l.compactErr = err
+	l.mu.Unlock()
 	return err
 }
 
-func (l *Log) compactLocked() error {
+// compactRec is one put record's location inside a candidate segment.
+type compactRec struct {
+	key string
+	ver uint64
+	loc recLoc
+}
+
+// compactSeg is one candidate segment at snapshot time.
+type compactSeg struct {
+	seg  *segment
+	id   uint64
+	size int64
+}
+
+// compactBatchBytes bounds how many copied bytes are swapped per
+// write-lock critical section, keeping each foreground stall to one
+// small buffered write instead of a whole segment rewrite.
+const compactBatchBytes = 64 << 10
+
+// compactPass runs one compaction evaluation. Only the snapshot, the
+// per-batch swap and the final bookkeeping trim take the store lock —
+// every segment read, record copy and throttle sleep happens with no
+// lock held, so foreground operations proceed while the pass churns.
+func (l *Log) compactPass() error {
+	candidates := l.compactCandidates()
+	if len(candidates) == 0 {
+		return nil
+	}
+	for _, cs := range candidates {
+		if err := l.copyLive(cs); err != nil {
+			return err
+		}
+	}
+	// New copies must be durable before the old ones disappear. Every
+	// copy went to the current active file or to one already synced by
+	// a seal, so one fsync covers them all (same invariant as the
+	// group committer).
+	l.mu.RLock()
+	closed, f := l.closed, l.active.f
+	l.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync compacted records: %w", err)
+	}
+	// Remove in ascending order, syncing the directory after each
+	// unlink: the filesystem does not persist un-fsynced directory
+	// updates in issue order, and a crash that keeps a put's segment
+	// while losing its tombstone's would resurrect deleted data. With
+	// the per-remove sync, a surviving tombstone may at worst point at
+	// an already-removed put (harmless). Bookkeeping is trimmed per
+	// segment — under a short write lock, with the unlink itself
+	// outside — so an error return leaves segs and segIDs consistent
+	// for the next pass.
+	for _, cs := range candidates {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		seg := l.segs[cs.id]
+		if seg == nil {
+			l.mu.Unlock()
+			continue
+		}
+		if seg.live != 0 {
+			// Nothing appends to a sealed segment, so a drained
+			// candidate must have no live bytes; anything else is a
+			// bookkeeping bug and removal would lose data.
+			l.mu.Unlock()
+			return fmt.Errorf("store: segment %d still has %d live bytes after compaction", cs.id, seg.live)
+		}
+		delete(l.segs, cs.id)
+		l.segIDs = l.segIDs[1:] // prefix sits at the front
+		l.mu.Unlock()
+		// os.File tolerates a concurrent Sync from the group committer:
+		// the loser observes os.ErrClosed, which the committer maps to
+		// success (sealing already synced this file).
+		seg.f.Close()
+		err := os.Remove(filepath.Join(l.dir, segmentName(cs.id)))
+		if err == nil {
+			err = l.dirF.Sync()
+		}
+		if err != nil {
+			return fmt.Errorf("store: remove compacted segment %d: %w", cs.id, err)
+		}
+	}
+	return nil
+}
+
+// compactCandidates picks, under a brief read lock, the candidate
+// prefix: a downward-closed prefix of the sealed segments, up to the
+// newest one below the live-ratio threshold. The prefix property is
+// what makes dropping tombstones safe: a tombstone's target put is
+// always in the same or an earlier segment. Only segment metadata is
+// snapshotted — the record set is derived lock-free from the segment
+// bytes in copyLive, and liveness is decided per batch against the
+// current index in relocateBatch.
+func (l *Log) compactCandidates() []*compactSeg {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if l.closed || l.opts.CompactLiveRatio < 0 {
 		return nil
 	}
-	// Candidates form a downward-closed prefix of the sealed segments,
-	// up to the newest one below the live-ratio threshold. The prefix
-	// property is what makes dropping tombstones safe: a tombstone's
-	// target put is always in the same or an earlier segment.
 	cut := -1
 	for i, id := range l.segIDs {
 		if id == l.active.id {
@@ -731,81 +960,144 @@ func (l *Log) compactLocked() error {
 	if cut < 0 {
 		return nil
 	}
-	prefix := append([]uint64(nil), l.segIDs[:cut+1]...)
-	for _, id := range prefix {
-		if err := l.rewriteLive(l.segs[id]); err != nil {
-			return err
-		}
+	out := make([]*compactSeg, 0, cut+1)
+	for _, id := range l.segIDs[:cut+1] {
+		out = append(out, &compactSeg{seg: l.segs[id], id: id, size: l.segs[id].size})
 	}
-	// New copies must be durable before the old ones disappear.
-	if err := l.active.f.Sync(); err != nil {
-		return fmt.Errorf("store: sync compacted records: %w", err)
-	}
-	// Remove in ascending order, syncing the directory after each
-	// unlink: the filesystem does not persist un-fsynced directory
-	// updates in issue order, and a crash that keeps a put's segment
-	// while losing its tombstone's would resurrect deleted data. With
-	// the per-remove sync, a surviving tombstone may at worst point at
-	// an already-removed put (harmless). Bookkeeping is trimmed per
-	// segment so an error return leaves segs and segIDs consistent for
-	// the next pass.
-	for _, id := range prefix {
-		seg := l.segs[id]
-		// os.File tolerates a concurrent Sync from the group committer:
-		// the loser observes os.ErrClosed, which the committer maps to
-		// success (sealing already synced this file).
-		seg.f.Close()
-		err := os.Remove(filepath.Join(l.dir, segmentName(id)))
-		if err == nil {
-			err = l.dirF.Sync()
-		}
-		delete(l.segs, id)
-		l.segIDs = l.segIDs[1:] // prefix sits at the front
-		if err != nil {
-			return fmt.Errorf("store: remove compacted segment %d: %w", id, err)
-		}
-	}
-	return nil
+	return out
 }
 
-// rewriteLive copies every record of seg that is still the index's
-// current location into the active segment, updating the index as it
-// goes. Tombstones and superseded records are left behind. Caller
-// holds mu.
-func (l *Log) rewriteLive(seg *segment) error {
-	data := make([]byte, seg.size)
-	if seg.size > 0 {
-		if _, err := seg.f.ReadAt(data, 0); err != nil {
-			return fmt.Errorf("store: read segment %d: %w", seg.id, err)
-		}
+// copyLive reads one candidate segment with no lock held, parses its
+// put records (a sealed segment is immutable, so the unlocked read and
+// parse are stable, and the CRC walk reports rot instead of silently
+// propagating it) and re-appends the live ones to the active segment
+// in bounded batches. The read is chunked with the throttle charged
+// before each chunk — so the rate cap paces the disk I/O spike itself,
+// not just work already done — and each swap batch charges the bytes
+// it copied, so a rate-limited pass alternates short bursts with
+// sleeps instead of lumping one long stall.
+func (l *Log) copyLive(cs *compactSeg) error {
+	if cs.size == 0 {
+		return nil
 	}
+	data := make([]byte, cs.size)
+	for off := int64(0); off < cs.size; {
+		n := cs.size - off
+		if n > compactBatchBytes {
+			n = compactBatchBytes
+		}
+		l.throttleCompact(int(n))
+		if _, err := cs.seg.f.ReadAt(data[off:off+n], off); err != nil {
+			return fmt.Errorf("store: read segment %d: %w", cs.id, err)
+		}
+		off += n
+	}
+	var recs []compactRec
 	var off int64
-	for off < seg.size {
+	for off < cs.size {
 		rec, n, ok := parseRecord(data[off:])
 		if !ok {
-			return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, seg.id, off)
+			return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, cs.id, off)
 		}
 		if rec.typ == recPut {
-			if k := l.index[rec.key]; k != nil {
-				if loc, live := k.locs[rec.version]; live && loc.seg == seg.id && loc.off == off {
-					newOff, err := l.appendLocked(data[off : off+int64(n)])
-					if err != nil {
-						return err
-					}
-					k.locs[rec.version] = recLoc{seg: l.active.id, off: newOff, len: int64(n)}
-					l.active.live += int64(n)
-					seg.live -= int64(n)
-					if l.active.size >= l.opts.SegmentMaxBytes {
-						if err := l.seal(); err != nil {
-							return err
-						}
-					}
-				}
-			}
+			recs = append(recs, compactRec{
+				key: rec.key, ver: rec.version,
+				loc: recLoc{seg: cs.id, off: off, len: int64(n)},
+			})
 		}
 		off += int64(n)
 	}
-	return nil
+	if len(recs) == 0 {
+		return nil // tombstone-only segment: read already charged
+	}
+	var batch []compactRec
+	var spanStart int64
+	flush := func(spanEnd int64) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		copied, err := l.relocateBatch(cs, data, batch)
+		if err != nil {
+			return err
+		}
+		l.throttleCompact(int(copied))
+		batch, spanStart = batch[:0], spanEnd
+		return nil
+	}
+	for _, r := range recs {
+		batch = append(batch, r)
+		if end := r.loc.off + r.loc.len; end-spanStart >= compactBatchBytes {
+			if err := flush(end); err != nil {
+				return err
+			}
+		}
+	}
+	return flush(cs.size)
+}
+
+// relocateBatch revalidates one batch of parsed records against the
+// current index and appends the survivors to the active segment — the
+// only write-lock critical section of the copy loop. A record that is
+// superseded, deleted, or dropped mid-flight simply stays behind in
+// the doomed segment. Returns the bytes copied.
+func (l *Log) relocateBatch(cs *compactSeg, data []byte, batch []compactRec) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var buf []byte
+	kept := make([]compactRec, 0, len(batch))
+	for _, r := range batch {
+		k := l.index[r.key]
+		if k == nil {
+			continue
+		}
+		if loc, live := k.locs[r.ver]; !live || loc != r.loc {
+			continue
+		}
+		buf = append(buf, data[r.loc.off:r.loc.off+r.loc.len]...)
+		kept = append(kept, r)
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	off, err := l.appendLocked(buf)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range kept {
+		k := l.index[r.key]
+		k.locs[r.ver] = recLoc{seg: l.active.id, off: off, len: r.loc.len}
+		l.active.live += r.loc.len
+		cs.seg.live -= r.loc.len
+		off += r.loc.len
+	}
+	copied := int64(len(buf))
+	if l.active.size >= l.opts.SegmentMaxBytes {
+		return copied, l.seal()
+	}
+	return copied, nil
+}
+
+// throttleCompact sleeps long enough to keep compaction I/O under
+// CompactRateBytesPerSec. Closing the store interrupts the sleep so a
+// heavily throttled pass cannot delay shutdown.
+func (l *Log) throttleCompact(n int) {
+	rate := l.opts.CompactRateBytesPerSec
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(int64(time.Second) * int64(n) / rate)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.stop:
+	case <-t.C:
+	}
 }
 
 // Close implements Store. Pending group-commit waiters receive the
@@ -820,6 +1112,11 @@ func (l *Log) Close() error {
 	l.mu.Unlock()
 	close(l.stop)
 	l.wg.Wait()
+	// A directly invoked Compact may still be mid-pass; closed and the
+	// stop channel make it bail out fast, and holding compactMu here
+	// keeps the file handles it touches valid until it has.
+	l.compactMu.Lock()
+	l.compactMu.Unlock()
 	// No new waiters can register once closed is set (registration
 	// happens under mu), so this drain is complete.
 	l.commitMu.Lock()

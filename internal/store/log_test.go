@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 // recordSize is the on-disk size of one put record.
@@ -452,6 +453,276 @@ func TestLogDuplicatePutWaitsForDurability(t *testing.T) {
 	defer l2.Close()
 	if l2.Count() != 1 {
 		t.Fatalf("Count = %d after dup puts, want 1", l2.Count())
+	}
+}
+
+func TestLogPutBatchDurableAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, 64)
+	for i := range objs {
+		objs[i] = Object{Key: fmt.Sprintf("b%02d", i), Version: 1, Value: []byte{byte(i)}}
+	}
+	if err := l.PutBatch(objs); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Count() != len(objs) {
+		t.Fatalf("recovered %d objects, want %d", l2.Count(), len(objs))
+	}
+	for i := range objs {
+		val, _, ok, err := l2.Get(fmt.Sprintf("b%02d", i), 1)
+		if err != nil || !ok || !bytes.Equal(val, []byte{byte(i)}) {
+			t.Fatalf("b%02d lost (ok=%v err=%v)", i, ok, err)
+		}
+	}
+}
+
+func TestLogPutBatchRollsSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{SegmentMaxBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 200)
+	objs := make([]Object, 10) // ~2 KiB total, past the 1 KiB roll point
+	for i := range objs {
+		objs[i] = Object{Key: fmt.Sprintf("k%02d", i), Version: 1, Value: val}
+	}
+	if err := l.PutBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+	if l.SegmentCount() < 2 {
+		t.Fatalf("oversized batch did not roll the segment: %d segments", l.SegmentCount())
+	}
+	if err := l.Put("after", 1, val); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := OpenLog(dir, LogOptions{SegmentMaxBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Count() != len(objs)+1 {
+		t.Fatalf("recovered %d objects, want %d", l2.Count(), len(objs)+1)
+	}
+}
+
+func TestLogDeleteLatestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Put("k", 1, []byte("old"))
+	_ = l.Put("k", 5, []byte("new"))
+	if err := l.Delete("k", Latest); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, _, ok, _ := l2.Get("k", 5); ok {
+		t.Fatal("Delete(Latest) did not survive reopen")
+	}
+	if val, _, ok, _ := l2.Get("k", 1); !ok || string(val) != "old" {
+		t.Fatalf("older version lost: %q %v", val, ok)
+	}
+}
+
+// TestLogConcurrentOpsDuringCompaction hammers Put/Get/Delete from
+// several goroutines while Compact runs continuously. No read may ever
+// observe ErrCorrupt, the final state must match what each writer's
+// deterministic schedule left behind, and compaction must reclaim
+// space once the churn settles. Run with -race this doubles as the
+// locking proof for the snapshot/copy/revalidate pass.
+func TestLogConcurrentOpsDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{SegmentMaxBytes: 4 << 10, CompactLiveRatio: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	perWriter := 300
+	if testing.Short() {
+		perWriter = 100
+	}
+	errCh := make(chan error, writers+1)
+	stop := make(chan struct{})
+	var compactWG sync.WaitGroup
+	compactWG.Add(1)
+	go func() {
+		defer compactWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Compact(); err != nil {
+				errCh <- fmt.Errorf("compact: %w", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xbeef))
+			val := bytes.Repeat([]byte{byte(w + 1)}, 128)
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%32)
+				ver := uint64(i + 1)
+				if err := l.Put(key, ver, val); err != nil {
+					errCh <- fmt.Errorf("put: %w", err)
+					return
+				}
+				probe := fmt.Sprintf("w%d-k%d", w, rng.IntN(32))
+				if _, _, _, err := l.Get(probe, Latest); err != nil {
+					errCh <- fmt.Errorf("get: %w", err)
+					return
+				}
+				if i > 0 && i%3 == 0 {
+					if err := l.Delete(key, ver); err != nil {
+						errCh <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	compactWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatalf("concurrent op observed corruption: %v", err)
+		}
+		t.Fatal(err)
+	}
+	// Each writer's schedule is deterministic: perWriter puts minus the
+	// i>0, i%3==0 deletes.
+	deleted := (perWriter - 1) / 3
+	want := writers * (perWriter - deleted)
+	if l.Count() != want {
+		t.Fatalf("Count = %d after churn, want %d", l.Count(), want)
+	}
+	// Kill most of what's left; compaction must reclaim segments.
+	before := l.SegmentCount()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 30; i++ {
+			key := fmt.Sprintf("w%d-k%d", w, i)
+			for _, v := range mustVersions(t, l, key) {
+				if err := l.Delete(key, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatalf("final compaction: %v", err)
+	}
+	if after := l.SegmentCount(); after >= before {
+		t.Fatalf("compaction reclaimed nothing: %d segments before, %d after", before, after)
+	}
+	// The compacted log replays to the same state.
+	finalCount := l.Count()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatalf("reopen after churn+compaction: %v", err)
+	}
+	defer l2.Close()
+	if l2.Count() != finalCount {
+		t.Fatalf("reopened Count = %d, want %d", l2.Count(), finalCount)
+	}
+}
+
+func mustVersions(t *testing.T, s Store, key string) []uint64 {
+	t.Helper()
+	vs, err := s.Versions(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+// TestLogCompactionDoesNotBlockForeground pins the tentpole property:
+// with compaction throttled hard (a pass that would take ~40s),
+// foreground Put/Get complete promptly because the pass never holds
+// the store lock across its reads, sleeps or rewrites. Close then
+// interrupts the throttled pass via the stop channel.
+func TestLogCompactionDoesNotBlockForeground(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{
+		SegmentMaxBytes:        32 << 10,
+		CompactLiveRatio:       0.9,
+		CompactRateBytesPerSec: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 300; i++ {
+		if err := l.Put(fmt.Sprintf("k%04d", i), 1, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.SegmentCount()
+	// The deletes kick the background pass, which immediately reads the
+	// first 32 KiB segment and then owes the throttle ~4s — long after
+	// this test is done, and before it may remove anything.
+	for i := 0; i < 270; i++ {
+		if err := l.Delete(fmt.Sprintf("k%04d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%04d", 270+i%30)
+		if _, _, ok, err := l.Get(key, 1); err != nil || !ok {
+			t.Fatalf("Get during throttled compaction: ok=%v err=%v", ok, err)
+		}
+		if err := l.Put(fmt.Sprintf("fg%04d", i), 1, val); err != nil {
+			t.Fatalf("Put during throttled compaction: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("foreground ops took %s under throttled compaction", elapsed)
+	}
+	if got := l.SegmentCount(); got < segs {
+		t.Fatalf("throttled pass already removed segments (%d -> %d); throttle not applied?", segs, got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close with compaction in flight: %v", err)
+	}
+	// The interrupted pass must leave a consistent, replayable log.
+	l2, err := OpenLog(dir, LogOptions{})
+	if err != nil {
+		t.Fatalf("reopen after interrupted compaction: %v", err)
+	}
+	defer l2.Close()
+	if l2.Count() != 300-270+200 {
+		t.Fatalf("reopened Count = %d, want %d", l2.Count(), 300-270+200)
 	}
 }
 

@@ -47,13 +47,39 @@ func (m *Memory) Put(key string, version uint64, value []byte) error {
 	if m.closed {
 		return ErrClosed
 	}
+	m.putLocked(key, version, value)
+	return nil
+}
+
+// PutBatch implements Store: the batch is validated up front and
+// applied under one lock acquisition.
+func (m *Memory) PutBatch(objs []Object) error {
+	for _, o := range objs {
+		if o.Version == Latest {
+			return ErrBadVersion
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, o := range objs {
+		m.putLocked(o.Key, o.Version, o.Value)
+	}
+	return nil
+}
+
+// putLocked stores one object. Caller holds mu and has validated the
+// version.
+func (m *Memory) putLocked(key string, version uint64, value []byte) {
 	k, ok := m.keys[key]
 	if !ok {
 		k = &memKey{values: make(map[uint64][]byte, 1)}
 		m.keys[key] = k
 	}
 	if _, exists := k.values[version]; exists {
-		return nil // idempotent re-put
+		return // idempotent re-put
 	}
 	buf := make([]byte, len(value))
 	copy(buf, value)
@@ -68,7 +94,6 @@ func (m *Memory) Put(key string, version uint64, value []byte) error {
 			m.count--
 		}
 	}
-	return nil
 }
 
 // Get implements Store.
@@ -111,7 +136,8 @@ func (m *Memory) Versions(key string) ([]uint64, error) {
 	return out, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. Version Latest resolves to the newest
+// stored version, mirroring Get.
 func (m *Memory) Delete(key string, version uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -119,8 +145,11 @@ func (m *Memory) Delete(key string, version uint64) error {
 		return ErrClosed
 	}
 	k, ok := m.keys[key]
-	if !ok {
+	if !ok || len(k.versions) == 0 {
 		return nil
+	}
+	if version == Latest {
+		version = k.versions[len(k.versions)-1]
 	}
 	if _, exists := k.values[version]; !exists {
 		return nil

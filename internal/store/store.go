@@ -39,12 +39,24 @@ type Store interface {
 	// orders puts, so equal pairs carry equal values and the second
 	// write is a no-op.
 	Put(key string, version uint64, value []byte) error
+	// PutBatch stores a batch of objects in one engine call: one lock
+	// acquisition, and in the log engine one encoded append plus one
+	// group-commit fsync for the whole batch. Each engine applies its
+	// own Put validation rules to every object before storing any, so
+	// an object the engine's Put would reject (the reserved version
+	// everywhere; an oversized key or value where the engine has such
+	// limits) fails the batch with no side effects; an I/O failure
+	// mid-batch may leave a prefix applied. Objects already present
+	// are skipped like idempotent re-puts.
+	PutBatch(objs []Object) error
 	// Get returns the value at (key, version); version Latest returns
 	// the highest stored version. ok is false when absent.
 	Get(key string, version uint64) (value []byte, actualVersion uint64, ok bool, err error)
 	// Versions returns the stored versions of key in ascending order.
 	Versions(key string) ([]uint64, error)
-	// Delete removes one version of key; it is a no-op when absent.
+	// Delete removes one version of key; version Latest removes the
+	// newest stored version (mirroring Get). It is a no-op when
+	// absent.
 	Delete(key string, version uint64) error
 	// ForEach visits every stored object header (no value) in
 	// unspecified order; returning false stops iteration. Used to build

@@ -169,6 +169,98 @@ func TestStoreDelete(t *testing.T) {
 	}
 }
 
+// TestStoreDeleteLatest pins the Delete(key, Latest) semantics: it
+// resolves to the newest stored version, mirroring Get, instead of
+// being a silent no-op (Latest is never a stored version).
+func TestStoreDeleteLatest(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("k", 2, []byte("old"))
+			_ = s.Put("k", 5, []byte("new"))
+			if err := s.Delete("k", Latest); err != nil {
+				t.Fatalf("Delete(Latest): %v", err)
+			}
+			if _, _, ok, _ := s.Get("k", 5); ok {
+				t.Fatal("newest version survived Delete(Latest)")
+			}
+			if val, _, ok, _ := s.Get("k", 2); !ok || string(val) != "old" {
+				t.Fatalf("older version lost: %q %v", val, ok)
+			}
+			if err := s.Delete("k", Latest); err != nil {
+				t.Fatalf("second Delete(Latest): %v", err)
+			}
+			if s.Count() != 0 {
+				t.Fatalf("Count = %d after deleting every version", s.Count())
+			}
+			if err := s.Delete("k", Latest); err != nil {
+				t.Errorf("Delete(Latest) on empty key errored: %v", err)
+			}
+			if err := s.Delete("ghost", Latest); err != nil {
+				t.Errorf("Delete(Latest) on missing key errored: %v", err)
+			}
+		})
+	}
+}
+
+func TestStorePutBatch(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("pre", 1, []byte("existing"))
+			batch := []Object{
+				{Key: "a", Version: 1, Value: []byte("a1")},
+				{Key: "a", Version: 2, Value: []byte("a2")},
+				{Key: "b", Version: 7, Value: []byte("b7")},
+				{Key: "a", Version: 1, Value: []byte("dup-in-batch")},
+				{Key: "pre", Version: 1, Value: []byte("dup-existing")},
+			}
+			if err := s.PutBatch(batch); err != nil {
+				t.Fatalf("PutBatch: %v", err)
+			}
+			if s.Count() != 4 {
+				t.Fatalf("Count = %d, want 4 (dups skipped)", s.Count())
+			}
+			for _, want := range []struct {
+				key string
+				ver uint64
+				val string
+			}{
+				{"a", 1, "a1"}, {"a", 2, "a2"}, {"b", 7, "b7"}, {"pre", 1, "existing"},
+			} {
+				val, _, ok, err := s.Get(want.key, want.ver)
+				if err != nil || !ok || string(val) != want.val {
+					t.Fatalf("Get(%s@%d) = %q, %v, %v; want %q", want.key, want.ver, val, ok, err, want.val)
+				}
+			}
+			if err := s.PutBatch(nil); err != nil {
+				t.Errorf("empty batch errored: %v", err)
+			}
+		})
+	}
+}
+
+// TestStorePutBatchValidatesUpfront pins the all-or-nothing contract
+// for statically invalid batches: a reserved version anywhere in the
+// batch must fail it before any object is stored.
+func TestStorePutBatchValidatesUpfront(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			batch := []Object{
+				{Key: "good", Version: 1, Value: []byte("v")},
+				{Key: "bad", Version: Latest, Value: []byte("v")},
+			}
+			if err := s.PutBatch(batch); !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("PutBatch with reserved version: %v, want ErrBadVersion", err)
+			}
+			if s.Count() != 0 {
+				t.Fatalf("Count = %d after rejected batch, want 0", s.Count())
+			}
+		})
+	}
+}
+
 func TestStoreReservedVersion(t *testing.T) {
 	for name, s := range engines(t) {
 		t.Run(name, func(t *testing.T) {
