@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build examples test race bench smoke fmt vet ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -18,6 +21,10 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+smoke:
+	$(GO) run ./cmd/flaskbench -exp compact -quick
+	$(GO) run ./cmd/flaskbench -exp pipeline -quick
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -27,4 +34,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build examples race bench smoke

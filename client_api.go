@@ -8,7 +8,8 @@ import (
 	"time"
 
 	"dataflasks/internal/client"
-	"dataflasks/internal/store"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/slicing"
 	"dataflasks/internal/transport"
 )
 
@@ -20,16 +21,37 @@ var ErrNotFound = errors.New("dataflasks: not found")
 // ErrClientClosed reports use of a closed client.
 var ErrClientClosed = errors.New("dataflasks: client closed")
 
-// Client is the blocking client API (paper §V): operations go to a
+// ErrCanceled reports an operation abandoned via Op.Cancel (or a
+// blocking wrapper's context expiring).
+var ErrCanceled = errors.New("dataflasks: operation canceled")
+
+// ErrInFlight is returned by Op.Err while the operation has not
+// completed yet.
+var ErrInFlight = errors.New("dataflasks: operation in flight")
+
+// Client is the client API (paper §V): operations go to a
 // load-balanced contact node, spread epidemically, and the multiple
-// replies that come back are de-duplicated by request id. Safe for
-// concurrent use.
+// replies that come back are de-duplicated by request id.
+//
+// The API is future-based: PutAsync, GetAsync, DeleteAsync and
+// PutBatchAsync return immediately with an *Op handle, so one client
+// pipelines hundreds of in-flight operations over its single event
+// loop. The blocking Put/Get/GetLatest/Delete/PutBatch methods are
+// thin wrappers (start async, Wait, Cancel on context expiry) and stay
+// source-compatible with the pre-futures API. Safe for concurrent use.
 type Client struct {
-	core *client.Core
+	core   *client.Core
+	period time.Duration
+	slices int
 
 	cmds chan func()
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// dropped reports inbound replies discarded by a full mailbox; the
+	// fabric owns the count (a SharedCounter incremented by the TCP
+	// handler, or the in-process network's per-recipient counter).
+	dropped func() uint64
 
 	closeOnce sync.Once
 }
@@ -37,12 +59,18 @@ type Client struct {
 // newLiveClient wraps the event-driven client core in a goroutine that
 // owns it: mailbox messages, timeout ticks and API commands are
 // serialized onto one loop, preserving the core's single-threaded
-// contract.
-func newLiveClient(id NodeID, cfg client.Config, sender transport.Sender, lb client.LoadBalancer, mailbox <-chan transport.Envelope, period time.Duration) *Client {
+// contract. slices is the deployment's slice count (callers resolve
+// the default via Config.slicesOrDefault), used to group batch puts
+// per target slice; dropped reports the fabric's mailbox-overflow
+// count for this client (nil for fabrics that never drop).
+func newLiveClient(id NodeID, cfg client.Config, sender transport.Sender, lb client.LoadBalancer, mailbox <-chan transport.Envelope, period time.Duration, slices int, dropped func() uint64) *Client {
 	c := &Client{
-		core: client.NewCore(id, cfg, sender, lb),
-		cmds: make(chan func(), 64),
-		done: make(chan struct{}),
+		core:    client.NewCore(id, cfg, sender, lb),
+		period:  period,
+		slices:  slices,
+		cmds:    make(chan func(), 64),
+		done:    make(chan struct{}),
+		dropped: dropped,
 	}
 	c.wg.Add(1)
 	go func() {
@@ -77,6 +105,31 @@ func (c *Client) Close() {
 	c.wg.Wait()
 }
 
+// Pending returns the number of operations currently in flight (0 on a
+// closed client).
+func (c *Client) Pending() int {
+	res := make(chan int, 1)
+	if err := c.submit(func() { res <- c.core.Pending() }); err != nil {
+		return 0
+	}
+	select {
+	case n := <-res:
+		return n
+	case <-c.done:
+		return 0
+	}
+}
+
+// MailboxDropped returns how many inbound replies were dropped because
+// the client's mailbox overflowed (the event loop was too slow to
+// drain it). Epidemic reply redundancy and retries cover the loss.
+func (c *Client) MailboxDropped() uint64 {
+	if c.dropped == nil {
+		return 0
+	}
+	return c.dropped()
+}
+
 // submit runs fn on the client loop.
 func (c *Client) submit(fn func()) error {
 	select {
@@ -87,66 +140,405 @@ func (c *Client) submit(fn func()) error {
 	}
 }
 
-// Put stores value under (key, version). Versions must be assigned in
-// increasing order per key by the caller — DataFlasks is the bottom
-// layer of a stratified store and does not order writes itself (§III).
-// Put returns once the configured number of replicas acknowledged.
-func (c *Client) Put(ctx context.Context, key string, version uint64, value []byte) error {
-	if version == Latest {
-		return fmt.Errorf("dataflasks: version %d is reserved for reads", Latest)
+// --- per-operation options --------------------------------------------------
+
+// OpOption customizes one operation, overriding the client-level
+// configuration for that call only.
+type OpOption func(*opSettings)
+
+type opSettings struct {
+	opts client.Opts
+	// timeout is converted to ticks against the client's period at
+	// start time.
+	timeout time.Duration
+}
+
+// WithAcks requires n distinct replica acknowledgements before a
+// write (put, batch put or delete) completes. n < 1 is treated as 1;
+// use WithFireAndForget for zero-ack writes.
+func WithAcks(n int) OpOption {
+	return func(s *opSettings) {
+		if n < 1 {
+			n = 1
+		}
+		s.opts.Acks = n
 	}
-	res := make(chan client.Result, 1)
-	err := c.submit(func() {
-		c.core.StartPut(key, version, value, func(r client.Result) { res <- r })
-	})
-	if err != nil {
-		return err
+}
+
+// WithFireAndForget makes a write complete instantly without waiting
+// for any replica acknowledgement (and tells replicas not to send
+// one). The future resolves immediately.
+func WithFireAndForget() OpOption {
+	return func(s *opSettings) { s.opts.Acks = -1 }
+}
+
+// WithTimeout bounds each attempt of the operation to d before the
+// client retries with a fresh contact (total worst-case latency is
+// roughly d × (retries+1)). The duration is rounded up to the client's
+// tick period.
+func WithTimeout(d time.Duration) OpOption {
+	return func(s *opSettings) { s.timeout = d }
+}
+
+// WithRetries sets how many fresh attempts follow a timed-out one
+// (0 = fail after the first attempt).
+func WithRetries(n int) OpOption {
+	return func(s *opSettings) {
+		if n <= 0 {
+			s.opts.Retries = -1
+			return
+		}
+		s.opts.Retries = n
+	}
+}
+
+func (c *Client) resolveSettings(opts []OpOption) client.Opts {
+	var s opSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.timeout > 0 {
+		ticks := int((s.timeout + c.period - 1) / c.period)
+		if ticks < 1 {
+			ticks = 1
+		}
+		s.opts.TimeoutTicks = ticks
+	}
+	return s.opts
+}
+
+// --- futures ----------------------------------------------------------------
+
+type apiKind int
+
+const (
+	kindPut apiKind = iota + 1
+	kindGet
+	kindDelete
+	kindBatch
+)
+
+// Op is the handle of one asynchronous operation. Completion is
+// observable three ways: Done (a channel for select loops), Wait
+// (blocking with a context) and Err (non-blocking poll). Result
+// accessors (Value, Version, Acks, Retries) are valid once Done is
+// closed. Safe for concurrent use.
+type Op struct {
+	c       *Client
+	kind    apiKind
+	key     string
+	version uint64
+	nObjs   int
+
+	done chan struct{}
+
+	// Written on the client loop goroutine (or before the Op escapes)
+	// strictly before done is closed; readers synchronize on done.
+	res      client.Result
+	reqID    gossip.RequestID
+	finished bool
+}
+
+// finish records the result and releases waiters. It must only run on
+// the client loop goroutine (or, for ops that failed to start, before
+// the Op is returned to the caller).
+func (o *Op) finish(r client.Result) {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.res = r
+	close(o.done)
+}
+
+// Done returns a channel closed when the operation completes (with
+// either outcome). It never closes if the client is closed first; pair
+// it with the client's lifetime in select loops, or use Wait.
+func (o *Op) Done() <-chan struct{} { return o.done }
+
+// Wait blocks until the operation completes, ctx expires or the client
+// closes, returning the operation error, ctx.Err() or ErrClientClosed
+// respectively. A context expiry does NOT cancel the operation — the
+// future stays valid and may still complete; call Cancel to abandon
+// it.
+func (o *Op) Wait(ctx context.Context) error {
+	select {
+	case <-o.done:
+		return o.err()
+	default:
 	}
 	select {
-	case r := <-res:
-		if r.Err != nil {
-			return fmt.Errorf("dataflasks: put %q v%d: %w", key, version, r.Err)
-		}
-		return nil
+	case <-o.done:
+		return o.err()
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-c.done:
+	case <-o.c.done:
 		return ErrClientClosed
 	}
 }
 
+// Err polls the operation: ErrInFlight while incomplete, then nil or
+// the operation's error.
+func (o *Op) Err() error {
+	select {
+	case <-o.done:
+		return o.err()
+	default:
+		return ErrInFlight
+	}
+}
+
+// Value returns a get's value (nil until Done closes, and for other
+// kinds).
+func (o *Op) Value() []byte {
+	select {
+	case <-o.done:
+		return o.res.Value
+	default:
+		return nil
+	}
+}
+
+// Version returns the version the operation resolved to — for
+// GetLatestAsync, the newest version found (0 until Done closes).
+func (o *Op) Version() uint64 {
+	select {
+	case <-o.done:
+		return o.res.Version
+	default:
+		return 0
+	}
+}
+
+// Acks returns how many distinct replicas acknowledged a write (0
+// until Done closes).
+func (o *Op) Acks() int {
+	select {
+	case <-o.done:
+		return o.res.Acks
+	default:
+		return 0
+	}
+}
+
+// Retries returns how many times the operation was re-issued (valid
+// once Done closes).
+func (o *Op) Retries() int {
+	select {
+	case <-o.done:
+		return o.res.Retries
+	default:
+		return 0
+	}
+}
+
+// Cancel abandons the operation: it is removed from the client's
+// pending table immediately (instead of lingering until its retry
+// budget expires) and the future resolves to ErrCanceled. Canceling a
+// completed operation is a no-op.
+func (o *Op) Cancel() {
+	_ = o.c.submit(func() {
+		if o.finished {
+			return
+		}
+		o.c.core.Cancel(o.reqID)
+		o.finish(client.Result{Key: o.key, Version: o.version, Err: ErrCanceled})
+	})
+}
+
+// err maps the raw core result to the public error surface.
+func (o *Op) err() error {
+	r := o.res
+	if r.Err == nil {
+		return nil
+	}
+	if errors.Is(r.Err, ErrCanceled) || errors.Is(r.Err, ErrClientClosed) {
+		return r.Err
+	}
+	switch o.kind {
+	case kindGet:
+		if errors.Is(r.Err, client.ErrTimeout) {
+			return fmt.Errorf("dataflasks: get %q: %w", o.key, ErrNotFound)
+		}
+		return fmt.Errorf("dataflasks: get %q: %w", o.key, r.Err)
+	case kindDelete:
+		return fmt.Errorf("dataflasks: delete %q: %w", o.key, r.Err)
+	case kindBatch:
+		return fmt.Errorf("dataflasks: put batch (%d objects): %w", o.nObjs, r.Err)
+	default:
+		return fmt.Errorf("dataflasks: put %q v%d: %w", o.key, o.version, r.Err)
+	}
+}
+
+// newOp allocates a handle; start must enqueue the core call.
+func (c *Client) newOp(kind apiKind, key string, version uint64) *Op {
+	return &Op{c: c, kind: kind, key: key, version: version, done: make(chan struct{})}
+}
+
+// failedOp returns an already-resolved handle (validation errors,
+// closed client).
+func (c *Client) failedOp(kind apiKind, key string, version uint64, err error) *Op {
+	op := c.newOp(kind, key, version)
+	op.finish(client.Result{Key: key, Version: version, Err: err})
+	return op
+}
+
+// PutAsync starts storing value under (key, version) and returns its
+// future. Versions must be assigned in increasing order per key by the
+// caller — DataFlasks is the bottom layer of a stratified store and
+// does not order writes itself (§III). The future resolves once the
+// configured (or WithAcks-overridden) number of replicas acknowledged.
+func (c *Client) PutAsync(key string, version uint64, value []byte, opts ...OpOption) *Op {
+	if version == Latest {
+		return c.failedOp(kindPut, key, version,
+			fmt.Errorf("dataflasks: version %d is reserved for reads", Latest))
+	}
+	settings := c.resolveSettings(opts)
+	op := c.newOp(kindPut, key, version)
+	if err := c.submit(func() {
+		op.reqID = c.core.StartPutOpts(key, version, value, settings, op.finish)
+	}); err != nil {
+		op.finish(client.Result{Err: err})
+	}
+	return op
+}
+
+// GetAsync starts reading (key, version) — version may be Latest — and
+// returns its future; read the outcome with Value and Version.
+func (c *Client) GetAsync(key string, version uint64, opts ...OpOption) *Op {
+	settings := c.resolveSettings(opts)
+	op := c.newOp(kindGet, key, version)
+	if err := c.submit(func() {
+		op.reqID = c.core.StartGetOpts(key, version, settings, op.finish)
+	}); err != nil {
+		op.finish(client.Result{Err: err})
+	}
+	return op
+}
+
+// GetLatestAsync starts a newest-version read of key.
+func (c *Client) GetLatestAsync(key string, opts ...OpOption) *Op {
+	return c.GetAsync(key, Latest, opts...)
+}
+
+// DeleteAsync starts deleting (key, version); version Latest removes
+// each replica's newest stored version (resolved independently per
+// replica, mirroring reads). Completion follows the same ack rules as
+// puts.
+func (c *Client) DeleteAsync(key string, version uint64, opts ...OpOption) *Op {
+	settings := c.resolveSettings(opts)
+	op := c.newOp(kindDelete, key, version)
+	if err := c.submit(func() {
+		op.reqID = c.core.StartDelete(key, version, settings, op.finish)
+	}); err != nil {
+		op.finish(client.Result{Err: err})
+	}
+	return op
+}
+
+// PutBatchAsync starts storing a batch of objects. Objects are grouped
+// by target slice (using the client's configured slice count, which
+// must match the deployment's) and each group travels as ONE wire
+// message that lands on every replica as one store.PutBatch call — the
+// cheapest write path for bulk loads. One future per group is
+// returned, in first-appearance order of the groups.
+func (c *Client) PutBatchAsync(objs []Object, opts ...OpOption) []*Op {
+	for _, o := range objs {
+		if o.Version == Latest {
+			return []*Op{c.failedOp(kindBatch, o.Key, o.Version,
+				fmt.Errorf("dataflasks: version %d is reserved for reads", Latest))}
+		}
+	}
+	settings := c.resolveSettings(opts)
+	groups := groupBySlice(objs, c.slices)
+	ops := make([]*Op, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		op := c.newOp(kindBatch, g[0].Key, 0)
+		op.nObjs = len(g)
+		if err := c.submit(func() {
+			op.reqID = c.core.StartPutBatch(g, settings, op.finish)
+		}); err != nil {
+			op.finish(client.Result{Err: err})
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// groupBySlice partitions objects by target slice, preserving the
+// first-appearance order of slices and the object order within each.
+func groupBySlice(objs []Object, slices int) [][]Object {
+	index := make(map[int32]int)
+	var groups [][]Object
+	for _, o := range objs {
+		s := slicing.KeySlice(o.Key, slices)
+		i, ok := index[s]
+		if !ok {
+			i = len(groups)
+			index[s] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], o)
+	}
+	return groups
+}
+
+// --- blocking wrappers ------------------------------------------------------
+
+// await waits for op; if the context expires, the operation is
+// canceled so it does not linger in the pending table until its retry
+// budget runs out.
+func (c *Client) await(ctx context.Context, op *Op) error {
+	err := op.Wait(ctx)
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		op.Cancel()
+	}
+	return err
+}
+
+// Put stores value under (key, version), blocking until the configured
+// number of replicas acknowledged. It is a thin wrapper over PutAsync.
+func (c *Client) Put(ctx context.Context, key string, version uint64, value []byte, opts ...OpOption) error {
+	return c.await(ctx, c.PutAsync(key, version, value, opts...))
+}
+
 // Get returns the value stored at (key, version).
-func (c *Client) Get(ctx context.Context, key string, version uint64) ([]byte, error) {
-	val, _, err := c.get(ctx, key, version)
-	return val, err
+func (c *Client) Get(ctx context.Context, key string, version uint64, opts ...OpOption) ([]byte, error) {
+	op := c.GetAsync(key, version, opts...)
+	if err := c.await(ctx, op); err != nil {
+		return nil, err
+	}
+	return op.Value(), nil
 }
 
 // GetLatest returns the newest stored version of key and its version
 // number.
-func (c *Client) GetLatest(ctx context.Context, key string) (value []byte, version uint64, err error) {
-	return c.get(ctx, key, store.Latest)
-}
-
-func (c *Client) get(ctx context.Context, key string, version uint64) ([]byte, uint64, error) {
-	res := make(chan client.Result, 1)
-	err := c.submit(func() {
-		c.core.StartGet(key, version, func(r client.Result) { res <- r })
-	})
-	if err != nil {
+func (c *Client) GetLatest(ctx context.Context, key string, opts ...OpOption) (value []byte, version uint64, err error) {
+	op := c.GetLatestAsync(key, opts...)
+	if err := c.await(ctx, op); err != nil {
 		return nil, 0, err
 	}
-	select {
-	case r := <-res:
-		if r.Err != nil {
-			if errors.Is(r.Err, client.ErrTimeout) {
-				return nil, 0, fmt.Errorf("dataflasks: get %q: %w", key, ErrNotFound)
-			}
-			return nil, 0, fmt.Errorf("dataflasks: get %q: %w", key, r.Err)
+	return op.Value(), op.Version(), nil
+}
+
+// Delete removes (key, version) from the target slice's replicas;
+// version Latest removes each replica's newest stored version. It
+// blocks until the configured number of replicas acknowledged.
+func (c *Client) Delete(ctx context.Context, key string, version uint64, opts ...OpOption) error {
+	return c.await(ctx, c.DeleteAsync(key, version, opts...))
+}
+
+// PutBatch stores objs, grouped per target slice into one wire message
+// per group (see PutBatchAsync), and blocks until every group
+// acknowledged. The first error (if any) is returned; on context
+// expiry the remaining groups are canceled.
+func (c *Client) PutBatch(ctx context.Context, objs []Object, opts ...OpOption) error {
+	var firstErr error
+	for _, op := range c.PutBatchAsync(objs, opts...) {
+		if err := c.await(ctx, op); err != nil && firstErr == nil {
+			firstErr = err
 		}
-		return r.Value, r.Version, nil
-	case <-ctx.Done():
-		return nil, 0, ctx.Err()
-	case <-c.done:
-		return nil, 0, ErrClientClosed
 	}
+	return firstErr
 }

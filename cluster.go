@@ -310,7 +310,17 @@ func (c *Cluster) NewClient() (*Client, error) {
 		return nil, fmt.Errorf("dataflasks: attach client: %w", err)
 	}
 	lb := client.NewRandomLB(c.nodeIDsLocked(), sim.RNG(c.cfg.Seed, uint64(id)))
-	cl := newLiveClient(id, client.Config{PutAcks: c.cfg.clientPutAcks()}, sender, lb, mailbox, c.period)
+	cl := newLiveClient(id, client.Config{PutAcks: c.cfg.clientPutAcks()}, sender, lb, mailbox, c.period, c.cfg.slicesOrDefault(),
+		func() uint64 { return c.net.DroppedFor(id) })
 	c.clients = append(c.clients, cl)
 	return cl, nil
+}
+
+// MailboxDropped returns how many messages the in-process fabric
+// discarded — a node's (or client's) mailbox was full, or the peer was
+// already removed. Epidemic redundancy tolerates the loss, but a
+// counter growing while membership is stable means event loops are not
+// keeping up with the round period.
+func (c *Cluster) MailboxDropped() uint64 {
+	return c.net.Stats().Dropped
 }

@@ -8,7 +8,7 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood store compact.
+// fanout reconfig putflood store compact pipeline.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, all)")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
@@ -59,8 +59,9 @@ func main() {
 		"putflood":   func() { runPutFlood(*seed, *quick) },
 		"store":      func() { runStore(*quick) },
 		"compact":    func() { runCompact(*quick) },
+		"pipeline":   func() { runPipeline(*seed, *quick) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -373,6 +374,50 @@ func runCompact(quick bool) {
 	}
 	fmt.Printf("64 fsync'd Puts: %s; PutBatch(64): %s — %.1fx\n",
 		seq.Round(time.Microsecond), batch.Round(time.Microsecond), ratio(seq, batch))
+}
+
+// runPipeline measures the async/batched client API: the same put
+// workload as one blocking op at a time, as pipelined futures, and as
+// per-slice batches on the PutBatch wire path. Virtual time makes the
+// speedups deterministic; the pipelined and batch modes are expected
+// to beat blocking by >= 5x at the same ack level, so the CI smoke
+// step fails hard when they do not.
+func runPipeline(seed uint64, quick bool) {
+	done := header("E15: client API — blocking vs pipelined futures vs batched puts")
+	defer done()
+	n, ops := 400, 200
+	if quick {
+		n, ops = 150, 100
+	}
+	rows := lab.PipelineComparison(n, 10, ops, 1, seed)
+	var blocking time.Duration
+	for _, r := range rows {
+		if r.Mode == "blocking" {
+			blocking = r.Elapsed
+		}
+	}
+	fmt.Printf("%10s %6s %6s %6s %14s %14s %14s %9s\n",
+		"mode", "ops", "ok", "fail", "virtual time", "ops/s (virt)", "data msgs/op", "speedup")
+	failed := false
+	for _, r := range rows {
+		speedup := 0.0
+		if r.Elapsed > 0 {
+			speedup = float64(blocking) / float64(r.Elapsed)
+		}
+		fmt.Printf("%10s %6d %6d %6d %14s %14.0f %14.1f %8.1fx\n",
+			r.Mode, r.Ops, r.OK, r.Failed, r.Elapsed.Round(time.Microsecond),
+			r.OpsPerSec, r.DataMsgsPerOp, speedup)
+		if r.Failed > 0 {
+			failed = true
+		}
+		if r.Mode != "blocking" && speedup < 5 {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "flaskbench: pipeline experiment regressed (failures or speedup < 5x)")
+		os.Exit(1)
+	}
 }
 
 func ratio(a, b time.Duration) float64 {

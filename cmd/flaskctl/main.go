@@ -3,7 +3,9 @@
 //	flaskctl -seeds 1@127.0.0.1:7001 put greeting 1 "hello world"
 //	flaskctl -seeds 1@127.0.0.1:7001 get greeting
 //	flaskctl -seeds 1@127.0.0.1:7001 get greeting 1
-//	flaskctl -seeds 1@127.0.0.1:7001 bench -ops 100
+//	flaskctl -seeds 1@127.0.0.1:7001 del greeting
+//	flaskctl -seeds 1@127.0.0.1:7001 del greeting 1
+//	flaskctl -seeds 1@127.0.0.1:7001 bench -ops 1000 -mode pipeline
 package main
 
 import (
@@ -44,10 +46,7 @@ func main() {
 		if len(args) != 4 {
 			usage()
 		}
-		version, err := strconv.ParseUint(args[2], 10, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad version %q: %w", args[2], err))
-		}
+		version := parseVersion(args[2])
 		if err := cl.Put(ctx, args[1], version, []byte(args[3])); err != nil {
 			fatal(err)
 		}
@@ -61,10 +60,7 @@ func main() {
 			}
 			fmt.Printf("%s v%d: %s\n", args[1], version, value)
 		case 3:
-			version, err := strconv.ParseUint(args[2], 10, 64)
-			if err != nil {
-				fatal(fmt.Errorf("bad version %q: %w", args[2], err))
-			}
+			version := parseVersion(args[2])
 			value, err := cl.Get(ctx, args[1], version)
 			if err != nil {
 				fatal(err)
@@ -73,37 +69,101 @@ func main() {
 		default:
 			usage()
 		}
+	case "del":
+		switch len(args) {
+		case 2:
+			// No version: delete each replica's newest stored version.
+			if err := cl.Delete(ctx, args[1], dataflasks.Latest); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("DELETED %s (latest)\n", args[1])
+		case 3:
+			version := parseVersion(args[2])
+			if err := cl.Delete(ctx, args[1], version); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("DELETED %s v%d\n", args[1], version)
+		default:
+			usage()
+		}
 	case "bench":
 		benchFlags := flag.NewFlagSet("bench", flag.ExitOnError)
 		ops := benchFlags.Int("ops", 100, "operations to run")
+		mode := benchFlags.String("mode", "blocking", "write shape: blocking, pipeline or batch")
+		acks := benchFlags.Int("acks", 1, "replica acks per write")
 		_ = benchFlags.Parse(args[1:])
-		runBench(cl, *ops, *timeout)
+		runBench(cl, *ops, *mode, *acks, *timeout)
 	default:
 		usage()
 	}
 }
 
-func runBench(cl *dataflasks.Client, ops int, timeout time.Duration) {
-	start := time.Now()
+func parseVersion(s string) uint64 {
+	version, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad version %q: %w", s, err))
+	}
+	return version
+}
+
+// runBench drives ops puts in the requested shape. The three modes
+// share payloads and ack level, so their throughputs are comparable:
+// blocking waits out each op before issuing the next, pipeline keeps
+// every future in flight at once, batch ships per-slice
+// PutBatchRequest messages.
+func runBench(cl *dataflasks.Client, ops int, mode string, acks int, timeout time.Duration) {
+	const payload = "benchmark-payload"
+	opt := []dataflasks.OpOption{dataflasks.WithAcks(acks)}
+	key := func(i int) string { return fmt.Sprintf("bench%06d", i) }
 	fails := 0
-	for i := 0; i < ops; i++ {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		key := fmt.Sprintf("bench%06d", i)
-		if err := cl.Put(ctx, key, 1, []byte("benchmark-payload")); err != nil {
-			fails++
+	start := time.Now()
+	switch mode {
+	case "blocking":
+		for i := 0; i < ops; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			if err := cl.Put(ctx, key(i), 1, []byte(payload), opt...); err != nil {
+				fails++
+			}
+			cancel()
 		}
-		cancel()
+	case "pipeline":
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		futures := make([]*dataflasks.Op, 0, ops)
+		for i := 0; i < ops; i++ {
+			futures = append(futures, cl.PutAsync(key(i), 1, []byte(payload), opt...))
+		}
+		for _, op := range futures {
+			if err := op.Wait(ctx); err != nil {
+				fails++
+			}
+		}
+	case "batch":
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		objs := make([]dataflasks.Object, 0, ops)
+		for i := 0; i < ops; i++ {
+			objs = append(objs, dataflasks.Object{Key: key(i), Version: 1, Value: []byte(payload)})
+		}
+		for _, op := range cl.PutBatchAsync(objs, opt...) {
+			if err := op.Wait(ctx); err != nil {
+				fails++
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown bench mode %q (want blocking, pipeline or batch)", mode))
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d puts in %s (%.1f ops/s, %d failed)\n",
-		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), fails)
+	fmt.Printf("%d %s puts in %s (%.1f ops/s, %d failed)\n",
+		ops, mode, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), fails)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   flaskctl -seeds id@host:port[,...] put <key> <version> <value>
   flaskctl -seeds id@host:port[,...] get <key> [version]
-  flaskctl -seeds id@host:port[,...] bench [-ops N]`)
+  flaskctl -seeds id@host:port[,...] del <key> [version]
+  flaskctl -seeds id@host:port[,...] bench [-ops N] [-mode blocking|pipeline|batch] [-acks N]`)
 	os.Exit(2)
 }
 

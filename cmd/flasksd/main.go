@@ -98,8 +98,8 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				log.Printf("flasksd: slice=%d peers=%d objects=%d",
-					node.Slice(), node.PeersKnown(), node.StoredObjects())
+				log.Printf("flasksd: slice=%d peers=%d objects=%d dropped=%d",
+					node.Slice(), node.PeersKnown(), node.StoredObjects(), node.MailboxDropped())
 			case <-stop:
 				shutdown(node)
 				return

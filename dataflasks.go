@@ -39,6 +39,10 @@ import (
 // Latest is the version sentinel for newest-wins reads.
 const Latest = store.Latest
 
+// Object is one (key, version, value) triple, the unit of batch writes
+// (Client.PutBatch).
+type Object = store.Object
+
 // NodeID identifies a node in a cluster.
 type NodeID = transport.NodeID
 
@@ -185,6 +189,15 @@ func (c Config) coreConfig() core.Config {
 		cc.Store.Engine = core.StoreLog
 	}
 	return cc
+}
+
+// slicesOrDefault returns the configured slice count with the default
+// applied (clients need it to group batch puts per target slice).
+func (c Config) slicesOrDefault() int {
+	if c.Slices > 0 {
+		return c.Slices
+	}
+	return 10
 }
 
 // clientPutAcks translates the public ack knob for the client library.

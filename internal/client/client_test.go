@@ -8,6 +8,7 @@ import (
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/sim"
 	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 )
 
@@ -216,6 +217,160 @@ func TestPutAckToSupersededAttemptCounts(t *testing.T) {
 	cl.HandleMessage(transport.Envelope{From: 7, Msg: &core.PutAck{ID: second}})
 	if res.Acks != doneAcks || cl.Pending() != 0 {
 		t.Error("late ack revived a completed op")
+	}
+}
+
+// --- per-op options, delete, batch, cancel ---------------------------------
+
+// TestPerOpAcksOverrideConfig pins the override semantics: Opts.Acks
+// beats Config.PutAcks for that one op, zero inherits, negative means
+// fire-and-forget — and neighbouring ops are untouched.
+func TestPerOpAcksOverrideConfig(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 1}, []transport.NodeID{1})
+	var strict, inherit, forget *Result
+	cl.StartPutOpts("strict", 1, nil, Opts{Acks: 2}, func(r Result) { strict = &r })
+	cl.StartPutOpts("inherit", 1, nil, Opts{}, func(r Result) { inherit = &r })
+	cl.StartPutOpts("forget", 1, nil, Opts{Acks: -1}, func(r Result) { forget = &r })
+
+	if forget == nil || forget.Err != nil {
+		t.Fatalf("fire-and-forget override did not complete instantly: %+v", forget)
+	}
+	strictID := cap.sent[0].Msg.(*core.PutRequest).ID
+	inheritID := cap.sent[1].Msg.(*core.PutRequest).ID
+
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: strictID}})
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutAck{ID: inheritID}})
+	if inherit == nil || inherit.Acks != 1 {
+		t.Fatalf("config-default op did not complete on 1 ack: %+v", inherit)
+	}
+	if strict != nil {
+		t.Fatal("Acks:2 op completed on a single ack")
+	}
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.PutAck{ID: strictID}})
+	if strict == nil || strict.Acks != 2 {
+		t.Fatalf("Acks:2 op = %+v", strict)
+	}
+}
+
+// TestPerOpTimeoutAndRetries: an op with a tighter per-op budget fails
+// while config-default ops are still waiting.
+func TestPerOpTimeoutAndRetries(t *testing.T) {
+	cl, _ := newTestCore(t, Config{TimeoutTicks: 50, Retries: 3}, []transport.NodeID{1})
+	var fast, slow *Result
+	cl.StartGetOpts("fast", 1, Opts{TimeoutTicks: 1, Retries: -1}, func(r Result) { fast = &r })
+	cl.StartGetOpts("slow", 1, Opts{}, func(r Result) { slow = &r })
+	cl.Tick()
+	if fast == nil || !errors.Is(fast.Err, ErrTimeout) || fast.Retries != 0 {
+		t.Fatalf("per-op timeout/no-retry op = %+v", fast)
+	}
+	if slow != nil {
+		t.Fatal("config-default op expired with the per-op one")
+	}
+}
+
+func TestDeleteCompletesOnAcks(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2}, []transport.NodeID{1})
+	var res *Result
+	cl.StartDelete("k", 7, Opts{}, func(r Result) { res = &r })
+	req, ok := cap.sent[0].Msg.(*core.DeleteRequest)
+	if !ok || req.Key != "k" || req.Version != 7 || req.TTL != core.TTLUnset {
+		t.Fatalf("sent %#v", cap.sent[0].Msg)
+	}
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.DeleteAck{ID: req.ID}})
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.DeleteAck{ID: req.ID}}) // dup replica
+	if res != nil {
+		t.Fatal("duplicate replica completed the delete")
+	}
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.DeleteAck{ID: req.ID}})
+	if res == nil || res.Err != nil || res.Acks != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPutBatchCompletesOnAckAndRetriesWholeBatch(t *testing.T) {
+	cl, cap := newTestCore(t, Config{TimeoutTicks: 2, Retries: 2}, []transport.NodeID{1, 2, 3, 4})
+	objs := []store.Object{
+		{Key: "a", Version: 1, Value: []byte("x")},
+		{Key: "b", Version: 1, Value: []byte("y")},
+	}
+	var res *Result
+	cl.StartPutBatch(objs, Opts{}, func(r Result) { res = &r })
+	first, ok := cap.sent[0].Msg.(*core.PutBatchRequest)
+	if !ok || len(first.Objs) != 2 || first.TTL != core.TTLUnset {
+		t.Fatalf("sent %#v", cap.sent[0].Msg)
+	}
+
+	cl.Tick()
+	cl.Tick() // deadline → retry under a fresh id, same payload
+	second := cap.sent[1].Msg.(*core.PutBatchRequest)
+	if second.ID == first.ID {
+		t.Fatal("batch retry reused the request id")
+	}
+	if len(second.Objs) != 2 {
+		t.Fatalf("retry carried %d objects, want the whole batch", len(second.Objs))
+	}
+	// An ack addressed to the superseded attempt id still counts.
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.PutBatchAck{ID: first.ID, Stored: 2}})
+	if res == nil || res.Err != nil || res.Acks != 1 || res.Retries != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEmptyPutBatchCompletesImmediately(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1})
+	var res *Result
+	cl.StartPutBatch(nil, Opts{}, func(r Result) { res = &r })
+	if res == nil || res.Err != nil {
+		t.Fatalf("empty batch: %+v", res)
+	}
+	if len(cap.sent) != 0 || cl.Pending() != 0 {
+		t.Errorf("empty batch sent %d messages, %d pending", len(cap.sent), cl.Pending())
+	}
+}
+
+func TestCancelRemovesPendingOp(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1})
+	fired := false
+	id := cl.StartGet("k", 1, func(Result) { fired = true })
+	if cl.Pending() != 1 {
+		t.Fatalf("pending = %d", cl.Pending())
+	}
+	if !cl.Cancel(id) {
+		t.Fatal("Cancel did not find the op")
+	}
+	if cl.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d", cl.Pending())
+	}
+	// A late reply to the canceled id is dropped, and the callback
+	// never runs — not even with an error.
+	reqID := cap.sent[0].Msg.(*core.GetRequest).ID
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.GetReply{ID: reqID, Value: []byte("late")}})
+	for i := 0; i < 50; i++ {
+		cl.Tick()
+	}
+	if fired {
+		t.Fatal("canceled op's callback ran")
+	}
+	if cl.Cancel(id) {
+		t.Fatal("second Cancel found a ghost op")
+	}
+}
+
+// TestCancelBySupersededAttemptID: the public wrapper only knows the
+// first attempt's id; after retries, Cancel must still find the live op
+// through the alias table.
+func TestCancelBySupersededAttemptID(t *testing.T) {
+	cl, _ := newTestCore(t, Config{PutAcks: 2, TimeoutTicks: 1, Retries: 5}, []transport.NodeID{1})
+	first := cl.StartPut("k", 1, nil, nil)
+	cl.Tick() // retry: first id now lives in the alias table
+	if cl.Pending() != 1 {
+		t.Fatalf("pending = %d", cl.Pending())
+	}
+	if !cl.Cancel(first) {
+		t.Fatal("Cancel lost track of the op across a retry")
+	}
+	if cl.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d", cl.Pending())
 	}
 }
 

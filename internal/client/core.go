@@ -7,6 +7,7 @@ import (
 
 	"dataflasks/internal/core"
 	"dataflasks/internal/gossip"
+	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 )
 
@@ -27,7 +28,8 @@ type Result struct {
 	Version uint64
 	Value   []byte
 	Err     error
-	// Acks is how many distinct replicas acknowledged a put.
+	// Acks is how many distinct replicas acknowledged a put, batch put
+	// or delete.
 	Acks int
 	// Retries is how many times the operation was re-issued.
 	Retries int
@@ -35,8 +37,9 @@ type Result struct {
 
 // Config tunes the client core.
 type Config struct {
-	// PutAcks is how many distinct replica acks complete a put
-	// (default 1; 0 makes puts fire-and-forget, completing instantly).
+	// PutAcks is how many distinct replica acks complete a put, batch
+	// put or delete (default 1; 0 makes writes fire-and-forget,
+	// completing instantly). Overridable per operation via Opts.Acks.
 	PutAcks int
 	// TimeoutTicks is how many ticks an attempt may run before retry
 	// (default 20).
@@ -68,11 +71,28 @@ func (c *Config) defaults() {
 	}
 }
 
+// Opts overrides the core configuration for one operation. The zero
+// value inherits every config default, so existing call sites keep
+// their behavior.
+type Opts struct {
+	// Acks overrides Config.PutAcks for this write: 0 inherits,
+	// negative makes it fire-and-forget (completes instantly, no acks
+	// awaited). Ignored by gets.
+	Acks int
+	// TimeoutTicks overrides the per-attempt tick budget (0 inherits).
+	TimeoutTicks int
+	// Retries overrides the retry budget: 0 inherits, negative means
+	// no retries (one attempt only).
+	Retries int
+}
+
 type opKind int
 
 const (
 	opPut opKind = iota + 1
 	opGet
+	opDelete
+	opPutBatch
 )
 
 type pending struct {
@@ -81,7 +101,13 @@ type pending struct {
 	key     string
 	version uint64
 	value   []byte
+	objs    []store.Object // opPutBatch payload
 	noAck   bool
+
+	// Per-op knobs resolved from Opts at start time.
+	wantAcks     int
+	timeoutTicks int
+	maxRetries   int
 
 	ackFrom     map[transport.NodeID]bool
 	deadline    uint64
@@ -93,6 +119,11 @@ type pending struct {
 	// this op; acks addressed to them still count (see Core.aliases).
 	attempts []gossip.RequestID
 }
+
+// countsAcks reports whether the op completes by accumulating replica
+// acknowledgements (everything but gets, which complete on the first
+// reply).
+func (p *pending) countsAcks() bool { return p.kind != opGet }
 
 // Core is the client library's event-driven engine: it issues requests
 // through the load balancer, tracks outstanding operations, de-dupes
@@ -108,12 +139,12 @@ type Core struct {
 	seq  uint32
 	tick uint64
 	ops  map[gossip.RequestID]*pending
-	// aliases maps the request ids of superseded put attempts to their
-	// live op: a retry re-issues under a fresh id (dedup caches across
-	// the system would swallow a re-used one), but acks for the previous
-	// attempt may still be in flight and are from distinct replicas all
-	// the same — dropping them makes PutAcks>1 operations time out
-	// needlessly.
+	// aliases maps the request ids of superseded attempts of ack-counted
+	// ops to their live op: a retry re-issues under a fresh id (dedup
+	// caches across the system would swallow a re-used one), but acks
+	// for the previous attempt may still be in flight and are from
+	// distinct replicas all the same — dropping them makes Acks>1
+	// operations time out needlessly.
 	aliases map[gossip.RequestID]*pending
 }
 
@@ -140,19 +171,45 @@ func (c *Core) ID() transport.NodeID { return c.id }
 // Pending returns the number of in-flight operations.
 func (c *Core) Pending() int { return len(c.ops) }
 
-// StartPut begins an asynchronous put; done runs when enough acks
-// arrive or retries are exhausted. It returns the first attempt's
-// request id.
+// resolve fills per-op knobs from opts over the config defaults.
+func (c *Core) resolve(op *pending, opts Opts) {
+	op.wantAcks = c.cfg.PutAcks
+	if opts.Acks > 0 {
+		op.wantAcks = opts.Acks
+	} else if opts.Acks < 0 {
+		op.wantAcks = 0
+	}
+	op.noAck = op.wantAcks == 0
+	op.timeoutTicks = c.cfg.TimeoutTicks
+	if opts.TimeoutTicks > 0 {
+		op.timeoutTicks = opts.TimeoutTicks
+	}
+	op.maxRetries = c.cfg.Retries
+	if opts.Retries > 0 {
+		op.maxRetries = opts.Retries
+	} else if opts.Retries < 0 {
+		op.maxRetries = 0
+	}
+}
+
+// StartPut begins an asynchronous put with the config defaults; done
+// runs when enough acks arrive or retries are exhausted. It returns the
+// first attempt's request id.
 func (c *Core) StartPut(key string, version uint64, value []byte, done func(Result)) gossip.RequestID {
+	return c.StartPutOpts(key, version, value, Opts{}, done)
+}
+
+// StartPutOpts begins an asynchronous put with per-op overrides.
+func (c *Core) StartPutOpts(key string, version uint64, value []byte, opts Opts, done func(Result)) gossip.RequestID {
 	op := &pending{
 		kind:    opPut,
 		key:     key,
 		version: version,
 		value:   append([]byte(nil), value...),
-		noAck:   c.cfg.PutAcks == 0,
 		ackFrom: make(map[transport.NodeID]bool),
 		done:    done,
 	}
+	c.resolve(op, opts)
 	c.launch(op)
 	if op.noAck {
 		// Fire-and-forget: complete immediately.
@@ -163,6 +220,11 @@ func (c *Core) StartPut(key string, version uint64, value []byte, done func(Resu
 
 // StartGet begins an asynchronous get; version may be store.Latest.
 func (c *Core) StartGet(key string, version uint64, done func(Result)) gossip.RequestID {
+	return c.StartGetOpts(key, version, Opts{}, done)
+}
+
+// StartGetOpts begins an asynchronous get with per-op overrides.
+func (c *Core) StartGetOpts(key string, version uint64, opts Opts, done func(Result)) gossip.RequestID {
 	op := &pending{
 		kind:    opGet,
 		key:     key,
@@ -170,15 +232,83 @@ func (c *Core) StartGet(key string, version uint64, done func(Result)) gossip.Re
 		ackFrom: make(map[transport.NodeID]bool),
 		done:    done,
 	}
+	c.resolve(op, opts)
 	c.launch(op)
 	return op.id
+}
+
+// StartDelete begins an asynchronous delete of (key, version); version
+// store.Latest removes each replica's newest version. Completion
+// follows the same ack-counting rules as puts.
+func (c *Core) StartDelete(key string, version uint64, opts Opts, done func(Result)) gossip.RequestID {
+	op := &pending{
+		kind:    opDelete,
+		key:     key,
+		version: version,
+		ackFrom: make(map[transport.NodeID]bool),
+		done:    done,
+	}
+	c.resolve(op, opts)
+	c.launch(op)
+	if op.noAck {
+		c.complete(op, Result{ID: op.id, Key: key, Version: version})
+	}
+	return op.id
+}
+
+// StartPutBatch begins an asynchronous multi-object put. All objects
+// must map to the same slice (callers group per slice before issuing);
+// the batch travels as one wire message and lands on each replica as
+// one store.PutBatch call. Acks count whole batches. An empty batch
+// completes immediately (there is nothing to replicate).
+func (c *Core) StartPutBatch(objs []store.Object, opts Opts, done func(Result)) gossip.RequestID {
+	if len(objs) == 0 {
+		if done != nil {
+			done(Result{})
+		}
+		return 0
+	}
+	cp := make([]store.Object, len(objs))
+	copy(cp, objs)
+	op := &pending{
+		kind:    opPutBatch,
+		key:     cp[0].Key, // contact selection and balancer hints
+		objs:    cp,
+		ackFrom: make(map[transport.NodeID]bool),
+		done:    done,
+	}
+	c.resolve(op, opts)
+	c.launch(op)
+	if op.noAck {
+		c.complete(op, Result{ID: op.id, Key: op.key})
+	}
+	return op.id
+}
+
+// Cancel abandons the operation that id belongs to (any attempt id of
+// the op works). The op is removed from the pending table immediately —
+// instead of lingering until its retry budget expires — and its done
+// callback never runs. It reports whether a live op was found.
+func (c *Core) Cancel(id gossip.RequestID) bool {
+	op, ok := c.ops[id]
+	if !ok {
+		op, ok = c.aliases[id]
+	}
+	if !ok {
+		return false
+	}
+	delete(c.ops, op.id)
+	for _, attempt := range op.attempts {
+		delete(c.aliases, attempt)
+	}
+	return true
 }
 
 // launch (re)issues op with a fresh id and contact.
 func (c *Core) launch(op *pending) {
 	c.seq++
 	op.id = gossip.MakeRequestID(c.id, c.seq)
-	op.deadline = c.tick + uint64(c.cfg.TimeoutTicks)
+	op.deadline = c.tick + uint64(op.timeoutTicks)
 	c.ops[op.id] = op
 
 	contact, ok := c.lb.Contact(op.key)
@@ -203,6 +333,18 @@ func (c *Core) launch(op *pending) {
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset,
 		})
+	case opDelete:
+		_ = c.out.Send(contact, &core.DeleteRequest{
+			ID: op.id, Key: op.key, Version: op.version,
+			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
+			TTL: core.TTLUnset, NoAck: op.noAck,
+		})
+	case opPutBatch:
+		_ = c.out.Send(contact, &core.PutBatchRequest{
+			ID: op.id, Objs: op.objs,
+			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
+			TTL: core.TTLUnset, NoAck: op.noAck,
+		})
 	}
 }
 
@@ -212,25 +354,11 @@ func (c *Core) launch(op *pending) {
 func (c *Core) HandleMessage(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case *core.PutAck:
-		op, ok := c.ops[m.ID]
-		if !ok {
-			// An ack for a superseded attempt of a still-live put: the
-			// replica stored the same (key, version), so it counts.
-			op, ok = c.aliases[m.ID]
-		}
-		if !ok || op.kind != opPut {
-			return
-		}
-		if op.ackFrom[env.From] {
-			return // duplicate ack from the same replica
-		}
-		op.ackFrom[env.From] = true
-		if len(op.ackFrom) >= c.cfg.PutAcks {
-			c.complete(op, Result{
-				ID: op.id, Key: op.key, Version: op.version,
-				Acks: len(op.ackFrom), Retries: op.retries,
-			})
-		}
+		c.onAck(m.ID, opPut, env.From)
+	case *core.PutBatchAck:
+		c.onAck(m.ID, opPutBatch, env.From)
+	case *core.DeleteAck:
+		c.onAck(m.ID, opDelete, env.From)
 	case *core.GetReply:
 		op, ok := c.ops[m.ID]
 		if !ok || op.kind != opGet {
@@ -240,6 +368,29 @@ func (c *Core) HandleMessage(env transport.Envelope) {
 		c.complete(op, Result{
 			ID: m.ID, Key: op.key, Version: m.Version,
 			Value: m.Value, Retries: op.retries,
+		})
+	}
+}
+
+// onAck counts one replica acknowledgement for an ack-counted op. Acks
+// for superseded attempt ids of a still-live op count too: the replica
+// stored (or deleted) the same object either way.
+func (c *Core) onAck(id gossip.RequestID, kind opKind, from transport.NodeID) {
+	op, ok := c.ops[id]
+	if !ok {
+		op, ok = c.aliases[id]
+	}
+	if !ok || op.kind != kind {
+		return
+	}
+	if op.ackFrom[from] {
+		return // duplicate ack from the same replica
+	}
+	op.ackFrom[from] = true
+	if len(op.ackFrom) >= op.wantAcks {
+		c.complete(op, Result{
+			ID: op.id, Key: op.key, Version: op.version,
+			Acks: len(op.ackFrom), Retries: op.retries,
 		})
 	}
 }
@@ -276,21 +427,21 @@ func (c *Core) Tick() {
 			// caching balancers evict it.
 			c.lb.Forget(op.lastContact)
 		}
-		if op.retries >= c.cfg.Retries {
+		if op.retries >= op.maxRetries {
 			c.complete(op, Result{
 				ID: op.id, Key: op.key, Version: op.version,
-				Err:     fmt.Errorf("%w after %d attempts", ErrTimeout, op.retries+1),
+				Err:     fmt.Errorf("%w after %d attempts (op %s)", ErrTimeout, op.retries+1, op.id),
 				Retries: op.retries,
 			})
 			continue
 		}
 		delete(c.ops, op.id)
 		op.retries++
-		// Partial acks may come from a half-replicated put; keep them
+		// Partial acks may come from a half-replicated write; keep them
 		// counting across attempts (they are distinct replicas either
 		// way) — and keep the old id aliased to the op, so acks the
 		// previous attempt already provoked count too when they land.
-		if op.kind == opPut {
+		if op.countsAcks() {
 			op.attempts = append(op.attempts, op.id)
 			c.aliases[op.id] = op
 		}

@@ -150,6 +150,17 @@ type Config struct {
 	// (default 8192).
 	DedupCapacity int
 
+	// CoalesceMax is the event loop's put accumulation window:
+	// intra-slice relay puts (which carry no ack obligation) are
+	// buffered and land in one store.PutBatch — one lock acquisition
+	// and, in the log engine, one group-commit fsync — at the next tick
+	// or once this many are buffered, whichever comes first. Reads,
+	// deletes and incoming batches flush the buffer first, so a node
+	// still observes its own relayed writes. Default 64; negative
+	// disables coalescing (every relay put hits the store
+	// individually).
+	CoalesceMax int
+
 	// AntiEntropyEvery runs one anti-entropy exchange every this many
 	// rounds (default 10; negative disables anti-entropy).
 	AntiEntropyEvery int
@@ -215,6 +226,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DedupCapacity <= 0 {
 		c.DedupCapacity = 8192
+	}
+	if c.CoalesceMax == 0 {
+		c.CoalesceMax = 64
 	}
 	if c.AntiEntropyEvery < 0 {
 		c.AntiEntropyEvery = 0

@@ -9,6 +9,7 @@ package core
 import (
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/pss"
+	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 )
 
@@ -68,6 +69,59 @@ type GetReply struct {
 	// Slice is the responder's slice, letting clients warm their
 	// slice-contact cache (§VII load-balancer optimization).
 	Slice int32
+}
+
+// PutBatchRequest writes a batch of objects that all map to one target
+// slice (the client groups per slice before sending). It is routed
+// exactly like PutRequest — TTL-bounded global phase, then intra-slice
+// dissemination — but lands on each replica as a single store.PutBatch
+// call: one lock acquisition and, in the log engine, one appended
+// record batch plus one group-commit fsync. Nodes that predate this
+// message type ignore it (unknown kinds fall through HandleMessage's
+// default case), so mixed-version deployments degrade to "batch not
+// replicated by old nodes" rather than crashing.
+type PutBatchRequest struct {
+	ID gossip.RequestID
+	// Objs all belong to one slice under the sender's slice count; the
+	// receiving node recomputes the target from Objs[0].Key.
+	Objs       []store.Object
+	Origin     transport.NodeID
+	OriginAddr string
+	TTL        uint8
+	Intra      bool
+	NoAck      bool
+}
+
+// PutBatchAck confirms a whole batch was stored by one replica, with
+// the same entry-point-only emission rule as PutAck.
+type PutBatchAck struct {
+	ID gossip.RequestID
+	// Stored is how many objects the replica applied (always the full
+	// batch; partial application fails the batch and is not acked).
+	Stored int
+}
+
+// DeleteRequest removes (Key, Version) from the target slice's
+// replicas; Version store.Latest removes each replica's newest stored
+// version (resolved independently per replica, mirroring Get). Routed
+// exactly like PutRequest: deletes must reach the whole target slice.
+type DeleteRequest struct {
+	ID         gossip.RequestID
+	Key        string
+	Version    uint64
+	Origin     transport.NodeID
+	OriginAddr string
+	TTL        uint8
+	Intra      bool
+	// NoAck suppresses DeleteAck (fire-and-forget deletes).
+	NoAck bool
+}
+
+// DeleteAck confirms a delete was applied by one replica.
+type DeleteAck struct {
+	ID      gossip.RequestID
+	Key     string
+	Version uint64
 }
 
 // MateQuery asks a random peer for members of the sender's slice it

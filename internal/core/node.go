@@ -45,6 +45,19 @@ type Node struct {
 	attr  float64
 
 	lastSlice int32
+
+	// coalesce is the put accumulation window (Config.CoalesceMax):
+	// intra-slice relay puts buffered for one batched store append.
+	// coalesceSeen de-duplicates (key, version) within the buffer —
+	// distinct request ids can carry the same object (client retries).
+	coalesce     []store.Object
+	coalesceSeen map[objRef]struct{}
+}
+
+// objRef identifies one (key, version) pair in the coalesce buffer.
+type objRef struct {
+	key     string
+	version uint64
 }
 
 // NewNode assembles a DataFlasks node. The store is owned by the caller
@@ -273,11 +286,12 @@ func (n *Node) intraTTL() uint8 {
 	return gossip.TTL(sliceSize, n.cfg.IntraFanout, 2)
 }
 
-// Tick runs one gossip round: peer sampling, slicing, slice-change
-// bookkeeping, view expiry, mate discovery, periodic anti-entropy and
-// the size estimator.
+// Tick runs one gossip round: coalesced-put flush, peer sampling,
+// slicing, slice-change bookkeeping, view expiry, mate discovery,
+// periodic anti-entropy and the size estimator.
 func (n *Node) Tick() {
 	n.round++
+	n.flushCoalesced()
 	n.pssP.Tick()
 	n.slicer.Tick()
 
@@ -343,13 +357,17 @@ func (n *Node) HandleMessage(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case *PutRequest:
 		n.onPut(m)
+	case *PutBatchRequest:
+		n.onPutBatch(m)
 	case *GetRequest:
 		n.onGet(m)
+	case *DeleteRequest:
+		n.onDelete(m)
 	case *MateQuery:
 		n.onMateQuery(env.From, m)
 	case *MateReply:
 		n.onMateReply(m)
-	case *PutAck, *GetReply:
+	case *PutAck, *PutBatchAck, *GetReply, *DeleteAck:
 		// Client-bound traffic that reached a node (stale origin);
 		// nothing to do.
 	default:
@@ -370,20 +388,22 @@ func (n *Node) onPut(m *PutRequest) {
 	mine := n.currentSlice()
 
 	if mine == target {
-		err := n.st.Put(m.Key, m.Version, m.Value)
-		if err == nil {
-			n.met.Inc(metrics.PutsServed)
-		}
 		if !m.Intra {
-			// Entry point into the slice: acknowledge — only if the
-			// local store really holds the object now; acking a failed
-			// Put (disk full, oversized value, closed store) would tell
-			// the client a write is replicated when no one stored it —
-			// and start the intra-slice phase either way, since mates
-			// may still succeed.
-			if err == nil && !m.NoAck && m.Origin != 0 {
-				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
+			// Entry point into the slice: the object is stored
+			// synchronously (the ack must reflect a store that really
+			// holds it) and acknowledged — only if the local store
+			// really holds the object now; acking a failed Put (disk
+			// full, oversized value, closed store) would tell the
+			// client a write is replicated when no one stored it — and
+			// the intra-slice phase starts either way, since mates may
+			// still succeed.
+			err := n.st.Put(m.Key, m.Version, m.Value)
+			if err == nil {
+				n.met.Inc(metrics.PutsServed)
+				if !m.NoAck && m.Origin != 0 {
+					n.learnOrigin(m.Origin, m.OriginAddr)
+					n.sendData(m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
+				}
 			}
 			fwd := *m
 			fwd.Intra = true
@@ -391,6 +411,9 @@ func (n *Node) onPut(m *PutRequest) {
 			n.relayIntra(&fwd)
 			return
 		}
+		// Intra-phase copy: no ack obligation, so the write can ride
+		// the accumulation window and land as part of one batch append.
+		n.coalescePut(m.Key, m.Version, m.Value)
 		if m.TTL > 0 {
 			fwd := *m
 			fwd.TTL--
@@ -415,6 +438,160 @@ func (n *Node) onPut(m *PutRequest) {
 	})
 }
 
+// coalescePut buffers one intra-slice relay put for the next batched
+// flush; with coalescing disabled it stores directly.
+func (n *Node) coalescePut(key string, version uint64, value []byte) {
+	if n.cfg.CoalesceMax <= 0 {
+		if n.st.Put(key, version, value) == nil {
+			n.met.Inc(metrics.PutsServed)
+		}
+		return
+	}
+	ref := objRef{key: key, version: version}
+	if n.coalesceSeen == nil {
+		n.coalesceSeen = make(map[objRef]struct{}, n.cfg.CoalesceMax)
+	}
+	if _, dup := n.coalesceSeen[ref]; dup {
+		return // same object via two request ids (client retry)
+	}
+	n.coalesceSeen[ref] = struct{}{}
+	// Messages are immutable, so referencing the value is safe; engines
+	// copy on store.
+	n.coalesce = append(n.coalesce, store.Object{Key: key, Version: version, Value: value})
+	if len(n.coalesce) >= n.cfg.CoalesceMax {
+		n.flushCoalesced()
+	}
+}
+
+// flushCoalesced applies the accumulation window as one store.PutBatch.
+// A batch-level failure (one invalid object fails the whole batch with
+// no side effects) degrades to individual puts so valid objects are not
+// lost to a poisoned batch.
+func (n *Node) flushCoalesced() {
+	if len(n.coalesce) == 0 {
+		return
+	}
+	batch := n.coalesce
+	n.coalesce = nil
+	n.coalesceSeen = nil
+	if err := n.st.PutBatch(batch); err != nil {
+		for _, o := range batch {
+			if n.st.Put(o.Key, o.Version, o.Value) == nil {
+				n.met.Inc(metrics.PutsServed)
+			}
+		}
+		return
+	}
+	n.met.Add(metrics.PutsServed, uint64(len(batch)))
+	n.met.Add(metrics.CoalescedPuts, uint64(len(batch)))
+}
+
+// onPutBatch routes a multi-object write exactly like onPut, but a
+// target-slice node applies the whole batch in one store.PutBatch call.
+func (n *Node) onPutBatch(m *PutBatchRequest) {
+	if n.dedup.Seen(m.ID) {
+		n.met.Inc(metrics.DuplicatesSuppressed)
+		return
+	}
+	if len(m.Objs) == 0 {
+		return
+	}
+	target := slicing.KeySlice(m.Objs[0].Key, n.slicer.SliceCount())
+	mine := n.currentSlice()
+
+	if mine == target {
+		// Flush buffered relay puts first so the store applies writes
+		// in arrival order.
+		n.flushCoalesced()
+		err := n.st.PutBatch(m.Objs)
+		if err == nil {
+			n.met.Add(metrics.PutsServed, uint64(len(m.Objs)))
+		}
+		if !m.Intra {
+			if err == nil && !m.NoAck && m.Origin != 0 {
+				n.learnOrigin(m.Origin, m.OriginAddr)
+				n.sendData(m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
+			}
+			fwd := *m
+			fwd.Intra = true
+			fwd.TTL = n.intraTTL()
+			n.relayIntra(&fwd)
+			return
+		}
+		if m.TTL > 0 {
+			fwd := *m
+			fwd.TTL--
+			n.relayIntra(&fwd)
+		}
+		return
+	}
+
+	if m.Intra {
+		return
+	}
+	ttl := m.TTL
+	if ttl == TTLUnset {
+		ttl = n.putTTL() // batches are writes: full-coverage budget
+	}
+	n.relayGlobal(ttl, func(next uint8) interface{} {
+		fwd := *m
+		fwd.TTL = next
+		return &fwd
+	})
+}
+
+// onDelete routes a delete like a write (the whole target slice must
+// apply it). Version store.Latest is resolved independently by each
+// replica's store, mirroring Get.
+func (n *Node) onDelete(m *DeleteRequest) {
+	if n.dedup.Seen(m.ID) {
+		n.met.Inc(metrics.DuplicatesSuppressed)
+		return
+	}
+	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
+	mine := n.currentSlice()
+
+	if mine == target {
+		// A buffered relay put for this key must be applied before the
+		// delete, or the flush would resurrect the object.
+		n.flushCoalesced()
+		err := n.st.Delete(m.Key, m.Version)
+		if err == nil {
+			n.met.Inc(metrics.DeletesServed)
+		}
+		if !m.Intra {
+			if err == nil && !m.NoAck && m.Origin != 0 {
+				n.learnOrigin(m.Origin, m.OriginAddr)
+				n.sendData(m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
+			}
+			fwd := *m
+			fwd.Intra = true
+			fwd.TTL = n.intraTTL()
+			n.relayIntra(&fwd)
+			return
+		}
+		if m.TTL > 0 {
+			fwd := *m
+			fwd.TTL--
+			n.relayIntra(&fwd)
+		}
+		return
+	}
+
+	if m.Intra {
+		return
+	}
+	ttl := m.TTL
+	if ttl == TTLUnset {
+		ttl = n.putTTL() // deletes are writes: full-coverage budget
+	}
+	n.relayGlobal(ttl, func(next uint8) interface{} {
+		fwd := *m
+		fwd.TTL = next
+		return &fwd
+	})
+}
+
 // onGet implements §IV-B routing for reads.
 func (n *Node) onGet(m *GetRequest) {
 	if n.dedup.Seen(m.ID) {
@@ -425,6 +602,9 @@ func (n *Node) onGet(m *GetRequest) {
 	mine := n.currentSlice()
 
 	if mine == target {
+		// Serve reads against everything received, including puts still
+		// sitting in the accumulation window.
+		n.flushCoalesced()
 		val, actual, ok, err := n.st.Get(m.Key, m.Version)
 		if err == nil && ok {
 			n.met.Inc(metrics.GetsServed)

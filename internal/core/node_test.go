@@ -152,11 +152,241 @@ func TestNodeIntraPutStoresWithoutAck(t *testing.T) {
 		Value: []byte("v"), Origin: 0xC0000001, TTL: 4, Intra: true,
 	}})
 
+	// Intra copies ride the accumulation window; the next tick flushes
+	// them as one batch append.
+	n.Tick()
 	if _, _, ok, _ := n.Store().Get(key, 1); !ok {
-		t.Fatal("intra put not stored")
+		t.Fatal("intra put not stored after tick")
 	}
 	if acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutAck); return ok }); len(acks) != 0 {
 		t.Fatalf("intra-phase copy acked: %+v", acks)
+	}
+	if n.Metrics().Get(metrics.CoalescedPuts) != 1 {
+		t.Errorf("CoalescedPuts = %d, want 1", n.Metrics().Get(metrics.CoalescedPuts))
+	}
+}
+
+// TestNodeCoalescedPutVisibleToGet pins read-your-relayed-writes: a get
+// arriving between an intra put and the next tick must flush the
+// accumulation window, not miss the object.
+func TestNodeCoalescedPutVisibleToGet(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
+		Value: []byte("v"), Origin: 0xC0000001, TTL: 4, Intra: true,
+	}})
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 2), Key: key, Version: 1,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	replies := cap.byType(func(m interface{}) bool { _, ok := m.(*GetReply); return ok })
+	if len(replies) != 1 || string(replies[0].Msg.(*GetReply).Value) != "v" {
+		t.Fatalf("get did not observe the coalesced put: %+v", replies)
+	}
+}
+
+// TestNodeCoalesceWindowDedupsAndCapFlushes drives CoalesceMax+1 intra
+// puts (distinct request ids, one duplicated object) and checks the cap
+// flush plus in-buffer dedup.
+func TestNodeCoalesceWindowDedupsAndCapFlushes(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	cap := &capture{}
+	n := NewNode(id, Config{
+		Slices:           k,
+		Slicer:           SlicerStatic,
+		SystemSize:       100,
+		AntiEntropyEvery: -1,
+		CoalesceMax:      4,
+		Seed:             1,
+	}, store.NewMemory(), cap.sender(id))
+	key := keyForSlice(t, 2, k)
+
+	send := func(seq uint32, version uint64) {
+		n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+			ID: gossip.MakeRequestID(0xC0000001, seq), Key: key, Version: version,
+			Value: []byte("v"), TTL: 2, Intra: true,
+		}})
+	}
+	send(1, 1)
+	send(2, 1) // same object under a fresh id (a client retry): deduped
+	send(3, 2)
+	send(4, 3)
+	if n.Store().Count() != 0 {
+		t.Fatalf("buffer flushed early: %d objects stored", n.Store().Count())
+	}
+	send(5, 4) // hits CoalesceMax → flush without waiting for a tick
+	if got := n.Store().Count(); got != 4 {
+		t.Fatalf("stored %d objects after cap flush, want 4", got)
+	}
+	if n.Metrics().Get(metrics.CoalescedPuts) != 4 {
+		t.Errorf("CoalescedPuts = %d, want 4", n.Metrics().Get(metrics.CoalescedPuts))
+	}
+}
+
+func TestNodeAppliesBatchViaOnePutBatch(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	cap := &capture{}
+	cs := &countingStore{Store: store.NewMemory()}
+	n := NewNode(id, Config{
+		Slices:           k,
+		Slicer:           SlicerStatic,
+		SystemSize:       100,
+		AntiEntropyEvery: -1,
+		Seed:             1,
+	}, cs, cap.sender(id))
+
+	objs := make([]store.Object, 0, 3)
+	for i := 0; len(objs) < 3; i++ {
+		key := fmt.Sprintf("batch%06d", i)
+		if slicing.KeySlice(key, k) == 2 {
+			objs = append(objs, store.Object{Key: key, Version: 1, Value: []byte("v")})
+		}
+	}
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Objs: objs,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	if cs.batchCalls != 1 || cs.putCalls != 0 {
+		t.Fatalf("batch applied via %d PutBatch / %d Put calls, want 1 / 0", cs.batchCalls, cs.putCalls)
+	}
+	if n.Store().Count() != len(objs) {
+		t.Fatalf("stored %d of %d batch objects", n.Store().Count(), len(objs))
+	}
+	acks := cap.byType(func(m interface{}) bool { _, ok := m.(*PutBatchAck); return ok })
+	if len(acks) != 1 || acks[0].To != 0xC0000001 || acks[0].Msg.(*PutBatchAck).Stored != len(objs) {
+		t.Fatalf("batch acks = %+v", acks)
+	}
+	if n.Metrics().Get(metrics.PutsServed) != uint64(len(objs)) {
+		t.Errorf("PutsServed = %d", n.Metrics().Get(metrics.PutsServed))
+	}
+
+	// A duplicate delivery must not re-apply the batch.
+	n.HandleMessage(transport.Envelope{From: 78, To: id, Msg: &PutBatchRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Objs: objs,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+	if cs.batchCalls != 1 {
+		t.Fatalf("duplicate batch re-applied: %d PutBatch calls", cs.batchCalls)
+	}
+}
+
+// countingStore counts write-path entry points.
+type countingStore struct {
+	store.Store
+	putCalls   int
+	batchCalls int
+}
+
+func (c *countingStore) Put(key string, version uint64, value []byte) error {
+	c.putCalls++
+	return c.Store.Put(key, version, value)
+}
+
+func (c *countingStore) PutBatch(objs []store.Object) error {
+	c.batchCalls++
+	return c.Store.PutBatch(objs)
+}
+
+func TestNodeRelaysForeignSliceBatch(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 1, k)
+	n, cap := staticNode(t, id, k)
+	n.Bootstrap([]transport.NodeID{500, 501, 502})
+	key := keyForSlice(t, 3, k) // not ours
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
+		ID:   gossip.MakeRequestID(1, 1),
+		Objs: []store.Object{{Key: key, Version: 1, Value: []byte("v")}},
+		TTL:  TTLUnset,
+	}})
+	if n.Store().Count() != 0 {
+		t.Fatal("node stored a foreign-slice batch")
+	}
+	relays := cap.byType(func(m interface{}) bool { _, ok := m.(*PutBatchRequest); return ok })
+	if len(relays) == 0 {
+		t.Fatal("foreign batch not relayed")
+	}
+	fwd := relays[0].Msg.(*PutBatchRequest)
+	if fwd.TTL == TTLUnset || fwd.TTL == 0 || fwd.Intra {
+		t.Errorf("forwarded batch TTL=%d intra=%v", fwd.TTL, fwd.Intra)
+	}
+}
+
+func TestNodeDeletesAndAcks(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, cap := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+	_ = n.Store().Put(key, 1, []byte("old"))
+	_ = n.Store().Put(key, 9, []byte("new"))
+
+	// Latest resolves to the newest stored version on this replica.
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: store.Latest,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+
+	if _, _, ok, _ := n.Store().Get(key, 9); ok {
+		t.Fatal("latest version survived the delete")
+	}
+	if _, _, ok, _ := n.Store().Get(key, 1); !ok {
+		t.Fatal("delete removed more than the latest version")
+	}
+	acks := cap.byType(func(m interface{}) bool { _, ok := m.(*DeleteAck); return ok })
+	if len(acks) != 1 || acks[0].To != 0xC0000001 {
+		t.Fatalf("delete acks = %+v", acks)
+	}
+	if n.Metrics().Get(metrics.DeletesServed) != 1 {
+		t.Error("DeletesServed not counted")
+	}
+}
+
+// TestNodeDeleteFlushesCoalescedPut pins ordering: an intra relay put
+// buffered in the accumulation window must be applied before a delete
+// for the same key, or the later flush would resurrect the object.
+func TestNodeDeleteFlushesCoalescedPut(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 2, k)
+	n, _ := staticNode(t, id, k)
+	key := keyForSlice(t, 2, k)
+
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 3,
+		Value: []byte("v"), TTL: 2, Intra: true,
+	}})
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+		ID: gossip.MakeRequestID(0xC0000001, 2), Key: key, Version: 3,
+		Origin: 0xC0000001, TTL: TTLUnset,
+	}})
+	n.Tick()
+	if _, _, ok, _ := n.Store().Get(key, 3); ok {
+		t.Fatal("coalesced put resurrected a deleted object")
+	}
+}
+
+func TestNodeRelaysForeignSliceDelete(t *testing.T) {
+	const k = 4
+	id := findNodeInSlice(t, 1, k)
+	n, cap := staticNode(t, id, k)
+	n.Bootstrap([]transport.NodeID{500, 501})
+	key := keyForSlice(t, 3, k)
+	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
+	}})
+	relays := cap.byType(func(m interface{}) bool { _, ok := m.(*DeleteRequest); return ok })
+	if len(relays) == 0 {
+		t.Fatal("foreign delete not relayed")
+	}
+	if acks := cap.byType(func(m interface{}) bool { _, ok := m.(*DeleteAck); return ok }); len(acks) != 0 {
+		t.Fatal("off-slice node acked a delete")
 	}
 }
 

@@ -7,6 +7,7 @@
 package gossip
 
 import (
+	"fmt"
 	"math"
 
 	"dataflasks/internal/transport"
@@ -31,6 +32,12 @@ func (r RequestID) Origin() transport.NodeID {
 
 // Seq recovers the per-origin sequence number.
 func (r RequestID) Seq() uint32 { return uint32(uint64(r) & 0xffffffff) }
+
+// String renders the id as "origin/seq" — the shape batch-ack and
+// timeout diagnostics quote, where a raw uint64 is unreadable.
+func (r RequestID) String() string {
+	return fmt.Sprintf("%s/%d", r.Origin(), r.Seq())
+}
 
 // Fanout returns the per-node relay fanout for a system of (estimated)
 // size n with safety term c: ceil(ln n + c), at least 1.

@@ -1,0 +1,141 @@
+package lab
+
+import (
+	"time"
+
+	"dataflasks/internal/client"
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/workload"
+)
+
+// PipelineRow reports one client-shape measurement of the E15
+// experiment.
+type PipelineRow struct {
+	// Mode is "blocking", "pipelined" or "batch".
+	Mode string
+	// Ops is the number of objects written; OK/Failed split the
+	// completions.
+	Ops, OK, Failed int
+	// Elapsed is the virtual time from first injection to last
+	// completion — the latency a real caller would observe.
+	Elapsed time.Duration
+	// OpsPerSec is Ops over Elapsed in virtual seconds.
+	OpsPerSec float64
+	// DataMsgsPerOp is total data-plane sends per object — the wire
+	// cost the batch path collapses.
+	DataMsgsPerOp float64
+}
+
+// PipelineComparison is experiment E15: the same put workload driven
+// through three client shapes over identical overlays (same seed, same
+// warm-up) — one blocking op at a time (the pre-futures API), all ops
+// pipelined as futures, and per-slice batches on the PutBatch wire
+// path. Wall-clock is virtual, so the comparison is deterministic.
+func PipelineComparison(n, slices, ops, acks int, seed uint64) []PipelineRow {
+	modes := []string{"blocking", "pipelined", "batch"}
+	rows := make([]PipelineRow, 0, len(modes))
+	for _, mode := range modes {
+		rows = append(rows, runPipelineMode(mode, n, slices, ops, acks, seed))
+	}
+	return rows
+}
+
+func runPipelineMode(mode string, n, slices, ops, acks int, seed uint64) PipelineRow {
+	c := NewCluster(ClusterConfig{
+		N:    n,
+		Seed: seed,
+		Node: core.Config{
+			Slices: slices,
+			// Replication repair is off so DataMsgsPerOp isolates the
+			// request dissemination cost.
+			AntiEntropyEvery: -1,
+		},
+	})
+	c.Run(30) // converge slicing and views
+	c.ResetMetrics()
+
+	cl := c.NewClient(client.Config{PutAcks: acks, TimeoutTicks: 5, Retries: 5}, nil)
+	value := make([]byte, 100)
+
+	row := PipelineRow{Mode: mode, Ops: ops}
+	start := c.Engine.Now()
+	var last time.Duration
+	completed := 0
+	target := ops
+	// finish records one completion covering objCount objects (1 for
+	// single puts, the group size for batches).
+	finish := func(r client.Result, objCount int) {
+		completed++
+		if r.Err != nil {
+			row.Failed += objCount
+		} else {
+			row.OK += objCount
+		}
+		if now := c.Engine.Now(); now > last {
+			last = now
+		}
+	}
+	done := func(r client.Result) { finish(r, 1) }
+
+	switch mode {
+	case "blocking":
+		// One op in flight at a time: the next put is issued only from
+		// the previous one's completion callback, exactly what a caller
+		// of the blocking API experiences.
+		var issue func(i int)
+		issue = func(i int) {
+			cl.StartPut(workload.Key(i), 1, value, func(r client.Result) {
+				done(r)
+				if i+1 < ops {
+					c.Engine.Schedule(0, func() { issue(i + 1) })
+				}
+			})
+		}
+		c.Engine.Schedule(0, func() { issue(0) })
+	case "pipelined":
+		// Hundreds of futures in flight over the one client core.
+		c.Engine.Schedule(0, func() {
+			for i := 0; i < ops; i++ {
+				cl.StartPut(workload.Key(i), 1, value, done)
+			}
+		})
+	case "batch":
+		// Group per target slice; each group is one wire message that
+		// lands as one store.PutBatch per replica.
+		bySlice := make(map[int32][]store.Object, slices)
+		for i := 0; i < ops; i++ {
+			key := workload.Key(i)
+			s := slicing.KeySlice(key, slices)
+			bySlice[s] = append(bySlice[s], store.Object{Key: key, Version: 1, Value: value})
+		}
+		target = len(bySlice)
+		c.Engine.Schedule(0, func() {
+			for _, group := range bySlice {
+				group := group
+				cl.StartPutBatch(group, client.Opts{}, func(r client.Result) {
+					finish(r, len(group))
+				})
+			}
+		})
+	}
+
+	// Run until every completion fired; the cap is a liveness backstop
+	// (5 ticks/attempt × 6 attempts ≈ 30 rounds per op worst case).
+	for rounds := 0; completed < target && rounds < 40*ops+100; rounds++ {
+		c.Run(1)
+	}
+
+	row.Elapsed = last - start
+	if row.Elapsed > 0 {
+		row.OpsPerSec = float64(ops) / row.Elapsed.Seconds()
+	}
+	dataSends := uint64(0)
+	for _, m := range c.NodeMetrics() {
+		dataSends += m.Get(metrics.DataSent)
+	}
+	row.DataMsgsPerOp = float64(dataSends) / float64(ops)
+	return row
+}

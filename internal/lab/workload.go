@@ -44,6 +44,12 @@ type WorkloadOptions struct {
 	// slice-complete replication at a fraction of the simulated rounds
 	// a client-driven preload costs on large key spaces.
 	PreloadDirect bool
+	// PreloadBatch preloads through the client's batched wire path:
+	// records grouped per target slice, shipped as PutBatchRequest
+	// messages and applied by replicas via store.PutBatch. Unlike
+	// PreloadDirect it exercises real routing; unlike Preload it costs
+	// one message per group, not per record.
+	PreloadBatch bool
 	// Seed feeds the workload generator.
 	Seed uint64
 }
@@ -130,6 +136,8 @@ func (c *Cluster) RunWorkload(opts WorkloadOptions) WorkloadStats {
 	switch {
 	case opts.PreloadDirect:
 		c.preloadDirect(versions, opts)
+	case opts.PreloadBatch:
+		c.preloadBatch(cl, versions, opts)
 	case opts.Preload:
 		c.preload(cl, versions, opts)
 	}
@@ -198,6 +206,37 @@ func (c *Cluster) preloadDirect(versions map[string]uint64, opts WorkloadOptions
 			panic(fmt.Sprintf("lab: direct preload node %s: %v", n.ID(), err))
 		}
 	}
+}
+
+// preloadBatch inserts the key space through the client's batched put
+// path: per-slice groups of at most 128 records, each one wire message
+// applied by replicas as a single store.PutBatch (unmeasured).
+func (c *Cluster) preloadBatch(cl *client.Core, versions map[string]uint64, opts WorkloadOptions) {
+	k := c.cfg.Node.Slices
+	if k <= 0 {
+		k = 10
+	}
+	const maxBatch = 128
+	bySlice := make(map[int32][]store.Object, k)
+	for i := 0; i < opts.Records; i++ {
+		key := workload.Key(i)
+		versions[key] = 1
+		value := make([]byte, opts.ValueSize)
+		slice := slicing.KeySlice(key, k)
+		bySlice[slice] = append(bySlice[slice], store.Object{Key: key, Version: 1, Value: value})
+	}
+	c.Engine.Schedule(0, func() {
+		for _, objs := range bySlice {
+			for start := 0; start < len(objs); start += maxBatch {
+				end := start + maxBatch
+				if end > len(objs) {
+					end = len(objs)
+				}
+				cl.StartPutBatch(objs[start:end], client.Opts{}, nil)
+			}
+		}
+	})
+	c.Run(opts.Drain)
 }
 
 // preload inserts every record and waits for completion (unmeasured).

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter names used by the node runtime. Keeping them as typed constants
@@ -36,10 +37,17 @@ const (
 	AggregateSent
 	// StoredObjects counts objects currently held by the local store.
 	StoredObjects
-	// PutsServed counts put requests this node stored locally.
+	// PutsServed counts objects this node stored locally (batch puts
+	// count every object).
 	PutsServed
 	// GetsServed counts get requests this node answered from its store.
 	GetsServed
+	// DeletesServed counts delete requests this node applied locally.
+	DeletesServed
+	// CoalescedPuts counts intra-slice relay puts that landed via the
+	// event loop's accumulation window as batch appends instead of
+	// individual store writes.
+	CoalescedPuts
 	// RequestsRelayed counts requests forwarded during routing.
 	RequestsRelayed
 	// DuplicatesSuppressed counts requests dropped by the dedup cache.
@@ -61,6 +69,8 @@ var counterNames = [...]string{
 	StoredObjects:        "stored_objects",
 	PutsServed:           "puts_served",
 	GetsServed:           "gets_served",
+	DeletesServed:        "deletes_served",
+	CoalescedPuts:        "coalesced_puts",
 	RequestsRelayed:      "requests_relayed",
 	DuplicatesSuppressed: "duplicates_suppressed",
 }
@@ -109,6 +119,25 @@ func (m *NodeMetrics) Reset() {
 		m.counts[i] = 0
 	}
 }
+
+// SharedCounter is an atomic counter for paths crossed by multiple
+// goroutines — unlike NodeMetrics, which is owned by one event loop.
+// The canonical use is mailbox overflow: transport goroutines drop
+// messages for a mailbox the event loop is too slow to drain, and the
+// drop must be counted from the producer side. The zero value is ready
+// to use.
+type SharedCounter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (s *SharedCounter) Inc() { s.v.Add(1) }
+
+// Add adds delta.
+func (s *SharedCounter) Add(delta uint64) { s.v.Add(delta) }
+
+// Load returns the current value.
+func (s *SharedCounter) Load() uint64 { return s.v.Load() }
 
 // Summary aggregates one counter across a population of nodes.
 type Summary struct {

@@ -12,7 +12,11 @@ import (
 type ChanNetwork struct {
 	mu        sync.RWMutex
 	mailboxes map[NodeID]chan Envelope
-	closed    bool
+	// perDrop counts, per recipient, messages discarded because that
+	// recipient's mailbox was full — the receiver-side congestion
+	// signal (Stats().Dropped also includes sends to unknown peers).
+	perDrop map[NodeID]*atomic.Uint64
+	closed  bool
 
 	sent      atomic.Uint64
 	delivered atomic.Uint64
@@ -21,7 +25,10 @@ type ChanNetwork struct {
 
 // NewChanNetwork creates an empty in-process fabric.
 func NewChanNetwork() *ChanNetwork {
-	return &ChanNetwork{mailboxes: make(map[NodeID]chan Envelope)}
+	return &ChanNetwork{
+		mailboxes: make(map[NodeID]chan Envelope),
+		perDrop:   make(map[NodeID]*atomic.Uint64),
+	}
 }
 
 // Attach registers id with a mailbox of the given capacity and returns
@@ -41,10 +48,26 @@ func (n *ChanNetwork) Attach(id NodeID, mailbox int) (<-chan Envelope, Sender, e
 	}
 	ch := make(chan Envelope, mailbox)
 	n.mailboxes[id] = ch
+	if n.perDrop[id] == nil {
+		// Survives Detach/re-Attach so the count covers the id's whole
+		// lifetime.
+		n.perDrop[id] = &atomic.Uint64{}
+	}
 	sender := SenderFunc(func(to NodeID, msg interface{}) error {
 		return n.send(id, to, msg)
 	})
 	return ch, sender, nil
+}
+
+// DroppedFor returns how many messages addressed to id were discarded
+// because id's mailbox was full.
+func (n *ChanNetwork) DroppedFor(id NodeID) uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if c, ok := n.perDrop[id]; ok {
+		return c.Load()
+	}
+	return 0
 }
 
 // Detach removes id and closes its mailbox. In-flight sends to id after
@@ -104,6 +127,9 @@ func (n *ChanNetwork) send(from, to NodeID, msg interface{}) error {
 		return nil
 	default:
 		n.dropped.Add(1)
+		if c := n.perDrop[to]; c != nil {
+			c.Add(1)
+		}
 		return ErrDropped
 	}
 }

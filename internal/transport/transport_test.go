@@ -181,6 +181,18 @@ func TestChanNetworkFullMailboxDrops(t *testing.T) {
 	if net.Stats().Dropped != 1 {
 		t.Errorf("stats = %+v", net.Stats())
 	}
+	// Per-recipient attribution: the drop belongs to 2's mailbox, and
+	// only mailbox overflow counts (not sends to unknown peers).
+	if got := net.DroppedFor(2); got != 1 {
+		t.Errorf("DroppedFor(2) = %d, want 1", got)
+	}
+	if got := net.DroppedFor(1); got != 0 {
+		t.Errorf("DroppedFor(1) = %d, want 0", got)
+	}
+	_ = s1.Send(99, "nobody home")
+	if got := net.DroppedFor(99); got != 0 {
+		t.Errorf("DroppedFor(unknown peer) = %d, want 0", got)
+	}
 }
 
 func TestChanNetworkDetachClosesMailbox(t *testing.T) {

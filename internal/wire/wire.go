@@ -46,8 +46,12 @@ func Register() {
 		gob.Register(&antientropy.Push{})
 		gob.Register(&core.PutRequest{})
 		gob.Register(&core.PutAck{})
+		gob.Register(&core.PutBatchRequest{})
+		gob.Register(&core.PutBatchAck{})
 		gob.Register(&core.GetRequest{})
 		gob.Register(&core.GetReply{})
+		gob.Register(&core.DeleteRequest{})
+		gob.Register(&core.DeleteAck{})
 		gob.Register(&core.MateQuery{})
 		gob.Register(&core.MateReply{})
 		gob.Register(&dht.Gossip{})

@@ -49,6 +49,20 @@ func TestEnvelopeRoundTripAllMessageTypes(t *testing.T) {
 			Origin: 9, OriginAddr: "c:9", TTL: 5, Intra: true,
 		},
 		&core.PutAck{ID: 1, Key: "k", Version: 2},
+		&core.PutBatchRequest{
+			ID: gossip.MakeRequestID(9, 2),
+			Objs: []store.Object{
+				{Key: "a", Version: 1, Value: []byte("x")},
+				{Key: "b", Version: 2, Value: []byte("y")},
+			},
+			Origin: 9, OriginAddr: "c:9", TTL: 6, NoAck: true,
+		},
+		&core.PutBatchAck{ID: 3, Stored: 2},
+		&core.DeleteRequest{
+			ID: gossip.MakeRequestID(9, 3), Key: "k", Version: store.Latest,
+			Origin: 9, OriginAddr: "c:9", TTL: 4, Intra: true,
+		},
+		&core.DeleteAck{ID: 4, Key: "k", Version: 7},
 		&core.GetRequest{ID: 2, Key: "k", Version: store.Latest, Origin: 9, OriginAddr: "c:9", TTL: 3},
 		&core.GetReply{ID: 2, Key: "k", Version: 4, Value: []byte("v"), Slice: 3},
 		&core.MateQuery{Slice: 7},

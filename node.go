@@ -10,6 +10,7 @@ import (
 
 	"dataflasks/internal/client"
 	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
 	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 	"dataflasks/internal/wire"
@@ -45,6 +46,11 @@ type Node struct {
 	mailbox chan transport.Envelope
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// drops counts mailbox overflow: messages the TCP fabric delivered
+	// but the event loop was too slow to accept. Incremented from
+	// connection goroutines, hence the shared counter.
+	drops metrics.SharedCounter
 
 	closeOnce sync.Once
 }
@@ -83,7 +89,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	handler := func(env transport.Envelope) {
 		select {
 		case n.mailbox <- env:
-		default: // congested: drop, gossip redundancy covers it
+		default:
+			// Congested: drop, gossip redundancy covers it — but never
+			// silently; sustained growth of this counter means the
+			// round period or mailbox size is mis-sized for the load.
+			n.drops.Inc()
 		}
 	}
 	tcpNet, err := transport.ListenTCP(cfg.ID, cfg.Bind, cfg.Advertise, handler)
@@ -152,6 +162,10 @@ func (n *Node) StoredObjects() int { return n.st.Count() }
 // directory.
 func (n *Node) PeersKnown() int { return n.net.PeerCount() }
 
+// MailboxDropped returns how many delivered messages were discarded
+// because the node's mailbox was full (event loop congestion).
+func (n *Node) MailboxDropped() uint64 { return n.drops.Load() }
+
 // Close shuts the node down and releases the store.
 func (n *Node) Close() error {
 	var err error
@@ -166,8 +180,9 @@ func (n *Node) Close() error {
 	return err
 }
 
-// ConnectClient opens a blocking client against a TCP deployment.
-// Seeds are "id@host:port" contacts; bind may be ":0".
+// ConnectClient opens a client against a TCP deployment. Seeds are
+// "id@host:port" contacts; bind may be ":0". cfg.Slices must match the
+// deployment's slice count for batch puts to group correctly.
 func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("dataflasks: ConnectClient needs at least one seed")
@@ -177,11 +192,13 @@ func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
 	// independent clients are avoided by random draw.
 	id := clientIDBase + NodeID(rand.Uint32N(1<<24))
 
+	drops := &metrics.SharedCounter{} // shared with the client below
 	mailbox := make(chan transport.Envelope, defaultMailbox)
 	handler := func(env transport.Envelope) {
 		select {
 		case mailbox <- env:
 		default:
+			drops.Inc()
 		}
 	}
 	tcpNet, err := transport.ListenTCP(id, bind, "", handler)
@@ -201,7 +218,7 @@ func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
 	lb := client.NewRandomLB(ids, rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())))
 	period := 500 * time.Millisecond
 	clientCfg := client.Config{PutAcks: cfg.clientPutAcks(), SelfAddr: tcpNet.Addr()}
-	cl := newLiveClient(id, clientCfg, tcpNet.Sender(), lb, mailbox, period)
+	cl := newLiveClient(id, clientCfg, tcpNet.Sender(), lb, mailbox, period, cfg.slicesOrDefault(), drops.Load)
 	// Tie the fabric's lifetime to the client.
 	go func() {
 		cl.wg.Wait()

@@ -73,12 +73,22 @@ func TestTCPClusterPutGet(t *testing.T) {
 		t.Fatalf("Get = %q, want %q", got, "over the wire")
 	}
 
-	// The write must have replicated beyond one node.
-	total := 0
-	for _, nd := range nodes {
-		total += nd.StoredObjects()
-	}
-	if total < 2 {
-		t.Errorf("object stored on %d nodes total, want >= 2", total)
+	// The write must replicate beyond one node. Intra-slice copies ride
+	// the event loop's accumulation window and land at each mate's next
+	// tick, so poll for up to a few rounds instead of sampling once.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		total := 0
+		for _, nd := range nodes {
+			total += nd.StoredObjects()
+		}
+		if total >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("object stored on %d nodes total, want >= 2", total)
+			break
+		}
+		time.Sleep(30 * time.Millisecond)
 	}
 }
