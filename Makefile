@@ -17,6 +17,7 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -run TestFlasksdRESPGatewaySmoke -count=1 ./cmd/flasksd
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -24,6 +25,7 @@ bench:
 smoke:
 	$(GO) run ./cmd/flaskbench -exp compact -quick
 	$(GO) run ./cmd/flaskbench -exp pipeline -quick
+	$(GO) run ./cmd/flaskbench -exp resp -quick
 
 fmt:
 	@out=$$(gofmt -l .); \

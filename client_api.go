@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dataflasks/internal/client"
+	"dataflasks/internal/core"
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/slicing"
 	"dataflasks/internal/transport"
@@ -28,6 +29,12 @@ var ErrCanceled = errors.New("dataflasks: operation canceled")
 // ErrInFlight is returned by Op.Err while the operation has not
 // completed yet.
 var ErrInFlight = errors.New("dataflasks: operation in flight")
+
+// ErrTimeout reports an operation that exhausted its retry budget
+// without enough replica replies — usually an unreachable or still
+// converging cluster. Reads surface it as ErrNotFound instead (an
+// epidemic read has no authoritative negative).
+var ErrTimeout = client.ErrTimeout
 
 // Client is the client API (paper §V): operations go to a
 // load-balanced contact node, spread epidemically, and the multiple
@@ -216,6 +223,7 @@ const (
 	kindGet
 	kindDelete
 	kindBatch
+	kindDeleteBatch
 )
 
 // Op is the handle of one asynchronous operation. Completion is
@@ -321,6 +329,21 @@ func (o *Op) Acks() int {
 	}
 }
 
+// Applied returns, for batch operations, the largest per-replica
+// application count any acknowledgement reported: objects stored for a
+// batch put, objects that existed and were removed for a batch delete
+// (0 until Done closes, and for single-object kinds). Replicas may
+// disagree while epidemic convergence is in progress; this is the most
+// complete replica's view.
+func (o *Op) Applied() int {
+	select {
+	case <-o.done:
+		return o.res.Applied
+	default:
+		return 0
+	}
+}
+
 // Retries returns how many times the operation was re-issued (valid
 // once Done closes).
 func (o *Op) Retries() int {
@@ -365,6 +388,8 @@ func (o *Op) err() error {
 		return fmt.Errorf("dataflasks: delete %q: %w", o.key, r.Err)
 	case kindBatch:
 		return fmt.Errorf("dataflasks: put batch (%d objects): %w", o.nObjs, r.Err)
+	case kindDeleteBatch:
+		return fmt.Errorf("dataflasks: delete batch (%d items): %w", o.nObjs, r.Err)
 	default:
 		return fmt.Errorf("dataflasks: put %q v%d: %w", o.key, o.version, r.Err)
 	}
@@ -389,9 +414,9 @@ func (c *Client) failedOp(kind apiKind, key string, version uint64, err error) *
 // does not order writes itself (§III). The future resolves once the
 // configured (or WithAcks-overridden) number of replicas acknowledged.
 func (c *Client) PutAsync(key string, version uint64, value []byte, opts ...OpOption) *Op {
-	if version == Latest {
+	if version == Latest || version == AllVersions {
 		return c.failedOp(kindPut, key, version,
-			fmt.Errorf("dataflasks: version %d is reserved for reads", Latest))
+			fmt.Errorf("dataflasks: version %d is reserved", version))
 	}
 	settings := c.resolveSettings(opts)
 	op := c.newOp(kindPut, key, version)
@@ -423,8 +448,8 @@ func (c *Client) GetLatestAsync(key string, opts ...OpOption) *Op {
 
 // DeleteAsync starts deleting (key, version); version Latest removes
 // each replica's newest stored version (resolved independently per
-// replica, mirroring reads). Completion follows the same ack rules as
-// puts.
+// replica, mirroring reads), and AllVersions removes every stored
+// version of the key. Completion follows the same ack rules as puts.
 func (c *Client) DeleteAsync(key string, version uint64, opts ...OpOption) *Op {
 	settings := c.resolveSettings(opts)
 	op := c.newOp(kindDelete, key, version)
@@ -444,9 +469,9 @@ func (c *Client) DeleteAsync(key string, version uint64, opts ...OpOption) *Op {
 // returned, in first-appearance order of the groups.
 func (c *Client) PutBatchAsync(objs []Object, opts ...OpOption) []*Op {
 	for _, o := range objs {
-		if o.Version == Latest {
+		if o.Version == Latest || o.Version == AllVersions {
 			return []*Op{c.failedOp(kindBatch, o.Key, o.Version,
-				fmt.Errorf("dataflasks: version %d is reserved for reads", Latest))}
+				fmt.Errorf("dataflasks: version %d is reserved", o.Version))}
 		}
 	}
 	settings := c.resolveSettings(opts)
@@ -466,20 +491,61 @@ func (c *Client) PutBatchAsync(objs []Object, opts ...OpOption) []*Op {
 	return ops
 }
 
-// groupBySlice partitions objects by target slice, preserving the
-// first-appearance order of slices and the object order within each.
+// DeleteBatchAsync starts deleting a batch of (key, version) pairs —
+// versions may be Latest. Items are grouped by target slice (mirroring
+// PutBatchAsync) and each group travels as ONE core.DeleteBatchRequest
+// wire message that every replica applies in one pass over its store.
+// One future per group is returned, in first-appearance order of the
+// groups; each future's Applied reports how many of its group's items
+// the most complete acking replica actually held.
+func (c *Client) DeleteBatchAsync(items []KeyVersion, opts ...OpOption) []*Op {
+	settings := c.resolveSettings(opts)
+	groups := groupKVBySlice(items, c.slices)
+	ops := make([]*Op, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		op := c.newOp(kindDeleteBatch, g[0].Key, 0)
+		op.nObjs = len(g)
+		if err := c.submit(func() {
+			op.reqID = c.core.StartDeleteBatch(g, settings, op.finish)
+		}); err != nil {
+			op.finish(client.Result{Err: err})
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// groupBySlice partitions objects by target slice for batch puts.
 func groupBySlice(objs []Object, slices int) [][]Object {
+	return groupBySliceKeyed(objs, slices, func(o Object) (string, Object) { return o.Key, o })
+}
+
+// groupKVBySlice partitions delete items by target slice, producing
+// the wire-level core.DeleteItem groups directly.
+func groupKVBySlice(items []KeyVersion, slices int) [][]core.DeleteItem {
+	return groupBySliceKeyed(items, slices, func(kv KeyVersion) (string, core.DeleteItem) {
+		return kv.Key, core.DeleteItem{Key: kv.Key, Version: kv.Version}
+	})
+}
+
+// groupBySliceKeyed partitions items by their key's target slice,
+// preserving the first-appearance order of slices and the item order
+// within each — the invariant both batch puts and batch deletes rely
+// on.
+func groupBySliceKeyed[T, G any](items []T, slices int, conv func(T) (string, G)) [][]G {
 	index := make(map[int32]int)
-	var groups [][]Object
-	for _, o := range objs {
-		s := slicing.KeySlice(o.Key, slices)
+	var groups [][]G
+	for _, it := range items {
+		key, out := conv(it)
+		s := slicing.KeySlice(key, slices)
 		i, ok := index[s]
 		if !ok {
 			i = len(groups)
 			index[s] = i
 			groups = append(groups, nil)
 		}
-		groups[i] = append(groups[i], o)
+		groups[i] = append(groups[i], out)
 	}
 	return groups
 }
@@ -523,8 +589,9 @@ func (c *Client) GetLatest(ctx context.Context, key string, opts ...OpOption) (v
 }
 
 // Delete removes (key, version) from the target slice's replicas;
-// version Latest removes each replica's newest stored version. It
-// blocks until the configured number of replicas acknowledged.
+// version Latest removes each replica's newest stored version,
+// AllVersions the whole key. It blocks until the configured number of
+// replicas acknowledged.
 func (c *Client) Delete(ctx context.Context, key string, version uint64, opts ...OpOption) error {
 	return c.await(ctx, c.DeleteAsync(key, version, opts...))
 }
@@ -541,4 +608,21 @@ func (c *Client) PutBatch(ctx context.Context, objs []Object, opts ...OpOption) 
 		}
 	}
 	return firstErr
+}
+
+// DeleteBatch removes items, grouped per target slice into one wire
+// message per group (see DeleteBatchAsync), and blocks until every
+// group acknowledged. It returns how many items the acking replicas
+// actually held (summed across groups) and the first error, if any.
+func (c *Client) DeleteBatch(ctx context.Context, items []KeyVersion, opts ...OpOption) (applied int, err error) {
+	for _, op := range c.DeleteBatchAsync(items, opts...) {
+		if werr := c.await(ctx, op); werr != nil {
+			if err == nil {
+				err = werr
+			}
+			continue
+		}
+		applied += op.Applied()
+	}
+	return applied, err
 }

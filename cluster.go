@@ -56,6 +56,34 @@ func WithRoundPeriod(d time.Duration) ClusterOption {
 	}
 }
 
+// LatencyModel draws a one-way message delivery delay (see
+// transport.LANLatency for the datacenter default).
+type LatencyModel = transport.LatencyModel
+
+// LANLatency approximates a datacenter network: 0.2ms base plus an
+// exponential tail with 0.3ms mean, capped at 10ms.
+func LANLatency() LatencyModel { return transport.LANLatency() }
+
+// WithLatency makes the in-process fabric deliver every message after
+// a real-time delay drawn from model, so network round trips cost what
+// they would on a LAN. The default is immediate delivery; benchmarks
+// that compare blocking against pipelined clients need the delay for
+// the comparison to mean anything.
+func WithLatency(model LatencyModel) ClusterOption {
+	return func(c *Cluster) {
+		if model == nil {
+			return
+		}
+		var mu sync.Mutex
+		rng := sim.RNG(c.cfg.Seed, 0x1a7e)
+		c.net.SetDelay(func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return model(rng)
+		})
+	}
+}
+
 // NewCluster creates a stopped cluster of n nodes. Call Start to run
 // it and defer Stop.
 func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {

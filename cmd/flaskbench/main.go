@@ -8,7 +8,7 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood store compact pipeline.
+// fanout reconfig putflood store compact pipeline resp.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, all)")
+		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, all)")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
@@ -60,8 +60,9 @@ func main() {
 		"store":      func() { runStore(*quick) },
 		"compact":    func() { runCompact(*quick) },
 		"pipeline":   func() { runPipeline(*seed, *quick) },
+		"resp":       func() { runRESP(*seed, *quick) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline", "resp"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -420,6 +421,58 @@ func runPipeline(seed uint64, quick bool) {
 	}
 }
 
+// runRESP measures the RESP gateway (E16): the same SET workload over
+// raw RESP TCP — one command per round trip vs the whole batch
+// pipelined down one connection — plus the native future-based client
+// as the no-framing reference. The cluster's in-process fabric runs
+// the LAN latency model, so the blocking baseline pays a real network
+// round trip per command; pipelined RESP is expected to beat it by
+// >= 5x (it overlaps every op through the gateway's completion queue),
+// and the CI smoke step fails hard when it does not.
+func runRESP(seed uint64, quick bool) {
+	done := header("E16: RESP gateway — blocking vs pipelined RESP vs native futures (LAN model)")
+	defer done()
+	n, slices, ops, period := 40, 4, 400, 30*time.Millisecond
+	if quick {
+		n, slices, ops, period = 24, 3, 200, 25*time.Millisecond
+	}
+	rows, err := lab.RESPComparison(n, slices, ops, period, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaskbench: resp experiment: %v\n", err)
+		os.Exit(1)
+	}
+	var blocking time.Duration
+	for _, r := range rows {
+		if r.Mode == "resp-blocking" {
+			blocking = r.Elapsed
+		}
+	}
+	fmt.Printf("%18s %6s %6s %6s %14s %12s %9s\n",
+		"mode", "ops", "ok", "fail", "elapsed", "ops/s", "speedup")
+	failed := false
+	for _, r := range rows {
+		speedup := 0.0
+		if r.Elapsed > 0 {
+			speedup = float64(blocking) / float64(r.Elapsed)
+		}
+		fmt.Printf("%18s %6d %6d %6d %14s %12.0f %8.1fx\n",
+			r.Mode, r.Ops, r.OK, r.Failed, r.Elapsed.Round(time.Millisecond),
+			r.OpsPerSec, speedup)
+		// Epidemic routing is probabilistic; a stray failure is not a
+		// regression, a failure rate is.
+		if r.Failed > r.Ops/20 {
+			failed = true
+		}
+		if r.Mode == "resp-pipelined" && speedup < 5 {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "flaskbench: resp experiment regressed (failure rate > 5% or pipelined speedup < 5x)")
+		os.Exit(1)
+	}
+}
+
 func ratio(a, b time.Duration) float64 {
 	if b <= 0 {
 		return 0
@@ -469,7 +522,7 @@ func compactLatency(n int, window time.Duration, compactDuring bool) (getP99, pu
 	// threshold. With compaction enabled the deletes kick the
 	// background pass, which starts copying (rate-limited) right away.
 	for i := 0; i < n*9/10; i++ {
-		if err := l.Delete(key(i), 1); err != nil {
+		if _, err := l.Delete(key(i), 1); err != nil {
 			return 0, 0, err
 		}
 	}

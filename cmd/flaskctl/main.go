@@ -1,5 +1,6 @@
 // Command flaskctl is the CLI client for a DataFlasks deployment.
 //
+//	flaskctl -seeds 1@127.0.0.1:7001 ping
 //	flaskctl -seeds 1@127.0.0.1:7001 put greeting 1 "hello world"
 //	flaskctl -seeds 1@127.0.0.1:7001 get greeting
 //	flaskctl -seeds 1@127.0.0.1:7001 get greeting 1
@@ -10,8 +11,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +45,11 @@ func main() {
 
 	args := flag.Args()
 	switch args[0] {
+	case "ping":
+		if len(args) != 1 {
+			usage()
+		}
+		runPing(cl, *seeds, *timeout)
 	case "put":
 		if len(args) != 4 {
 			usage()
@@ -96,6 +104,26 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runPing round-trips one throwaway object through the cluster via the
+// public client — a write must reach a replica and its ack must come
+// back, so success proves the seeds are dialable AND the epidemic data
+// path works. The probe is deleted afterwards (best effort).
+func runPing(cl *dataflasks.Client, seeds string, timeout time.Duration) {
+	key := fmt.Sprintf("__flaskctl/ping/%08x", rand.Uint32())
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	if err := cl.Put(ctx, key, 1, []byte("ping")); err != nil {
+		fmt.Fprintf(os.Stderr, "flaskctl: ping failed: no reply from the cluster via -seeds %s\n", seeds)
+		fmt.Fprintf(os.Stderr, "  check that flasksd is running on the seed addresses and that they are reachable\n")
+		fmt.Fprintf(os.Stderr, "  (%v)\n", err)
+		os.Exit(1)
+	}
+	rtt := time.Since(start)
+	_ = cl.Delete(ctx, key, 1)
+	fmt.Printf("PONG in %s (write acknowledged by a replica)\n", rtt.Round(100*time.Microsecond))
 }
 
 func parseVersion(s string) uint64 {
@@ -160,6 +188,7 @@ func runBench(cl *dataflasks.Client, ops int, mode string, acks int, timeout tim
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
+  flaskctl -seeds id@host:port[,...] ping
   flaskctl -seeds id@host:port[,...] put <key> <version> <value>
   flaskctl -seeds id@host:port[,...] get <key> [version]
   flaskctl -seeds id@host:port[,...] del <key> [version]
@@ -167,7 +196,16 @@ func usage() {
 	os.Exit(2)
 }
 
+// fatal exits non-zero with a readable message. Retry-budget
+// exhaustion almost always means nothing answered at the seed
+// addresses, so it gets a connection-failure explanation instead of a
+// raw error dump.
 func fatal(err error) {
+	if errors.Is(err, dataflasks.ErrTimeout) {
+		fmt.Fprintln(os.Stderr, "flaskctl: no reply from the cluster — check that the -seeds addresses point at running flasksd nodes")
+		fmt.Fprintf(os.Stderr, "  (%v)\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "flaskctl:", err)
 	os.Exit(1)
 }

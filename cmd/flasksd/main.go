@@ -6,7 +6,11 @@
 //	flasksd -id 2 -bind 127.0.0.1:7002 -seeds 1@127.0.0.1:7001 &
 //	flasksd -id 3 -bind 127.0.0.1:7003 -seeds 1@127.0.0.1:7001 &
 //
-// Then talk to it with flaskctl.
+// Then talk to it with flaskctl — or any Redis client, via the RESP
+// gateway:
+//
+//	flasksd -id 1 -bind 127.0.0.1:7001 -resp-addr 127.0.0.1:6379
+//	redis-cli -p 6379 set greeting "hello"
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"time"
 
 	"dataflasks"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/resp"
 )
 
 func main() {
@@ -36,10 +42,15 @@ func main() {
 		compact   = flag.Float64("compact-live", 0, "compact sealed log segments below this live ratio (0: 0.5 default, <0 disables)")
 		compactBw = flag.Int64("compact-rate", 0, "log compaction copy throughput cap in bytes/sec (0: unlimited)")
 		slices    = flag.Int("slices", 10, "number of slices k")
+		slicer    = flag.String("slicer", "rank", "slice manager: rank, swap or static (static decides instantly; required for single-node deployments)")
 		size      = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
 		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
 		period    = flag.Duration("period", 500*time.Millisecond, "gossip round period")
 		status    = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
+
+		respAddr     = flag.String("resp-addr", "", "serve the cluster to Redis clients on this address (empty: disabled)")
+		respInflight = flag.Int("resp-inflight", 0, "max pipelined RESP commands in flight per connection (0: 128 default)")
+		respGetWait  = flag.Duration("resp-get-timeout", 0, "RESP read attempt budget; a missing key answers null after ~2x this (0: 2s default)")
 	)
 	flag.Parse()
 
@@ -51,6 +62,18 @@ func main() {
 	var seedList []string
 	if *seeds != "" {
 		seedList = strings.Split(*seeds, ",")
+	}
+	var slicerKind dataflasks.Slicer
+	switch *slicer {
+	case "rank":
+		slicerKind = dataflasks.RankSlicer
+	case "swap":
+		slicerKind = dataflasks.SwapSlicer
+	case "static":
+		slicerKind = dataflasks.StaticSlicer
+	default:
+		fmt.Fprintf(os.Stderr, "flasksd: unknown -slicer %q (want rank, swap or static)\n", *slicer)
+		os.Exit(2)
 	}
 	var engineKind dataflasks.Engine
 	switch *engine {
@@ -65,6 +88,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := dataflasks.Config{
+		Slices:                 *slices,
+		Slicer:                 slicerKind,
+		SystemSize:             *size,
+		Capacity:               *capacity,
+		Engine:                 engineKind,
+		Fsync:                  *fsync,
+		SegmentMaxBytes:        *segBytes,
+		CommitWindow:           *commitWin,
+		CompactLiveRatio:       *compact,
+		CompactRateBytesPerSec: *compactBw,
+	}
 	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
 		ID:          dataflasks.NodeID(*id),
 		Bind:        *bind,
@@ -72,22 +107,38 @@ func main() {
 		Seeds:       seedList,
 		DataDir:     *dataDir,
 		RoundPeriod: *period,
-		Config: dataflasks.Config{
-			Slices:                 *slices,
-			SystemSize:             *size,
-			Capacity:               *capacity,
-			Engine:                 engineKind,
-			Fsync:                  *fsync,
-			SegmentMaxBytes:        *segBytes,
-			CommitWindow:           *commitWin,
-			CompactLiveRatio:       *compact,
-			CompactRateBytesPerSec: *compactBw,
-		},
+		Config:      cfg,
 	})
 	if err != nil {
 		log.Fatalf("flasksd: %v", err)
 	}
 	log.Printf("flasksd: node %s listening on %s (slices=%d)", node.ID(), node.Addr(), *slices)
+
+	// The RESP gateway serves Redis clients through one shared
+	// DataFlasks client looped back onto this node, so every gateway
+	// command takes the same epidemic path a remote client would.
+	var gateway *resp.Server
+	var respStats *metrics.CommandStats
+	if *respAddr != "" {
+		cl, err := dataflasks.ConnectClient("127.0.0.1:0",
+			[]string{fmt.Sprintf("%d@%s", *id, node.Addr())}, cfg)
+		if err != nil {
+			log.Fatalf("flasksd: resp gateway client: %v", err)
+		}
+		respStats = metrics.NewCommandStats()
+		gateway = resp.NewServer(cl, resp.Config{
+			MaxInflight: *respInflight,
+			GetTimeout:  *respGetWait,
+			Stats:       respStats,
+			Logf:        log.Printf,
+		})
+		addr, err := gateway.Listen(*respAddr)
+		if err != nil {
+			log.Fatalf("flasksd: %v", err)
+		}
+		log.Printf("flasksd: resp gateway listening on %s", addr)
+		defer cl.Close()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -100,18 +151,29 @@ func main() {
 			case <-ticker.C:
 				log.Printf("flasksd: slice=%d peers=%d objects=%d dropped=%d",
 					node.Slice(), node.PeersKnown(), node.StoredObjects(), node.MailboxDropped())
+				if gateway != nil {
+					calls, errs := respStats.Totals()
+					log.Printf("flasksd: resp conns=%d cmds=%d errors=%d p50=%s p99=%s",
+						gateway.Conns(), calls, errs,
+						respStats.Quantile(0.50), respStats.Quantile(0.99))
+				}
 			case <-stop:
-				shutdown(node)
+				shutdown(node, gateway)
 				return
 			}
 		}
 	}
 	<-stop
-	shutdown(node)
+	shutdown(node, gateway)
 }
 
-func shutdown(node *dataflasks.Node) {
+// shutdown severs the gateway before the node so in-flight RESP
+// commands fail fast instead of timing out against a dead node.
+func shutdown(node *dataflasks.Node, gateway *resp.Server) {
 	log.Printf("flasksd: shutting down")
+	if gateway != nil {
+		_ = gateway.Close()
+	}
 	if err := node.Close(); err != nil {
 		log.Printf("flasksd: close: %v", err)
 	}

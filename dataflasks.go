@@ -39,9 +39,24 @@ import (
 // Latest is the version sentinel for newest-wins reads.
 const Latest = store.Latest
 
+// AllVersions is the version sentinel for whole-key deletes: every
+// stored version of the key is removed on each replica (Redis DEL
+// semantics). Valid in Delete, DeleteAsync and KeyVersion; rejected by
+// writes.
+const AllVersions = store.AllVersions
+
 // Object is one (key, version, value) triple, the unit of batch writes
 // (Client.PutBatch).
 type Object = store.Object
+
+// KeyVersion names one (key, version) pair, the unit of batch deletes
+// (Client.DeleteBatch). Version may be Latest to remove each replica's
+// newest stored version of the key, or AllVersions to remove the whole
+// key.
+type KeyVersion struct {
+	Key     string
+	Version uint64
+}
 
 // NodeID identifies a node in a cluster.
 type NodeID = transport.NodeID

@@ -1,0 +1,121 @@
+package dataflasks_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dataflasks"
+)
+
+// TestDeleteBatchEndToEnd writes objects across every slice, deletes
+// them all through one DeleteBatch call (grouped per slice onto the
+// batched wire path) and verifies replicas drop them — plus that the
+// applied count reflects how many keys actually existed.
+func TestDeleteBatchEndToEnd(t *testing.T) {
+	c := startStaticCluster(t, 12, 2)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // let views fill
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const n = 16
+	items := make([]dataflasks.KeyVersion, 0, n)
+	retry := []dataflasks.OpOption{
+		dataflasks.WithTimeout(250 * time.Millisecond),
+		dataflasks.WithRetries(20),
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("delbatch%04d", i)
+		if err := cl.Put(ctx, key, 1, []byte(key), retry...); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		// Half the keys get a second version: AllVersions must remove
+		// both, Latest alone would leave v1 behind.
+		version := dataflasks.Latest
+		if i%2 == 0 {
+			if err := cl.Put(ctx, key, 2, []byte(key), retry...); err != nil {
+				t.Fatalf("put %s v2: %v", key, err)
+			}
+			version = dataflasks.AllVersions
+		}
+		items = append(items, dataflasks.KeyVersion{Key: key, Version: version})
+	}
+	// Two keys that never existed: they must not inflate the count.
+	items = append(items,
+		dataflasks.KeyVersion{Key: "delbatch-ghost-a", Version: dataflasks.Latest},
+		dataflasks.KeyVersion{Key: "delbatch-ghost-b", Version: 7})
+
+	applied, err := cl.DeleteBatch(ctx, items, retry...)
+	if err != nil {
+		t.Fatalf("DeleteBatch: %v", err)
+	}
+	// The acking replica held at least the entry-point copy of each
+	// real key (it stored them synchronously on the put path); ghosts
+	// contribute nothing.
+	if applied == 0 || applied > n {
+		t.Fatalf("applied = %d, want in (0, %d]", applied, n)
+	}
+
+	// Deletes disseminate intra-slice epidemically; all replicas must
+	// converge to zero copies. A delete can race the tail of a put's
+	// own flood (a late relay re-stores the object), so re-issue the
+	// batch if copies persist — eventual semantics, as a real client
+	// would.
+	deadline := time.Now().Add(30 * time.Second)
+	for tries := 0; ; {
+		remaining := 0
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("delbatch%04d", i)
+			remaining += c.ReplicaCount(key, 1) + c.ReplicaCount(key, 2)
+		}
+		if remaining == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d replica copies survived the batch delete", remaining)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if tries++; tries%20 == 0 { // every ~1s of persistence
+			if _, err := cl.DeleteBatch(ctx, items, retry...); err != nil {
+				t.Fatalf("re-issued DeleteBatch: %v", err)
+			}
+		}
+	}
+}
+
+// TestDeleteBatchAsyncGrouping checks the per-slice grouping contract:
+// one future per distinct target slice, in first-appearance order.
+func TestDeleteBatchAsyncGrouping(t *testing.T) {
+	c := startStaticCluster(t, 8, 4)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// 40 keys over 4 slices must form at most 4 groups.
+	items := make([]dataflasks.KeyVersion, 0, 40)
+	for i := 0; i < 40; i++ {
+		items = append(items, dataflasks.KeyVersion{
+			Key:     fmt.Sprintf("group%04d", i),
+			Version: dataflasks.Latest,
+		})
+	}
+	ops := cl.DeleteBatchAsync(items, dataflasks.WithFireAndForget())
+	if len(ops) == 0 || len(ops) > 4 {
+		t.Fatalf("got %d groups, want 1..4 (one per target slice)", len(ops))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, op := range ops {
+		if err := op.Wait(ctx); err != nil {
+			t.Fatalf("fire-and-forget group: %v", err)
+		}
+	}
+}

@@ -255,6 +255,6 @@ func (p *Protocol) evictForeign() {
 		return true
 	})
 	for _, h := range foreign {
-		_ = p.env.Store.Delete(h.Key, h.Version)
+		_, _ = p.env.Store.Delete(h.Key, h.Version)
 	}
 }

@@ -31,6 +31,11 @@ type Result struct {
 	// Acks is how many distinct replicas acknowledged a put, batch put
 	// or delete.
 	Acks int
+	// Applied is the largest per-replica application count reported by
+	// the acks of a batch operation: objects stored for a batch put,
+	// objects that existed and were removed for a batch delete. Zero
+	// for single-object operations.
+	Applied int
 	// Retries is how many times the operation was re-issued.
 	Retries int
 }
@@ -93,6 +98,7 @@ const (
 	opGet
 	opDelete
 	opPutBatch
+	opDeleteBatch
 )
 
 type pending struct {
@@ -101,8 +107,12 @@ type pending struct {
 	key     string
 	version uint64
 	value   []byte
-	objs    []store.Object // opPutBatch payload
+	objs    []store.Object    // opPutBatch payload
+	items   []core.DeleteItem // opDeleteBatch payload
 	noAck   bool
+	// applied is the largest per-replica application count any ack
+	// reported (see Result.Applied).
+	applied int
 
 	// Per-op knobs resolved from Opts at start time.
 	wantAcks     int
@@ -285,6 +295,37 @@ func (c *Core) StartPutBatch(objs []store.Object, opts Opts, done func(Result)) 
 	return op.id
 }
 
+// StartDeleteBatch begins an asynchronous multi-object delete,
+// mirroring StartPutBatch: all items must map to the same slice
+// (callers group per slice before issuing), the batch travels as one
+// wire message and lands on each replica as one pass over its store.
+// Item versions may be store.Latest. Acks count whole batches; the
+// result's Applied reports the largest per-replica count of items that
+// actually existed. An empty batch completes immediately.
+func (c *Core) StartDeleteBatch(items []core.DeleteItem, opts Opts, done func(Result)) gossip.RequestID {
+	if len(items) == 0 {
+		if done != nil {
+			done(Result{})
+		}
+		return 0
+	}
+	cp := make([]core.DeleteItem, len(items))
+	copy(cp, items)
+	op := &pending{
+		kind:    opDeleteBatch,
+		key:     cp[0].Key, // contact selection and balancer hints
+		items:   cp,
+		ackFrom: make(map[transport.NodeID]bool),
+		done:    done,
+	}
+	c.resolve(op, opts)
+	c.launch(op)
+	if op.noAck {
+		c.complete(op, Result{ID: op.id, Key: op.key})
+	}
+	return op.id
+}
+
 // Cancel abandons the operation that id belongs to (any attempt id of
 // the op works). The op is removed from the pending table immediately —
 // instead of lingering until its retry budget expires — and its done
@@ -345,6 +386,12 @@ func (c *Core) launch(op *pending) {
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
+	case opDeleteBatch:
+		_ = c.out.Send(contact, &core.DeleteBatchRequest{
+			ID: op.id, Items: op.items,
+			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
+			TTL: core.TTLUnset, NoAck: op.noAck,
+		})
 	}
 }
 
@@ -354,11 +401,13 @@ func (c *Core) launch(op *pending) {
 func (c *Core) HandleMessage(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case *core.PutAck:
-		c.onAck(m.ID, opPut, env.From)
+		c.onAck(m.ID, opPut, env.From, 0)
 	case *core.PutBatchAck:
-		c.onAck(m.ID, opPutBatch, env.From)
+		c.onAck(m.ID, opPutBatch, env.From, m.Stored)
 	case *core.DeleteAck:
-		c.onAck(m.ID, opDelete, env.From)
+		c.onAck(m.ID, opDelete, env.From, 0)
+	case *core.DeleteBatchAck:
+		c.onAck(m.ID, opDeleteBatch, env.From, m.Applied)
 	case *core.GetReply:
 		op, ok := c.ops[m.ID]
 		if !ok || op.kind != opGet {
@@ -374,8 +423,10 @@ func (c *Core) HandleMessage(env transport.Envelope) {
 
 // onAck counts one replica acknowledgement for an ack-counted op. Acks
 // for superseded attempt ids of a still-live op count too: the replica
-// stored (or deleted) the same object either way.
-func (c *Core) onAck(id gossip.RequestID, kind opKind, from transport.NodeID) {
+// stored (or deleted) the same object either way. applied is the
+// replica's per-batch application count (0 for single-object acks); the
+// largest observed value is surfaced in the result.
+func (c *Core) onAck(id gossip.RequestID, kind opKind, from transport.NodeID, applied int) {
 	op, ok := c.ops[id]
 	if !ok {
 		op, ok = c.aliases[id]
@@ -387,10 +438,13 @@ func (c *Core) onAck(id gossip.RequestID, kind opKind, from transport.NodeID) {
 		return // duplicate ack from the same replica
 	}
 	op.ackFrom[from] = true
+	if applied > op.applied {
+		op.applied = applied
+	}
 	if len(op.ackFrom) >= op.wantAcks {
 		c.complete(op, Result{
 			ID: op.id, Key: op.key, Version: op.version,
-			Acks: len(op.ackFrom), Retries: op.retries,
+			Acks: len(op.ackFrom), Applied: op.applied, Retries: op.retries,
 		})
 	}
 }

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"dataflasks/internal/core"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+func TestDeleteBatchCompletesWithApplied(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1, 2, 3})
+	items := []core.DeleteItem{
+		{Key: "a", Version: 1},
+		{Key: "b", Version: store.Latest},
+	}
+	var res *Result
+	cl.StartDeleteBatch(items, Opts{}, func(r Result) { res = &r })
+
+	if len(cap.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(cap.sent))
+	}
+	req, ok := cap.sent[0].Msg.(*core.DeleteBatchRequest)
+	if !ok {
+		t.Fatalf("sent %#v", cap.sent[0].Msg)
+	}
+	if req.TTL != core.TTLUnset {
+		t.Errorf("client stamped TTL %d itself", req.TTL)
+	}
+	if len(req.Items) != 2 || req.Items[1].Version != store.Latest {
+		t.Fatalf("wire items = %+v", req.Items)
+	}
+	if res != nil {
+		t.Fatal("delete batch completed before any ack")
+	}
+
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.DeleteBatchAck{ID: req.ID, Applied: 1}})
+	if res == nil || res.Err != nil {
+		t.Fatalf("delete batch not completed: %+v", res)
+	}
+	if res.Applied != 1 {
+		t.Errorf("applied = %d, want 1", res.Applied)
+	}
+	if cl.Pending() != 0 {
+		t.Errorf("pending = %d", cl.Pending())
+	}
+}
+
+// TestDeleteBatchAppliedIsMaxAcrossReplicas: replicas may hold
+// different subsets mid-convergence; the surfaced count is the most
+// complete replica's view.
+func TestDeleteBatchAppliedIsMaxAcrossReplicas(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2}, []transport.NodeID{1})
+	var res *Result
+	cl.StartDeleteBatch([]core.DeleteItem{{Key: "a", Version: 1}, {Key: "b", Version: 2}},
+		Opts{}, func(r Result) { res = &r })
+	id := cap.sent[0].Msg.(*core.DeleteBatchRequest).ID
+
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.DeleteBatchAck{ID: id, Applied: 2}})
+	if res != nil {
+		t.Fatal("completed with one of two required acks")
+	}
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.DeleteBatchAck{ID: id, Applied: 1}})
+	if res == nil || res.Acks != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Applied != 2 {
+		t.Errorf("applied = %d, want the max across replicas (2)", res.Applied)
+	}
+}
+
+func TestDeleteBatchEmptyCompletesImmediately(t *testing.T) {
+	cl, cap := newTestCore(t, Config{}, []transport.NodeID{1})
+	var res *Result
+	cl.StartDeleteBatch(nil, Opts{}, func(r Result) { res = &r })
+	if res == nil || res.Err != nil {
+		t.Fatalf("empty batch did not complete immediately: %+v", res)
+	}
+	if len(cap.sent) != 0 {
+		t.Errorf("empty batch sent %d messages", len(cap.sent))
+	}
+}
+
+func TestDeleteBatchRetriesAliasAcks(t *testing.T) {
+	cl, cap := newTestCore(t, Config{PutAcks: 2, TimeoutTicks: 1, Retries: 3}, []transport.NodeID{1})
+	var res *Result
+	cl.StartDeleteBatch([]core.DeleteItem{{Key: "a", Version: 1}},
+		Opts{}, func(r Result) { res = &r })
+	firstID := cap.sent[0].Msg.(*core.DeleteBatchRequest).ID
+
+	cl.Tick() // expire attempt 1 → re-issue under a fresh id
+	if len(cap.sent) != 2 {
+		t.Fatalf("sent %d messages after retry, want 2", len(cap.sent))
+	}
+	secondID := cap.sent[1].Msg.(*core.DeleteBatchRequest).ID
+	if secondID == firstID {
+		t.Fatal("retry reused the request id")
+	}
+
+	// One ack addressed to the superseded attempt + one to the live
+	// attempt: distinct replicas, so together they complete the op.
+	cl.HandleMessage(transport.Envelope{From: 5, Msg: &core.DeleteBatchAck{ID: firstID, Applied: 1}})
+	cl.HandleMessage(transport.Envelope{From: 6, Msg: &core.DeleteBatchAck{ID: secondID, Applied: 1}})
+	if res == nil || res.Err != nil || res.Acks != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDeleteBatchTimesOut(t *testing.T) {
+	cl, _ := newTestCore(t, Config{TimeoutTicks: 1, Retries: -1}, []transport.NodeID{1})
+	var res *Result
+	cl.StartDeleteBatch([]core.DeleteItem{{Key: "a", Version: 1}},
+		Opts{}, func(r Result) { res = &r })
+	cl.Tick()
+	if res == nil || !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("res = %+v, want ErrTimeout", res)
+	}
+}

@@ -124,6 +124,45 @@ type DeleteAck struct {
 	Version uint64
 }
 
+// DeleteItem names one (key, version) pair of a batch delete. Version
+// store.Latest removes each replica's newest stored version of the key.
+type DeleteItem struct {
+	Key     string
+	Version uint64
+}
+
+// DeleteBatchRequest removes a batch of objects that all map to one
+// target slice (the client groups per slice before sending), mirroring
+// PutBatchRequest: routed like a write — TTL-bounded global phase, then
+// intra-slice dissemination — and applied by each replica in one pass
+// over the local store. Nodes that predate this message type ignore it
+// (unknown kinds fall through HandleMessage's default case), so
+// mixed-version deployments degrade to "batch not deleted by old nodes"
+// rather than crashing.
+type DeleteBatchRequest struct {
+	ID gossip.RequestID
+	// Items all belong to one slice under the sender's slice count; the
+	// receiving node recomputes the target from Items[0].Key.
+	Items      []DeleteItem
+	Origin     transport.NodeID
+	OriginAddr string
+	TTL        uint8
+	Intra      bool
+	// NoAck suppresses DeleteBatchAck (fire-and-forget deletes).
+	NoAck bool
+}
+
+// DeleteBatchAck confirms a whole delete batch was applied by one
+// replica, with the same entry-point-only emission rule as PutAck.
+type DeleteBatchAck struct {
+	ID gossip.RequestID
+	// Applied is how many of the batch's items named an object this
+	// replica actually held (and therefore removed). Replicas may
+	// disagree while convergence is in progress; clients surface the
+	// largest count observed.
+	Applied int
+}
+
 // MateQuery asks a random peer for members of the sender's slice it
 // happens to know; this is how the intra-slice view bootstraps when
 // slices are scarce in the PSS stream.

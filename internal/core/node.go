@@ -363,11 +363,13 @@ func (n *Node) HandleMessage(env transport.Envelope) {
 		n.onGet(m)
 	case *DeleteRequest:
 		n.onDelete(m)
+	case *DeleteBatchRequest:
+		n.onDeleteBatch(m)
 	case *MateQuery:
 		n.onMateQuery(env.From, m)
 	case *MateReply:
 		n.onMateReply(m)
-	case *PutAck, *PutBatchAck, *GetReply, *DeleteAck:
+	case *PutAck, *PutBatchAck, *GetReply, *DeleteAck, *DeleteBatchAck:
 		// Client-bound traffic that reached a node (stale origin);
 		// nothing to do.
 	default:
@@ -555,8 +557,8 @@ func (n *Node) onDelete(m *DeleteRequest) {
 		// A buffered relay put for this key must be applied before the
 		// delete, or the flush would resurrect the object.
 		n.flushCoalesced()
-		err := n.st.Delete(m.Key, m.Version)
-		if err == nil {
+		existed, err := n.applyDelete(m.Key, m.Version)
+		if err == nil && existed {
 			n.met.Inc(metrics.DeletesServed)
 		}
 		if !m.Intra {
@@ -590,6 +592,128 @@ func (n *Node) onDelete(m *DeleteRequest) {
 		fwd.TTL = next
 		return &fwd
 	})
+}
+
+// onDeleteBatch routes a multi-object delete exactly like onDelete, but
+// a target-slice node applies the whole batch in one pass over its
+// store. The ack carries how many items named objects this replica
+// really held, which is what a Redis-style multi-key DEL reports.
+func (n *Node) onDeleteBatch(m *DeleteBatchRequest) {
+	if n.dedup.Seen(m.ID) {
+		n.met.Inc(metrics.DuplicatesSuppressed)
+		return
+	}
+	if len(m.Items) == 0 {
+		return
+	}
+	target := slicing.KeySlice(m.Items[0].Key, n.slicer.SliceCount())
+	mine := n.currentSlice()
+
+	if mine == target {
+		// Buffered relay puts must land first, or the flush would
+		// resurrect objects this batch deletes.
+		n.flushCoalesced()
+		applied, firstErr := n.applyDeleteBatch(m.Items)
+		n.met.Add(metrics.DeletesServed, uint64(applied))
+		if !m.Intra {
+			if firstErr == nil && !m.NoAck && m.Origin != 0 {
+				n.learnOrigin(m.Origin, m.OriginAddr)
+				n.sendData(m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
+			}
+			fwd := *m
+			fwd.Intra = true
+			fwd.TTL = n.intraTTL()
+			n.relayIntra(&fwd)
+			return
+		}
+		if m.TTL > 0 {
+			fwd := *m
+			fwd.TTL--
+			n.relayIntra(&fwd)
+		}
+		return
+	}
+
+	if m.Intra {
+		return
+	}
+	ttl := m.TTL
+	if ttl == TTLUnset {
+		ttl = n.putTTL() // batch deletes are writes: full-coverage budget
+	}
+	n.relayGlobal(ttl, func(next uint8) interface{} {
+		fwd := *m
+		fwd.TTL = next
+		return &fwd
+	})
+}
+
+// applyDelete removes (key, version) from the local store and reports
+// whether anything actually existed. Version store.Latest removes the
+// newest stored version; store.AllVersions expands to every stored
+// version of the key (whole-key removal — engines never see the
+// sentinel; the expansion rides one store.DeleteBatch, so a key with
+// many versions still pays one group-commit wait).
+func (n *Node) applyDelete(key string, version uint64) (existed bool, err error) {
+	if version != store.AllVersions {
+		return n.st.Delete(key, version)
+	}
+	vs, err := n.st.Versions(key)
+	if err != nil || len(vs) == 0 {
+		return false, err
+	}
+	dels := make([]store.Deletion, len(vs))
+	for i, v := range vs {
+		dels[i] = store.Deletion{Key: key, Version: v}
+	}
+	removed, err := n.st.DeleteBatch(dels)
+	for _, e := range removed {
+		if e {
+			existed = true
+		}
+	}
+	return existed, err
+}
+
+// applyDeleteBatch expands a wire batch (AllVersions items become one
+// concrete deletion per stored version) and applies it as ONE
+// store.DeleteBatch call: one lock acquisition and, in the log engine,
+// one group-commit fsync for the whole batch — mirroring how batch
+// puts land. applied counts the ITEMS that named at least one object
+// this replica really held (what DeleteBatchAck reports).
+func (n *Node) applyDeleteBatch(items []DeleteItem) (applied int, firstErr error) {
+	dels := make([]store.Deletion, 0, len(items))
+	itemOf := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Version != store.AllVersions {
+			dels = append(dels, store.Deletion{Key: it.Key, Version: it.Version})
+			itemOf = append(itemOf, i)
+			continue
+		}
+		vs, err := n.st.Versions(it.Key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, v := range vs {
+			dels = append(dels, store.Deletion{Key: it.Key, Version: v})
+			itemOf = append(itemOf, i)
+		}
+	}
+	removed, err := n.st.DeleteBatch(dels)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	itemHit := make(map[int]bool, len(items))
+	for j, e := range removed {
+		if e && !itemHit[itemOf[j]] {
+			itemHit[itemOf[j]] = true
+			applied++
+		}
+	}
+	return applied, firstErr
 }
 
 // onGet implements §IV-B routing for reads.

@@ -1,0 +1,45 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRESPComparisonSmoke runs a miniature E16: the pipelined RESP
+// driver must complete the workload with zero hard errors and beat the
+// blocking baseline (the full >= 5x bar is enforced by the flaskbench
+// CI step at real scale; this guards the harness itself). Real-time
+// latency emulation makes it a slow test.
+func TestRESPComparisonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time LAN emulation; skipped in -short")
+	}
+	rows, err := RESPComparison(16, 2, 60, 20*time.Millisecond, 42)
+	if err != nil {
+		t.Fatalf("RESPComparison: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	var blocking, pipelined time.Duration
+	for _, r := range rows {
+		if r.OK+r.Failed != r.Ops {
+			t.Fatalf("%s: %d ok + %d failed != %d ops", r.Mode, r.OK, r.Failed, r.Ops)
+		}
+		if r.Failed > r.Ops/10 {
+			t.Fatalf("%s: %d/%d failed", r.Mode, r.Failed, r.Ops)
+		}
+		switch r.Mode {
+		case "resp-blocking":
+			blocking = r.Elapsed
+		case "resp-pipelined":
+			pipelined = r.Elapsed
+		}
+	}
+	if blocking == 0 || pipelined == 0 {
+		t.Fatal("missing modes in result rows")
+	}
+	if pipelined >= blocking {
+		t.Fatalf("pipelined RESP (%s) not faster than blocking (%s)", pipelined, blocking)
+	}
+}

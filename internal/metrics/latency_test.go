@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// 90 fast samples, 10 slow ones: p50 must bound ~1ms, p99 ~100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(800 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(90 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 800*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %s, want a 2x bound of 800µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Fatalf("p99 = %s, want a 2x bound of 90ms", p99)
+	}
+	if h.Quantile(0) == 0 || h.Quantile(1) < p99 {
+		t.Fatalf("quantile edges broken: q0=%s q1=%s", h.Quantile(0), h.Quantile(1))
+	}
+	mean := h.Mean()
+	if mean < 5*time.Millisecond || mean > 15*time.Millisecond {
+		t.Fatalf("mean = %s, want ~9.7ms", mean)
+	}
+}
+
+func TestLatencyHistogramExtremes(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(0)
+	h.Observe(365 * 24 * time.Hour) // beyond the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1.0) == 0 {
+		t.Fatal("top quantile lost the overflow sample")
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestCommandStats(t *testing.T) {
+	s := NewCommandStats()
+	s.Stat("get").Observe(time.Millisecond, false)
+	s.Stat("get").Observe(2*time.Millisecond, true)
+	s.Stat("set").Observe(5*time.Millisecond, false)
+
+	if got := s.Stat("get").Calls.Load(); got != 2 {
+		t.Fatalf("get calls = %d", got)
+	}
+	if got := s.Stat("get").Errors.Load(); got != 1 {
+		t.Fatalf("get errors = %d", got)
+	}
+	calls, errs := s.Totals()
+	if calls != 3 || errs != 1 {
+		t.Fatalf("totals = %d/%d", calls, errs)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "get" || names[1] != "set" {
+		t.Fatalf("names = %v", names)
+	}
+	if q := s.Quantile(1.0); q < 5*time.Millisecond || q > 10*time.Millisecond {
+		t.Fatalf("merged q1.0 = %s, want a 2x bound of 5ms", q)
+	}
+}
+
+func TestCommandStatsConcurrent(t *testing.T) {
+	s := NewCommandStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"get", "set", "del"}[w%3]
+			for i := 0; i < 500; i++ {
+				s.Stat(name).Observe(time.Microsecond, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	calls, _ := s.Totals()
+	if calls != 8*500 {
+		t.Fatalf("calls = %d, want %d", calls, 8*500)
+	}
+}

@@ -7,9 +7,12 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter names used by the node runtime. Keeping them as typed constants
@@ -138,6 +141,179 @@ func (s *SharedCounter) Add(delta uint64) { s.v.Add(delta) }
 
 // Load returns the current value.
 func (s *SharedCounter) Load() uint64 { return s.v.Load() }
+
+// latencyBuckets is the bucket count of LatencyHistogram: bucket 0 is
+// sub-microsecond, bucket i ≥ 1 covers [2^(i-1), 2^i) microseconds, so
+// 40 buckets span sub-µs to ~6 days — every latency a gateway will
+// ever observe.
+const latencyBuckets = 40
+
+// LatencyHistogram is a lock-free histogram of durations in
+// power-of-two microsecond buckets, safe for concurrent Observe from
+// many goroutines (RESP connections record completions concurrently).
+// The zero value is ready to use. Quantiles are upper bounds of the
+// bucket the quantile falls in, so they are exact to within 2×.
+type LatencyHistogram struct {
+	count   atomic.Uint64
+	sumUsec atomic.Uint64
+	buckets [latencyBuckets]atomic.Uint64
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d / time.Microsecond)
+	}
+	idx := bits.Len64(us) // 0 for us==0, else floor(log2(us))+1
+	if idx >= latencyBuckets {
+		idx = latencyBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumUsec.Add(us)
+	h.buckets[idx].Add(1)
+}
+
+// Count returns how many durations were observed.
+func (h *LatencyHistogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUsec.Load()/n) * time.Microsecond
+}
+
+// Quantile returns an upper bound of the q-quantile (q in [0, 1]) of
+// the observed durations, 0 when empty. The snapshot is not atomic
+// across buckets; concurrent observers can skew a quantile by at most
+// the few samples that land mid-read.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	var counts [latencyBuckets]uint64
+	total := uint64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			// Bucket i holds values < 2^i µs, so 2^i µs is an upper
+			// bound (bucket 0 is sub-µs: report 1 µs).
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(latencyBuckets-1)) * time.Microsecond
+}
+
+// String renders "n=<count> mean=<d> p50=<d> p99=<d>".
+func (h *LatencyHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+}
+
+// CommandStat accumulates one named command's call/error counters and
+// latency distribution. All fields are safe for concurrent use.
+type CommandStat struct {
+	Calls   SharedCounter
+	Errors  SharedCounter
+	Latency LatencyHistogram
+}
+
+// Observe records one completed call.
+func (s *CommandStat) Observe(d time.Duration, isErr bool) {
+	s.Calls.Inc()
+	if isErr {
+		s.Errors.Inc()
+	}
+	s.Latency.Observe(d)
+}
+
+// CommandStats is a registry of per-command statistics keyed by
+// command name (the RESP gateway's per-command counters + latency
+// histograms). Safe for concurrent use; Stat lazily creates entries.
+type CommandStats struct {
+	mu   sync.RWMutex
+	cmds map[string]*CommandStat
+}
+
+// NewCommandStats creates an empty registry.
+func NewCommandStats() *CommandStats {
+	return &CommandStats{cmds: make(map[string]*CommandStat)}
+}
+
+// Stat returns the named command's accumulator, creating it on first
+// use.
+func (s *CommandStats) Stat(name string) *CommandStat {
+	s.mu.RLock()
+	st, ok := s.cmds[name]
+	s.mu.RUnlock()
+	if ok {
+		return st
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok = s.cmds[name]; ok {
+		return st
+	}
+	st = &CommandStat{}
+	s.cmds[name] = st
+	return st
+}
+
+// Names returns the registered command names in sorted order.
+func (s *CommandStats) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.cmds))
+	for name := range s.cmds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Totals returns the summed call and error counts across all commands.
+func (s *CommandStats) Totals() (calls, errs uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, st := range s.cmds {
+		calls += st.Calls.Load()
+		errs += st.Errors.Load()
+	}
+	return calls, errs
+}
+
+// Quantile returns an upper bound of the q-quantile across every
+// command's observations (0 when nothing was observed). It merges the
+// per-command bucket counts, so mixed workloads weight by call volume.
+func (s *CommandStats) Quantile(q float64) time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var merged LatencyHistogram
+	for _, st := range s.cmds {
+		merged.count.Add(st.Latency.count.Load())
+		for i := range st.Latency.buckets {
+			merged.buckets[i].Add(st.Latency.buckets[i].Load())
+		}
+	}
+	return merged.Quantile(q)
+}
 
 // Summary aggregates one counter across a population of nodes.
 type Summary struct {

@@ -1,0 +1,81 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzRESPParse proves the wire reader never panics on arbitrary input
+// and that every malformed stream is classified as either a protocol
+// error (answerable with an -ERR reply) or an I/O condition — the two
+// outcomes the server knows how to handle. It also checks the decode
+// loop always terminates and that decoded commands respect the wire
+// limits the reader promises to enforce.
+func FuzzRESPParse(f *testing.F) {
+	seeds := []string{
+		"*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nvalue\r\n",
+		"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n",
+		"PING\r\n",
+		"get some key\r\n",
+		"*1\r\n$4\r\nQUIT\r\n",
+		"*0\r\n*1\r\n$4\r\nPING\r\n",
+		"*-1\r\n",
+		"*2\r\n$3\r\nGET\r\n",
+		"*1\r\n+OK\r\n",
+		"$5\r\nhello\r\n",
+		"*1\r\n$-5\r\n",
+		"*1\r\n$3\r\nab\r\n",
+		"\r\n\r\nPING\r\n",
+		"*1000000\r\n",
+		"-ERR backwards\r\n",
+		"*2\r\n$1\r\na\r\n$1\r\nb\r\nleftover",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				var perr ProtocolError
+				if !errors.As(err, &perr) &&
+					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				// A protocol error must render as a writable reply.
+				if errors.As(err, &perr) {
+					var buf bytes.Buffer
+					w := NewWriter(&buf)
+					if werr := w.Error("ERR " + perr.Error()); werr != nil {
+						t.Fatalf("error reply not writable: %v", werr)
+					}
+					if werr := w.Flush(); werr != nil {
+						t.Fatalf("flush: %v", werr)
+					}
+					if !bytes.HasPrefix(buf.Bytes(), []byte("-ERR ")) ||
+						!bytes.HasSuffix(buf.Bytes(), []byte("\r\n")) {
+						t.Fatalf("malformed error reply %q", buf.Bytes())
+					}
+				}
+				return
+			}
+			if len(args) == 0 {
+				t.Fatal("ReadCommand returned an empty command")
+			}
+			if len(args) > maxArgs {
+				t.Fatalf("command with %d args exceeds maxArgs", len(args))
+			}
+			for _, a := range args {
+				if len(a) > maxBulk {
+					t.Fatalf("arg of %d bytes exceeds maxBulk", len(a))
+				}
+			}
+			if i > len(data) {
+				t.Fatal("decode loop did not consume input")
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader yields at most n bytes per Read, modeling fragmented TCP
+// delivery: a RESP frame can arrive split at every possible boundary.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func readAll(t *testing.T, r *Reader) [][][]byte {
+	t.Helper()
+	var cmds [][][]byte
+	for {
+		args, err := r.ReadCommand()
+		if errors.Is(err, io.EOF) {
+			return cmds
+		}
+		if err != nil {
+			t.Fatalf("ReadCommand: %v", err)
+		}
+		// The reader reuses its buffers; keep copies for the assertion.
+		cp := make([][]byte, len(args))
+		for i, a := range args {
+			cp[i] = append([]byte(nil), a...)
+		}
+		cmds = append(cmds, cp)
+	}
+}
+
+func TestReadCommandMultibulk(t *testing.T) {
+	in := "*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nvalue\r\n"
+	cmds := readAll(t, NewReader(strings.NewReader(in)))
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	want := []string{"SET", "key", "value"}
+	for i, w := range want {
+		if string(cmds[0][i]) != w {
+			t.Fatalf("arg %d = %q, want %q", i, cmds[0][i], w)
+		}
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	in := "PING\r\n  get   some-key  \r\n\r\nECHO hi\n"
+	cmds := readAll(t, NewReader(strings.NewReader(in)))
+	if len(cmds) != 3 {
+		t.Fatalf("got %d commands, want 3 (empty line skipped)", len(cmds))
+	}
+	if string(cmds[0][0]) != "PING" {
+		t.Fatalf("cmd 0 = %q", cmds[0][0])
+	}
+	if string(cmds[1][0]) != "get" || string(cmds[1][1]) != "some-key" {
+		t.Fatalf("cmd 1 = %q", cmds[1])
+	}
+	if string(cmds[2][0]) != "ECHO" || string(cmds[2][1]) != "hi" {
+		t.Fatalf("cmd 2 (bare LF line) = %q", cmds[2])
+	}
+}
+
+// TestReadCommandFragmented decodes a pipelined multi-command stream
+// delivered in every fragment size from 1 byte up — the reader must
+// reassemble identical commands regardless of how TCP slices them.
+func TestReadCommandFragmented(t *testing.T) {
+	in := []byte("*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$11\r\nhello world\r\n" +
+		"PING\r\n" +
+		"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n" +
+		"*4\r\n$3\r\nDEL\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n")
+	want := [][]string{
+		{"SET", "key", "hello world"},
+		{"PING"},
+		{"GET", "key"},
+		{"DEL", "a", "b", "c"},
+	}
+	for frag := 1; frag <= len(in); frag++ {
+		cmds := readAll(t, NewReader(&chunkReader{data: in, n: frag}))
+		if len(cmds) != len(want) {
+			t.Fatalf("frag=%d: got %d commands, want %d", frag, len(cmds), len(want))
+		}
+		for i, w := range want {
+			if len(cmds[i]) != len(w) {
+				t.Fatalf("frag=%d cmd %d: %d args, want %d", frag, i, len(cmds[i]), len(w))
+			}
+			for j, arg := range w {
+				if string(cmds[i][j]) != arg {
+					t.Fatalf("frag=%d cmd %d arg %d = %q, want %q", frag, i, j, cmds[i][j], arg)
+				}
+			}
+		}
+	}
+}
+
+// TestReadCommandTruncated proves a frame cut mid-way reports an
+// unexpected EOF, not a clean one — the server logs it instead of
+// treating it as a polite close.
+func TestReadCommandTruncated(t *testing.T) {
+	whole := "*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nvalue\r\n"
+	for cut := 1; cut < len(whole); cut++ {
+		r := NewReader(strings.NewReader(whole[:cut]))
+		_, err := r.ReadCommand()
+		if err == nil {
+			t.Fatalf("cut=%d: no error for truncated frame", cut)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: clean EOF for truncated frame", cut)
+		}
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"negative multibulk", "*-1\r\n"},
+		{"huge multibulk", "*99999999\r\n"},
+		{"non-numeric multibulk", "*x2\r\n"},
+		{"missing bulk marker", "*1\r\n+OK\r\n"},
+		{"negative bulk length", "*1\r\n$-1\r\n"},
+		{"huge bulk length", "*1\r\n$999999999999\r\n"},
+		{"bulk not terminated by CRLF", "*1\r\n$2\r\nabXY\r\n"},
+		{"bare negative header", "*-\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.in))
+			_, err := r.ReadCommand()
+			var perr ProtocolError
+			if !errors.As(err, &perr) {
+				t.Fatalf("got %v, want ProtocolError", err)
+			}
+		})
+	}
+}
+
+func TestReadCommandTooBigInline(t *testing.T) {
+	r := NewReader(strings.NewReader(strings.Repeat("a", maxInline+10) + "\r\n"))
+	_, err := r.ReadCommand()
+	var perr ProtocolError
+	if !errors.As(err, &perr) {
+		t.Fatalf("got %v, want ProtocolError for oversized inline line", err)
+	}
+}
+
+func TestWriterReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Simple("OK"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Error("ERR boom\r\nwith newline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Int(-42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bulk([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Null(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Array(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BulkString("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BulkString(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n" +
+		"-ERR boom  with newline\r\n" +
+		":-42\r\n" +
+		"$2\r\nhi\r\n" +
+		"$-1\r\n" +
+		"*2\r\n$1\r\na\r\n$0\r\n\r\n"
+	if buf.String() != want {
+		t.Fatalf("wire bytes:\n got %q\nwant %q", buf.String(), want)
+	}
+}

@@ -97,7 +97,9 @@ func parseObjectName(name string) (key string, version uint64, ok bool) {
 		return "", 0, false
 	}
 	v, err := strconv.ParseUint(base[at+1:], 10, 64)
-	if err != nil || v == Latest {
+	if err != nil || ReservedVersion(v) {
+		// A reserved version can no longer be stored; a legacy file at
+		// one is skipped as foreign rather than failing the open.
 		return "", 0, false
 	}
 	return string(raw), v, true
@@ -105,7 +107,7 @@ func parseObjectName(name string) (key string, version uint64, ok bool) {
 
 // Put implements Store.
 func (d *Disk) Put(key string, version uint64, value []byte) error {
-	if version == Latest {
+	if ReservedVersion(version) {
 		return ErrBadVersion
 	}
 	if len(key) > maxKeyLen {
@@ -124,7 +126,7 @@ func (d *Disk) Put(key string, version uint64, value []byte) error {
 // layout has no cheaper batch representation).
 func (d *Disk) PutBatch(objs []Object) error {
 	for _, o := range objs {
-		if o.Version == Latest {
+		if ReservedVersion(o.Version) {
 			return ErrBadVersion
 		}
 		if len(o.Key) > maxKeyLen {
@@ -251,25 +253,58 @@ func (d *Disk) Versions(key string) ([]uint64, error) {
 
 // Delete implements Store. Version Latest resolves to the newest
 // stored version, mirroring Get.
-func (d *Disk) Delete(key string, version uint64) error {
+func (d *Disk) Delete(key string, version uint64) (bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	_, actual, ok, _ := d.mem.Get(key, version)
 	if !ok {
-		return nil
+		return false, nil
 	}
 	if err := os.Remove(filepath.Join(d.dir, objectName(key, actual))); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: delete object: %w", err)
+		return false, fmt.Errorf("store: delete object: %w", err)
 	}
 	if d.fsync {
 		if err := d.syncDir(); err != nil {
-			return err
+			return false, err
 		}
 	}
 	return d.mem.Delete(key, actual)
+}
+
+// DeleteBatch implements Store: every object file is unlinked under
+// one lock acquisition and — with Fsync — one directory sync covers
+// the whole batch.
+func (d *Disk) DeleteBatch(items []Deletion) ([]bool, error) {
+	existed := make([]bool, len(items))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return existed, ErrClosed
+	}
+	removedAny := false
+	for i, it := range items {
+		_, actual, ok, _ := d.mem.Get(it.Key, it.Version)
+		if !ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, objectName(it.Key, actual))); err != nil && !os.IsNotExist(err) {
+			return existed, fmt.Errorf("store: delete object: %w", err)
+		}
+		if _, err := d.mem.Delete(it.Key, actual); err != nil {
+			return existed, err
+		}
+		existed[i] = true
+		removedAny = true
+	}
+	if d.fsync && removedAny {
+		if err := d.syncDir(); err != nil {
+			return existed, err
+		}
+	}
+	return existed, nil
 }
 
 // ForEach implements Store.

@@ -457,7 +457,7 @@ func validateRecord(key string, value []byte) error {
 
 // Put implements Store.
 func (l *Log) Put(key string, version uint64, value []byte) error {
-	if version == Latest {
+	if ReservedVersion(version) {
 		return ErrBadVersion
 	}
 	if err := validateRecord(key, value); err != nil {
@@ -528,7 +528,7 @@ func (l *Log) PutBatch(objs []Object) error {
 		return nil
 	}
 	for _, o := range objs {
-		if o.Version == Latest {
+		if ReservedVersion(o.Version) {
 			return ErrBadVersion
 		}
 		if err := validateRecord(o.Key, o.Value); err != nil {
@@ -672,16 +672,16 @@ func (l *Log) Versions(key string) ([]uint64, error) {
 // survives restarts, then drops the version from the index. Version
 // Latest resolves to the newest stored version, mirroring Get; the
 // tombstone always carries the resolved concrete version.
-func (l *Log) Delete(key string, version uint64) error {
+func (l *Log) Delete(key string, version uint64) (bool, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return ErrClosed
+		return false, ErrClosed
 	}
 	k := l.index[key]
 	if k == nil || len(k.versions) == 0 {
 		l.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	if version == Latest {
 		version = k.versions[len(k.versions)-1]
@@ -689,12 +689,12 @@ func (l *Log) Delete(key string, version uint64) error {
 	loc, ok := k.locs[version]
 	if !ok {
 		l.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	rec := appendRecord(nil, recTomb, key, version, nil)
 	if _, err := l.appendLocked(rec); err != nil {
 		l.mu.Unlock()
-		return err
+		return false, err
 	}
 	l.dropIndexed(k, key, version, loc)
 	var sealErr error
@@ -708,13 +708,84 @@ func (l *Log) Delete(key string, version uint64) error {
 	l.mu.Unlock()
 	l.kickCompact()
 	if sealErr != nil {
-		return sealErr
+		return false, sealErr
 	}
 	if ch == nil {
-		return nil
+		return true, nil
 	}
 	l.kickCommit()
-	return <-ch
+	if err := <-ch; err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DeleteBatch implements Store: every tombstone is appended under one
+// lock acquisition and ONE group-commit fsync covers the whole batch —
+// the same asymmetry-removal PutBatch provides for writes. Latest
+// resolves per item against the not-yet-deleted state, so two Latest
+// items for one key remove its two newest versions.
+func (l *Log) DeleteBatch(items []Deletion) ([]bool, error) {
+	existed := make([]bool, len(items))
+	if len(items) == 0 {
+		return existed, nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return existed, ErrClosed
+	}
+	var rec []byte
+	appended := false
+	for i, it := range items {
+		k := l.index[it.Key]
+		if k == nil || len(k.versions) == 0 {
+			continue
+		}
+		version := it.Version
+		if version == Latest {
+			version = k.versions[len(k.versions)-1]
+		}
+		loc, ok := k.locs[version]
+		if !ok {
+			continue
+		}
+		// Append before dropping the index entry (crash ordering: a
+		// tombstone may exist without the drop, never the reverse).
+		rec = appendRecord(rec[:0], recTomb, it.Key, version, nil)
+		if _, err := l.appendLocked(rec); err != nil {
+			l.mu.Unlock()
+			l.kickCompact()
+			return existed, err
+		}
+		l.dropIndexed(k, it.Key, version, loc)
+		existed[i] = true
+		appended = true
+		if l.active.size >= l.opts.SegmentMaxBytes {
+			if err := l.seal(); err != nil {
+				l.mu.Unlock()
+				l.kickCompact()
+				return existed, err
+			}
+		}
+	}
+	var ch chan error
+	if l.opts.Fsync && appended {
+		// No tombstone appended → nothing to make durable; skipping the
+		// group-commit wait keeps an all-absent batch (a DEL of missing
+		// keys) from stalling the caller for a full fsync.
+		ch = l.enqueueDurable()
+	}
+	l.mu.Unlock()
+	l.kickCompact()
+	if ch == nil {
+		return existed, nil
+	}
+	l.kickCommit()
+	if err := <-ch; err != nil {
+		return existed, err
+	}
+	return existed, nil
 }
 
 // ForEach implements Store. Like Memory, it iterates a sorted snapshot

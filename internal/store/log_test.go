@@ -243,7 +243,7 @@ func TestLogTombstonesSurviveReopen(t *testing.T) {
 	}
 	_ = l.Put("k", 1, []byte("doomed"))
 	_ = l.Put("k", 2, []byte("kept"))
-	if err := l.Delete("k", 1); err != nil {
+	if _, err := l.Delete("k", 1); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -292,7 +292,7 @@ func TestLogSegmentRollAndCompaction(t *testing.T) {
 	}
 	// Kill most objects; the sealed segments' live ratio collapses.
 	for i := 0; i < 36; i++ {
-		if err := l.Delete(fmt.Sprintf("k%02d", i), 1); err != nil {
+		if _, err := l.Delete(fmt.Sprintf("k%02d", i), 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -527,7 +527,7 @@ func TestLogDeleteLatestSurvivesReopen(t *testing.T) {
 	}
 	_ = l.Put("k", 1, []byte("old"))
 	_ = l.Put("k", 5, []byte("new"))
-	if err := l.Delete("k", Latest); err != nil {
+	if _, err := l.Delete("k", Latest); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -599,7 +599,7 @@ func TestLogConcurrentOpsDuringCompaction(t *testing.T) {
 					return
 				}
 				if i > 0 && i%3 == 0 {
-					if err := l.Delete(key, ver); err != nil {
+					if _, err := l.Delete(key, ver); err != nil {
 						errCh <- fmt.Errorf("delete: %w", err)
 						return
 					}
@@ -630,7 +630,7 @@ func TestLogConcurrentOpsDuringCompaction(t *testing.T) {
 		for i := 0; i < 30; i++ {
 			key := fmt.Sprintf("w%d-k%d", w, i)
 			for _, v := range mustVersions(t, l, key) {
-				if err := l.Delete(key, v); err != nil {
+				if _, err := l.Delete(key, v); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -692,7 +692,7 @@ func TestLogCompactionDoesNotBlockForeground(t *testing.T) {
 	// first 32 KiB segment and then owes the throttle ~4s — long after
 	// this test is done, and before it may remove anything.
 	for i := 0; i < 270; i++ {
-		if err := l.Delete(fmt.Sprintf("k%04d", i), 1); err != nil {
+		if _, err := l.Delete(fmt.Sprintf("k%04d", i), 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -791,7 +791,7 @@ func TestPersistentEnginesRecoverAfterReopen(t *testing.T) {
 			_ = s.Put("persist", 3, []byte("across restarts"))
 			_ = s.Put("persist", 5, []byte("newer"))
 			_ = s.Put("other", 1, []byte("x"))
-			if err := s.Delete("other", 1); err != nil {
+			if _, err := s.Delete("other", 1); err != nil {
 				t.Fatal(err)
 			}
 			if err := s.Close(); err != nil {
@@ -862,7 +862,7 @@ func TestDiskDirSyncAfterRename(t *testing.T) {
 	if d.dirSyncs != 1 {
 		t.Fatalf("dirSyncs = %d after Put, want 1 (rename must be followed by a directory fsync)", d.dirSyncs)
 	}
-	if err := d.Delete("k", 1); err != nil {
+	if _, err := d.Delete("k", 1); err != nil {
 		t.Fatal(err)
 	}
 	if d.dirSyncs != 2 {

@@ -39,7 +39,7 @@ func NewMemoryCapped(maxVersions int) *Memory {
 
 // Put implements Store.
 func (m *Memory) Put(key string, version uint64, value []byte) error {
-	if version == Latest {
+	if ReservedVersion(version) {
 		return ErrBadVersion
 	}
 	m.mu.Lock()
@@ -55,7 +55,7 @@ func (m *Memory) Put(key string, version uint64, value []byte) error {
 // applied under one lock acquisition.
 func (m *Memory) PutBatch(objs []Object) error {
 	for _, o := range objs {
-		if o.Version == Latest {
+		if ReservedVersion(o.Version) {
 			return ErrBadVersion
 		}
 	}
@@ -138,21 +138,42 @@ func (m *Memory) Versions(key string) ([]uint64, error) {
 
 // Delete implements Store. Version Latest resolves to the newest
 // stored version, mirroring Get.
-func (m *Memory) Delete(key string, version uint64) error {
+func (m *Memory) Delete(key string, version uint64) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
+	return m.deleteLocked(key, version), nil
+}
+
+// DeleteBatch implements Store: the whole batch under one lock
+// acquisition.
+func (m *Memory) DeleteBatch(items []Deletion) ([]bool, error) {
+	existed := make([]bool, len(items))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return existed, ErrClosed
+	}
+	for i, it := range items {
+		existed[i] = m.deleteLocked(it.Key, it.Version)
+	}
+	return existed, nil
+}
+
+// deleteLocked removes one version (Latest resolves to the newest) and
+// reports whether it existed. Caller holds mu.
+func (m *Memory) deleteLocked(key string, version uint64) bool {
 	k, ok := m.keys[key]
 	if !ok || len(k.versions) == 0 {
-		return nil
+		return false
 	}
 	if version == Latest {
 		version = k.versions[len(k.versions)-1]
 	}
 	if _, exists := k.values[version]; !exists {
-		return nil
+		return false
 	}
 	delete(k.values, version)
 	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i] >= version })
@@ -163,7 +184,7 @@ func (m *Memory) Delete(key string, version uint64) error {
 	if len(k.versions) == 0 {
 		delete(m.keys, key)
 	}
-	return nil
+	return true
 }
 
 // ForEach implements Store. The iteration works on a snapshot of the

@@ -21,12 +21,32 @@ import (
 // Latest is the version sentinel for newest-wins reads.
 const Latest uint64 = ^uint64(0)
 
+// AllVersions is the version sentinel for deletes that remove every
+// stored version of a key (whole-key removal — Redis DEL semantics
+// through the RESP gateway). It is interpreted by the node's delete
+// paths, which expand it to the replica's stored versions; engines
+// never see it.
+const AllVersions uint64 = ^uint64(0) - 1
+
 // Object is one stored (key, version, value) triple.
 type Object struct {
 	Key     string
 	Version uint64
 	Value   []byte
 }
+
+// Deletion names one (key, version) pair of a DeleteBatch. Version may
+// be Latest (resolved per item against the not-yet-deleted state).
+type Deletion struct {
+	Key     string
+	Version uint64
+}
+
+// ReservedVersion reports whether v is a sentinel no object may be
+// stored under — every engine's Put/PutBatch rejects these, so a
+// poisoned write can never shadow Latest reads or alias the delete
+// sentinels.
+func ReservedVersion(v uint64) bool { return v == Latest || v == AllVersions }
 
 // Store is the node-local persistence interface.
 //
@@ -56,8 +76,18 @@ type Store interface {
 	Versions(key string) ([]uint64, error)
 	// Delete removes one version of key; version Latest removes the
 	// newest stored version (mirroring Get). It is a no-op when
-	// absent.
-	Delete(key string, version uint64) error
+	// absent; existed reports whether anything was actually removed
+	// (batch deletes and the RESP gateway's DEL count rely on it).
+	Delete(key string, version uint64) (existed bool, err error)
+	// DeleteBatch removes a batch of (key, version) pairs in one
+	// engine call — mirroring PutBatch: one lock acquisition and, in
+	// the log engine, one group-commit fsync for every tombstone
+	// instead of one per pair. Item versions may be Latest, resolved
+	// in item order against the not-yet-deleted state. existed[i]
+	// reports whether item i removed anything; an I/O failure
+	// mid-batch may leave a prefix applied (existed reflects what
+	// was).
+	DeleteBatch(items []Deletion) (existed []bool, err error)
 	// ForEach visits every stored object header (no value) in
 	// unspecified order; returning false stops iteration. Used to build
 	// anti-entropy digests and slice handoffs.
@@ -74,9 +104,9 @@ var (
 	ErrClosed = errors.New("store: closed")
 	// ErrKeyTooLong reports a key exceeding an engine's limit.
 	ErrKeyTooLong = errors.New("store: key too long")
-	// ErrBadVersion reports the reserved Latest sentinel used as a
-	// concrete version in Put.
-	ErrBadVersion = fmt.Errorf("store: version %d is reserved", Latest)
+	// ErrBadVersion reports a reserved sentinel (Latest, AllVersions)
+	// used as a concrete version in Put.
+	ErrBadVersion = fmt.Errorf("store: versions %d and %d are reserved", AllVersions, Latest)
 	// ErrCorrupt reports a record that fails checksum or structural
 	// verification; a corrupt record is never served as data.
 	ErrCorrupt = errors.New("store: corrupt record")

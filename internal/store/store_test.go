@@ -147,8 +147,8 @@ func TestStoreDelete(t *testing.T) {
 			defer s.Close()
 			_ = s.Put("k", 1, []byte("a"))
 			_ = s.Put("k", 2, []byte("b"))
-			if err := s.Delete("k", 1); err != nil {
-				t.Fatal(err)
+			if existed, err := s.Delete("k", 1); err != nil || !existed {
+				t.Fatalf("delete present version: existed=%v err=%v", existed, err)
 			}
 			if _, _, ok, _ := s.Get("k", 1); ok {
 				t.Error("deleted version still present")
@@ -156,11 +156,11 @@ func TestStoreDelete(t *testing.T) {
 			if _, _, ok, _ := s.Get("k", 2); !ok {
 				t.Error("sibling version vanished")
 			}
-			if err := s.Delete("k", 1); err != nil {
-				t.Errorf("double delete errored: %v", err)
+			if existed, err := s.Delete("k", 1); err != nil || existed {
+				t.Errorf("double delete: existed=%v err=%v", existed, err)
 			}
-			if err := s.Delete("ghost", 1); err != nil {
-				t.Errorf("delete missing key errored: %v", err)
+			if existed, err := s.Delete("ghost", 1); err != nil || existed {
+				t.Errorf("delete missing key: existed=%v err=%v", existed, err)
 			}
 			if s.Count() != 1 {
 				t.Errorf("Count = %d, want 1", s.Count())
@@ -178,7 +178,7 @@ func TestStoreDeleteLatest(t *testing.T) {
 			defer s.Close()
 			_ = s.Put("k", 2, []byte("old"))
 			_ = s.Put("k", 5, []byte("new"))
-			if err := s.Delete("k", Latest); err != nil {
+			if _, err := s.Delete("k", Latest); err != nil {
 				t.Fatalf("Delete(Latest): %v", err)
 			}
 			if _, _, ok, _ := s.Get("k", 5); ok {
@@ -187,16 +187,16 @@ func TestStoreDeleteLatest(t *testing.T) {
 			if val, _, ok, _ := s.Get("k", 2); !ok || string(val) != "old" {
 				t.Fatalf("older version lost: %q %v", val, ok)
 			}
-			if err := s.Delete("k", Latest); err != nil {
+			if _, err := s.Delete("k", Latest); err != nil {
 				t.Fatalf("second Delete(Latest): %v", err)
 			}
 			if s.Count() != 0 {
 				t.Fatalf("Count = %d after deleting every version", s.Count())
 			}
-			if err := s.Delete("k", Latest); err != nil {
+			if _, err := s.Delete("k", Latest); err != nil {
 				t.Errorf("Delete(Latest) on empty key errored: %v", err)
 			}
-			if err := s.Delete("ghost", Latest); err != nil {
+			if _, err := s.Delete("ghost", Latest); err != nil {
 				t.Errorf("Delete(Latest) on missing key errored: %v", err)
 			}
 		})
@@ -240,6 +240,57 @@ func TestStorePutBatch(t *testing.T) {
 	}
 }
 
+func TestStoreDeleteBatch(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			_ = s.Put("a", 1, []byte("a1"))
+			_ = s.Put("a", 2, []byte("a2"))
+			_ = s.Put("b", 7, []byte("b7"))
+			_ = s.Put("c", 3, []byte("c3"))
+			existed, err := s.DeleteBatch([]Deletion{
+				{Key: "a", Version: 1},      // concrete hit
+				{Key: "b", Version: Latest}, // Latest resolves to 7
+				{Key: "ghost", Version: 1},  // missing key
+				{Key: "c", Version: 9},      // missing version
+				{Key: "a", Version: 1},      // already removed above
+			})
+			if err != nil {
+				t.Fatalf("DeleteBatch: %v", err)
+			}
+			want := []bool{true, true, false, false, false}
+			for i, w := range want {
+				if existed[i] != w {
+					t.Fatalf("existed = %v, want %v", existed, want)
+				}
+			}
+			if s.Count() != 2 {
+				t.Fatalf("Count = %d, want 2 (a@2, c@3 survive)", s.Count())
+			}
+			if _, _, ok, _ := s.Get("a", 2); !ok {
+				t.Fatal("sibling version a@2 vanished")
+			}
+			// Two Latest items for one key remove its two newest
+			// versions (resolution sees the not-yet-deleted state).
+			_ = s.Put("m", 1, []byte("m1"))
+			_ = s.Put("m", 2, []byte("m2"))
+			existed, err = s.DeleteBatch([]Deletion{
+				{Key: "m", Version: Latest},
+				{Key: "m", Version: Latest},
+			})
+			if err != nil || !existed[0] || !existed[1] {
+				t.Fatalf("double-Latest: existed=%v err=%v", existed, err)
+			}
+			if _, _, ok, _ := s.Get("m", Latest); ok {
+				t.Fatal("versions of m survived the double-Latest batch")
+			}
+			if _, err := s.DeleteBatch(nil); err != nil {
+				t.Errorf("empty delete batch errored: %v", err)
+			}
+		})
+	}
+}
+
 // TestStorePutBatchValidatesUpfront pins the all-or-nothing contract
 // for statically invalid batches: a reserved version anywhere in the
 // batch must fail it before any object is stored.
@@ -267,6 +318,15 @@ func TestStoreReservedVersion(t *testing.T) {
 			defer s.Close()
 			if err := s.Put("k", Latest, nil); !errors.Is(err, ErrBadVersion) {
 				t.Errorf("Put(Latest) err = %v, want ErrBadVersion", err)
+			}
+			// AllVersions is the whole-key delete sentinel: an object
+			// stored under it would shadow Latest reads forever and be
+			// individually unaddressable by delete.
+			if err := s.Put("k", AllVersions, nil); !errors.Is(err, ErrBadVersion) {
+				t.Errorf("Put(AllVersions) err = %v, want ErrBadVersion", err)
+			}
+			if err := s.PutBatch([]Object{{Key: "k", Version: AllVersions}}); !errors.Is(err, ErrBadVersion) {
+				t.Errorf("PutBatch(AllVersions) err = %v, want ErrBadVersion", err)
 			}
 		})
 	}
@@ -492,7 +552,7 @@ func TestDiskDeleteRemovesFile(t *testing.T) {
 	if len(files) != 1 {
 		t.Fatalf("%d files after put", len(files))
 	}
-	_ = d.Delete("k", 1)
+	_, _ = d.Delete("k", 1)
 	files, _ = os.ReadDir(dir)
 	if len(files) != 0 {
 		t.Fatalf("%d files after delete", len(files))

@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ChanNetwork is an in-process fabric for live goroutine clusters: each
@@ -17,6 +18,10 @@ type ChanNetwork struct {
 	// signal (Stats().Dropped also includes sends to unknown peers).
 	perDrop map[NodeID]*atomic.Uint64
 	closed  bool
+	// delay, when set, draws a per-message delivery delay — real-time
+	// RTT emulation for benchmarks that need network latency to matter
+	// (the RESP pipelining comparison). Nil delivers immediately.
+	delay func() time.Duration
 
 	sent      atomic.Uint64
 	delivered atomic.Uint64
@@ -57,6 +62,17 @@ func (n *ChanNetwork) Attach(id NodeID, mailbox int) (<-chan Envelope, Sender, e
 		return n.send(id, to, msg)
 	})
 	return ch, sender, nil
+}
+
+// SetDelay installs a per-message artificial delivery delay drawn from
+// fn (nil restores immediate delivery). fn must be safe for concurrent
+// use. Delayed deliveries ride timers, so ordering between messages is
+// not preserved — which is how real networks behave and what epidemic
+// protocols are built for. Set it before traffic flows.
+func (n *ChanNetwork) SetDelay(fn func() time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delay = fn
 }
 
 // DroppedFor returns how many messages addressed to id were discarded
@@ -106,6 +122,22 @@ func (n *ChanNetwork) Stats() Stats {
 
 func (n *ChanNetwork) send(from, to NodeID, msg interface{}) error {
 	n.sent.Add(1)
+	n.mu.RLock()
+	delay := n.delay
+	n.mu.RUnlock()
+	if delay != nil {
+		if d := delay(); d > 0 {
+			// Emulated network latency: deliver from a timer. Errors
+			// after the delay (peer gone, mailbox full) are counted but
+			// no longer reportable to the sender — like a real network.
+			time.AfterFunc(d, func() { _ = n.deliver(from, to, msg) })
+			return nil
+		}
+	}
+	return n.deliver(from, to, msg)
+}
+
+func (n *ChanNetwork) deliver(from, to NodeID, msg interface{}) error {
 	// The read lock is held across the channel send so Detach/Close
 	// (which close the mailbox under the write lock) cannot race a
 	// send into a closed channel. The send is non-blocking, so the

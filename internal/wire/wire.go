@@ -52,6 +52,8 @@ func Register() {
 		gob.Register(&core.GetReply{})
 		gob.Register(&core.DeleteRequest{})
 		gob.Register(&core.DeleteAck{})
+		gob.Register(&core.DeleteBatchRequest{})
+		gob.Register(&core.DeleteBatchAck{})
 		gob.Register(&core.MateQuery{})
 		gob.Register(&core.MateReply{})
 		gob.Register(&dht.Gossip{})
