@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race bench smoke fmt vet ci
+.PHONY: all build examples test race bench smoke fmt vet lint ci
 
 all: build
 
@@ -26,6 +26,10 @@ smoke:
 	$(GO) run ./cmd/flaskbench -exp compact -quick
 	$(GO) run ./cmd/flaskbench -exp pipeline -quick
 	$(GO) run ./cmd/flaskbench -exp resp -quick
+	$(GO) run ./cmd/flaskbench -exp churn -quick -json BENCH_churn.json
+
+lint:
+	$(GO) run ./cmd/repolint README.md ROADMAP.md PAPER.md PAPERS.md CHANGES.md docs/ARCHITECTURE.md .
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -36,4 +40,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build examples race bench smoke
+ci: fmt vet lint build examples race bench smoke

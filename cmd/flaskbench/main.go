@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -29,10 +30,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, all)")
-		seed  = flag.Uint64("seed", 42, "simulation seed")
-		quick = flag.Bool("quick", false, "reduced scales for smoke runs")
-		ns    = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, all)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		quick    = flag.Bool("quick", false, "reduced scales for smoke runs")
+		ns       = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
+		jsonPath = flag.String("json", "", "write machine-readable results to this file (currently: the churn experiment's convergence comparison)")
 	)
 	flag.Parse()
 
@@ -49,7 +51,7 @@ func main() {
 		"fig4":       func() { runFig4(sweep, *seed, *quick) },
 		"slicing":    func() { runSlicing(*seed, *quick) },
 		"correlated": func() { runCorrelated(*seed, *quick) },
-		"churn":      func() { runChurn(*seed, *quick) },
+		"churn":      func() { runChurn(*seed, *quick, *jsonPath) },
 		"repair":     func() { runRepair(*seed, *quick) },
 		"lb":         func() { runLB(*seed, *quick) },
 		"dht":        func() { runDHT(*seed, *quick) },
@@ -174,9 +176,8 @@ func runCorrelated(seed uint64, quick bool) {
 	}
 }
 
-func runChurn(seed uint64, quick bool) {
+func runChurn(seed uint64, quick bool, jsonPath string) {
 	done := header("E5: read availability under churn")
-	defer done()
 	n, ops := 500, 100
 	if quick {
 		n, ops = 200, 50
@@ -187,6 +188,71 @@ func runChurn(seed uint64, quick bool) {
 	for _, p := range points {
 		fmt.Printf("%14.3f %8d %8d %13.1f%% %8d\n",
 			p.ChurnPerRound, p.OK, p.Failed, p.Availability*100, p.Retries)
+	}
+	done()
+	runChurnConvergence(seed, quick, jsonPath)
+}
+
+// runChurnConvergence is E17: after a churn burst, how fast does
+// anti-entropy restore full replication, and what does the repair
+// digest cost — Bloom summaries vs the full-header baseline. The CI
+// smoke step runs it with hard gates: both modes must converge, and
+// the Bloom mode must spend >= 5x less digest bandwidth.
+func runChurnConvergence(seed uint64, quick bool, jsonPath string) {
+	done := header("E17: churn convergence — Bloom-digest repair vs full-header baseline")
+	defer done()
+	opts := lab.ChurnConvergenceOptions{
+		N: 400, Slices: 10, Records: 300, KillFrac: 0.3, Rounds: 140, Seed: seed,
+	}
+	if quick {
+		opts = lab.ChurnConvergenceOptions{
+			N: 150, Slices: 5, Records: 120, KillFrac: 0.3, Rounds: 110, Seed: seed,
+		}
+	}
+	full, bloom := lab.ChurnConvergenceCompare(opts, 12)
+
+	fmt.Printf("%12s %10s %10s %12s %12s %14s %14s\n",
+		"mode", "converged", "round", "digest KiB", "push KiB", "digest B/n/r", "repair B/obj")
+	for _, r := range []lab.ChurnConvergenceResult{full, bloom} {
+		fmt.Printf("%12s %10v %10d %12.1f %12.1f %14.1f %14.1f\n",
+			r.Mode, r.Converged, r.ConvergedRound,
+			float64(r.DigestBytes)/1024, float64(r.PushBytes)/1024,
+			r.DigestBytesPerNodeRound, r.RepairBytesPerObject)
+	}
+	ratio := 0.0
+	if bloom.DigestBytes > 0 {
+		ratio = float64(full.DigestBytes) / float64(bloom.DigestBytes)
+	}
+	fmt.Printf("digest bandwidth: bloom is %.1fx cheaper than full headers\n", ratio)
+
+	if jsonPath != "" {
+		out := struct {
+			Experiment       string                     `json:"experiment"`
+			Seed             uint64                     `json:"seed"`
+			Quick            bool                       `json:"quick"`
+			FullHeader       lab.ChurnConvergenceResult `json:"full_header"`
+			Bloom            lab.ChurnConvergenceResult `json:"bloom"`
+			DigestBytesRatio float64                    `json:"digest_bytes_ratio"`
+		}{"churn-convergence", seed, quick, full, bloom, ratio}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flaskbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	// Regression gates (the CI smoke step relies on the exit code).
+	if !full.Converged || !bloom.Converged {
+		fmt.Fprintln(os.Stderr, "flaskbench: churn experiment regressed (a mode failed to restore full replication)")
+		os.Exit(1)
+	}
+	if ratio < 5 {
+		fmt.Fprintf(os.Stderr, "flaskbench: churn experiment regressed (bloom digest saving %.1fx < 5x)\n", ratio)
+		os.Exit(1)
 	}
 }
 

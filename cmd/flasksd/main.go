@@ -48,6 +48,10 @@ func main() {
 		period    = flag.Duration("period", 500*time.Millisecond, "gossip round period")
 		status    = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
 
+		aePushBytes = flag.Int("ae-push-bytes", 0, "value bytes per anti-entropy repair push (0: 1 MiB default)")
+		aeRate      = flag.Int("ae-rate", 0, "repair push bytes allowed per anti-entropy round, token bucket (0: unlimited)")
+		aeFullEvery = flag.Int("ae-full-every", 0, "full-header repair round cadence; other rounds send Bloom summaries (0: 8 default; 1: always full headers)")
+
 		respAddr     = flag.String("resp-addr", "", "serve the cluster to Redis clients on this address (empty: disabled)")
 		respInflight = flag.Int("resp-inflight", 0, "max pipelined RESP commands in flight per connection (0: 128 default)")
 		respGetWait  = flag.Duration("resp-get-timeout", 0, "RESP read attempt budget; a missing key answers null after ~2x this (0: 2s default)")
@@ -99,6 +103,9 @@ func main() {
 		CommitWindow:           *commitWin,
 		CompactLiveRatio:       *compact,
 		CompactRateBytesPerSec: *compactBw,
+		MaxPushBytes:           *aePushBytes,
+		RepairRateBytes:        *aeRate,
+		BloomFullEvery:         *aeFullEvery,
 	}
 	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
 		ID:          dataflasks.NodeID(*id),

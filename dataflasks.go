@@ -133,6 +133,21 @@ type Config struct {
 	// AntiEntropy enables replica repair between slice-mates
 	// (default on; the zero value enables it).
 	DisableAntiEntropy bool
+	// MaxPushBytes bounds the value bytes per anti-entropy repair push
+	// message (default 1 MiB); a single larger object still ships
+	// alone.
+	MaxPushBytes int
+	// RepairRateBytes caps repair push bytes per node per anti-entropy
+	// round (a token bucket), so background repair cannot starve
+	// foreground traffic. 0 = unlimited.
+	RepairRateBytes int
+	// BloomFullEvery is the repair digest cadence: every Nth
+	// anti-entropy round exchanges complete header lists; the rounds
+	// between open with a compact Bloom summary (~10 bits per object on
+	// the wire instead of the full key). The periodic full round
+	// guarantees convergence past the filter's ~1% false positives.
+	// Default 8; 1 makes every round full-header (Bloom disabled).
+	BloomFullEvery int
 	// EvictForeign lets a node drop objects outside its slice after a
 	// slice change (off by default, like the paper's conservative
 	// stance).
@@ -188,6 +203,9 @@ func (c Config) coreConfig() core.Config {
 	if c.DisableAntiEntropy {
 		cc.AntiEntropyEvery = -1
 	}
+	cc.AntiEntropyMaxPushBytes = c.MaxPushBytes
+	cc.AntiEntropyRateBytes = c.RepairRateBytes
+	cc.AntiEntropyFullEvery = c.BloomFullEvery
 	cc.Store = core.StoreConfig{
 		Fsync:                  c.Fsync,
 		SegmentMaxBytes:        c.SegmentMaxBytes,

@@ -6,10 +6,25 @@
 // factor at slice size despite churn, message loss and TTL-expired
 // floods.
 //
-// One exchange is four messages: A→B Digest(A's headers); B→A
-// Pull(what B lacks) and B→A DigestReply(B's headers); A→B
-// Push(objects); and symmetrically A pulls what it lacks from B's
-// reply. Pushes are bounded per exchange; repeated rounds converge.
+// The protocol is two-phase. Most rounds are Bloom rounds: A→B
+// Summary(Bloom filter of A's headers); B pushes the objects the
+// filter proves A lacks and answers B→A SummaryReply(B's filter); A
+// pushes symmetrically. Digest cost is O(bits) instead of O(objects ·
+// key bytes), and pushes ride directly on filter evidence (a Bloom
+// filter has no false negatives), so a Bloom round is four messages
+// with no Pull leg. Every FullEvery-th round falls back to the
+// original full-header exchange — A→B Digest(headers); B→A Pull +
+// DigestReply; A→B Push, and symmetrically — which is immune to the
+// filter's ~1% false positives and therefore the convergence
+// guarantee: an object a Bloom round skipped (its header false-
+// positived as present) is provably repaired by the next full round.
+//
+// Repair is budgeted so it cannot starve foreground traffic: each Push
+// is bounded in objects (MaxPush) and value bytes (MaxPushBytes), a
+// per-node token bucket (RateBytesPerRound) caps bytes shipped per
+// round, and values are served through store.StreamObjects — straight
+// from log-segment offsets with CRC32 re-verification, skipping (never
+// propagating) locally corrupt records. Repeated rounds converge.
 package antientropy
 
 import (
@@ -26,7 +41,8 @@ type Header struct {
 	Version uint64
 }
 
-// Digest opens an exchange with the sender's object headers.
+// Digest opens a full-header exchange with the sender's object
+// headers (up to MaxDigest, sampled uniformly beyond that).
 type Digest struct {
 	Slice   int32
 	Headers []Header
@@ -44,7 +60,7 @@ type Pull struct {
 	Headers []Header
 }
 
-// Push delivers requested objects.
+// Push delivers requested (or provably missing) objects.
 type Push struct {
 	Objects []store.Object
 }
@@ -60,11 +76,24 @@ type Env struct {
 	// Slice returns the node's current slice claim.
 	Slice func() int32
 	// KeyInSlice reports whether a key belongs to the node's current
-	// slice, gating what gets pulled and what EvictForeign drops.
+	// slice, gating what gets pulled/pushed and what EvictForeign
+	// drops.
 	KeyInSlice func(key string) bool
 	// OnSent, when non-nil, is called once per protocol message emitted
 	// (metrics hook).
 	OnSent func()
+	// OnDigestBytes, when non-nil, receives the approximate wire size
+	// of every difference-discovery message sent (Digest, DigestReply,
+	// Summary, SummaryReply, Pull) — the bandwidth the node spends
+	// finding out WHAT to repair, as opposed to shipping the repairs.
+	OnDigestBytes func(n int)
+	// OnPush, when non-nil, is called once per Push sent with its
+	// object count and summed value bytes.
+	OnPush func(objects, valueBytes int)
+	// OnCorrupt, when non-nil, receives the number of locally corrupt
+	// records skipped while serving a push (surfaced so operators see
+	// rot that repair routed around).
+	OnCorrupt func(n int)
 }
 
 // Config tunes the exchange.
@@ -72,9 +101,25 @@ type Config struct {
 	// MaxPush bounds objects per Push message (default 64); the rest
 	// is picked up on later rounds.
 	MaxPush int
-	// MaxDigest bounds headers per Digest; a store larger than this
-	// advertises a uniformly random subset each round, which still
-	// converges. Default 4096.
+	// MaxPushBytes bounds the summed value bytes per Push message
+	// (default 1 MiB). A single object larger than the budget still
+	// ships alone, so oversized values are not starved forever.
+	MaxPushBytes int
+	// RateBytesPerRound is the per-node repair-rate limiter: a token
+	// bucket refilled by this many bytes each Tick (burst: four
+	// rounds' worth) that every pushed value is charged against, so
+	// background repair cannot monopolize the disk and network under
+	// foreground load. Zero (the default) is unlimited.
+	RateBytesPerRound int
+	// FullEvery makes every FullEvery-th round a full-header exchange;
+	// the rounds between open with a Bloom summary. 1 means every
+	// round is full-header (Bloom disabled); negative means Bloom only
+	// (no false-positive-proof fallback — experiments only). Default 8.
+	FullEvery int
+	// MaxDigest bounds headers per full Digest; a store larger than
+	// this advertises a uniformly random subset each full round, which
+	// still converges. Bloom summaries always cover every header.
+	// Default 4096.
 	MaxDigest int
 	// EvictForeign drops local objects outside the node's slice during
 	// Tick (after a slice change). Default false.
@@ -84,6 +129,12 @@ type Config struct {
 func (c *Config) defaults() {
 	if c.MaxPush <= 0 {
 		c.MaxPush = 64
+	}
+	if c.MaxPushBytes <= 0 {
+		c.MaxPushBytes = 1 << 20
+	}
+	if c.FullEvery == 0 {
+		c.FullEvery = 8
 	}
 	if c.MaxDigest <= 0 {
 		c.MaxDigest = 4096
@@ -95,9 +146,17 @@ type Protocol struct {
 	cfg Config
 	env Env
 	rng *rand.Rand
+
+	// rounds counts Ticks; it drives the Bloom/full-header cadence.
+	rounds uint64
+	// tokens is the repair-rate bucket (bytes); meaningful only when
+	// RateBytesPerRound > 0. May go one object negative so a single
+	// value larger than the refill still makes progress.
+	tokens int64
 }
 
-// New creates the protocol. All Env fields except OnSent are required.
+// New creates the protocol. All Env fields except the metric hooks are
+// required.
 func New(cfg Config, env Env, rng *rand.Rand) *Protocol {
 	cfg.defaults()
 	if env.Store == nil || env.Send == nil || env.Partner == nil || env.Slice == nil || env.KeyInSlice == nil {
@@ -109,9 +168,17 @@ func New(cfg Config, env Env, rng *rand.Rand) *Protocol {
 	return &Protocol{cfg: cfg, env: env, rng: rng}
 }
 
-// Tick opens one exchange with a random slice-mate and, when
-// configured, evicts foreign objects.
+// Tick opens one exchange with a random slice-mate — a Bloom round,
+// or a full-header round every FullEvery-th tick — refills the repair
+// rate bucket and, when configured, evicts foreign objects.
 func (p *Protocol) Tick() {
+	p.rounds++
+	if rate := int64(p.cfg.RateBytesPerRound); rate > 0 {
+		p.tokens += rate
+		if burst := 4 * rate; p.tokens > burst {
+			p.tokens = burst
+		}
+	}
 	if p.cfg.EvictForeign {
 		p.evictForeign()
 	}
@@ -119,7 +186,26 @@ func (p *Protocol) Tick() {
 	if !ok {
 		return
 	}
-	p.send(peer, &Digest{Slice: p.env.Slice(), Headers: p.digest()})
+	if p.fullRound() {
+		hs := p.digest()
+		p.noteDigestBytes(headersWireSize(hs))
+		p.send(peer, &Digest{Slice: p.env.Slice(), Headers: hs})
+		return
+	}
+	f := p.summary()
+	p.noteDigestBytes(f.SizeBytes())
+	p.send(peer, &Summary{Slice: p.env.Slice(), Filter: f})
+}
+
+// fullRound reports whether the current round uses full headers.
+func (p *Protocol) fullRound() bool {
+	if p.cfg.FullEvery == 1 {
+		return true
+	}
+	if p.cfg.FullEvery < 0 {
+		return false
+	}
+	return p.rounds%uint64(p.cfg.FullEvery) == 0
 }
 
 // Handle processes anti-entropy traffic; it reports false for foreign
@@ -131,17 +217,36 @@ func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
 			return true // stale partner from another slice; ignore
 		}
 		if wants := p.missing(m.Headers); len(wants) > 0 {
+			p.noteDigestBytes(headersWireSize(wants))
 			p.send(from, &Pull{Headers: wants})
 		}
-		p.send(from, &DigestReply{Slice: p.env.Slice(), Headers: p.digest()})
+		hs := p.digest()
+		p.noteDigestBytes(headersWireSize(hs))
+		p.send(from, &DigestReply{Slice: p.env.Slice(), Headers: hs})
 		return true
 	case *DigestReply:
 		if m.Slice != p.env.Slice() {
 			return true
 		}
 		if wants := p.missing(m.Headers); len(wants) > 0 {
+			p.noteDigestBytes(headersWireSize(wants))
 			p.send(from, &Pull{Headers: wants})
 		}
+		return true
+	case *Summary:
+		if m.Slice != p.env.Slice() {
+			return true
+		}
+		p.pushMissing(from, &m.Filter)
+		f := p.summary()
+		p.noteDigestBytes(f.SizeBytes())
+		p.send(from, &SummaryReply{Slice: p.env.Slice(), Filter: f})
+		return true
+	case *SummaryReply:
+		if m.Slice != p.env.Slice() {
+			return true
+		}
+		p.pushMissing(from, &m.Filter)
 		return true
 	case *Pull:
 		p.servePull(from, m)
@@ -192,6 +297,22 @@ func (p *Protocol) send(to transport.NodeID, msg interface{}) {
 	_ = p.env.Send.Send(to, msg)
 }
 
+func (p *Protocol) noteDigestBytes(n int) {
+	if p.env.OnDigestBytes != nil {
+		p.env.OnDigestBytes(n)
+	}
+}
+
+// headersWireSize approximates the encoded size of a header list: key
+// bytes plus version and length framing per entry.
+func headersWireSize(hs []Header) int {
+	n := 0
+	for _, h := range hs {
+		n += len(h.Key) + 10
+	}
+	return n
+}
+
 // digest lists up to MaxDigest local headers; larger stores advertise a
 // random subset (reservoir sampling keeps the choice uniform).
 func (p *Protocol) digest() []Header {
@@ -212,6 +333,18 @@ func (p *Protocol) digest() []Header {
 	return out
 }
 
+// summary encodes every local header into a Bloom filter. Unlike
+// digest it is never sampled down — the whole point is that O(bits)
+// covers the whole store.
+func (p *Protocol) summary() Filter {
+	f := NewFilter(p.env.Store.Count())
+	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
+		f.Add(key, version)
+		return true
+	})
+	return *f
+}
+
 // missing returns the headers we lack and should hold.
 func (p *Protocol) missing(theirs []Header) []Header {
 	var wants []Header
@@ -229,21 +362,86 @@ func (p *Protocol) missing(theirs []Header) []Header {
 	return wants
 }
 
+// pushMissing pushes the local in-slice objects the peer's filter
+// proves absent over there (no false negatives, so every push is
+// productive; a false positive just defers the object to a full
+// round).
+func (p *Protocol) pushMissing(to transport.NodeID, f *Filter) {
+	refs := make([]store.Ref, 0, 16)
+	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
+		if !p.env.KeyInSlice(key) {
+			return true
+		}
+		if f.Contains(key, version) {
+			return true
+		}
+		refs = append(refs, store.Ref{Key: key, Version: version})
+		return len(refs) < p.cfg.MaxPush
+	})
+	p.pushRefs(to, refs)
+}
+
 func (p *Protocol) servePull(from transport.NodeID, m *Pull) {
-	objs := make([]store.Object, 0, len(m.Headers))
+	refs := make([]store.Ref, 0, len(m.Headers))
 	for _, h := range m.Headers {
+		refs = append(refs, store.Ref{Key: h.Key, Version: h.Version})
+	}
+	p.pushRefs(from, refs)
+}
+
+// pushRefs streams the referenced objects out of the store — CRC-
+// verified straight from log segments, skipping corrupt records — and
+// ships them as one Push, bounded by MaxPush objects, MaxPushBytes
+// value bytes and the repair-rate bucket. Whatever the budget cut off
+// is picked up by a later round.
+func (p *Protocol) pushRefs(to transport.NodeID, refs []store.Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	objs := make([]store.Object, 0, len(refs))
+	bytes := 0
+	corrupt, _ := p.env.Store.StreamObjects(refs, func(o store.Object) bool {
 		if len(objs) >= p.cfg.MaxPush {
-			break
+			return false
 		}
-		val, actual, ok, err := p.env.Store.Get(h.Key, h.Version)
-		if err != nil || !ok || actual != h.Version {
-			continue
+		if bytes > 0 && bytes+len(o.Value) > p.cfg.MaxPushBytes {
+			return false
 		}
-		objs = append(objs, store.Object{Key: h.Key, Version: h.Version, Value: val})
+		if !p.takeTokens(len(o.Value)) {
+			return false
+		}
+		// The streamed value aliases the store's scratch buffer; the
+		// outgoing message needs its own copy.
+		val := make([]byte, len(o.Value))
+		copy(val, o.Value)
+		objs = append(objs, store.Object{Key: o.Key, Version: o.Version, Value: val})
+		bytes += len(o.Value)
+		return true
+	})
+	if corrupt > 0 && p.env.OnCorrupt != nil {
+		p.env.OnCorrupt(corrupt)
 	}
-	if len(objs) > 0 {
-		p.send(from, &Push{Objects: objs})
+	if len(objs) == 0 {
+		return
 	}
+	if p.env.OnPush != nil {
+		p.env.OnPush(len(objs), bytes)
+	}
+	p.send(to, &Push{Objects: objs})
+}
+
+// takeTokens charges n bytes against the repair-rate bucket. The
+// bucket may go one object negative — otherwise a value larger than
+// the refill could never ship.
+func (p *Protocol) takeTokens(n int) bool {
+	if p.cfg.RateBytesPerRound <= 0 {
+		return true
+	}
+	if p.tokens <= 0 {
+		return false
+	}
+	p.tokens -= int64(n)
+	return true
 }
 
 func (p *Protocol) evictForeign() {

@@ -167,6 +167,22 @@ type Config struct {
 	// AntiEntropyMaxPush bounds objects shipped per exchange
 	// (default 64).
 	AntiEntropyMaxPush int
+	// AntiEntropyMaxPushBytes bounds the value bytes shipped per
+	// repair Push message (default 1 MiB); a single larger object
+	// still ships alone.
+	AntiEntropyMaxPushBytes int
+	// AntiEntropyRateBytes is the per-node repair-rate limiter: a
+	// token bucket refilled by this many bytes each anti-entropy round
+	// that every pushed value is charged against, so background repair
+	// cannot starve foreground puts (0 = unlimited).
+	AntiEntropyRateBytes int
+	// AntiEntropyFullEvery makes every Nth anti-entropy round a
+	// full-header exchange; the rounds between open with a Bloom
+	// summary of the local headers (O(bits) digest bandwidth instead
+	// of O(objects)). The periodic full round guarantees convergence
+	// past the filter's ~1% false positives. Default 8; 1 exchanges
+	// full headers every round (Bloom disabled).
+	AntiEntropyFullEvery int
 	// EvictForeign drops stored objects whose key no longer maps to
 	// this node's slice (after a slice change). Off by default: the
 	// paper keeps data conservatively (§VII).
@@ -237,6 +253,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AntiEntropyMaxPush <= 0 {
 		c.AntiEntropyMaxPush = 64
+	}
+	if c.AntiEntropyMaxPushBytes <= 0 {
+		c.AntiEntropyMaxPushBytes = 1 << 20
+	}
+	if c.AntiEntropyRateBytes < 0 {
+		c.AntiEntropyRateBytes = 0
+	}
+	if c.AntiEntropyFullEvery == 0 {
+		c.AntiEntropyFullEvery = 8
 	}
 	if c.RoundPeriod <= 0 {
 		c.RoundPeriod = 500 * time.Millisecond

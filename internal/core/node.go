@@ -131,13 +131,25 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 
 	if cfg.AntiEntropyEvery > 0 {
 		n.ae = antientropy.New(
-			antientropy.Config{MaxPush: cfg.AntiEntropyMaxPush, EvictForeign: cfg.EvictForeign},
+			antientropy.Config{
+				MaxPush:           cfg.AntiEntropyMaxPush,
+				MaxPushBytes:      cfg.AntiEntropyMaxPushBytes,
+				RateBytesPerRound: cfg.AntiEntropyRateBytes,
+				FullEvery:         cfg.AntiEntropyFullEvery,
+				EvictForeign:      cfg.EvictForeign,
+			},
 			antientropy.Env{
-				Store:      st,
-				Send:       n.sender(metrics.AntiEntropySent),
-				Partner:    func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
-				Slice:      n.currentSlice,
-				KeyInSlice: n.keyInMySlice,
+				Store:         st,
+				Send:          n.sender(metrics.AntiEntropySent),
+				Partner:       func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
+				Slice:         n.currentSlice,
+				KeyInSlice:    n.keyInMySlice,
+				OnDigestBytes: func(b int) { n.met.Add(metrics.AntiEntropyDigestBytes, uint64(b)) },
+				OnPush: func(objs, bytes int) {
+					n.met.Add(metrics.AntiEntropyPushedObjects, uint64(objs))
+					n.met.Add(metrics.AntiEntropyPushBytes, uint64(bytes))
+				},
+				OnCorrupt: func(c int) { n.met.Add(metrics.AntiEntropyCorruptSkipped, uint64(c)) },
 			},
 			n.rng,
 		)

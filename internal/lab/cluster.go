@@ -4,6 +4,18 @@
 // the Minha-equivalent test bench: thousands of unmodified protocol
 // nodes in virtual time on one machine, bit-for-bit reproducible per
 // seed.
+//
+// Cluster is the DataFlasks harness (nodes, clients, churn surface,
+// metrics collection); DHTCluster mirrors it for the structured
+// baseline. RunWorkload drives the paper's §VI methodology (warm up,
+// preload, measure, drain) with YCSB-style mixes; Figure3/Figure4
+// regenerate the paper's headline plots; the E-numbered experiment
+// functions (slicing convergence, correlated failure, availability and
+// convergence under churn, repair, ablations, PSS quality, fanout
+// theory checks, client-API and RESP throughput) each return plain
+// result structs that cmd/flaskbench renders — and, for the gated
+// ones, asserts on in CI. Determinism is the point: virtual time makes
+// throughput and bandwidth ratios exact enough to fail a build on.
 package lab
 
 import (

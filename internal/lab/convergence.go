@@ -1,0 +1,218 @@
+package lab
+
+import (
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E17 — churn convergence: time-to-replication-factor and repair
+// bandwidth of the Bloom-digest protocol vs the full-header baseline
+
+// ChurnConvergenceOptions configures one churn-convergence run.
+type ChurnConvergenceOptions struct {
+	// N is the cluster size, Slices the slice count k.
+	N, Slices int
+	// Records is the preloaded key-space size.
+	Records int
+	// ValueSize is the object payload size (default 128).
+	ValueSize int
+	// KillFrac is the fraction of nodes crashed (and replaced by fresh
+	// joiners) in the churn burst.
+	KillFrac float64
+	// Rounds is the measured window after the burst; both protocol
+	// modes run the same window so bandwidth totals are comparable.
+	Rounds int
+	// AntiEntropyEvery is the repair cadence in gossip rounds
+	// (default 2 — aggressive, the regime under study).
+	AntiEntropyEvery int
+	// FullEvery is the full-header round cadence (1 = the full-header
+	// baseline, every round complete header lists; larger values open
+	// most rounds with a Bloom summary).
+	FullEvery int
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+func (o *ChurnConvergenceOptions) defaults() {
+	if o.ValueSize <= 0 {
+		o.ValueSize = 128
+	}
+	if o.AntiEntropyEvery <= 0 {
+		o.AntiEntropyEvery = 2
+	}
+	if o.FullEvery == 0 {
+		o.FullEvery = 1
+	}
+}
+
+// ChurnConvergenceResult reports one run. Bandwidth totals cover the
+// whole measured window (both modes run the same number of rounds over
+// the same population, so totals compare directly).
+type ChurnConvergenceResult struct {
+	// Mode labels the digest protocol ("full-header" or "bloom").
+	Mode string
+	// Converged reports whether every slice member came to hold every
+	// object of its slice within the window; ConvergedRound is the
+	// first round (after the burst) where that held (-1 if never).
+	Converged      bool
+	ConvergedRound int
+	// Rounds is the measured window length.
+	Rounds int
+	// MinCoverage is the final min over objects of
+	// holders-in-slice / slice-members (1.0 = fully replicated).
+	MinCoverage float64
+	// DigestBytes sums difference-discovery bytes sent (header lists,
+	// Bloom summaries, pull lists) across all nodes in the window.
+	DigestBytes uint64
+	// PushBytes sums repaired value bytes shipped; PushedObjects the
+	// object count.
+	PushBytes     uint64
+	PushedObjects uint64
+	// DigestBytesPerNodeRound normalizes DigestBytes by population and
+	// window — the steady per-node cost of running the repair digests.
+	DigestBytesPerNodeRound float64
+	// RepairBytesPerObject is (DigestBytes+PushBytes)/PushedObjects:
+	// what moving one object cost, overhead included.
+	RepairBytesPerObject float64
+}
+
+// ChurnConvergence preloads a fully replicated key space, crashes
+// KillFrac of the nodes and replaces them with fresh joiners, then
+// measures how many rounds anti-entropy needs to restore full
+// replication (every slice member holds every object of its slice) and
+// how many digest/push bytes it spent doing so. FullEvery selects the
+// repair digest mode, so the same run compared at FullEvery=1 (always
+// full headers) vs >1 (Bloom rounds with a periodic full fallback) is
+// the paper-style ablation for the Bloom-digest protocol.
+func ChurnConvergence(opts ChurnConvergenceOptions) ChurnConvergenceResult {
+	opts.defaults()
+	mode := "bloom"
+	if opts.FullEvery == 1 {
+		mode = "full-header"
+	}
+	c := NewCluster(ClusterConfig{
+		N:    opts.N,
+		Seed: opts.Seed,
+		Node: core.Config{
+			Slices:               opts.Slices,
+			AntiEntropyEvery:     opts.AntiEntropyEvery,
+			AntiEntropyFullEvery: opts.FullEvery,
+		},
+	})
+	defer c.Close()
+	c.Run(40) // let slicing and the intra views converge
+
+	// Preload: exact slice-complete replication, like an operator
+	// bulk-load, so the churn burst is the only damage to repair.
+	value := make([]byte, opts.ValueSize)
+	keys := make([]string, opts.Records)
+	bySlice := make(map[int32][]store.Object, opts.Slices)
+	for i := range keys {
+		keys[i] = workload.Key(i)
+		s := slicing.KeySlice(keys[i], opts.Slices)
+		bySlice[s] = append(bySlice[s], store.Object{Key: keys[i], Version: 1, Value: value})
+	}
+	for _, n := range c.Nodes() {
+		if batch := bySlice[n.Slice()]; len(batch) > 0 {
+			if err := n.Store().PutBatch(batch); err != nil {
+				panic("lab: churn convergence preload: " + err.Error())
+			}
+		}
+	}
+	c.ResetMetrics()
+
+	// The burst: crash KillFrac of the population, spawn replacements.
+	// Replacements join empty — they must learn their slice AND pull
+	// its whole object set through anti-entropy.
+	rng := sim.RNG(opts.Seed, 0xc09e)
+	alive := c.AliveIDs()
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	kills := int(float64(len(alive)) * opts.KillFrac)
+	res := ChurnConvergenceResult{Mode: mode, Rounds: opts.Rounds, ConvergedRound: -1}
+	for _, id := range alive[:kills] {
+		harvestRepairMetrics(c.Node(id).Metrics(), &res)
+		c.Kill(id)
+	}
+	for i := 0; i < kills; i++ {
+		c.Spawn()
+	}
+
+	for r := 1; r <= opts.Rounds; r++ {
+		c.Run(1)
+		cov := c.sliceCoverage(keys, 1, opts.Slices)
+		res.MinCoverage = cov
+		if cov >= 1 && res.ConvergedRound < 0 {
+			res.ConvergedRound = r
+			res.Converged = true
+		}
+	}
+	for _, n := range c.Nodes() {
+		harvestRepairMetrics(n.Metrics(), &res)
+	}
+	if opts.N > 0 && opts.Rounds > 0 {
+		res.DigestBytesPerNodeRound = float64(res.DigestBytes) / float64(opts.N) / float64(opts.Rounds)
+	}
+	if res.PushedObjects > 0 {
+		res.RepairBytesPerObject = float64(res.DigestBytes+res.PushBytes) / float64(res.PushedObjects)
+	}
+	return res
+}
+
+// harvestRepairMetrics folds one node's repair counters into the
+// result — called for nodes about to be killed (their counters vanish
+// with them) and for the survivors at the end of the window.
+func harvestRepairMetrics(m *metrics.NodeMetrics, res *ChurnConvergenceResult) {
+	res.DigestBytes += m.Get(metrics.AntiEntropyDigestBytes)
+	res.PushBytes += m.Get(metrics.AntiEntropyPushBytes)
+	res.PushedObjects += m.Get(metrics.AntiEntropyPushedObjects)
+}
+
+// sliceCoverage returns the min over keys of
+// holders-among-members / members-of-the-key's-slice: 1.0 means every
+// node currently claiming a slice holds every preloaded object of that
+// slice — the "replication factor restored" condition. A slice nobody
+// claims counts as coverage 0 (its objects are unreachable).
+func (c *Cluster) sliceCoverage(keys []string, version uint64, k int) float64 {
+	members := make(map[int32][]*core.Node, k)
+	for _, n := range c.Nodes() {
+		members[n.Slice()] = append(members[n.Slice()], n)
+	}
+	min := 1.0
+	for _, key := range keys {
+		s := slicing.KeySlice(key, k)
+		mates := members[s]
+		if len(mates) == 0 {
+			return 0
+		}
+		holders := 0
+		for _, n := range mates {
+			if _, _, ok, err := n.Store().Get(key, version); err == nil && ok {
+				holders++
+			}
+		}
+		if cov := float64(holders) / float64(len(mates)); cov < min {
+			min = cov
+		}
+	}
+	return min
+}
+
+// ChurnConvergenceCompare runs the identical churn scenario under the
+// full-header baseline and the Bloom-digest protocol and returns both
+// results (baseline first). bloomFullEvery is the Bloom mode's
+// fallback cadence.
+func ChurnConvergenceCompare(opts ChurnConvergenceOptions, bloomFullEvery int) (full, bloom ChurnConvergenceResult) {
+	if bloomFullEvery <= 1 {
+		bloomFullEvery = 12
+	}
+	opts.FullEvery = 1
+	full = ChurnConvergence(opts)
+	opts.FullEvery = bloomFullEvery
+	bloom = ChurnConvergence(opts)
+	return full, bloom
+}

@@ -1,0 +1,41 @@
+package lab
+
+import "testing"
+
+// TestChurnConvergenceCompare is the small-scale version of the
+// flaskbench churn experiment: after a 25% churn burst both digest
+// modes must restore full replication, and the Bloom mode must spend
+// meaningfully less digest bandwidth doing it.
+func TestChurnConvergenceCompare(t *testing.T) {
+	opts := ChurnConvergenceOptions{
+		N:        80,
+		Slices:   4,
+		Records:  48,
+		KillFrac: 0.25,
+		Rounds:   100,
+		Seed:     7,
+	}
+	full, bloom := ChurnConvergenceCompare(opts, 12)
+
+	for _, r := range []ChurnConvergenceResult{full, bloom} {
+		if !r.Converged {
+			t.Errorf("%s mode never restored full replication (min coverage %.2f after %d rounds)",
+				r.Mode, r.MinCoverage, r.Rounds)
+		}
+		if r.PushedObjects == 0 {
+			t.Errorf("%s mode pushed no objects — repair did not run", r.Mode)
+		}
+		if r.DigestBytes == 0 {
+			t.Errorf("%s mode reported no digest bytes — accounting broken", r.Mode)
+		}
+	}
+	if full.DigestBytes <= bloom.DigestBytes {
+		t.Errorf("bloom digests (%d B) not cheaper than full headers (%d B)",
+			bloom.DigestBytes, full.DigestBytes)
+	}
+	t.Logf("full-header: converged@%d digest=%dB push=%dB objs=%d",
+		full.ConvergedRound, full.DigestBytes, full.PushBytes, full.PushedObjects)
+	t.Logf("bloom:       converged@%d digest=%dB push=%dB objs=%d (digest ratio %.1fx)",
+		bloom.ConvergedRound, bloom.DigestBytes, bloom.PushBytes, bloom.PushedObjects,
+		float64(full.DigestBytes)/float64(bloom.DigestBytes))
+}

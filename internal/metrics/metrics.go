@@ -1,7 +1,22 @@
-// Package metrics provides lightweight counters, histograms and series
-// used by the DataFlasks evaluation harness. Counters are plain uint64
-// guarded by the owner (protocol code is single-threaded per node); the
-// Registry aggregates across nodes at collection time.
+// Package metrics provides the observability primitives shared by the
+// DataFlasks evaluation harness and the live runtime.
+//
+// Two concurrency regimes coexist deliberately. NodeMetrics is plain
+// uint64 counters owned by one node's event loop — protocol code is
+// single-threaded per node, so counting costs one increment, and
+// harnesses aggregate across nodes after the run (Summarize) or via
+// Snapshot. SharedCounter, LatencyHistogram, CommandStat and
+// CommandStats are atomic, for paths crossed by many goroutines: the
+// transport's producer-side mailbox-drop counting and the RESP
+// gateway's per-command call/error/latency accounting.
+//
+// The Counter constants name everything the node runtime measures —
+// per-protocol message counts, served operations, and the anti-entropy
+// bandwidth split (digest bytes vs pushed value bytes) the repair
+// experiments assert on. Summary/SummarizeValues compute the
+// distribution statistics the paper's figures report (mean, min/max,
+// percentiles), Histogram renders small-value distributions (in-
+// degree), and Series renders (x, y) tables in gnuplot form.
 package metrics
 
 import (
@@ -36,6 +51,18 @@ const (
 	DataSent
 	// AntiEntropySent counts anti-entropy digest/pull messages sent.
 	AntiEntropySent
+	// AntiEntropyDigestBytes sums the approximate wire bytes of repair
+	// difference-discovery traffic sent (full header lists, Bloom
+	// summaries, pull lists) — the cost of finding out WHAT to repair.
+	AntiEntropyDigestBytes
+	// AntiEntropyPushBytes sums the value bytes shipped in repair
+	// pushes — the cost of the repairs themselves.
+	AntiEntropyPushBytes
+	// AntiEntropyPushedObjects counts objects shipped in repair pushes.
+	AntiEntropyPushedObjects
+	// AntiEntropyCorruptSkipped counts locally corrupt records that
+	// repair serving verified, skipped and did NOT propagate.
+	AntiEntropyCorruptSkipped
 	// AggregateSent counts push-sum aggregation messages sent.
 	AggregateSent
 	// StoredObjects counts objects currently held by the local store.
@@ -60,22 +87,26 @@ const (
 )
 
 var counterNames = [...]string{
-	MsgSent:              "msg_sent",
-	MsgRecv:              "msg_recv",
-	MsgDropped:           "msg_dropped",
-	PSSSent:              "pss_sent",
-	SliceSent:            "slice_sent",
-	DiscoverySent:        "discovery_sent",
-	DataSent:             "data_sent",
-	AntiEntropySent:      "antientropy_sent",
-	AggregateSent:        "aggregate_sent",
-	StoredObjects:        "stored_objects",
-	PutsServed:           "puts_served",
-	GetsServed:           "gets_served",
-	DeletesServed:        "deletes_served",
-	CoalescedPuts:        "coalesced_puts",
-	RequestsRelayed:      "requests_relayed",
-	DuplicatesSuppressed: "duplicates_suppressed",
+	MsgSent:                   "msg_sent",
+	MsgRecv:                   "msg_recv",
+	MsgDropped:                "msg_dropped",
+	PSSSent:                   "pss_sent",
+	SliceSent:                 "slice_sent",
+	DiscoverySent:             "discovery_sent",
+	DataSent:                  "data_sent",
+	AntiEntropySent:           "antientropy_sent",
+	AntiEntropyDigestBytes:    "antientropy_digest_bytes",
+	AntiEntropyPushBytes:      "antientropy_push_bytes",
+	AntiEntropyPushedObjects:  "antientropy_pushed_objects",
+	AntiEntropyCorruptSkipped: "antientropy_corrupt_skipped",
+	AggregateSent:             "aggregate_sent",
+	StoredObjects:             "stored_objects",
+	PutsServed:                "puts_served",
+	GetsServed:                "gets_served",
+	DeletesServed:             "deletes_served",
+	CoalescedPuts:             "coalesced_puts",
+	RequestsRelayed:           "requests_relayed",
+	DuplicatesSuppressed:      "duplicates_suppressed",
 }
 
 // String returns the snake_case name of the counter.

@@ -788,6 +788,57 @@ func (l *Log) DeleteBatch(items []Deletion) ([]bool, error) {
 	return existed, nil
 }
 
+// StreamObjects implements Store: the repair read path. Each record is
+// read straight from its segment offset into ONE scratch buffer reused
+// across the whole stream — no per-object allocation, no whole-record
+// copy handed out (fn sees the value sub-slice of the scratch) — and
+// re-verified against its CRC32 before it is served. A record that
+// fails verification (bit rot under a live index entry) or cannot be
+// read is counted in corrupt and skipped, so anti-entropy ships the
+// healthy objects of a push instead of aborting on the first bad one;
+// Get on the same pair still reports ErrCorrupt for operators. The
+// store lock is held only for the index lookup and the segment read,
+// never across fn.
+func (l *Log) StreamObjects(refs []Ref, fn func(o Object) bool) (int, error) {
+	corrupt := 0
+	var scratch []byte
+	for _, r := range refs {
+		l.mu.RLock()
+		if l.closed {
+			l.mu.RUnlock()
+			return corrupt, ErrClosed
+		}
+		var loc recLoc
+		ok := false
+		if k := l.index[r.Key]; k != nil {
+			loc, ok = k.locs[r.Version]
+		}
+		if !ok {
+			l.mu.RUnlock()
+			continue
+		}
+		if int64(cap(scratch)) < loc.len {
+			scratch = make([]byte, loc.len)
+		}
+		buf := scratch[:loc.len]
+		_, err := l.segs[loc.seg].f.ReadAt(buf, loc.off)
+		l.mu.RUnlock()
+		if err != nil {
+			corrupt++
+			continue
+		}
+		rec, _, pok := parseRecord(buf)
+		if !pok || rec.typ != recPut || rec.key != r.Key || rec.version != r.Version {
+			corrupt++
+			continue
+		}
+		if !fn(Object{Key: r.Key, Version: r.Version, Value: rec.value}) {
+			return corrupt, nil
+		}
+	}
+	return corrupt, nil
+}
+
 // ForEach implements Store. Like Memory, it iterates a sorted snapshot
 // of the headers so fn may call back into the store.
 func (l *Log) ForEach(fn func(key string, version uint64) bool) error {

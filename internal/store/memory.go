@@ -187,6 +187,34 @@ func (m *Memory) deleteLocked(key string, version uint64) bool {
 	return true
 }
 
+// StreamObjects implements Store. The values handed to fn alias the
+// stored bytes — safe because the engine never mutates a stored value
+// in place (puts copy on the way in, re-puts are no-ops) — so a
+// repair push streams with zero value copies inside the engine. There
+// is nothing to verify in RAM; corrupt is always 0.
+func (m *Memory) StreamObjects(refs []Ref, fn func(o Object) bool) (int, error) {
+	for _, r := range refs {
+		m.mu.RLock()
+		if m.closed {
+			m.mu.RUnlock()
+			return 0, ErrClosed
+		}
+		var val []byte
+		ok := false
+		if k, kok := m.keys[r.Key]; kok {
+			val, ok = k.values[r.Version]
+		}
+		m.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(Object{Key: r.Key, Version: r.Version, Value: val}) {
+			return 0, nil
+		}
+	}
+	return 0, nil
+}
+
 // ForEach implements Store. The iteration works on a snapshot of the
 // headers, ordered by (key, version) — a stable order keeps protocols
 // that truncate digests deterministic — so fn may call back into the

@@ -42,6 +42,15 @@ type Deletion struct {
 	Version uint64
 }
 
+// Ref names one stored (key, version) pair without its value — the
+// unit of streamed reads (StreamObjects). Unlike Deletion, a Ref
+// always names a concrete version: streaming serves exactly what a
+// digest advertised, never a resolved sentinel.
+type Ref struct {
+	Key     string
+	Version uint64
+}
+
 // ReservedVersion reports whether v is a sentinel no object may be
 // stored under — every engine's Put/PutBatch rejects these, so a
 // poisoned write can never shadow Latest reads or alias the delete
@@ -88,6 +97,19 @@ type Store interface {
 	// mid-batch may leave a prefix applied (existed reflects what
 	// was).
 	DeleteBatch(items []Deletion) (existed []bool, err error)
+	// StreamObjects reads the values of the listed (key, version)
+	// pairs and calls fn once per pair found, in list order. It is the
+	// repair read path: engines with checksummed records (the log
+	// engine) re-verify every record straight from its segment bytes,
+	// and a record that is unreadable or fails verification is SKIPPED
+	// — counted in corrupt, never served and never failing the rest of
+	// the stream — so one rotted record cannot block the repair of the
+	// objects around it. Pairs absent from the store are skipped
+	// silently. The value passed to fn may alias a buffer reused
+	// between calls (or, in the memory engine, the stored bytes): fn
+	// must copy what it keeps and must not call back into the store.
+	// Returning false from fn stops the stream early.
+	StreamObjects(refs []Ref, fn func(o Object) bool) (corrupt int, err error)
 	// ForEach visits every stored object header (no value) in
 	// unspecified order; returning false stops iteration. Used to build
 	// anti-entropy digests and slice handoffs.

@@ -3,6 +3,18 @@
 // streams. Gob keeps the codec honest with zero hand-rolled parsing
 // while remaining pure stdlib; simulated and in-process fabrics skip
 // encoding entirely and pass message pointers.
+//
+// Register is the single registry of every protocol message a node
+// may emit or receive — PSS shuffles, slicing swaps, aggregation,
+// anti-entropy (full-header digests, Bloom summaries, pulls, pushes),
+// the data plane (puts/gets/deletes and their batch and ack forms),
+// mate discovery, and the DHT baseline. A message type that is not
+// registered here cannot cross a TCP link: adding a protocol message
+// means adding a line to Register, and forgetting draws a decode
+// error on the receiving node rather than silent misbehavior. Old
+// nodes ignore message kinds they do not know (the node's dispatch
+// falls through), so mixed-version deployments degrade instead of
+// crashing.
 package wire
 
 import (
@@ -42,6 +54,8 @@ func Register() {
 		gob.Register(&aggregate.PushSumMsg{})
 		gob.Register(&antientropy.Digest{})
 		gob.Register(&antientropy.DigestReply{})
+		gob.Register(&antientropy.Summary{})
+		gob.Register(&antientropy.SummaryReply{})
 		gob.Register(&antientropy.Pull{})
 		gob.Register(&antientropy.Push{})
 		gob.Register(&core.PutRequest{})
