@@ -290,7 +290,7 @@ func BenchmarkLogRecovery(b *testing.B) {
 }
 
 func BenchmarkCyclonShuffleRound(b *testing.B) {
-	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	sink := transport.SenderFunc(func(context.Context, transport.NodeID, interface{}) error { return nil })
 	c := pss.NewCyclon(1, pss.CyclonConfig{ViewSize: 20}, sink, sim.RNG(1, 1), nil)
 	seeds := make([]transport.NodeID, 20)
 	for i := range seeds {
@@ -337,7 +337,7 @@ func BenchmarkZipfianNext(b *testing.B) {
 }
 
 func BenchmarkNodeHandlePut(b *testing.B) {
-	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	sink := transport.SenderFunc(func(context.Context, transport.NodeID, interface{}) error { return nil })
 	n := core.NewNode(1, core.Config{
 		Slices: 1, Slicer: core.SlicerStatic, SystemSize: 1000, AntiEntropyEvery: -1,
 	}, store.NewMemory(), sink)

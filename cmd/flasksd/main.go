@@ -47,6 +47,8 @@ func main() {
 		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
 		period    = flag.Duration("period", 500*time.Millisecond, "gossip round period")
 		status    = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
+		wireCodec = flag.String("wire-codec", "binary", "frame encoding on peer links: binary or gob (peers negotiate, so mixed clusters interoperate)")
+		udpAddr   = flag.String("udp-addr", "", "datagram control-plane bind address; must share -bind's port, or \"auto\" to derive it (empty: all traffic on TCP)")
 
 		aePushBytes = flag.Int("ae-push-bytes", 0, "value bytes per anti-entropy repair push (0: 1 MiB default)")
 		aeRate      = flag.Int("ae-rate", 0, "repair push bytes allowed per anti-entropy round, token bucket (0: unlimited)")
@@ -94,6 +96,7 @@ func main() {
 
 	cfg := dataflasks.Config{
 		Slices:                 *slices,
+		WireCodec:              *wireCodec,
 		Slicer:                 slicerKind,
 		SystemSize:             *size,
 		Capacity:               *capacity,
@@ -114,12 +117,16 @@ func main() {
 		Seeds:       seedList,
 		DataDir:     *dataDir,
 		RoundPeriod: *period,
+		UDPBind:     *udpAddr,
 		Config:      cfg,
 	})
 	if err != nil {
 		log.Fatalf("flasksd: %v", err)
 	}
-	log.Printf("flasksd: node %s listening on %s (slices=%d)", node.ID(), node.Addr(), *slices)
+	log.Printf("flasksd: node %s listening on %s (slices=%d codec=%s)", node.ID(), node.Addr(), *slices, *wireCodec)
+	if ua := node.UDPAddr(); ua != "" {
+		log.Printf("flasksd: datagram control plane on %s", ua)
+	}
 
 	// The RESP gateway serves Redis clients through one shared
 	// DataFlasks client looped back onto this node, so every gateway
@@ -158,6 +165,9 @@ func main() {
 			case <-ticker.C:
 				log.Printf("flasksd: slice=%d peers=%d objects=%d dropped=%d",
 					node.Slice(), node.PeersKnown(), node.StoredObjects(), node.MailboxDropped())
+				ws := node.WireStats()
+				log.Printf("flasksd: wire encode_bytes=%d codec_fallbacks=%d udp sent=%d dropped=%d oversize=%d",
+					ws.EncodeBytes, ws.CodecFallbacks, ws.UDPSent, ws.UDPDropped, ws.UDPOversize)
 				if gateway != nil {
 					calls, errs := respStats.Totals()
 					log.Printf("flasksd: resp conns=%d cmds=%d errors=%d p50=%s p99=%s",

@@ -18,6 +18,7 @@
 package aggregate
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 
@@ -124,7 +125,7 @@ func (e *Extrema) Tick() {
 	}
 	vec := make([]float64, len(e.vec))
 	copy(vec, e.vec)
-	_ = e.out.Send(peer, &ExtremaMsg{Seeds: vec})
+	_ = e.out.Send(context.Background(), peer, &ExtremaMsg{Seeds: vec})
 	e.stableTicks++
 }
 
@@ -143,7 +144,7 @@ func (e *Extrema) Handle(from transport.NodeID, msg interface{}) bool {
 	if theirsStale {
 		vec := make([]float64, len(e.vec))
 		copy(vec, e.vec)
-		_ = e.out.Send(from, &ExtremaMsg{Seeds: vec})
+		_ = e.out.Send(context.Background(), from, &ExtremaMsg{Seeds: vec})
 	}
 	return true
 }
@@ -211,7 +212,7 @@ func (p *PushSum) Tick() {
 	}
 	p.sum /= 2
 	p.weight /= 2
-	_ = p.out.Send(peer, &PushSumMsg{Sum: p.sum, Weight: p.weight})
+	_ = p.out.Send(context.Background(), peer, &PushSumMsg{Sum: p.sum, Weight: p.weight})
 }
 
 // Handle folds received mass; it reports false for foreign messages.

@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func newAggNet(n int) *aggNet {
 }
 
 func (a *aggNet) sender(from transport.NodeID) transport.Sender {
-	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	return transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		a.queue = append(a.queue, transport.Envelope{From: from, To: to, Msg: msg})
 		return nil
 	})

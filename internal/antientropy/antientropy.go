@@ -28,6 +28,7 @@
 package antientropy
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 
@@ -294,7 +295,7 @@ func (p *Protocol) send(to transport.NodeID, msg interface{}) {
 	if p.env.OnSent != nil {
 		p.env.OnSent()
 	}
-	_ = p.env.Send.Send(to, msg)
+	_ = p.env.Send.Send(context.Background(), to, msg)
 }
 
 func (p *Protocol) noteDigestBytes(n int) {

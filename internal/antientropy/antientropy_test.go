@@ -1,6 +1,7 @@
 package antientropy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,7 +27,7 @@ func newPair(t *testing.T, cfg Config, slice int32, k int) *pairHarness {
 	mk := func(self, peer transport.NodeID, st store.Store, counter *int) *Protocol {
 		return New(cfg, Env{
 			Store: st,
-			Send: transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+			Send: transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 				h.queue = append(h.queue, transport.Envelope{From: self, To: to, Msg: msg})
 				return nil
 			}),
@@ -198,7 +199,7 @@ func TestNoPartnerNoTraffic(t *testing.T) {
 	sent := 0
 	p := New(Config{}, Env{
 		Store: store.NewMemory(),
-		Send: transport.SenderFunc(func(transport.NodeID, interface{}) error {
+		Send: transport.SenderFunc(func(context.Context, transport.NodeID, interface{}) error {
 			sent++
 			return nil
 		}),

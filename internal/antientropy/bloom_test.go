@@ -1,6 +1,7 @@
 package antientropy
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -263,7 +264,7 @@ func TestCorruptRecordNotPropagated(t *testing.T) {
 	mk := func(self, peer transport.NodeID, st store.Store, onCorrupt func(int)) *Protocol {
 		return New(Config{FullEvery: -1}, Env{
 			Store: st,
-			Send: transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+			Send: transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 				queue = append(queue, transport.Envelope{From: self, To: to, Msg: msg})
 				return nil
 			}),
@@ -309,7 +310,7 @@ func TestFullEveryCadence(t *testing.T) {
 	var sent []interface{}
 	p := New(Config{FullEvery: 3}, Env{
 		Store: store.NewMemory(),
-		Send: transport.SenderFunc(func(_ transport.NodeID, msg interface{}) error {
+		Send: transport.SenderFunc(func(_ context.Context, _ transport.NodeID, msg interface{}) error {
 			sent = append(sent, msg)
 			return nil
 		}),

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -18,7 +19,7 @@ type capture struct {
 }
 
 func (c *capture) sender(from transport.NodeID) transport.Sender {
-	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	return transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		c.sent = append(c.sent, transport.Envelope{From: from, To: to, Msg: msg})
 		return nil
 	})

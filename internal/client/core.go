@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -363,31 +364,31 @@ func (c *Core) launch(op *pending) {
 	op.hasContact = true
 	switch op.kind {
 	case opPut:
-		_ = c.out.Send(contact, &core.PutRequest{
+		_ = c.out.Send(context.Background(), contact, &core.PutRequest{
 			ID: op.id, Key: op.key, Version: op.version, Value: op.value,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opGet:
-		_ = c.out.Send(contact, &core.GetRequest{
+		_ = c.out.Send(context.Background(), contact, &core.GetRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset,
 		})
 	case opDelete:
-		_ = c.out.Send(contact, &core.DeleteRequest{
+		_ = c.out.Send(context.Background(), contact, &core.DeleteRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opPutBatch:
-		_ = c.out.Send(contact, &core.PutBatchRequest{
+		_ = c.out.Send(context.Background(), contact, &core.PutBatchRequest{
 			ID: op.id, Objs: op.objs,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opDeleteBatch:
-		_ = c.out.Send(contact, &core.DeleteBatchRequest{
+		_ = c.out.Send(context.Background(), contact, &core.DeleteBatchRequest{
 			ID: op.id, Items: op.items,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dataflasks/internal/pss"
@@ -105,7 +106,7 @@ func TestIntraViewRandomEmpty(t *testing.T) {
 
 func TestNodeSliceChangeClearsIntraView(t *testing.T) {
 	// A node whose slicer flips slices must drop its old mates.
-	sink := transport.SenderFunc(func(transport.NodeID, interface{}) error { return nil })
+	sink := transport.SenderFunc(func(context.Context, transport.NodeID, interface{}) error { return nil })
 	n := NewNode(1, Config{
 		Slices: 4, Slicer: SlicerRank, SystemSize: 100, AntiEntropyEvery: -1, Seed: 3,
 	}, newTestStore(), sink)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -70,6 +71,9 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 	}
 	if out == nil {
 		panic("core: NewNode requires a sender")
+	}
+	if cfg.Control != nil && cfg.IsControl == nil {
+		panic("core: Config.Control requires IsControl")
 	}
 	n := &Node{
 		id:        id,
@@ -157,12 +161,23 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 	return n
 }
 
-// sender wraps the raw sender with message accounting under category.
+// route picks the fabric for one message: control-plane traffic takes
+// the configured Control sender (the datagram fast path in real
+// deployments), everything else the main sender.
+func (n *Node) route(msg interface{}) transport.Sender {
+	if n.cfg.Control != nil && n.cfg.IsControl(msg) {
+		return n.cfg.Control
+	}
+	return n.raw
+}
+
+// sender wraps the fabric with message accounting under category and
+// per-message control-plane routing.
 func (n *Node) sender(cat metrics.Counter) transport.Sender {
-	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	return transport.SenderFunc(func(ctx context.Context, to transport.NodeID, msg interface{}) error {
 		n.met.Inc(metrics.MsgSent)
 		n.met.Inc(cat)
-		err := n.raw.Send(to, msg)
+		err := n.route(msg).Send(ctx, to, msg)
 		if err != nil {
 			n.met.Inc(metrics.MsgDropped)
 		}
@@ -173,7 +188,7 @@ func (n *Node) sender(cat metrics.Counter) transport.Sender {
 func (n *Node) sendData(to transport.NodeID, msg interface{}) {
 	n.met.Inc(metrics.MsgSent)
 	n.met.Inc(metrics.DataSent)
-	if err := n.raw.Send(to, msg); err != nil {
+	if err := n.raw.Send(context.Background(), to, msg); err != nil {
 		n.met.Inc(metrics.MsgDropped)
 	}
 }
@@ -344,7 +359,8 @@ func (n *Node) discoverMates() {
 	for _, peer := range n.pssP.RandomPeers(queries) {
 		n.met.Inc(metrics.MsgSent)
 		n.met.Inc(metrics.DiscoverySent)
-		if err := n.raw.Send(peer, &MateQuery{Slice: mine}); err != nil {
+		msg := &MateQuery{Slice: mine}
+		if err := n.route(msg).Send(context.Background(), peer, msg); err != nil {
 			n.met.Inc(metrics.MsgDropped)
 		}
 	}
@@ -846,7 +862,8 @@ func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
 	}
 	n.met.Inc(metrics.MsgSent)
 	n.met.Inc(metrics.DiscoverySent)
-	if err := n.raw.Send(from, &MateReply{Slice: m.Slice, Mates: mates}); err != nil {
+	reply := &MateReply{Slice: m.Slice, Mates: mates}
+	if err := n.route(reply).Send(context.Background(), from, reply); err != nil {
 		n.met.Inc(metrics.MsgDropped)
 	}
 }

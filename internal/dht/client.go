@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -110,12 +111,12 @@ func (c *Client) issue(op *clientOp) {
 	}
 	contact := c.nodes[c.rng.IntN(len(c.nodes))]
 	if op.isPut {
-		_ = c.out.Send(contact, &PutRequest{
+		_ = c.out.Send(context.Background(), contact, &PutRequest{
 			ID: op.id, Key: op.key, Version: op.version, Value: op.value, Origin: c.id,
 		})
 		return
 	}
-	_ = c.out.Send(contact, &GetRequest{
+	_ = c.out.Send(context.Background(), contact, &GetRequest{
 		ID: op.id, Key: op.key, Origin: c.id, Attempt: op.attempt,
 	})
 }

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 	"testing"
@@ -24,7 +25,7 @@ func newWiring(clientID transport.NodeID) *wiring {
 }
 
 func (w *wiring) sender(from transport.NodeID) transport.Sender {
-	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	return transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		w.queue = append(w.queue, transport.Envelope{From: from, To: to, Msg: msg})
 		return nil
 	})
@@ -242,7 +243,7 @@ func (b byPos) Swap(i, j int) {
 
 func TestDHTClientRetriesAndFails(t *testing.T) {
 	var sent []transport.Envelope
-	sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	sender := transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		sent = append(sent, transport.Envelope{To: to, Msg: msg})
 		return nil
 	})
@@ -266,7 +267,7 @@ func TestDHTClientRetriesAndFails(t *testing.T) {
 
 func TestDHTClientNotFoundTriggersNextReplica(t *testing.T) {
 	var sent []transport.Envelope
-	sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	sender := transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		sent = append(sent, transport.Envelope{To: to, Msg: msg})
 		return nil
 	})

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -120,7 +121,7 @@ func (n *Node) Bootstrap(seeds []transport.NodeID) {
 
 func (n *Node) send(to transport.NodeID, msg interface{}) {
 	n.met.Inc(metrics.MsgSent)
-	if err := n.out.Send(to, msg); err != nil {
+	if err := n.out.Send(context.Background(), to, msg); err != nil {
 		n.met.Inc(metrics.MsgDropped)
 	}
 }

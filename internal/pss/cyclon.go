@@ -1,6 +1,7 @@
 package pss
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"dataflasks/internal/transport"
@@ -126,7 +127,7 @@ func (c *Cyclon) Tick() {
 	c.pendingPeer = target.ID
 	c.pendingSent = sample
 	c.hasPending = true
-	_ = c.out.Send(target.ID, &ShuffleRequest{Sample: sample})
+	_ = c.out.Send(context.Background(), target.ID, &ShuffleRequest{Sample: sample})
 }
 
 // Handle implements Protocol.
@@ -150,7 +151,7 @@ func (c *Cyclon) onRequest(from transport.NodeID, m *ShuffleRequest) {
 	// and a sparsely-bootstrapped overlay could never grow.
 	reply := c.view.RandomSubset(c.rng, c.cfg.ShuffleLen-1)
 	reply = append(reply, c.selfDescriptor())
-	_ = c.out.Send(from, &ShuffleReply{Sample: reply})
+	_ = c.out.Send(context.Background(), from, &ShuffleReply{Sample: reply})
 	c.merge(m.Sample, reply)
 }
 

@@ -1,6 +1,7 @@
 package pss
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"dataflasks/internal/transport"
@@ -100,7 +101,7 @@ func (n *Newscast) Tick() {
 		return
 	}
 	sample := append(n.view.Entries(), n.selfDescriptor())
-	_ = n.out.Send(target.ID, &ShuffleRequest{Sample: sample})
+	_ = n.out.Send(context.Background(), target.ID, &ShuffleRequest{Sample: sample})
 }
 
 // Handle implements Protocol.
@@ -108,7 +109,7 @@ func (n *Newscast) Handle(from transport.NodeID, msg interface{}) bool {
 	switch m := msg.(type) {
 	case *ShuffleRequest:
 		reply := append(n.view.Entries(), n.selfDescriptor())
-		_ = n.out.Send(from, &ShuffleReply{Sample: reply})
+		_ = n.out.Send(context.Background(), from, &ShuffleReply{Sample: reply})
 		n.merge(m.Sample)
 		return true
 	case *ShuffleReply:

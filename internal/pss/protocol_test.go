@@ -1,6 +1,7 @@
 package pss
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -23,7 +24,7 @@ func newFakeNet() *fakeNet {
 }
 
 func (f *fakeNet) sender(from transport.NodeID) transport.Sender {
-	return transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+	return transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 		f.queue = append(f.queue, transport.Envelope{From: from, To: to, Msg: msg})
 		return nil
 	})

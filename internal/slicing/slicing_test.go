@@ -1,6 +1,7 @@
 package slicing
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -226,7 +227,7 @@ func newSwapHarness(n int, k int, attrs []float64) *swapHarness {
 				}
 			}
 		}
-		sender := transport.SenderFunc(func(to transport.NodeID, msg interface{}) error {
+		sender := transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
 			h.queue = append(h.queue, transport.Envelope{From: id, To: to, Msg: msg})
 			return nil
 		})

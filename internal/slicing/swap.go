@@ -1,6 +1,7 @@
 package slicing
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"dataflasks/internal/transport"
@@ -123,7 +124,7 @@ func (s *SwapSlicer) Tick() {
 	s.seq++
 	s.hasPending = true
 	s.pendingPeer = peer
-	_ = s.out.Send(peer, &SwapRequest{Attr: s.attr, X: s.x, Seq: s.seq})
+	_ = s.out.Send(context.Background(), peer, &SwapRequest{Attr: s.attr, X: s.x, Seq: s.seq})
 }
 
 // Handle implements Slicer.
@@ -133,15 +134,15 @@ func (s *SwapSlicer) Handle(from transport.NodeID, msg interface{}) bool {
 		if s.hasPending {
 			// Our own exchange is in flight; swapping now would
 			// invalidate the value we promised the other partner.
-			_ = s.out.Send(from, &SwapReply{Busy: true, Seq: m.Seq})
+			_ = s.out.Send(context.Background(), from, &SwapReply{Busy: true, Seq: m.Seq})
 			return true
 		}
 		myAttr, myX := s.attr, s.x
 		if misordered(m.Attr, from, m.X, myAttr, s.self, myX) {
 			s.x = m.X // commit our half atomically
-			_ = s.out.Send(from, &SwapReply{Attr: myAttr, X: myX, Swapped: true, Seq: m.Seq})
+			_ = s.out.Send(context.Background(), from, &SwapReply{Attr: myAttr, X: myX, Swapped: true, Seq: m.Seq})
 		} else {
-			_ = s.out.Send(from, &SwapReply{Attr: myAttr, X: myX, Swapped: false, Seq: m.Seq})
+			_ = s.out.Send(context.Background(), from, &SwapReply{Attr: myAttr, X: myX, Swapped: false, Seq: m.Seq})
 		}
 		return true
 	case *SwapReply:

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,10 +59,7 @@ func (n *ChanNetwork) Attach(id NodeID, mailbox int) (<-chan Envelope, Sender, e
 		// lifetime.
 		n.perDrop[id] = &atomic.Uint64{}
 	}
-	sender := SenderFunc(func(to NodeID, msg interface{}) error {
-		return n.send(id, to, msg)
-	})
-	return ch, sender, nil
+	return ch, BindSender(n, id), nil
 }
 
 // SetDelay installs a per-message artificial delivery delay drawn from
@@ -120,8 +118,15 @@ func (n *ChanNetwork) Stats() Stats {
 	}
 }
 
-func (n *ChanNetwork) send(from, to NodeID, msg interface{}) error {
+// Send implements Fabric. A cancelled ctx drops the message before it
+// is enqueued; in-flight delayed deliveries are not recalled (like a
+// real network).
+func (n *ChanNetwork) Send(ctx context.Context, to NodeID, env Envelope) error {
 	n.sent.Add(1)
+	if err := ctx.Err(); err != nil {
+		n.dropped.Add(1)
+		return err
+	}
 	n.mu.RLock()
 	delay := n.delay
 	n.mu.RUnlock()
@@ -130,11 +135,11 @@ func (n *ChanNetwork) send(from, to NodeID, msg interface{}) error {
 			// Emulated network latency: deliver from a timer. Errors
 			// after the delay (peer gone, mailbox full) are counted but
 			// no longer reportable to the sender — like a real network.
-			time.AfterFunc(d, func() { _ = n.deliver(from, to, msg) })
+			time.AfterFunc(d, func() { _ = n.deliver(env.From, to, env.Msg) })
 			return nil
 		}
 	}
-	return n.deliver(from, to, msg)
+	return n.deliver(env.From, to, env.Msg)
 }
 
 func (n *ChanNetwork) deliver(from, to NodeID, msg interface{}) error {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"dataflasks/internal/sim"
@@ -59,9 +60,7 @@ func (n *SimNetwork) Attach(id NodeID, handler func(Envelope)) Sender {
 	}
 	n.handlers[id] = handler
 	delete(n.down, id)
-	return SenderFunc(func(to NodeID, msg interface{}) error {
-		return n.send(id, to, msg)
-	})
+	return BindSender(n, id)
 }
 
 // Detach marks id permanently gone; queued messages to it are dropped on
@@ -92,8 +91,16 @@ func (n *SimNetwork) Partition(inA func(NodeID) bool) (heal func()) {
 // Stats returns fabric-level delivery counters.
 func (n *SimNetwork) Stats() Stats { return n.stats }
 
-func (n *SimNetwork) send(from, to NodeID, msg interface{}) error {
+// Send implements Fabric. The simulation is single-threaded and
+// deterministic, so ctx is accounting-only: a cancelled ctx drops the
+// message, nothing ever blocks.
+func (n *SimNetwork) Send(ctx context.Context, to NodeID, env Envelope) error {
+	from := env.From
 	n.stats.Sent++
+	if err := ctx.Err(); err != nil {
+		n.stats.Dropped++
+		return err
+	}
 	if n.down[from] {
 		// A crashed node's in-flight callbacks may still try to send.
 		n.stats.Dropped++
@@ -111,7 +118,7 @@ func (n *SimNetwork) send(from, to NodeID, msg interface{}) error {
 		n.stats.Dropped++
 		return ErrUnknownPeer
 	}
-	env := Envelope{From: from, To: to, Msg: msg}
+	env.To = to
 	delay := n.latency(n.rng)
 	n.engine.Schedule(delay, func() {
 		h, ok := n.handlers[to]

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"sync"
 	"testing"
@@ -58,21 +59,21 @@ func (c *collector) waitFor(t *testing.T, n int, timeout time.Duration) []Envelo
 
 func TestTCPRoundTrip(t *testing.T) {
 	colB := newCollector()
-	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	b, err := ListenTCP(2, "127.0.0.1:0", "", TCPConfig{}, colB.handler)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
 
 	colA := newCollector()
-	a, err := ListenTCP(1, "127.0.0.1:0", "", colA.handler)
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, colA.handler)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 
 	a.Learn(2, b.Addr())
-	if err := a.Sender().Send(2, &tcpTestMsg{Text: "over the wire"}); err != nil {
+	if err := a.Sender().Send(context.Background(), 2, &tcpTestMsg{Text: "over the wire"}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
 	envs := colB.waitFor(t, 1, 5*time.Second)
@@ -88,7 +89,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	if b.PeerCount() != 1 {
 		t.Fatalf("b.PeerCount = %d, want 1", b.PeerCount())
 	}
-	if err := b.Sender().Send(1, &tcpTestMsg{Text: "right back"}); err != nil {
+	if err := b.Sender().Send(context.Background(), 1, &tcpTestMsg{Text: "right back"}); err != nil {
 		t.Fatalf("reply Send: %v", err)
 	}
 	replies := colA.waitFor(t, 1, 5*time.Second)
@@ -98,12 +99,12 @@ func TestTCPRoundTrip(t *testing.T) {
 }
 
 func TestTCPUnknownPeer(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, func(Envelope) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Sender().Send(9, &tcpTestMsg{}); err == nil {
+	if err := a.Sender().Send(context.Background(), 9, &tcpTestMsg{}); err == nil {
 		t.Error("send to unknown peer succeeded")
 	}
 	if a.Stats().Dropped != 1 {
@@ -112,19 +113,19 @@ func TestTCPUnknownPeer(t *testing.T) {
 }
 
 func TestTCPDeadPeer(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, func(Envelope) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 	a.Learn(2, "127.0.0.1:1") // nothing listens there
-	if err := a.Sender().Send(2, &tcpTestMsg{}); err == nil {
+	if err := a.Sender().Send(context.Background(), 2, &tcpTestMsg{}); err == nil {
 		t.Error("send to dead peer succeeded")
 	}
 }
 
 func TestTCPSendAfterClose(t *testing.T) {
-	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, func(Envelope) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestTCPSendAfterClose(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Sender().Send(2, &tcpTestMsg{}); err == nil {
+	if err := a.Sender().Send(context.Background(), 2, &tcpTestMsg{}); err == nil {
 		t.Error("send after close succeeded")
 	}
 	// Idempotent close.
@@ -143,21 +144,21 @@ func TestTCPSendAfterClose(t *testing.T) {
 
 func TestTCPLearnReplacesStaleAddress(t *testing.T) {
 	colB := newCollector()
-	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	b, err := ListenTCP(2, "127.0.0.1:0", "", TCPConfig{}, colB.handler)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, func(Envelope) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 
 	a.Learn(2, "127.0.0.1:1") // stale
-	_ = a.Sender().Send(2, &tcpTestMsg{})
+	_ = a.Sender().Send(context.Background(), 2, &tcpTestMsg{})
 	a.Learn(2, b.Addr()) // corrected by gossip
-	if err := a.Sender().Send(2, &tcpTestMsg{Text: "found you"}); err != nil {
+	if err := a.Sender().Send(context.Background(), 2, &tcpTestMsg{Text: "found you"}); err != nil {
 		t.Fatalf("send after re-learn: %v", err)
 	}
 	colB.waitFor(t, 1, 5*time.Second)
@@ -165,12 +166,12 @@ func TestTCPLearnReplacesStaleAddress(t *testing.T) {
 
 func TestTCPConcurrentSends(t *testing.T) {
 	colB := newCollector()
-	b, err := ListenTCP(2, "127.0.0.1:0", "", colB.handler)
+	b, err := ListenTCP(2, "127.0.0.1:0", "", TCPConfig{}, colB.handler)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	a, err := ListenTCP(1, "127.0.0.1:0", "", func(Envelope) {})
+	a, err := ListenTCP(1, "127.0.0.1:0", "", TCPConfig{}, func(Envelope) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestTCPConcurrentSends(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < n/8; j++ {
-				_ = a.Sender().Send(2, &tcpTestMsg{Text: "burst"})
+				_ = a.Sender().Send(context.Background(), 2, &tcpTestMsg{Text: "burst"})
 			}
 		}()
 	}

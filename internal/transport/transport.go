@@ -1,12 +1,16 @@
 // Package transport defines how DataFlasks nodes exchange messages and
-// provides three interchangeable fabrics: a deterministic simulated
+// provides four interchangeable fabrics: a deterministic simulated
 // network driven by the discrete-event engine, an in-process channel
-// network for live goroutine clusters, and a TCP network for real
-// deployments. Protocol code depends only on the small Sender interface,
-// so the same node logic runs unchanged on all three.
+// network for live goroutine clusters, a TCP network for real
+// deployments, and a UDP datagram path for the loss-tolerant epidemic
+// control plane. Every fabric implements the same context-taking
+// Send(ctx, to, env) signature (the Fabric interface); protocol code
+// depends only on the narrow Sender interface bound to one originating
+// node, so the same node logic runs unchanged on all fabrics.
 package transport
 
 import (
+	"context"
 	"errors"
 	"strconv"
 )
@@ -25,26 +29,99 @@ type Envelope struct {
 	Msg  interface{}
 }
 
-// Sender lets a node emit messages. Send is best-effort: epidemic
-// protocols tolerate loss, so failures surface as an error for
-// accounting but never block.
+// Fabric is the unified send surface every transport implements: one
+// context-taking signature shared by the simulated, channel, TCP and
+// UDP fabrics. Send is best-effort — epidemic protocols tolerate loss,
+// so failures surface as an error for accounting but never block
+// beyond ctx.
+type Fabric interface {
+	Send(ctx context.Context, to NodeID, env Envelope) error
+}
+
+// Sender lets one node emit messages. It is the protocol-facing
+// narrowing of Fabric: the originating node is bound in, so protocol
+// code only names the destination. Send is best-effort, like
+// Fabric.Send.
 type Sender interface {
-	Send(to NodeID, msg interface{}) error
+	Send(ctx context.Context, to NodeID, msg interface{}) error
 }
 
 // SenderFunc adapts a function to the Sender interface.
-type SenderFunc func(to NodeID, msg interface{}) error
+type SenderFunc func(ctx context.Context, to NodeID, msg interface{}) error
 
 // Send implements Sender.
-func (f SenderFunc) Send(to NodeID, msg interface{}) error { return f(to, msg) }
+func (f SenderFunc) Send(ctx context.Context, to NodeID, msg interface{}) error {
+	return f(ctx, to, msg)
+}
+
+// BindSender narrows a fabric to one originating node. All fabrics
+// hand out senders through this single helper, so the per-fabric
+// sender construction cannot drift.
+func BindSender(f Fabric, from NodeID) Sender {
+	return SenderFunc(func(ctx context.Context, to NodeID, msg interface{}) error {
+		return f.Send(ctx, to, Envelope{From: from, To: to, Msg: msg})
+	})
+}
+
+// FallbackSender tries primary and, when it fails, retries the same
+// message on fallback. The canonical use is the control-plane split: a
+// datagram path as primary (oversize frames or missing peer addresses
+// fail fast) with the TCP stream path as the always-works fallback.
+func FallbackSender(primary, fallback Sender) Sender {
+	return SenderFunc(func(ctx context.Context, to NodeID, msg interface{}) error {
+		if err := primary.Send(ctx, to, msg); err != nil {
+			return fallback.Send(ctx, to, msg)
+		}
+		return nil
+	})
+}
 
 // AddressBook lets protocol layers feed learned (id → address)
-// mappings to fabrics that need them (TCP). Simulated fabrics ignore
-// addresses entirely.
+// mappings to fabrics that need them (TCP, UDP). Simulated fabrics
+// ignore addresses entirely.
 type AddressBook interface {
 	// Learn records that id is reachable at addr. Implementations must
 	// be safe for concurrent use and tolerate re-learning.
 	Learn(id NodeID, addr string)
+}
+
+// WireEnvelope is the frame crossing real networks: the logical
+// envelope plus the sender's dialable address, which lets receivers
+// answer nodes they have never dialed.
+type WireEnvelope struct {
+	From     NodeID
+	FromAddr string
+	To       NodeID
+	Msg      interface{}
+}
+
+// Frame version bytes: the first byte of every encoded frame names the
+// codec that produced it, so receivers decode mixed-codec traffic
+// without negotiation state.
+const (
+	// FrameGob marks a gob-encoded frame (the compat/fallback codec).
+	FrameGob byte = 0
+	// FrameBinary marks a hand-rolled binary frame (wire.BinaryCodec).
+	FrameBinary byte = 1
+)
+
+// WireCodec turns envelopes into self-describing frames and back. The
+// wire package provides the implementations (gob and binary); the
+// transport layer only moves frames. Encode appends to buf (reuse
+// buffers for zero-allocation sends) and the first byte of every
+// produced frame is the codec's Version. Decode must accept frames of
+// ANY known version — mixed-codec clusters deliver both.
+type WireCodec interface {
+	// Version is the frame version byte this codec encodes with.
+	Version() byte
+	// Encode appends env as one frame to buf and returns the extended
+	// slice.
+	Encode(buf []byte, env *WireEnvelope) ([]byte, error)
+	// Decode parses one frame (the whole slice).
+	Decode(data []byte) (*WireEnvelope, error)
+	// Control reports whether msg is small, loss-tolerant control-plane
+	// traffic eligible for the datagram path.
+	Control(msg interface{}) bool
 }
 
 // Common delivery errors.
@@ -58,6 +135,13 @@ var (
 	ErrDropped = errors.New("transport: message dropped")
 	// ErrClosed reports use of a closed endpoint or network.
 	ErrClosed = errors.New("transport: closed")
+	// ErrOversize reports a frame too large for the datagram path; the
+	// caller should retry on a stream fabric (FallbackSender does).
+	ErrOversize = errors.New("transport: frame exceeds datagram size cap")
+	// ErrNoDatagramPath reports a peer whose datagram path is unproven
+	// (no probe ack yet — possibly a node with no UDP listener at all);
+	// the caller should retry on a stream fabric (FallbackSender does).
+	ErrNoDatagramPath = errors.New("transport: no proven datagram path")
 )
 
 // Stats aggregates fabric-level delivery accounting.

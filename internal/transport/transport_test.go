@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -23,7 +24,7 @@ func TestSimNetworkDelivers(t *testing.T) {
 	net.Attach(2, func(env Envelope) { got = append(got, env) })
 	s1 := net.Attach(1, func(Envelope) {})
 
-	if err := s1.Send(2, "hello"); err != nil {
+	if err := s1.Send(context.Background(), 2, "hello"); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
 	engine.RunUntilIdle(0)
@@ -39,7 +40,7 @@ func TestSimNetworkDelivers(t *testing.T) {
 func TestSimNetworkUnknownPeer(t *testing.T) {
 	engine, net := simPair(t, SimNetworkConfig{})
 	s := net.Attach(1, func(Envelope) {})
-	if err := s.Send(99, "x"); !errors.Is(err, ErrUnknownPeer) {
+	if err := s.Send(context.Background(), 99, "x"); !errors.Is(err, ErrUnknownPeer) {
 		t.Errorf("err = %v, want ErrUnknownPeer", err)
 	}
 	engine.RunUntilIdle(0)
@@ -53,14 +54,14 @@ func TestSimNetworkDetachDropsInFlight(t *testing.T) {
 	delivered := 0
 	net.Attach(2, func(Envelope) { delivered++ })
 	s1 := net.Attach(1, func(Envelope) {})
-	_ = s1.Send(2, "in flight")
+	_ = s1.Send(context.Background(), 2, "in flight")
 	net.Detach(2) // crash before delivery
 	engine.RunUntilIdle(0)
 	if delivered != 0 {
 		t.Error("message delivered to crashed node")
 	}
 	// Sends from a crashed node drop too.
-	if err := s1.Send(2, "x"); err == nil {
+	if err := s1.Send(context.Background(), 2, "x"); err == nil {
 		t.Error("send to detached peer succeeded")
 	}
 }
@@ -70,7 +71,7 @@ func TestSimNetworkSenderOfDetachedNodeFails(t *testing.T) {
 	net.Attach(2, func(Envelope) {})
 	s1 := net.Attach(1, func(Envelope) {})
 	net.Detach(1)
-	if err := s1.Send(2, "zombie"); !errors.Is(err, ErrPeerDown) {
+	if err := s1.Send(context.Background(), 2, "zombie"); !errors.Is(err, ErrPeerDown) {
 		t.Errorf("zombie send err = %v, want ErrPeerDown", err)
 	}
 	engine.RunUntilIdle(0)
@@ -83,7 +84,7 @@ func TestSimNetworkLossRate(t *testing.T) {
 	s1 := net.Attach(1, func(Envelope) {})
 	const total = 1000
 	for i := 0; i < total; i++ {
-		_ = s1.Send(2, i)
+		_ = s1.Send(context.Background(), 2, i)
 	}
 	engine.RunUntilIdle(0)
 	if delivered < total/3 || delivered > total*2/3 {
@@ -101,14 +102,14 @@ func TestSimNetworkPartitionAndHeal(t *testing.T) {
 	s1 := net.Attach(1, func(Envelope) { delivered[1]++ })
 
 	heal := net.Partition(func(id NodeID) bool { return id <= 2 })
-	_ = s1.Send(2, "same side")
-	_ = s1.Send(3, "cross")
+	_ = s1.Send(context.Background(), 2, "same side")
+	_ = s1.Send(context.Background(), 3, "cross")
 	engine.RunUntilIdle(0)
 	if delivered[2] != 1 || delivered[3] != 0 {
 		t.Fatalf("partition: delivered = %v", delivered)
 	}
 	heal()
-	_ = s1.Send(3, "healed")
+	_ = s1.Send(context.Background(), 3, "healed")
 	engine.RunUntilIdle(0)
 	if delivered[3] != 1 {
 		t.Fatalf("heal: delivered = %v", delivered)
@@ -121,7 +122,7 @@ func TestSimNetworkDeterministic(t *testing.T) {
 		net.Attach(2, func(Envelope) {})
 		s1 := net.Attach(1, func(Envelope) {})
 		for i := 0; i < 200; i++ {
-			_ = s1.Send(2, i)
+			_ = s1.Send(context.Background(), 2, i)
 		}
 		engine.RunUntilIdle(0)
 		return net.Stats().Delivered
@@ -144,7 +145,7 @@ func TestChanNetworkRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Send(2, "ping"); err != nil {
+	if err := s1.Send(context.Background(), 2, "ping"); err != nil {
 		t.Fatal(err)
 	}
 	env := <-rx2
@@ -172,10 +173,10 @@ func TestChanNetworkFullMailboxDrops(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, s1, _ := net.Attach(1, 1)
-	if err := s1.Send(2, "fits"); err != nil {
+	if err := s1.Send(context.Background(), 2, "fits"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Send(2, "overflow"); !errors.Is(err, ErrDropped) {
+	if err := s1.Send(context.Background(), 2, "overflow"); !errors.Is(err, ErrDropped) {
 		t.Errorf("err = %v, want ErrDropped", err)
 	}
 	if net.Stats().Dropped != 1 {
@@ -189,7 +190,7 @@ func TestChanNetworkFullMailboxDrops(t *testing.T) {
 	if got := net.DroppedFor(1); got != 0 {
 		t.Errorf("DroppedFor(1) = %d, want 0", got)
 	}
-	_ = s1.Send(99, "nobody home")
+	_ = s1.Send(context.Background(), 99, "nobody home")
 	if got := net.DroppedFor(99); got != 0 {
 		t.Errorf("DroppedFor(unknown peer) = %d, want 0", got)
 	}
@@ -204,7 +205,7 @@ func TestChanNetworkDetachClosesMailbox(t *testing.T) {
 		t.Error("mailbox not closed")
 	}
 	_, s2, _ := net.Attach(2, 1)
-	if err := s2.Send(1, "gone"); !errors.Is(err, ErrUnknownPeer) {
+	if err := s2.Send(context.Background(), 1, "gone"); !errors.Is(err, ErrUnknownPeer) {
 		t.Errorf("send to detached: %v", err)
 	}
 }
@@ -227,7 +228,7 @@ func TestChanNetworkConcurrentSendAndDetach(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 500; j++ {
-				_ = sender.Send(1, j)
+				_ = sender.Send(context.Background(), 1, j)
 			}
 		}()
 	}

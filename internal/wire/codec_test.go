@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"dataflasks/internal/aggregate"
+	"dataflasks/internal/antientropy"
+	"dataflasks/internal/core"
+	"dataflasks/internal/dht"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// fixtures returns one populated envelope per message kind, with every
+// field non-zero so a skipped or reordered field cannot round-trip
+// cleanly by accident. The golden-frames test hashes these encodings,
+// so changing a fixture means regenerating testdata/frames.golden.
+func fixtures() []Envelope {
+	descs := []pss.Descriptor{
+		{ID: 11, Age: 3, Attr: 0.25, Slice: 2, Addr: "10.0.0.11:7001"},
+		{ID: 12, Age: 0, Attr: 0.75, Slice: -1, Addr: ""},
+	}
+	headers := []antientropy.Header{
+		{Key: "alpha", Version: 1},
+		{Key: "beta", Version: 9000000000},
+	}
+	objs := []store.Object{
+		{Key: "alpha", Version: 1, Value: []byte("v1")},
+		{Key: "beta", Version: 2, Value: nil},
+	}
+	msgs := []interface{}{
+		&pss.ShuffleRequest{Sample: descs},
+		&pss.ShuffleReply{Sample: descs[:1]},
+		&slicing.SwapRequest{Attr: 0.5, X: 0.125, Seq: 7},
+		&slicing.SwapReply{Attr: 1.5, X: 0.25, Swapped: true, Busy: false, Seq: 7},
+		&aggregate.ExtremaMsg{Seeds: []float64{0.1, 0.9, 0.5}},
+		&aggregate.PushSumMsg{Sum: 12.5, Weight: 0.5},
+		&antientropy.Digest{Slice: 3, Headers: headers},
+		&antientropy.DigestReply{Slice: 3, Headers: headers[:1]},
+		&antientropy.Summary{Slice: 1, Filter: antientropy.Filter{K: 4, Bits: []uint64{0xdeadbeef, 0x1}}},
+		&antientropy.SummaryReply{Slice: 1, Filter: antientropy.Filter{K: 4, Bits: []uint64{0xcafe}}},
+		&antientropy.Pull{Headers: headers},
+		&antientropy.Push{Objects: objs},
+		&core.PutRequest{ID: 42, Key: "k", Version: 3, Value: []byte("val"),
+			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+		&core.PutAck{ID: 42, Key: "k", Version: 3},
+		&core.PutBatchRequest{ID: 43, Objs: objs, Origin: 9,
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: false, NoAck: false},
+		&core.PutBatchAck{ID: 43, Stored: 2},
+		&core.GetRequest{ID: 44, Key: "k", Version: store.Latest, Origin: 9,
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true},
+		&core.GetReply{ID: 44, Key: "k", Version: 3, Value: []byte("val"), Slice: 2},
+		&core.DeleteRequest{ID: 45, Key: "k", Version: 3, Origin: 9,
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+		&core.DeleteAck{ID: 45, Key: "k", Version: 3},
+		&core.DeleteBatchRequest{ID: 46,
+			Items:  []core.DeleteItem{{Key: "a", Version: 1}, {Key: "b", Version: store.Latest}},
+			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+		&core.DeleteBatchAck{ID: 46, Applied: 2},
+		&core.MateQuery{Slice: 5},
+		&core.MateReply{Slice: 5, Mates: descs},
+		&dht.Gossip{Members: []dht.Member{{ID: 7, Heartbeat: 11, Position: 1 << 60}}},
+		&dht.PutRequest{ID: 47, Key: "k", Version: 3, Value: []byte("val"),
+			Origin: 9, Hops: 2, Replica: true},
+		&dht.PutAck{ID: 47},
+		&dht.GetRequest{ID: 48, Key: "k", Origin: 9, Hops: 2, Attempt: 1},
+		&dht.GetReply{ID: 48, Key: "k", Version: 3, Value: []byte("val"), Found: true},
+	}
+	envs := make([]Envelope, len(msgs))
+	for i, m := range msgs {
+		envs[i] = Envelope{
+			From: transport.NodeID(100 + i), FromAddr: "10.0.0.1:7000",
+			To: transport.NodeID(200 + i), Msg: m,
+		}
+	}
+	return envs
+}
+
+func TestFixturesCoverEveryMessage(t *testing.T) {
+	seen := make(map[uint16]bool)
+	for _, env := range fixtures() {
+		kind, ok := KindOf(env.Msg)
+		if !ok {
+			t.Fatalf("fixture %T not in message table", env.Msg)
+		}
+		seen[kind] = true
+	}
+	for _, s := range Messages {
+		if !seen[s.Kind] {
+			t.Errorf("message %s (kind %d) has no fixture", s.Name, s.Kind)
+		}
+	}
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{BinaryCodec(), GobCodec()} {
+		for _, env := range fixtures() {
+			frame, err := codec.Encode(nil, &env)
+			if err != nil {
+				t.Fatalf("codec %d: encode %T: %v", codec.Version(), env.Msg, err)
+			}
+			if len(frame) == 0 || frame[0] != codec.Version() {
+				t.Fatalf("codec %d: frame of %T does not lead with its version byte", codec.Version(), env.Msg)
+			}
+			got, err := codec.Decode(frame)
+			if err != nil {
+				t.Fatalf("codec %d: decode %T: %v", codec.Version(), env.Msg, err)
+			}
+			if !reflect.DeepEqual(&env, got) {
+				t.Fatalf("codec %d: round trip changed %T:\nsent %+v\ngot  %+v",
+					codec.Version(), env.Msg, env, got)
+			}
+		}
+	}
+}
+
+// TestCrossCodecDecode pins the mixed-cluster property: each codec
+// decodes the other's frames, keyed by the leading version byte.
+func TestCrossCodecDecode(t *testing.T) {
+	bin, gobc := BinaryCodec(), GobCodec()
+	for _, env := range fixtures() {
+		bf, err := bin.Encode(nil, &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := gobc.Decode(bf); err != nil || !reflect.DeepEqual(&env, got) {
+			t.Fatalf("gob codec failed on binary frame of %T: %v", env.Msg, err)
+		}
+		gf, err := gobc.Encode(nil, &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := bin.Decode(gf); err != nil || !reflect.DeepEqual(&env, got) {
+			t.Fatalf("binary codec failed on gob frame of %T: %v", env.Msg, err)
+		}
+	}
+}
+
+func TestControlPlaneSplit(t *testing.T) {
+	control := []interface{}{
+		&pss.ShuffleRequest{}, &pss.ShuffleReply{},
+		&slicing.SwapRequest{}, &slicing.SwapReply{},
+		&aggregate.ExtremaMsg{}, &aggregate.PushSumMsg{},
+		&antientropy.Digest{}, &antientropy.DigestReply{},
+		&antientropy.Summary{}, &antientropy.SummaryReply{}, &antientropy.Pull{},
+		&core.MateQuery{}, &core.MateReply{},
+		&dht.Gossip{},
+	}
+	data := []interface{}{
+		&antientropy.Push{},
+		&core.PutRequest{}, &core.PutAck{}, &core.PutBatchRequest{}, &core.PutBatchAck{},
+		&core.GetRequest{}, &core.GetReply{},
+		&core.DeleteRequest{}, &core.DeleteAck{}, &core.DeleteBatchRequest{}, &core.DeleteBatchAck{},
+		&dht.PutRequest{}, &dht.PutAck{}, &dht.GetRequest{}, &dht.GetReply{},
+	}
+	for _, m := range control {
+		if !Control(m) {
+			t.Errorf("%T should be control plane", m)
+		}
+	}
+	for _, m := range data {
+		if Control(m) {
+			t.Errorf("%T should be data plane", m)
+		}
+	}
+	// Types outside the table are data plane: the stream path is the
+	// one that always works.
+	if Control("not a message") {
+		t.Error("unregistered type classified as control")
+	}
+}
+
+// TestUnknownKind pins forward compatibility: a frame with a kind this
+// build does not know decodes to Unknown instead of failing the
+// stream, and the payload is ignored.
+func TestUnknownKind(t *testing.T) {
+	frame := []byte{transport.FrameBinary}
+	frame = appendU16(frame, 9999)
+	frame = appendU64(frame, 1)
+	frame = appendU64(frame, 2)
+	frame = appendStr(frame, "10.0.0.1:7000")
+	frame = append(frame, 0xde, 0xad) // opaque newer-version payload
+	env, err := BinaryCodec().Decode(frame)
+	if err != nil {
+		t.Fatalf("unknown kind should decode, got %v", err)
+	}
+	u, ok := env.Msg.(Unknown)
+	if !ok || u.Kind != 9999 {
+		t.Fatalf("want Unknown{9999}, got %#v", env.Msg)
+	}
+	if env.From != 1 || env.To != 2 || env.FromAddr != "10.0.0.1:7000" {
+		t.Fatalf("envelope header mangled: %+v", env)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	codec := BinaryCodec()
+	cases := [][]byte{
+		nil,
+		{},
+		{0x7f},                        // unknown frame version
+		{transport.FrameBinary},       // truncated header
+		{transport.FrameBinary, 1, 0}, // kind only
+	}
+	for _, c := range cases {
+		if _, err := codec.Decode(c); err == nil {
+			t.Errorf("decode(%x) should fail", c)
+		}
+	}
+	// A valid frame truncated anywhere in its body must error, never
+	// panic or fabricate fields.
+	env := fixtures()[0]
+	frame, err := codec.Encode(nil, &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := codec.Decode(frame[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix should fail", cut, len(frame))
+		}
+	}
+}
+
+// TestBinaryEncodeAllocs pins the fast path's contract: encoding into
+// a warmed buffer allocates at most once.
+func TestBinaryEncodeAllocs(t *testing.T) {
+	codec := BinaryCodec()
+	env := Envelope{From: 1, FromAddr: "10.0.0.1:7000", To: 2, Msg: &core.PutBatchRequest{
+		ID:   7,
+		Objs: []store.Object{{Key: "k1", Version: 1, Value: make([]byte, 512)}},
+		TTL:  3,
+	}}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := codec.Encode(buf[:0], &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	})
+	if allocs > 1 {
+		t.Fatalf("binary encode allocates %.1f times per op, want <= 1", allocs)
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	if c, ok := CodecByName("binary"); !ok || c.Version() != transport.FrameBinary {
+		t.Fatal("binary codec lookup failed")
+	}
+	if c, ok := CodecByName("gob"); !ok || c.Version() != transport.FrameGob {
+		t.Fatal("gob codec lookup failed")
+	}
+	if _, ok := CodecByName("json"); ok {
+		t.Fatal("unknown codec name should not resolve")
+	}
+}

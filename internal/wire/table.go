@@ -1,0 +1,573 @@
+package wire
+
+import (
+	"reflect"
+
+	"dataflasks/internal/aggregate"
+	"dataflasks/internal/antientropy"
+	"dataflasks/internal/core"
+	"dataflasks/internal/dht"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/pss"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// Spec declares one protocol message: its stable kind ID, transport
+// plane, and binary encode/decode. Kind IDs are wire contract — never
+// renumber or reuse one; retire by leaving a gap and append new
+// messages with fresh IDs.
+type Spec struct {
+	// Kind is the stable on-the-wire message ID.
+	Kind uint16
+	// Name labels the message in logs and tooling.
+	Name string
+	// Plane routes the message class: ControlPlane is datagram-eligible,
+	// DataPlane stays on streams.
+	Plane Plane
+	// New returns a fresh zero message (pointer form, as messages travel
+	// in envelopes); the gob registry is built from it.
+	New func() interface{}
+
+	enc func(b []byte, msg interface{}) []byte
+	dec func(r *reader) interface{}
+}
+
+// Messages is the protocol surface: every message a node may emit or
+// receive, declared once. Codecs, the control/data routing split, and
+// the gob registry all derive from this table.
+var Messages = []Spec{
+	// -- epidemic control plane --
+	{Kind: 1, Name: "pss.ShuffleRequest", Plane: ControlPlane,
+		New: func() interface{} { return &pss.ShuffleRequest{} },
+		enc: func(b []byte, m interface{}) []byte { return appendDescs(b, m.(*pss.ShuffleRequest).Sample) },
+		dec: func(r *reader) interface{} { return &pss.ShuffleRequest{Sample: readDescs(r)} },
+	},
+	{Kind: 2, Name: "pss.ShuffleReply", Plane: ControlPlane,
+		New: func() interface{} { return &pss.ShuffleReply{} },
+		enc: func(b []byte, m interface{}) []byte { return appendDescs(b, m.(*pss.ShuffleReply).Sample) },
+		dec: func(r *reader) interface{} { return &pss.ShuffleReply{Sample: readDescs(r)} },
+	},
+	{Kind: 3, Name: "slicing.SwapRequest", Plane: ControlPlane,
+		New: func() interface{} { return &slicing.SwapRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*slicing.SwapRequest)
+			b = appendF64(b, v.Attr)
+			b = appendF64(b, v.X)
+			return appendU32(b, v.Seq)
+		},
+		dec: func(r *reader) interface{} {
+			return &slicing.SwapRequest{Attr: r.f64(), X: r.f64(), Seq: r.u32()}
+		},
+	},
+	{Kind: 4, Name: "slicing.SwapReply", Plane: ControlPlane,
+		New: func() interface{} { return &slicing.SwapReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*slicing.SwapReply)
+			b = appendF64(b, v.Attr)
+			b = appendF64(b, v.X)
+			b = appendBool(b, v.Swapped)
+			b = appendBool(b, v.Busy)
+			return appendU32(b, v.Seq)
+		},
+		dec: func(r *reader) interface{} {
+			return &slicing.SwapReply{Attr: r.f64(), X: r.f64(), Swapped: r.boolean(), Busy: r.boolean(), Seq: r.u32()}
+		},
+	},
+	{Kind: 5, Name: "aggregate.ExtremaMsg", Plane: ControlPlane,
+		New: func() interface{} { return &aggregate.ExtremaMsg{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*aggregate.ExtremaMsg)
+			b = appendLen(b, len(v.Seeds))
+			for _, s := range v.Seeds {
+				b = appendF64(b, s)
+			}
+			return b
+		},
+		dec: func(r *reader) interface{} {
+			n := r.length()
+			var seeds []float64
+			if n > 0 && r.err == nil {
+				seeds = make([]float64, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					seeds = append(seeds, r.f64())
+				}
+			}
+			return &aggregate.ExtremaMsg{Seeds: seeds}
+		},
+	},
+	{Kind: 6, Name: "aggregate.PushSumMsg", Plane: ControlPlane,
+		New: func() interface{} { return &aggregate.PushSumMsg{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*aggregate.PushSumMsg)
+			b = appendF64(b, v.Sum)
+			return appendF64(b, v.Weight)
+		},
+		dec: func(r *reader) interface{} {
+			return &aggregate.PushSumMsg{Sum: r.f64(), Weight: r.f64()}
+		},
+	},
+	{Kind: 7, Name: "antientropy.Digest", Plane: ControlPlane,
+		New: func() interface{} { return &antientropy.Digest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*antientropy.Digest)
+			b = appendI32(b, v.Slice)
+			return appendHeaders(b, v.Headers)
+		},
+		dec: func(r *reader) interface{} {
+			return &antientropy.Digest{Slice: r.i32(), Headers: readHeaders(r)}
+		},
+	},
+	{Kind: 8, Name: "antientropy.DigestReply", Plane: ControlPlane,
+		New: func() interface{} { return &antientropy.DigestReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*antientropy.DigestReply)
+			b = appendI32(b, v.Slice)
+			return appendHeaders(b, v.Headers)
+		},
+		dec: func(r *reader) interface{} {
+			return &antientropy.DigestReply{Slice: r.i32(), Headers: readHeaders(r)}
+		},
+	},
+	{Kind: 9, Name: "antientropy.Summary", Plane: ControlPlane,
+		New: func() interface{} { return &antientropy.Summary{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*antientropy.Summary)
+			b = appendI32(b, v.Slice)
+			return appendFilter(b, v.Filter)
+		},
+		dec: func(r *reader) interface{} {
+			return &antientropy.Summary{Slice: r.i32(), Filter: readFilter(r)}
+		},
+	},
+	{Kind: 10, Name: "antientropy.SummaryReply", Plane: ControlPlane,
+		New: func() interface{} { return &antientropy.SummaryReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*antientropy.SummaryReply)
+			b = appendI32(b, v.Slice)
+			return appendFilter(b, v.Filter)
+		},
+		dec: func(r *reader) interface{} {
+			return &antientropy.SummaryReply{Slice: r.i32(), Filter: readFilter(r)}
+		},
+	},
+	{Kind: 11, Name: "antientropy.Pull", Plane: ControlPlane,
+		New: func() interface{} { return &antientropy.Pull{} },
+		enc: func(b []byte, m interface{}) []byte { return appendHeaders(b, m.(*antientropy.Pull).Headers) },
+		dec: func(r *reader) interface{} { return &antientropy.Pull{Headers: readHeaders(r)} },
+	},
+
+	// -- data plane: anti-entropy value transfer --
+	{Kind: 12, Name: "antientropy.Push", Plane: DataPlane,
+		New: func() interface{} { return &antientropy.Push{} },
+		enc: func(b []byte, m interface{}) []byte { return appendObjects(b, m.(*antientropy.Push).Objects) },
+		dec: func(r *reader) interface{} { return &antientropy.Push{Objects: readObjects(r)} },
+	},
+
+	// -- data plane: client-visible requests and acks --
+	{Kind: 13, Name: "core.PutRequest", Plane: DataPlane,
+		New: func() interface{} { return &core.PutRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.PutRequest)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendBytes(b, v.Value)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendStr(b, v.OriginAddr)
+			b = appendU8(b, v.TTL)
+			b = appendBool(b, v.Intra)
+			return appendBool(b, v.NoAck)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.PutRequest{
+				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(), Value: r.blob(),
+				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
+				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+			}
+		},
+	},
+	{Kind: 14, Name: "core.PutAck", Plane: DataPlane,
+		New: func() interface{} { return &core.PutAck{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.PutAck)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			return appendU64(b, v.Version)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.PutAck{ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64()}
+		},
+	},
+	{Kind: 15, Name: "core.PutBatchRequest", Plane: DataPlane,
+		New: func() interface{} { return &core.PutBatchRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.PutBatchRequest)
+			b = appendU64(b, uint64(v.ID))
+			b = appendObjects(b, v.Objs)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendStr(b, v.OriginAddr)
+			b = appendU8(b, v.TTL)
+			b = appendBool(b, v.Intra)
+			return appendBool(b, v.NoAck)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.PutBatchRequest{
+				ID: gossip.RequestID(r.u64()), Objs: readObjects(r),
+				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
+				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+			}
+		},
+	},
+	{Kind: 16, Name: "core.PutBatchAck", Plane: DataPlane,
+		New: func() interface{} { return &core.PutBatchAck{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.PutBatchAck)
+			b = appendU64(b, uint64(v.ID))
+			return appendU32(b, uint32(v.Stored))
+		},
+		dec: func(r *reader) interface{} {
+			return &core.PutBatchAck{ID: gossip.RequestID(r.u64()), Stored: int(r.u32())}
+		},
+	},
+	{Kind: 17, Name: "core.GetRequest", Plane: DataPlane,
+		New: func() interface{} { return &core.GetRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.GetRequest)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendStr(b, v.OriginAddr)
+			b = appendU8(b, v.TTL)
+			return appendBool(b, v.Intra)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.GetRequest{
+				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(),
+				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
+				TTL: r.u8(), Intra: r.boolean(),
+			}
+		},
+	},
+	{Kind: 18, Name: "core.GetReply", Plane: DataPlane,
+		New: func() interface{} { return &core.GetReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.GetReply)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendBytes(b, v.Value)
+			return appendI32(b, v.Slice)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.GetReply{
+				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(),
+				Value: r.blob(), Slice: r.i32(),
+			}
+		},
+	},
+	{Kind: 19, Name: "core.DeleteRequest", Plane: DataPlane,
+		New: func() interface{} { return &core.DeleteRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.DeleteRequest)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendStr(b, v.OriginAddr)
+			b = appendU8(b, v.TTL)
+			b = appendBool(b, v.Intra)
+			return appendBool(b, v.NoAck)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.DeleteRequest{
+				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(),
+				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
+				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+			}
+		},
+	},
+	{Kind: 20, Name: "core.DeleteAck", Plane: DataPlane,
+		New: func() interface{} { return &core.DeleteAck{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.DeleteAck)
+			b = appendU64(b, uint64(v.ID))
+			b = appendStr(b, v.Key)
+			return appendU64(b, v.Version)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.DeleteAck{ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64()}
+		},
+	},
+	{Kind: 21, Name: "core.DeleteBatchRequest", Plane: DataPlane,
+		New: func() interface{} { return &core.DeleteBatchRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.DeleteBatchRequest)
+			b = appendU64(b, uint64(v.ID))
+			b = appendLen(b, len(v.Items))
+			for _, it := range v.Items {
+				b = appendStr(b, it.Key)
+				b = appendU64(b, it.Version)
+			}
+			b = appendU64(b, uint64(v.Origin))
+			b = appendStr(b, v.OriginAddr)
+			b = appendU8(b, v.TTL)
+			b = appendBool(b, v.Intra)
+			return appendBool(b, v.NoAck)
+		},
+		dec: func(r *reader) interface{} {
+			id := gossip.RequestID(r.u64())
+			n := r.length()
+			var items []core.DeleteItem
+			if n > 0 && r.err == nil {
+				items = make([]core.DeleteItem, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					items = append(items, core.DeleteItem{Key: r.str(), Version: r.u64()})
+				}
+			}
+			return &core.DeleteBatchRequest{
+				ID: id, Items: items,
+				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
+				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+			}
+		},
+	},
+	{Kind: 22, Name: "core.DeleteBatchAck", Plane: DataPlane,
+		New: func() interface{} { return &core.DeleteBatchAck{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.DeleteBatchAck)
+			b = appendU64(b, uint64(v.ID))
+			return appendU32(b, uint32(v.Applied))
+		},
+		dec: func(r *reader) interface{} {
+			return &core.DeleteBatchAck{ID: gossip.RequestID(r.u64()), Applied: int(r.u32())}
+		},
+	},
+
+	// -- control plane: mate discovery --
+	{Kind: 23, Name: "core.MateQuery", Plane: ControlPlane,
+		New: func() interface{} { return &core.MateQuery{} },
+		enc: func(b []byte, m interface{}) []byte { return appendI32(b, m.(*core.MateQuery).Slice) },
+		dec: func(r *reader) interface{} { return &core.MateQuery{Slice: r.i32()} },
+	},
+	{Kind: 24, Name: "core.MateReply", Plane: ControlPlane,
+		New: func() interface{} { return &core.MateReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*core.MateReply)
+			b = appendI32(b, v.Slice)
+			return appendDescs(b, v.Mates)
+		},
+		dec: func(r *reader) interface{} {
+			return &core.MateReply{Slice: r.i32(), Mates: readDescs(r)}
+		},
+	},
+
+	// -- DHT baseline --
+	{Kind: 25, Name: "dht.Gossip", Plane: ControlPlane,
+		New: func() interface{} { return &dht.Gossip{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*dht.Gossip)
+			b = appendLen(b, len(v.Members))
+			for _, mem := range v.Members {
+				b = appendU64(b, uint64(mem.ID))
+				b = appendU64(b, mem.Heartbeat)
+				b = appendU64(b, uint64(mem.Position))
+			}
+			return b
+		},
+		dec: func(r *reader) interface{} {
+			n := r.length()
+			var members []dht.Member
+			if n > 0 && r.err == nil {
+				members = make([]dht.Member, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					members = append(members, dht.Member{
+						ID: transport.NodeID(r.u64()), Heartbeat: r.u64(), Position: dht.Position(r.u64()),
+					})
+				}
+			}
+			return &dht.Gossip{Members: members}
+		},
+	},
+	{Kind: 26, Name: "dht.PutRequest", Plane: DataPlane,
+		New: func() interface{} { return &dht.PutRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*dht.PutRequest)
+			b = appendU64(b, v.ID)
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendBytes(b, v.Value)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendU8(b, v.Hops)
+			return appendBool(b, v.Replica)
+		},
+		dec: func(r *reader) interface{} {
+			return &dht.PutRequest{
+				ID: r.u64(), Key: r.str(), Version: r.u64(), Value: r.blob(),
+				Origin: transport.NodeID(r.u64()), Hops: r.u8(), Replica: r.boolean(),
+			}
+		},
+	},
+	{Kind: 27, Name: "dht.PutAck", Plane: DataPlane,
+		New: func() interface{} { return &dht.PutAck{} },
+		enc: func(b []byte, m interface{}) []byte { return appendU64(b, m.(*dht.PutAck).ID) },
+		dec: func(r *reader) interface{} { return &dht.PutAck{ID: r.u64()} },
+	},
+	{Kind: 28, Name: "dht.GetRequest", Plane: DataPlane,
+		New: func() interface{} { return &dht.GetRequest{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*dht.GetRequest)
+			b = appendU64(b, v.ID)
+			b = appendStr(b, v.Key)
+			b = appendU64(b, uint64(v.Origin))
+			b = appendU8(b, v.Hops)
+			return appendU8(b, v.Attempt)
+		},
+		dec: func(r *reader) interface{} {
+			return &dht.GetRequest{
+				ID: r.u64(), Key: r.str(), Origin: transport.NodeID(r.u64()),
+				Hops: r.u8(), Attempt: r.u8(),
+			}
+		},
+	},
+	{Kind: 29, Name: "dht.GetReply", Plane: DataPlane,
+		New: func() interface{} { return &dht.GetReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*dht.GetReply)
+			b = appendU64(b, v.ID)
+			b = appendStr(b, v.Key)
+			b = appendU64(b, v.Version)
+			b = appendBytes(b, v.Value)
+			return appendBool(b, v.Found)
+		},
+		dec: func(r *reader) interface{} {
+			return &dht.GetReply{
+				ID: r.u64(), Key: r.str(), Version: r.u64(), Value: r.blob(), Found: r.boolean(),
+			}
+		},
+	},
+}
+
+var (
+	byKind map[uint16]*Spec
+	byType map[reflect.Type]*Spec
+)
+
+func init() {
+	byKind = make(map[uint16]*Spec, len(Messages))
+	byType = make(map[reflect.Type]*Spec, len(Messages))
+	for i := range Messages {
+		s := &Messages[i]
+		if s.Kind == 0 {
+			panic("wire: kind 0 is reserved (marks an absent entry)")
+		}
+		if _, dup := byKind[s.Kind]; dup {
+			panic("wire: duplicate message kind " + s.Name)
+		}
+		t := reflect.TypeOf(s.New())
+		if _, dup := byType[t]; dup {
+			panic("wire: duplicate message type " + s.Name)
+		}
+		byKind[s.Kind] = s
+		byType[t] = s
+	}
+}
+
+func specOf(msg interface{}) *Spec { return byType[reflect.TypeOf(msg)] }
+func specOfKind(kind uint16) *Spec { return byKind[kind] }
+
+// ---- shared composite encoders/decoders ----
+
+func appendDescs(b []byte, ds []pss.Descriptor) []byte {
+	b = appendLen(b, len(ds))
+	for _, d := range ds {
+		b = appendU64(b, uint64(d.ID))
+		b = appendU32(b, d.Age)
+		b = appendF64(b, d.Attr)
+		b = appendI32(b, d.Slice)
+		b = appendStr(b, d.Addr)
+	}
+	return b
+}
+
+func readDescs(r *reader) []pss.Descriptor {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	ds := make([]pss.Descriptor, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		ds = append(ds, pss.Descriptor{
+			ID: transport.NodeID(r.u64()), Age: r.u32(), Attr: r.f64(),
+			Slice: r.i32(), Addr: r.str(),
+		})
+	}
+	return ds
+}
+
+func appendHeaders(b []byte, hs []antientropy.Header) []byte {
+	b = appendLen(b, len(hs))
+	for _, h := range hs {
+		b = appendStr(b, h.Key)
+		b = appendU64(b, h.Version)
+	}
+	return b
+}
+
+func readHeaders(r *reader) []antientropy.Header {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	hs := make([]antientropy.Header, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		hs = append(hs, antientropy.Header{Key: r.str(), Version: r.u64()})
+	}
+	return hs
+}
+
+func appendObjects(b []byte, objs []store.Object) []byte {
+	b = appendLen(b, len(objs))
+	for _, o := range objs {
+		b = appendStr(b, o.Key)
+		b = appendU64(b, o.Version)
+		b = appendBytes(b, o.Value)
+	}
+	return b
+}
+
+func readObjects(r *reader) []store.Object {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	objs := make([]store.Object, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		objs = append(objs, store.Object{Key: r.str(), Version: r.u64(), Value: r.blob()})
+	}
+	return objs
+}
+
+func appendFilter(b []byte, f antientropy.Filter) []byte {
+	b = appendU32(b, f.K)
+	b = appendLen(b, len(f.Bits))
+	for _, w := range f.Bits {
+		b = appendU64(b, w)
+	}
+	return b
+}
+
+func readFilter(r *reader) antientropy.Filter {
+	f := antientropy.Filter{K: r.u32()}
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return f
+	}
+	f.Bits = make([]uint64, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		f.Bits = append(f.Bits, r.u64())
+	}
+	return f
+}

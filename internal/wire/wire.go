@@ -1,79 +1,116 @@
-// Package wire defines the on-the-wire representation for real (TCP)
-// deployments: gob-encoded envelopes over length-delimited persistent
-// streams. Gob keeps the codec honest with zero hand-rolled parsing
-// while remaining pure stdlib; simulated and in-process fabrics skip
-// encoding entirely and pass message pointers.
+// Package wire defines the on-the-wire representation for real (TCP
+// and UDP) deployments. Simulated and in-process fabrics skip encoding
+// entirely and pass message pointers; everything that crosses a real
+// socket is framed by a Codec.
 //
-// Register is the single registry of every protocol message a node
-// may emit or receive — PSS shuffles, slicing swaps, aggregation,
+// The protocol surface is declared once, in Messages: every message a
+// node may emit or receive — PSS shuffles, slicing swaps, aggregation,
 // anti-entropy (full-header digests, Bloom summaries, pulls, pushes),
 // the data plane (puts/gets/deletes and their batch and ack forms),
-// mate discovery, and the DHT baseline. A message type that is not
-// registered here cannot cross a TCP link: adding a protocol message
-// means adding a line to Register, and forgetting draws a decode
-// error on the receiving node rather than silent misbehavior. Old
-// nodes ignore message kinds they do not know (the node's dispatch
-// falls through), so mixed-version deployments degrade instead of
-// crashing.
+// mate discovery, and the DHT baseline — with a stable kind ID and a
+// plane tag (control or data). Both codecs, the datagram routing
+// split, and the gob registry are derived from that one table: adding
+// a protocol message means adding a table entry, and forgetting draws
+// a decode error on the receiving node rather than silent misbehavior.
+//
+// Two codecs implement the same Codec interface:
+//
+//   - BinaryCodec: hand-rolled length-delimited fields behind a frame
+//     version byte and the table's kind IDs. Encode appends into a
+//     caller-owned buffer and allocates nothing once the buffer has
+//     warmed up, which is what the hot paths (relay puts, digests,
+//     pushes) want.
+//   - GobCodec: the original reflection-based encoding, kept as the
+//     compat/fallback path for rolling upgrades.
+//
+// Every frame begins with its codec's version byte and both codecs
+// decode frames of either version, so mixed-codec clusters
+// interoperate message by message; nodes that do not know a kind
+// receive it as Unknown and ignore it, so mixed-version deployments
+// degrade instead of crashing.
 package wire
 
 import (
 	"encoding/gob"
 	"sync"
 
-	"dataflasks/internal/aggregate"
-	"dataflasks/internal/antientropy"
-	"dataflasks/internal/core"
-	"dataflasks/internal/dht"
-	"dataflasks/internal/pss"
-	"dataflasks/internal/slicing"
 	"dataflasks/internal/transport"
 )
 
 // Envelope is the wire frame: the logical envelope plus the sender's
 // dialable address, which lets receivers answer nodes they have never
-// dialed.
-type Envelope struct {
-	From     transport.NodeID
-	FromAddr string
-	To       transport.NodeID
-	Msg      interface{}
+// dialed. It is the transport layer's WireEnvelope; the alias keeps
+// protocol code out of the transport package's namespace.
+type Envelope = transport.WireEnvelope
+
+// Codec turns envelopes into self-describing frames and back; see the
+// package comment for the two implementations.
+type Codec = transport.WireCodec
+
+// Plane tags a message with the transport class it belongs to.
+type Plane uint8
+
+const (
+	// ControlPlane marks small, loss-tolerant epidemic traffic —
+	// shuffles, swaps, aggregation, repair digests, mate discovery —
+	// eligible for the UDP datagram fast path.
+	ControlPlane Plane = iota
+	// DataPlane marks payload-bearing or client-visible traffic —
+	// puts, gets, deletes, their acks and batches, repair pushes —
+	// that stays on TCP streams.
+	DataPlane
+)
+
+// Unknown stands in for a decoded message whose kind this build does
+// not know (a newer peer's message). The node dispatch ignores it via
+// its default case, so mixed-version deployments degrade instead of
+// crashing — the framed-codec equivalent of gob's unknown-type error
+// being confined to one message.
+type Unknown struct {
+	Kind uint16
+}
+
+// Control reports whether msg is control-plane traffic eligible for
+// the datagram path. Unregistered types are data plane: the stream
+// path is the one that always works.
+func Control(msg interface{}) bool {
+	if s := specOf(msg); s != nil {
+		return s.Plane == ControlPlane
+	}
+	return false
+}
+
+// KindOf returns the stable kind ID for msg (ok=false for types
+// outside the message table).
+func KindOf(msg interface{}) (uint16, bool) {
+	if s := specOf(msg); s != nil {
+		return s.Kind, true
+	}
+	return 0, false
 }
 
 var registerOnce sync.Once
 
-// Register records every protocol message type with gob. Safe to call
-// multiple times.
+// Register records every protocol message type with gob. It is derived
+// from the Messages table and safe to call multiple times; the codec
+// constructors call it, so explicit calls remain only as a shim for
+// existing callers.
 func Register() {
 	registerOnce.Do(func() {
-		gob.Register(&pss.ShuffleRequest{})
-		gob.Register(&pss.ShuffleReply{})
-		gob.Register(&slicing.SwapRequest{})
-		gob.Register(&slicing.SwapReply{})
-		gob.Register(&aggregate.ExtremaMsg{})
-		gob.Register(&aggregate.PushSumMsg{})
-		gob.Register(&antientropy.Digest{})
-		gob.Register(&antientropy.DigestReply{})
-		gob.Register(&antientropy.Summary{})
-		gob.Register(&antientropy.SummaryReply{})
-		gob.Register(&antientropy.Pull{})
-		gob.Register(&antientropy.Push{})
-		gob.Register(&core.PutRequest{})
-		gob.Register(&core.PutAck{})
-		gob.Register(&core.PutBatchRequest{})
-		gob.Register(&core.PutBatchAck{})
-		gob.Register(&core.GetRequest{})
-		gob.Register(&core.GetReply{})
-		gob.Register(&core.DeleteRequest{})
-		gob.Register(&core.DeleteAck{})
-		gob.Register(&core.DeleteBatchRequest{})
-		gob.Register(&core.DeleteBatchAck{})
-		gob.Register(&core.MateQuery{})
-		gob.Register(&core.MateReply{})
-		gob.Register(&dht.Gossip{})
-		gob.Register(&dht.PutRequest{})
-		gob.Register(&dht.PutAck{})
-		gob.Register(&dht.GetRequest{})
-		gob.Register(&dht.GetReply{})
+		for _, s := range Messages {
+			gob.Register(s.New())
+		}
 	})
+}
+
+// CodecByName maps a configuration string to a codec: "binary" (the
+// fast default) or "gob" (the compat/fallback path).
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case "binary":
+		return BinaryCodec(), true
+	case "gob":
+		return GobCodec(), true
+	}
+	return nil, false
 }

@@ -31,6 +31,16 @@ type NodeConfig struct {
 	DataDir string
 	// RoundPeriod is the gossip period (default 500ms).
 	RoundPeriod time.Duration
+	// UDPBind enables the datagram control plane: PSS shuffles, slicing
+	// swaps, aggregation and anti-entropy digests ride single UDP
+	// frames, with oversize or failed datagrams falling back to TCP.
+	// Peers address datagrams at each other's advertised TCP port, so
+	// the value must bind the same port as Bind; "auto" derives it from
+	// the bound TCP listener. Empty disables (all traffic on TCP).
+	// Mixed deployments are safe: a peer's datagram path is only used
+	// after it answers a probe, so traffic to UDP-less nodes stays on
+	// TCP.
+	UDPBind string
 	// Config carries the protocol configuration.
 	Config Config
 }
@@ -38,10 +48,12 @@ type NodeConfig struct {
 // Node is a standalone DataFlasks host on TCP — the deployable unit
 // behind cmd/flasksd.
 type Node struct {
-	id   NodeID
-	net  *transport.TCPNetwork
-	core *core.Node
-	st   store.Store
+	id     NodeID
+	net    *transport.TCPNetwork
+	udp    *transport.UDPTransport // nil unless UDPBind was set
+	wstats *metrics.WireStats
+	core   *core.Node
+	st     store.Store
 
 	mailbox chan transport.Envelope
 	done    chan struct{}
@@ -53,6 +65,18 @@ type Node struct {
 	drops metrics.SharedCounter
 
 	closeOnce sync.Once
+}
+
+// wireCodecFor resolves a Config.WireCodec name (empty means binary).
+func wireCodecFor(name string) (transport.WireCodec, error) {
+	if name == "" {
+		name = "binary"
+	}
+	c, ok := wire.CodecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dataflasks: unknown wire codec %q (want binary or gob)", name)
+	}
+	return c, nil
 }
 
 // ParseSeed parses "id@host:port".
@@ -77,10 +101,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.RoundPeriod <= 0 {
 		cfg.RoundPeriod = 500 * time.Millisecond
 	}
-	wire.Register()
+	codec, err := wireCodecFor(cfg.Config.WireCodec)
+	if err != nil {
+		return nil, err
+	}
 
 	n := &Node{
 		id:      cfg.ID,
+		wstats:  &metrics.WireStats{},
 		mailbox: make(chan transport.Envelope, defaultMailbox),
 		done:    make(chan struct{}),
 	}
@@ -96,16 +124,42 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			n.drops.Inc()
 		}
 	}
-	tcpNet, err := transport.ListenTCP(cfg.ID, cfg.Bind, cfg.Advertise, handler)
+	tcpNet, err := transport.ListenTCP(cfg.ID, cfg.Bind, cfg.Advertise,
+		transport.TCPConfig{Codec: codec, Stats: n.wstats}, handler)
 	if err != nil {
 		return nil, err
 	}
 	n.net = tcpNet
 
 	coreCfg := cfg.Config.coreConfig()
+	if cfg.UDPBind != "" {
+		udpBind := cfg.UDPBind
+		if udpBind == "auto" {
+			udpBind = tcpNet.BoundAddr()
+		}
+		udpT, err := transport.ListenUDP(cfg.ID, udpBind, transport.UDPConfig{
+			Codec: codec,
+			Resolve: func(id transport.NodeID) (string, bool) {
+				addr := tcpNet.PeerAddr(id)
+				return addr, addr != ""
+			},
+			Stats: n.wstats,
+		}, handler)
+		if err != nil {
+			tcpNet.Close()
+			return nil, err
+		}
+		n.udp = udpT
+		// Control traffic tries one datagram first; unproven datagram
+		// paths (peers that never acked a probe — e.g. nodes running
+		// without -udp-addr), oversize frames, unknown peers and socket
+		// errors retry on the TCP stream.
+		coreCfg.Control = transport.FallbackSender(udpT.Sender(), tcpNet.Sender())
+		coreCfg.IsControl = wire.Control
+	}
 	st, err := coreCfg.Store.Open(cfg.DataDir)
 	if err != nil {
-		tcpNet.Close()
+		n.closeFabrics()
 		return nil, err
 	}
 	n.st = st
@@ -118,7 +172,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	for _, s := range cfg.Seeds {
 		id, addr, err := ParseSeed(s)
 		if err != nil {
-			tcpNet.Close()
+			n.closeFabrics()
 			_ = n.st.Close()
 			return nil, err
 		}
@@ -166,13 +220,38 @@ func (n *Node) PeersKnown() int { return n.net.PeerCount() }
 // because the node's mailbox was full (event loop congestion).
 func (n *Node) MailboxDropped() uint64 { return n.drops.Load() }
 
+// WireStats reports wire-level accounting shared by the node's TCP and
+// UDP fabrics: encoded bytes, codec fallbacks, and datagram counters.
+func (n *Node) WireStats() metrics.WireSnapshot { return n.wstats.Snapshot() }
+
+// UDPAddr returns the datagram listener's bound address, or "" when
+// the datagram control plane is disabled.
+func (n *Node) UDPAddr() string {
+	if n.udp == nil {
+		return ""
+	}
+	return n.udp.Addr()
+}
+
+func (n *Node) closeFabrics() {
+	if n.udp != nil {
+		_ = n.udp.Close()
+	}
+	_ = n.net.Close()
+}
+
 // Close shuts the node down and releases the store.
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
 		close(n.done)
 		n.wg.Wait()
-		err = n.net.Close()
+		if n.udp != nil {
+			err = n.udp.Close()
+		}
+		if cerr := n.net.Close(); err == nil {
+			err = cerr
+		}
 		if cerr := n.st.Close(); err == nil {
 			err = cerr
 		}
@@ -187,7 +266,10 @@ func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("dataflasks: ConnectClient needs at least one seed")
 	}
-	wire.Register()
+	codec, err := wireCodecFor(cfg.WireCodec)
+	if err != nil {
+		return nil, err
+	}
 	// Client ids live in their own range; collisions across
 	// independent clients are avoided by random draw.
 	id := clientIDBase + NodeID(rand.Uint32N(1<<24))
@@ -201,7 +283,7 @@ func ConnectClient(bind string, seeds []string, cfg Config) (*Client, error) {
 			drops.Inc()
 		}
 	}
-	tcpNet, err := transport.ListenTCP(id, bind, "", handler)
+	tcpNet, err := transport.ListenTCP(id, bind, "", transport.TCPConfig{Codec: codec}, handler)
 	if err != nil {
 		return nil, err
 	}
