@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build examples test race bench smoke fmt vet lint ci
+# Pinned third-party analyzer versions; CI installs exactly these, and
+# the local lint target tells you the same pin when the tool is absent.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build examples test race bench smoke fmt vet check lint ci
 
 all: build
 
@@ -28,8 +33,27 @@ smoke:
 	$(GO) run ./cmd/flaskbench -exp resp -quick
 	$(GO) run ./cmd/flaskbench -exp churn -quick -json BENCH_churn.json
 
-lint:
+# check runs the repo's own invariant analyzers (wire table, event
+# loop, ctx plumbing, lock holds, counter names). Zero findings or the
+# build fails.
+check:
+	$(GO) run ./cmd/flaskscheck ./...
+
+# lint = repolint + flaskscheck always, plus staticcheck/govulncheck
+# when installed (they need network to install, so offline runs skip
+# them loudly instead of failing).
+lint: check
 	$(GO) run ./cmd/repolint README.md ROADMAP.md PAPER.md PAPERS.md CHANGES.md docs/ARCHITECTURE.md .
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -303,8 +303,8 @@ func BenchmarkCyclonShuffleRound(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Tick()
-		c.Handle(2, &pss.ShuffleRequest{Sample: sample})
+		c.Tick(context.Background())
+		c.Handle(context.Background(), 2, &pss.ShuffleRequest{Sample: sample})
 	}
 }
 
@@ -344,7 +344,7 @@ func BenchmarkNodeHandlePut(b *testing.B) {
 	val := make([]byte, 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &core.PutRequest{
+		n.HandleMessage(context.Background(), transport.Envelope{From: 2, To: 1, Msg: &core.PutRequest{
 			ID:  gossip.MakeRequestID(3, uint32(i)),
 			Key: fmt.Sprintf("key%08d", i%4096), Version: uint64(i), Value: val,
 			TTL: 4, NoAck: true,

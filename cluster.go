@@ -1,6 +1,7 @@
 package dataflasks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -167,6 +168,10 @@ func (c *Cluster) runNode(n *core.Node, mailbox <-chan transport.Envelope, stop 
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
+		// Per-node lifecycle context: bounds every send the node makes
+		// and dies with the node's loop.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
 		ticker := time.NewTicker(c.period)
 		defer ticker.Stop()
 		for {
@@ -175,9 +180,9 @@ func (c *Cluster) runNode(n *core.Node, mailbox <-chan transport.Envelope, stop 
 				if !ok {
 					return
 				}
-				n.HandleMessage(env)
+				n.HandleMessage(ctx, env)
 			case <-ticker.C:
-				n.Tick()
+				n.Tick(ctx)
 			case <-stop:
 				return
 			}

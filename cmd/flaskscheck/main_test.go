@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"dataflasks/internal/analysis"
+)
+
+// TestRepoInvariantsClean runs the whole suite over the module — the
+// same run CI does — and fails on any finding. Reverting a ctx fix or
+// dropping a counter's documentation breaks this test, not just the
+// lint step.
+func TestRepoInvariantsClean(t *testing.T) {
+	prog, err := analysis.LoadPackages(".", nil)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(prog, All)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

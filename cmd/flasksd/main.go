@@ -163,8 +163,8 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				log.Printf("flasksd: slice=%d peers=%d objects=%d dropped=%d",
-					node.Slice(), node.PeersKnown(), node.StoredObjects(), node.MailboxDropped())
+				log.Printf("flasksd: slice=%d peers=%d objects=%d dropped=%d send_errors=%d",
+					node.Slice(), node.PeersKnown(), node.StoredObjects(), node.MailboxDropped(), node.SendErrors())
 				ws := node.WireStats()
 				log.Printf("flasksd: wire encode_bytes=%d codec_fallbacks=%d udp sent=%d dropped=%d oversize=%d",
 					ws.EncodeBytes, ws.CodecFallbacks, ws.UDPSent, ws.UDPDropped, ws.UDPOversize)

@@ -43,6 +43,10 @@ type ExtremaConfig struct {
 	// old minima forever) age out. Default 64; 0 keeps one epoch
 	// forever.
 	RestartEvery int
+	// OnSendErr observes gossip send failures. The fold is idempotent,
+	// so a lost push costs only a round — but the failure is counted,
+	// never silently dropped (wire_send_errors).
+	OnSendErr func(error)
 }
 
 func (c *ExtremaConfig) defaults() {
@@ -113,8 +117,16 @@ func (e *Extrema) Estimate() (n float64, stableTicks int) {
 	return n, e.stableTicks
 }
 
+// sendErr reports a failed gossip send to the configured observer.
+func (e *Extrema) sendErr(err error) {
+	if err != nil && e.cfg.OnSendErr != nil {
+		e.cfg.OnSendErr(err)
+	}
+}
+
 // Tick runs one gossip round: push the vector to a random partner.
-func (e *Extrema) Tick() {
+// ctx bounds the round's sends.
+func (e *Extrema) Tick(ctx context.Context) {
 	e.ticks++
 	if e.cfg.RestartEvery > 0 && e.ticks%e.cfg.RestartEvery == 0 {
 		e.restart()
@@ -125,14 +137,14 @@ func (e *Extrema) Tick() {
 	}
 	vec := make([]float64, len(e.vec))
 	copy(vec, e.vec)
-	_ = e.out.Send(context.Background(), peer, &ExtremaMsg{Seeds: vec})
+	e.sendErr(e.out.Send(ctx, peer, &ExtremaMsg{Seeds: vec}))
 	e.stableTicks++
 }
 
 // Handle folds a received vector; it reports false for foreign
 // messages. Receivers push back when the fold taught them something,
-// which spreads news fast without flooding.
-func (e *Extrema) Handle(from transport.NodeID, msg interface{}) bool {
+// which spreads news fast without flooding. ctx bounds the push-back.
+func (e *Extrema) Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool {
 	m, ok := msg.(*ExtremaMsg)
 	if !ok {
 		return false
@@ -144,7 +156,7 @@ func (e *Extrema) Handle(from transport.NodeID, msg interface{}) bool {
 	if theirsStale {
 		vec := make([]float64, len(e.vec))
 		copy(vec, e.vec)
-		_ = e.out.Send(context.Background(), from, &ExtremaMsg{Seeds: vec})
+		e.sendErr(e.out.Send(ctx, from, &ExtremaMsg{Seeds: vec}))
 	}
 	return true
 }
@@ -183,6 +195,10 @@ type PushSum struct {
 	out     transport.Sender
 	partner PartnerFunc
 
+	// OnSendErr observes transfer send failures (optional; set before
+	// the first Tick). Counted by the node runtime (wire_send_errors).
+	OnSendErr func(error)
+
 	sum    float64
 	weight float64
 }
@@ -204,15 +220,27 @@ func (p *PushSum) Average() float64 {
 	return p.sum / p.weight
 }
 
-// Tick sends half the mass to a random partner.
-func (p *PushSum) Tick() {
+// Tick sends half the mass to a random partner. ctx bounds the send.
+// A send the fabric rejects outright restores the transferred mass:
+// push-sum's correctness is mass conservation, and before errors were
+// threaded through (PR 7) every fabric-level failure silently
+// evaporated half this node's mass. (Mass lost in flight is still
+// gone — that is the protocol's known loss sensitivity — but local
+// failures no longer contribute.)
+func (p *PushSum) Tick(ctx context.Context) {
 	peer, ok := p.partner()
 	if !ok {
 		return
 	}
 	p.sum /= 2
 	p.weight /= 2
-	_ = p.out.Send(context.Background(), peer, &PushSumMsg{Sum: p.sum, Weight: p.weight})
+	if err := p.out.Send(ctx, peer, &PushSumMsg{Sum: p.sum, Weight: p.weight}); err != nil {
+		p.sum *= 2
+		p.weight *= 2
+		if p.OnSendErr != nil {
+			p.OnSendErr(err)
+		}
+	}
 }
 
 // Handle folds received mass; it reports false for foreign messages.

@@ -52,7 +52,7 @@ func (a *aggNet) deliverAll() {
 	for len(a.queue) > 0 {
 		env := a.queue[0]
 		a.queue = a.queue[1:]
-		if e, ok := a.extremas[env.To]; ok && e.Handle(env.From, env.Msg) {
+		if e, ok := a.extremas[env.To]; ok && e.Handle(context.Background(), env.From, env.Msg) {
 			continue
 		}
 		if p, ok := a.pushsums[env.To]; ok {
@@ -70,7 +70,7 @@ func TestExtremaEstimatesSystemSize(t *testing.T) {
 	}
 	for r := 0; r < 20; r++ {
 		for _, id := range net.ids {
-			net.extremas[id].Tick()
+			net.extremas[id].Tick(context.Background())
 		}
 		net.deliverAll()
 	}
@@ -91,7 +91,7 @@ func TestExtremaVectorsConvergeIdentically(t *testing.T) {
 	}
 	for r := 0; r < 30; r++ {
 		for _, id := range net.ids {
-			net.extremas[id].Tick()
+			net.extremas[id].Tick(context.Background())
 		}
 		net.deliverAll()
 	}
@@ -117,7 +117,7 @@ func TestExtremaInitialEstimate(t *testing.T) {
 func TestExtremaHandleForeign(t *testing.T) {
 	net := newAggNet(1)
 	e := NewExtrema(ExtremaConfig{}, net.sender(1), func() (transport.NodeID, bool) { return 0, false }, sim.RNG(1, 1))
-	if e.Handle(2, "nope") {
+	if e.Handle(context.Background(), 2, "nope") {
 		t.Error("claimed a foreign message")
 	}
 }
@@ -134,7 +134,7 @@ func TestPushSumAverages(t *testing.T) {
 	truth /= n
 	for r := 0; r < 60; r++ {
 		for _, id := range net.ids {
-			net.pushsums[id].Tick()
+			net.pushsums[id].Tick(context.Background())
 		}
 		net.deliverAll()
 	}
@@ -154,7 +154,7 @@ func TestPushSumConservesMass(t *testing.T) {
 	}
 	for r := 0; r < 25; r++ {
 		for _, id := range net.ids {
-			net.pushsums[id].Tick()
+			net.pushsums[id].Tick(context.Background())
 		}
 		net.deliverAll() // all mass delivered: none in flight
 	}

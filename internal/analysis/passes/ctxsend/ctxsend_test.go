@@ -1,0 +1,25 @@
+package ctxsend_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dataflasks/internal/analysis/analysistest"
+	"dataflasks/internal/analysis/passes/ctxsend"
+)
+
+var testdata = filepath.Join("..", "..", "testdata")
+
+// TestCtxsend exercises both rules and the waiver; the fixture
+// directory also seeds violations in a generated file and a _test.go
+// file with no want comments, so a loader-exclusion regression
+// surfaces here as unexpected diagnostics.
+func TestCtxsend(t *testing.T) {
+	analysistest.Run(t, testdata, ctxsend.Analyzer, "ctxsend")
+}
+
+// TestCtxsendScope runs the pass over an out-of-scope fabric package
+// full of pattern matches and expects silence.
+func TestCtxsendScope(t *testing.T) {
+	analysistest.Run(t, testdata, ctxsend.Analyzer, "ctxsend_outofscope")
+}

@@ -1,0 +1,157 @@
+// Package lockhold flags blocking work performed while a sync.Mutex or
+// sync.RWMutex is held — the bug class PR 2's compaction fix was about:
+// an fsync or a fabric send under the store's mu stalls every reader
+// behind the lock, not just the caller.
+//
+// The pass is a lexical, per-function approximation: it scans each
+// function body in source order, tracking Lock/RLock acquisitions and
+// Unlock/RUnlock releases on the same receiver expression. A deferred
+// unlock keeps the lock held to the end of the function (which is the
+// point of defer). While any lock is held it flags:
+//
+//   - fabric sends (.Send with ≥2 args)
+//   - fsync (.Sync()) and blocking os file operations
+//   - net package calls and time.Sleep
+//
+// Function literals are skipped — they run later, under whatever locks
+// their call site holds. Control flow is not modeled: an unlock inside
+// a conditional releases the lexical count, so the pass under-reports
+// rather than false-positives on early-return unlock patterns.
+// Deliberate holds (e.g. the log engine's directory fsync inside
+// segment rolls, where ordering IS the invariant) carry
+// //flasks:lockhold-ok with a rationale.
+package lockhold
+
+import (
+	"go/ast"
+
+	"dataflasks/internal/analysis"
+)
+
+// Marker waives a flagged line.
+const Marker = "lockhold-ok"
+
+var blockingOS = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "ReadFile": true, "WriteFile": true,
+	"ReadDir": true, "Truncate": true, "Chtimes": true, "Link": true, "Symlink": true,
+}
+
+// Analyzer is the lockhold pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "no fsync, fabric send, or blocking I/O while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		imports := analysis.Imports(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, imports, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, imports map[string]string, fn *ast.FuncDecl) {
+	held := map[string]int{} // receiver expression → acquisition depth
+	total := 0
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later, under its call site's locks
+		case *ast.DeferStmt:
+			// defer mu.Unlock() means held-to-end: simply never
+			// decrement. Other deferred work also runs at return,
+			// outside this lexical scan's scope.
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := exprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if recv != "" && len(n.Args) == 0 && !isPkgQualifier(imports, sel.X) {
+					held[recv]++
+					total++
+				}
+				return true
+			case "Unlock", "RUnlock":
+				if recv != "" && len(n.Args) == 0 && held[recv] > 0 {
+					held[recv]--
+					total--
+				}
+				return true
+			}
+			if total > 0 {
+				checkBlocking(pass, imports, n, sel)
+			}
+		}
+		return true
+	})
+}
+
+func checkBlocking(pass *analysis.Pass, imports map[string]string, call *ast.CallExpr, sel *ast.SelectorExpr) {
+	if pass.Annotated(call.Pos(), Marker) {
+		return
+	}
+	if qual, ok := sel.X.(*ast.Ident); ok {
+		switch imports[qual.Name] {
+		case "time":
+			if sel.Sel.Name == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep while a mutex is held (or annotate //flasks:lockhold-ok)")
+			}
+			return
+		case "net":
+			pass.Reportf(call.Pos(), "net.%s while a mutex is held (or annotate //flasks:lockhold-ok)", sel.Sel.Name)
+			return
+		case "os":
+			if blockingOS[sel.Sel.Name] {
+				pass.Reportf(call.Pos(), "os.%s does file I/O while a mutex is held (or annotate //flasks:lockhold-ok)", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	switch {
+	case sel.Sel.Name == "Send" && len(call.Args) >= 2:
+		pass.Reportf(call.Pos(), "fabric Send while a mutex is held blocks every goroutine behind the lock (or annotate //flasks:lockhold-ok)")
+	case sel.Sel.Name == "Sync" && len(call.Args) == 0:
+		pass.Reportf(call.Pos(), "fsync (.Sync()) while a mutex is held stalls the lock for a disk flush (or annotate //flasks:lockhold-ok)")
+	}
+}
+
+// isPkgQualifier reports whether x names an imported package — so
+// flock.Lock(path) style qualified calls are not mistaken for mutex
+// acquisitions.
+func isPkgQualifier(imports map[string]string, x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := imports[id.Name]
+	return isPkg
+}
+
+// exprString renders ident/selector chains ("l.mu", "s.store.mu");
+// anything else — map index, call result — returns "" and is not
+// tracked.
+func exprString(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

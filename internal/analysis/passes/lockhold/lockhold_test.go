@@ -1,0 +1,13 @@
+package lockhold_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dataflasks/internal/analysis/analysistest"
+	"dataflasks/internal/analysis/passes/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), lockhold.Analyzer, "lockhold")
+}

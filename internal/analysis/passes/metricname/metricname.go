@@ -1,0 +1,188 @@
+// Package metricname keeps the metrics counter namespace honest: every
+// Counter constant has exactly one snake_case name in the counterNames
+// table, no two counters share a name, and every name is documented
+// where operators look for it (the README and architecture docs that
+// explain the flasksd status line). An undocumented counter is a dial
+// nobody can find; a missing table entry makes Counter.String() render
+// the empty string in every experiment report.
+//
+// The pass triggers on the package declaring
+// `var counterNames = [...]string{...}` keyed by Counter constants. It
+// cross-references the Counter const block (the typed-iota enum ending
+// in an unexported sentinel) and greps DocFiles — resolved against the
+// module root — for each name.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dataflasks/internal/analysis"
+)
+
+// DocFiles are the module-root-relative documents every counter name
+// must appear in (at least one of them). A var, not a const, so the
+// fixture tests can point it at fixture docs.
+var DocFiles = []string{"README.md", "docs/ARCHITECTURE.md"}
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "every metrics counter name is registered exactly once and documented",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	table, tablePos := findNames(pass.Pkg)
+	if table == nil {
+		return nil
+	}
+	docs, missingDocs := loadDocs(pass.Program.RootDir)
+	for _, path := range missingDocs {
+		pass.Reportf(tablePos, "counter documentation file %s is unreadable", path)
+	}
+
+	consts := counterConsts(pass.Pkg)
+	seen := map[string]string{} // name → counter const that claimed it
+	keyed := map[string]bool{}  // counter consts present in the table
+	for _, e := range table {
+		keyed[e.key] = true
+		if e.name == "" {
+			pass.Reportf(e.pos, "counter %s has an empty name", e.key)
+			continue
+		}
+		if prev, dup := seen[e.name]; dup {
+			pass.Reportf(e.pos, "counter name %q registered twice (%s and %s)", e.name, prev, e.key)
+		} else {
+			seen[e.name] = e.key
+		}
+		if len(docs) > 0 && !documented(docs, e.name) {
+			pass.Reportf(e.pos, "counter name %q appears in no status-line documentation (%s)", e.name, strings.Join(DocFiles, ", "))
+		}
+	}
+	for _, c := range consts {
+		if !keyed[c.name] {
+			pass.Reportf(c.pos, "counter %s has no entry in counterNames; Counter.String() would render \"\"", c.name)
+		}
+	}
+	return nil
+}
+
+type entry struct {
+	pos  token.Pos
+	key  string // Counter const ident
+	name string // snake_case string value
+}
+
+type counterConst struct {
+	pos  token.Pos
+	name string
+}
+
+// findNames parses `var counterNames = [...]string{Key: "name", ...}`.
+func findNames(pkg *analysis.Package) ([]entry, token.Pos) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gen.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "counterNames" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				var entries []entry
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					e := entry{pos: kv.Pos(), key: key.Name}
+					if bl, ok := kv.Value.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+						e.name, _ = strconv.Unquote(bl.Value)
+					}
+					entries = append(entries, e)
+				}
+				return entries, vs.Pos()
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// counterConsts collects the exported constants of the typed-iota
+// Counter enum. The unexported length sentinel (numCounters) is not a
+// counter and is skipped.
+func counterConsts(pkg *analysis.Package) []counterConst {
+	var out []counterConst
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.CONST || len(gen.Specs) == 0 {
+				continue
+			}
+			first, ok := gen.Specs[0].(*ast.ValueSpec)
+			if !ok || !isCounterIota(first) {
+				continue
+			}
+			for _, s := range gen.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if ast.IsExported(name.Name) {
+						out = append(out, counterConst{pos: name.Pos(), name: name.Name})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isCounterIota recognizes the enum head: `MsgSent Counter = iota`.
+func isCounterIota(vs *ast.ValueSpec) bool {
+	t, ok := vs.Type.(*ast.Ident)
+	if !ok || t.Name != "Counter" || len(vs.Values) != 1 {
+		return false
+	}
+	v, ok := vs.Values[0].(*ast.Ident)
+	return ok && v.Name == "iota"
+}
+
+// loadDocs reads DocFiles; unreadable paths are returned separately
+// so the caller can report them.
+func loadDocs(root string) (contents []string, missing []string) {
+	for _, rel := range DocFiles {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			missing = append(missing, rel)
+			continue
+		}
+		contents = append(contents, string(data))
+	}
+	return contents, missing
+}
+
+func documented(docs []string, name string) bool {
+	for _, d := range docs {
+		if strings.Contains(d, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package metricname_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dataflasks/internal/analysis/analysistest"
+	"dataflasks/internal/analysis/passes/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	// Point the documentation requirement at the fixture doc (which
+	// documents msg_sent but not undocumented_counter).
+	old := metricname.DocFiles
+	metricname.DocFiles = []string{"docs.md"}
+	defer func() { metricname.DocFiles = old }()
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), metricname.Analyzer, "metricname")
+}

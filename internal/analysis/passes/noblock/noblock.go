@@ -1,0 +1,117 @@
+// Package noblock keeps the event loop latency-clean: internal/core is
+// one goroutine serializing every put, get, digest and shuffle, so a
+// single blocking call there stalls the whole node (the "32-core box at
+// 1-core speed" loop the sharding refactor will split). The pass flags,
+// anywhere in package core:
+//
+//   - time.Sleep
+//   - direct file/network I/O: calls into the net package, blocking os
+//     file operations, and .Sync() (fsync) method calls
+//   - bare channel sends — `ch <- v` outside a select with a default
+//     clause (a send inside such a select cannot block)
+//
+// Store operations are invisible to this pass by design: core writes
+// through the store.Store interface, whose engines own their fsync
+// discipline (group commit). The rule is about core doing I/O
+// *itself*. Deliberate exceptions carry //flasks:noblock-ok.
+package noblock
+
+import (
+	"go/ast"
+
+	"dataflasks/internal/analysis"
+)
+
+// Marker waives a flagged line.
+const Marker = "noblock-ok"
+
+// blockingOS lists os package calls that hit the filesystem.
+var blockingOS = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "ReadFile": true, "WriteFile": true,
+	"ReadDir": true, "Truncate": true, "Chtimes": true, "Link": true, "Symlink": true,
+}
+
+// Analyzer is the noblock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noblock",
+	Doc:  "the core event loop must not sleep, do I/O, or block on a channel send",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name != "core" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		imports := analysis.Imports(f)
+		// nonBlockingSends holds `ch <- v` nodes that appear as the comm
+		// of a select clause guarded by a default case.
+		nonBlockingSends := map[*ast.SendStmt]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				markSelectSends(n, nonBlockingSends)
+			case *ast.SendStmt:
+				if !nonBlockingSends[n] && !pass.Annotated(n.Pos(), Marker) {
+					pass.Reportf(n.Pos(), "bare channel send in the core event loop can block; use a select with default (or annotate //flasks:noblock-ok)")
+				}
+			case *ast.CallExpr:
+				checkCall(pass, imports, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// markSelectSends records the comm sends of sel's clauses when sel has
+// a default clause (making every comm non-blocking).
+func markSelectSends(sel *ast.SelectStmt, into map[*ast.SendStmt]bool) {
+	hasDefault := false
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		return
+	}
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok {
+			if send, ok := c.Comm.(*ast.SendStmt); ok {
+				into[send] = true
+			}
+		}
+	}
+}
+
+func checkCall(pass *analysis.Pass, imports map[string]string, call *ast.CallExpr) {
+	if pass.Annotated(call.Pos(), Marker) {
+		return
+	}
+	if analysis.IsPkgFunc(imports, call, "time", "Sleep") {
+		pass.Reportf(call.Pos(), "time.Sleep stalls the core event loop; use the tick cadence (or annotate //flasks:noblock-ok)")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if qual, ok := sel.X.(*ast.Ident); ok {
+		switch imports[qual.Name] {
+		case "net":
+			pass.Reportf(call.Pos(), "net.%s does network I/O in the core event loop (or annotate //flasks:noblock-ok)", sel.Sel.Name)
+			return
+		case "os":
+			if blockingOS[sel.Sel.Name] {
+				pass.Reportf(call.Pos(), "os.%s does file I/O in the core event loop (or annotate //flasks:noblock-ok)", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	if sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+		pass.Reportf(call.Pos(), "fsync (.Sync()) in the core event loop blocks on the disk (or annotate //flasks:noblock-ok)")
+	}
+}

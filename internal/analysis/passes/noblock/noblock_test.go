@@ -1,0 +1,13 @@
+package noblock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dataflasks/internal/analysis/analysistest"
+	"dataflasks/internal/analysis/passes/noblock"
+)
+
+func TestNoblock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), noblock.Analyzer, "noblock")
+}

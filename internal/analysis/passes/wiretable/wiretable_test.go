@@ -1,0 +1,19 @@
+package wiretable_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dataflasks/internal/analysis/analysistest"
+	"dataflasks/internal/analysis/passes/wiretable"
+)
+
+// TestWiretable loads the fixture table (kind collision, zero kind,
+// missing codec, Name/New mismatch, missing golden frame) together
+// with a protocol package sending an unregistered message, in one
+// program — the cross-package check resolves against the fixture
+// table, not the real one.
+func TestWiretable(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), wiretable.Analyzer,
+		"wiretable", "wiretable_send")
+}

@@ -1,0 +1,30 @@
+// Package aggregate is a ctxsend fixture: an in-scope protocol
+// package exercising both rules and the fire-and-forget waiver.
+package aggregate
+
+import (
+	"context"
+)
+
+type sender interface {
+	Send(ctx context.Context, to uint64, msg interface{}) error
+}
+
+type proto struct {
+	out   sender
+	onErr func(error)
+}
+
+func (p *proto) tick(ctx context.Context) {
+	_ = p.out.Send(context.Background(), 1, "m") // want `fabricates context.Background` `discarded with _ =`
+	_ = p.out.Send(context.TODO(), 1, "m")       // want `fabricates context.TODO` `discarded with _ =`
+	p.out.Send(ctx, 1, "m")                      // want `result ignored`
+
+	if err := p.out.Send(ctx, 1, "m"); err != nil { // ok: ctx threaded, error handled
+		p.onErr(err)
+	}
+
+	//flasks:fire-and-forget fixture: waiver on the line above
+	_ = p.out.Send(context.Background(), 1, "m")
+	_ = p.out.Send(context.Background(), 1, "m") //flasks:fire-and-forget trailing waiver
+}

@@ -1,0 +1,66 @@
+// Package store is a lockhold fixture: blocking work while a mutex is
+// held.
+package store
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+type sender interface {
+	Send(ctx context.Context, to uint64, msg interface{}) error
+}
+
+type file interface {
+	Sync() error
+}
+
+type state struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	f   file
+	out sender
+}
+
+func (s *state) fsyncUnderLock() {
+	s.mu.Lock()
+	_ = s.f.Sync() // want `fsync \(.Sync\(\)\) while a mutex is held`
+	s.mu.Unlock()
+	_ = s.f.Sync() // ok: released
+}
+
+func (s *state) deferredHold(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while a mutex is held`
+	_ = s.out.Send(ctx, 1, "m")  // want `fabric Send while a mutex is held`
+	_, _ = os.Create("x")        // want `os.Create does file I/O while a mutex is held`
+}
+
+func (s *state) readLock() {
+	s.rw.RLock()
+	_, _ = os.ReadFile("x") // want `os.ReadFile does file I/O while a mutex is held`
+	s.rw.RUnlock()
+}
+
+func (s *state) annotated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.f.Sync() //flasks:lockhold-ok fixture: ordering is the invariant here
+}
+
+func (s *state) funcLitRunsLater() {
+	s.mu.Lock()
+	go func() {
+		_ = s.f.Sync() // ok: executes after the unlock below
+	}()
+	s.mu.Unlock()
+}
+
+func (s *state) distinctLocks(ctx context.Context) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = s.out.Send(ctx, 1, "m") // ok: nothing held
+}

@@ -1,0 +1,21 @@
+// Package metrics is a metricname fixture: a Counter enum with a
+// duplicate name, an undocumented name, and a counter missing from the
+// table.
+package metrics
+
+type Counter int
+
+const (
+	MsgSent Counter = iota
+	MsgRecv
+	Undocumented
+	Orphan // want `counter Orphan has no entry in counterNames`
+
+	numCounters
+)
+
+var counterNames = [...]string{
+	MsgSent:      "msg_sent",
+	MsgRecv:      "msg_sent",             // want `counter name "msg_sent" registered twice \(MsgSent and MsgRecv\)`
+	Undocumented: "undocumented_counter", // want `counter name "undocumented_counter" appears in no status-line documentation`
+}

@@ -1,0 +1,37 @@
+// Package core is a noblock fixture: the event-loop package must not
+// sleep, do I/O, or block on channel sends.
+package core
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+type syncer interface {
+	Sync() error
+}
+
+func handler(ch chan int, done chan struct{}, f syncer) {
+	time.Sleep(time.Millisecond) // want `time.Sleep stalls the core event loop`
+	_ = f.Sync()                 // want `fsync`
+	_, _ = net.Dial("tcp", "x")  // want `net.Dial`
+	_, _ = os.Create("x")        // want `os.Create`
+	_ = os.Getpid()              // ok: not file I/O
+
+	ch <- 1 // want `bare channel send`
+
+	select {
+	case ch <- 2: // ok: the default clause makes this non-blocking
+	default:
+	}
+
+	select {
+	case ch <- 3: // want `bare channel send`
+	case <-done:
+	}
+
+	//flasks:noblock-ok fixture: waiver on the line above
+	ch <- 4
+	_ = f.Sync() //flasks:noblock-ok trailing waiver
+}

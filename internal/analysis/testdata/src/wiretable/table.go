@@ -1,0 +1,61 @@
+// Package wire is a wiretable fixture: a message table seeded with a
+// kind collision, a zero kind, a missing codec, a Name/New mismatch
+// and a missing golden frame.
+package wire
+
+type Plane int
+
+const ControlPlane Plane = 1
+
+type reader struct{}
+
+type Spec struct {
+	Kind  uint16
+	Name  string
+	Plane Plane
+	New   func() interface{}
+	enc   func(b []byte, msg interface{}) []byte
+	dec   func(r *reader) interface{}
+}
+
+type Ping struct{}
+type Pong struct{}
+type Zero struct{}
+type Stray struct{}
+type NoCodec struct{}
+type NoGolden struct{}
+
+var Messages = []Spec{
+	{Kind: 1, Name: "wire.Ping", Plane: ControlPlane,
+		New: func() interface{} { return &Ping{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &Ping{} },
+	},
+	{Kind: 1, Name: "wire.Pong", Plane: ControlPlane, // want `wire.Pong reuses kind 1, already taken by wire.Ping`
+		New: func() interface{} { return &Pong{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &Pong{} },
+	},
+	{Kind: 0, Name: "wire.Zero", Plane: ControlPlane, // want `wire.Zero has kind 0, the reserved invalid kind`
+		New: func() interface{} { return new(Zero) }, // new(T) form resolves like &T{}
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return nil },
+	},
+	{Kind: 3, Name: "wire.NoCodec", Plane: ControlPlane, // want `wire.NoCodec has no binary field codec`
+		New: func() interface{} { return &NoCodec{} },
+	},
+	{Kind: 4, Name: "wire.Mismatch", Plane: ControlPlane, // want `wire.Mismatch constructs wire.Stray; Name and New disagree`
+		New: func() interface{} { return &Stray{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &Stray{} },
+	},
+	{Kind: 5, Name: "wire.NoGolden", Plane: ControlPlane, // want `wire.NoGolden has no golden frame`
+		New: func() interface{} { return &NoGolden{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &NoGolden{} },
+	},
+	{Kind: 6, Name: "core.Registered", Plane: ControlPlane,
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return nil },
+	},
+}

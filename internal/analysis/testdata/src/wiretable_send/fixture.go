@@ -1,0 +1,27 @@
+// Package core is a wiretable fixture: protocol code sending one
+// registered and one unregistered message type.
+package core
+
+import "context"
+
+type sender interface {
+	Send(ctx context.Context, to uint64, msg interface{}) error
+}
+
+type Registered struct{}
+
+type Rogue struct{}
+
+func emit(ctx context.Context, out sender) {
+	if err := out.Send(ctx, 1, &Registered{}); err != nil { // ok: in the fixture table
+		_ = err
+	}
+	msg := &Rogue{}
+	if err := out.Send(ctx, 1, msg); err != nil { // want `message core.Rogue sent over the fabric but not registered in wire.Messages`
+		_ = err
+	}
+	var opaque interface{} = msg
+	if err := out.Send(ctx, 1, opaque); err != nil { // ok: untraceable, conservatively silent
+		_ = err
+	}
+}

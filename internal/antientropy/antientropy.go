@@ -95,6 +95,11 @@ type Env struct {
 	// records skipped while serving a push (surfaced so operators see
 	// rot that repair routed around).
 	OnCorrupt func(n int)
+	// OnSendErr, when non-nil, observes send failures. Anti-entropy is
+	// self-healing — a lost exchange is retried by construction on a
+	// later round — but failures are counted (wire_send_errors), never
+	// silently dropped.
+	OnSendErr func(error)
 }
 
 // Config tunes the exchange.
@@ -171,8 +176,9 @@ func New(cfg Config, env Env, rng *rand.Rand) *Protocol {
 
 // Tick opens one exchange with a random slice-mate — a Bloom round,
 // or a full-header round every FullEvery-th tick — refills the repair
-// rate bucket and, when configured, evicts foreign objects.
-func (p *Protocol) Tick() {
+// rate bucket and, when configured, evicts foreign objects. ctx
+// bounds the round's sends.
+func (p *Protocol) Tick(ctx context.Context) {
 	p.rounds++
 	if rate := int64(p.cfg.RateBytesPerRound); rate > 0 {
 		p.tokens += rate
@@ -190,12 +196,12 @@ func (p *Protocol) Tick() {
 	if p.fullRound() {
 		hs := p.digest()
 		p.noteDigestBytes(headersWireSize(hs))
-		p.send(peer, &Digest{Slice: p.env.Slice(), Headers: hs})
+		p.send(ctx, peer, &Digest{Slice: p.env.Slice(), Headers: hs})
 		return
 	}
 	f := p.summary()
 	p.noteDigestBytes(f.SizeBytes())
-	p.send(peer, &Summary{Slice: p.env.Slice(), Filter: f})
+	p.send(ctx, peer, &Summary{Slice: p.env.Slice(), Filter: f})
 }
 
 // fullRound reports whether the current round uses full headers.
@@ -210,8 +216,8 @@ func (p *Protocol) fullRound() bool {
 }
 
 // Handle processes anti-entropy traffic; it reports false for foreign
-// messages.
-func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
+// messages. ctx bounds any replies and pushes the handler emits.
+func (p *Protocol) Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool {
 	switch m := msg.(type) {
 	case *Digest:
 		if m.Slice != p.env.Slice() {
@@ -219,11 +225,11 @@ func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
 		}
 		if wants := p.missing(m.Headers); len(wants) > 0 {
 			p.noteDigestBytes(headersWireSize(wants))
-			p.send(from, &Pull{Headers: wants})
+			p.send(ctx, from, &Pull{Headers: wants})
 		}
 		hs := p.digest()
 		p.noteDigestBytes(headersWireSize(hs))
-		p.send(from, &DigestReply{Slice: p.env.Slice(), Headers: hs})
+		p.send(ctx, from, &DigestReply{Slice: p.env.Slice(), Headers: hs})
 		return true
 	case *DigestReply:
 		if m.Slice != p.env.Slice() {
@@ -231,26 +237,26 @@ func (p *Protocol) Handle(from transport.NodeID, msg interface{}) bool {
 		}
 		if wants := p.missing(m.Headers); len(wants) > 0 {
 			p.noteDigestBytes(headersWireSize(wants))
-			p.send(from, &Pull{Headers: wants})
+			p.send(ctx, from, &Pull{Headers: wants})
 		}
 		return true
 	case *Summary:
 		if m.Slice != p.env.Slice() {
 			return true
 		}
-		p.pushMissing(from, &m.Filter)
+		p.pushMissing(ctx, from, &m.Filter)
 		f := p.summary()
 		p.noteDigestBytes(f.SizeBytes())
-		p.send(from, &SummaryReply{Slice: p.env.Slice(), Filter: f})
+		p.send(ctx, from, &SummaryReply{Slice: p.env.Slice(), Filter: f})
 		return true
 	case *SummaryReply:
 		if m.Slice != p.env.Slice() {
 			return true
 		}
-		p.pushMissing(from, &m.Filter)
+		p.pushMissing(ctx, from, &m.Filter)
 		return true
 	case *Pull:
-		p.servePull(from, m)
+		p.servePull(ctx, from, m)
 		return true
 	case *Push:
 		// One store call for the whole push: the log engine turns the
@@ -291,11 +297,13 @@ func isInvalidObject(err error) bool {
 		errors.Is(err, store.ErrValueTooLarge)
 }
 
-func (p *Protocol) send(to transport.NodeID, msg interface{}) {
+func (p *Protocol) send(ctx context.Context, to transport.NodeID, msg interface{}) {
 	if p.env.OnSent != nil {
 		p.env.OnSent()
 	}
-	_ = p.env.Send.Send(context.Background(), to, msg)
+	if err := p.env.Send.Send(ctx, to, msg); err != nil && p.env.OnSendErr != nil {
+		p.env.OnSendErr(err)
+	}
 }
 
 func (p *Protocol) noteDigestBytes(n int) {
@@ -367,7 +375,7 @@ func (p *Protocol) missing(theirs []Header) []Header {
 // proves absent over there (no false negatives, so every push is
 // productive; a false positive just defers the object to a full
 // round).
-func (p *Protocol) pushMissing(to transport.NodeID, f *Filter) {
+func (p *Protocol) pushMissing(ctx context.Context, to transport.NodeID, f *Filter) {
 	refs := make([]store.Ref, 0, 16)
 	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
 		if !p.env.KeyInSlice(key) {
@@ -379,15 +387,15 @@ func (p *Protocol) pushMissing(to transport.NodeID, f *Filter) {
 		refs = append(refs, store.Ref{Key: key, Version: version})
 		return len(refs) < p.cfg.MaxPush
 	})
-	p.pushRefs(to, refs)
+	p.pushRefs(ctx, to, refs)
 }
 
-func (p *Protocol) servePull(from transport.NodeID, m *Pull) {
+func (p *Protocol) servePull(ctx context.Context, from transport.NodeID, m *Pull) {
 	refs := make([]store.Ref, 0, len(m.Headers))
 	for _, h := range m.Headers {
 		refs = append(refs, store.Ref{Key: h.Key, Version: h.Version})
 	}
-	p.pushRefs(from, refs)
+	p.pushRefs(ctx, from, refs)
 }
 
 // pushRefs streams the referenced objects out of the store — CRC-
@@ -395,7 +403,7 @@ func (p *Protocol) servePull(from transport.NodeID, m *Pull) {
 // ships them as one Push, bounded by MaxPush objects, MaxPushBytes
 // value bytes and the repair-rate bucket. Whatever the budget cut off
 // is picked up by a later round.
-func (p *Protocol) pushRefs(to transport.NodeID, refs []store.Ref) {
+func (p *Protocol) pushRefs(ctx context.Context, to transport.NodeID, refs []store.Ref) {
 	if len(refs) == 0 {
 		return
 	}
@@ -428,7 +436,7 @@ func (p *Protocol) pushRefs(to transport.NodeID, refs []store.Ref) {
 	if p.env.OnPush != nil {
 		p.env.OnPush(len(objs), bytes)
 	}
-	p.send(to, &Push{Objects: objs})
+	p.send(ctx, to, &Push{Objects: objs})
 }
 
 // takeTokens charges n bytes against the repair-rate bucket. The

@@ -47,9 +47,9 @@ func (h *pairHarness) deliverAll() {
 		env := h.queue[0]
 		h.queue = h.queue[1:]
 		if env.To == 1 {
-			h.a.Handle(env.From, env.Msg)
+			h.a.Handle(context.Background(), env.From, env.Msg)
 		} else {
-			h.b.Handle(env.From, env.Msg)
+			h.b.Handle(context.Background(), env.From, env.Msg)
 		}
 	}
 }
@@ -80,7 +80,7 @@ func TestExchangeSyncsBothWays(t *testing.T) {
 	_ = h.sb.Put(keys[1], 2, []byte("both"))
 	_ = h.sb.Put(keys[2], 1, []byte("only-b"))
 
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 
 	for _, st := range []store.Store{h.sa, h.sb} {
@@ -109,7 +109,7 @@ func TestExchangeSkipsForeignKeys(t *testing.T) {
 		}
 	}
 	_ = h.sa.Put(foreign, 1, []byte("stale"))
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if _, _, ok, _ := h.sb.Get(foreign, 1); ok {
 		t.Error("foreign key replicated")
@@ -124,7 +124,7 @@ func TestPushWithInvalidObjectStillStoresRest(t *testing.T) {
 	const slice, k = 1, 4
 	h := newPair(t, Config{}, slice, k)
 	keys := keysInSlice(t, slice, k, 2)
-	h.b.Handle(1, &Push{Objects: []store.Object{
+	h.b.Handle(context.Background(), 1, &Push{Objects: []store.Object{
 		{Key: keys[0], Version: store.Latest, Value: []byte("bogus")},
 		{Key: keys[1], Version: 3, Value: []byte("good")},
 	}})
@@ -142,7 +142,7 @@ func TestExchangeIgnoresOtherSlicesDigest(t *testing.T) {
 	key := keysInSlice(t, 1, k, 1)[0]
 	_ = h.sa.Put(key, 1, []byte("x"))
 	// B receives a digest claiming another slice: must be ignored.
-	h.b.Handle(1, &Digest{Slice: 2, Headers: []Header{{Key: key, Version: 1}}})
+	h.b.Handle(context.Background(), 1, &Digest{Slice: 2, Headers: []Header{{Key: key, Version: 1}}})
 	h.deliverAll()
 	if _, _, ok, _ := h.sb.Get(key, 1); ok {
 		t.Error("cross-slice digest caused replication")
@@ -156,14 +156,14 @@ func TestMaxPushBoundsOneExchange(t *testing.T) {
 	for i, key := range keys {
 		_ = h.sa.Put(key, uint64(i+1), []byte("bulk"))
 	}
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if got := h.sb.Count(); got != 3 {
 		t.Fatalf("first exchange moved %d objects, want 3", got)
 	}
 	// Repeated rounds converge.
 	for i := 0; i < 5; i++ {
-		h.a.Tick()
+		h.a.Tick(context.Background())
 		h.deliverAll()
 	}
 	if got := h.sb.Count(); got != len(keys) {
@@ -185,7 +185,7 @@ func TestEvictForeign(t *testing.T) {
 	}
 	_ = h.sa.Put(mine, 1, []byte("keep"))
 	_ = h.sa.Put(foreign, 1, []byte("drop"))
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if _, _, ok, _ := h.sa.Get(mine, 1); !ok {
 		t.Error("evicted an in-slice object")
@@ -207,7 +207,7 @@ func TestNoPartnerNoTraffic(t *testing.T) {
 		Slice:      func() int32 { return 0 },
 		KeyInSlice: func(string) bool { return true },
 	}, sim.RNG(1, 1))
-	p.Tick()
+	p.Tick(context.Background())
 	if sent != 0 {
 		t.Errorf("sent %d messages without a partner", sent)
 	}
@@ -215,7 +215,7 @@ func TestNoPartnerNoTraffic(t *testing.T) {
 
 func TestHandleForeignMessage(t *testing.T) {
 	h := newPair(t, Config{}, 0, 1)
-	if h.a.Handle(2, "garbage") {
+	if h.a.Handle(context.Background(), 2, "garbage") {
 		t.Error("claimed a foreign message")
 	}
 }
@@ -225,7 +225,7 @@ func TestOnSentCounts(t *testing.T) {
 	h := newPair(t, Config{}, slice, k)
 	key := keysInSlice(t, slice, k, 1)[0]
 	_ = h.sa.Put(key, 1, []byte("x"))
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if h.sentA == 0 || h.sentB == 0 {
 		t.Errorf("OnSent hooks: a=%d b=%d", h.sentA, h.sentB)

@@ -76,7 +76,7 @@ func TestBloomExchangeSyncsBothWays(t *testing.T) {
 	_ = h.sb.Put(keys[1], 2, []byte("both"))
 	_ = h.sb.Put(keys[2], 1, []byte("only-b"))
 
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 
 	for _, st := range []store.Store{h.sa, h.sb} {
@@ -127,7 +127,7 @@ func TestBloomFalsePositiveFallsBackToFullRound(t *testing.T) {
 	// Rounds 1 and 2 are Bloom rounds: B tests the victim against A's
 	// filter, sees (wrongly) "A has it", pushes nothing.
 	for round := 1; round <= 2; round++ {
-		h.a.Tick()
+		h.a.Tick(context.Background())
 		h.deliverAll()
 		if _, _, ok, _ := h.sa.Get(victim, victimVersion); ok {
 			t.Fatalf("round %d (Bloom) repaired the false positive — it should be invisible to filters", round)
@@ -135,7 +135,7 @@ func TestBloomFalsePositiveFallsBackToFullRound(t *testing.T) {
 	}
 	// Round 3 is the full-header fallback: B's DigestReply names the
 	// victim explicitly, A pulls it.
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if val, _, ok, _ := h.sa.Get(victim, victimVersion); !ok || string(val) != "precious" {
 		t.Fatalf("full-header fallback did not repair the false positive: ok=%v val=%q", ok, val)
@@ -152,14 +152,14 @@ func TestMaxPushBytesBoundsOneExchange(t *testing.T) {
 	for i, key := range keys {
 		_ = h.sa.Put(key, uint64(i+1), val)
 	}
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	// 100-byte values against a 300-byte budget: exactly 3 ship.
 	if got := h.sb.Count(); got != 3 {
 		t.Fatalf("first exchange moved %d objects, want 3", got)
 	}
 	for i := 0; i < 5; i++ {
-		h.a.Tick()
+		h.a.Tick(context.Background())
 		h.deliverAll()
 	}
 	if got := h.sb.Count(); got != len(keys) {
@@ -174,7 +174,7 @@ func TestOversizedValueStillShips(t *testing.T) {
 	h := newPair(t, Config{FullEvery: -1, MaxPushBytes: 64}, slice, k)
 	key := keysInSlice(t, slice, k, 1)[0]
 	_ = h.sa.Put(key, 1, make([]byte, 500))
-	h.a.Tick()
+	h.a.Tick(context.Background())
 	h.deliverAll()
 	if val, _, ok, _ := h.sb.Get(key, 1); !ok || len(val) != 500 {
 		t.Fatalf("oversized value not shipped: ok=%v len=%d", ok, len(val))
@@ -194,8 +194,8 @@ func TestRateLimiterBoundsPerRoundBytes(t *testing.T) {
 	}
 	prev := 0
 	for round := 1; round <= 40 && h.sb.Count() < len(keys); round++ {
-		h.a.Tick()
-		h.b.Tick() // refill B's bucket too (it has nothing to push)
+		h.a.Tick(context.Background())
+		h.b.Tick(context.Background()) // refill B's bucket too (it has nothing to push)
 		h.deliverAll()
 		moved := h.sb.Count() - prev
 		prev = h.sb.Count()
@@ -277,14 +277,14 @@ func TestCorruptRecordNotPropagated(t *testing.T) {
 	a := mk(1, 2, lg, func(n int) { corrupt += n })
 	bp := mk(2, 1, sb, nil)
 
-	a.Tick()
+	a.Tick(context.Background())
 	for len(queue) > 0 {
 		env := queue[0]
 		queue = queue[1:]
 		if env.To == 1 {
-			a.Handle(env.From, env.Msg)
+			a.Handle(context.Background(), env.From, env.Msg)
 		} else {
-			bp.Handle(env.From, env.Msg)
+			bp.Handle(context.Background(), env.From, env.Msg)
 		}
 	}
 
@@ -319,7 +319,7 @@ func TestFullEveryCadence(t *testing.T) {
 		KeyInSlice: func(string) bool { return true },
 	}, sim.RNG(1, 1))
 	for i := 0; i < 3; i++ {
-		p.Tick()
+		p.Tick(context.Background())
 	}
 	if len(sent) != 3 {
 		t.Fatalf("sent %d messages, want 3", len(sent))
@@ -348,7 +348,7 @@ func TestDigestBytesAccounting(t *testing.T) {
 			_ = h.sa.Put(key, uint64(i+1), []byte("v"))
 			_ = h.sb.Put(key, uint64(i+1), []byte("v"))
 		}
-		h.a.Tick()
+		h.a.Tick(context.Background())
 		h.deliverAll()
 		return bytes
 	}

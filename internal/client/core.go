@@ -362,32 +362,41 @@ func (c *Core) launch(op *pending) {
 	}
 	op.lastContact = contact
 	op.hasContact = true
+	// Every launch below is deliberately fire-and-forget: the client is
+	// its own retry loop (deadline -> relaunch under a fresh id), so a
+	// failed or slow send is indistinguishable from a lost message and
+	// needs no ctx or error plumbing.
 	switch op.kind {
 	case opPut:
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.PutRequest{
 			ID: op.id, Key: op.key, Version: op.version, Value: op.value,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opGet:
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.GetRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset,
 		})
 	case opDelete:
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.DeleteRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opPutBatch:
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.PutBatchRequest{
 			ID: op.id, Objs: op.objs,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
 			TTL: core.TTLUnset, NoAck: op.noAck,
 		})
 	case opDeleteBatch:
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.DeleteBatchRequest{
 			ID: op.id, Items: op.items,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,

@@ -116,11 +116,11 @@ func TestNodeSliceChangeClearsIntraView(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		n.slicer.Observe(transport.NodeID(100+i), n.attr+1) // everyone above us
 	}
-	n.slicer.Tick()
+	n.slicer.Tick(context.Background())
 	if n.Slice() != 0 {
 		t.Fatalf("slice = %d, want 0", n.Slice())
 	}
-	n.Tick() // lastSlice bookkeeping
+	n.Tick(context.Background()) // lastSlice bookkeeping
 	n.intra.Touch(desc(50, 0), n.round)
 	if n.IntraViewSize() != 1 {
 		t.Fatal("intra view not populated")
@@ -131,7 +131,7 @@ func TestNodeSliceChangeClearsIntraView(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			n.slicer.Observe(transport.NodeID(200+i), n.attr-1)
 		}
-		n.Tick()
+		n.Tick(context.Background())
 	}
 	if n.Slice() != 3 {
 		t.Fatalf("slice = %d after flip, want 3", n.Slice())

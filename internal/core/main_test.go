@@ -1,0 +1,16 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"dataflasks/internal/leakcheck"
+)
+
+// TestMain fails the package if any goroutine outlives the tests: the
+// core is single-threaded by contract, so a surviving goroutine means
+// a test harness (or a regression in the core) started one and lost
+// it.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

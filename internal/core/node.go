@@ -99,14 +99,16 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 	switch cfg.PSS {
 	case PSSNewscast:
 		n.pssP = pss.NewNewscast(id, pss.NewscastConfig{
-			ViewSize: cfg.ViewSize,
-			SelfAddr: cfg.AdvertiseAddr,
+			ViewSize:  cfg.ViewSize,
+			SelfAddr:  cfg.AdvertiseAddr,
+			OnSendErr: n.countSendErr,
 		}, n.sender(metrics.PSSSent), n.rng, selfInfo)
 	default:
 		n.pssP = pss.NewCyclon(id, pss.CyclonConfig{
 			ViewSize:   cfg.ViewSize,
 			ShuffleLen: cfg.ShuffleLen,
 			SelfAddr:   cfg.AdvertiseAddr,
+			OnSendErr:  n.countSendErr,
 		}, n.sender(metrics.PSSSent), n.rng, selfInfo)
 	}
 	n.pssP.SetObserver(n.observeDescriptor)
@@ -120,7 +122,8 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 	}
 	switch cfg.Slicer {
 	case SlicerSwap:
-		n.slicer = slicing.NewSwapSlicer(id, attr, slicing.SwapSlicerConfig{Slices: cfg.Slices},
+		n.slicer = slicing.NewSwapSlicer(id, attr,
+			slicing.SwapSlicerConfig{Slices: cfg.Slices, OnSendErr: n.countSendErr},
 			n.sender(metrics.SliceSent), partner, n.rng)
 	case SlicerStatic:
 		n.slicer = slicing.NewStaticSlicer(id, cfg.Slices)
@@ -129,7 +132,7 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 	}
 
 	if cfg.SystemSize <= 0 {
-		n.size = aggregate.NewExtrema(aggregate.ExtremaConfig{},
+		n.size = aggregate.NewExtrema(aggregate.ExtremaConfig{OnSendErr: n.countSendErr},
 			n.sender(metrics.AggregateSent), partner, n.rng)
 	}
 
@@ -154,6 +157,7 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 					n.met.Add(metrics.AntiEntropyPushBytes, uint64(bytes))
 				},
 				OnCorrupt: func(c int) { n.met.Add(metrics.AntiEntropyCorruptSkipped, uint64(c)) },
+				OnSendErr: n.countSendErr,
 			},
 			n.rng,
 		)
@@ -185,11 +189,21 @@ func (n *Node) sender(cat metrics.Counter) transport.Sender {
 	})
 }
 
-func (n *Node) sendData(to transport.NodeID, msg interface{}) {
+// countSendErr feeds every protocol's send-failure hook: failed fabric
+// sends are counted (wire_send_errors), never silently discarded.
+func (n *Node) countSendErr(err error) {
+	n.met.Inc(metrics.WireSendErrors)
+	if n.cfg.OnSendErr != nil {
+		n.cfg.OnSendErr(err)
+	}
+}
+
+func (n *Node) sendData(ctx context.Context, to transport.NodeID, msg interface{}) {
 	n.met.Inc(metrics.MsgSent)
 	n.met.Inc(metrics.DataSent)
-	if err := n.raw.Send(context.Background(), to, msg); err != nil {
+	if err := n.raw.Send(ctx, to, msg); err != nil {
 		n.met.Inc(metrics.MsgDropped)
+		n.countSendErr(err)
 	}
 }
 
@@ -315,12 +329,14 @@ func (n *Node) intraTTL() uint8 {
 
 // Tick runs one gossip round: coalesced-put flush, peer sampling,
 // slicing, slice-change bookkeeping, view expiry, mate discovery,
-// periodic anti-entropy and the size estimator.
-func (n *Node) Tick() {
+// periodic anti-entropy and the size estimator. ctx bounds every send
+// the round makes; it is the owner's lifecycle context, so an
+// in-flight round stops dialing the moment the node shuts down.
+func (n *Node) Tick(ctx context.Context) {
 	n.round++
 	n.flushCoalesced()
-	n.pssP.Tick()
-	n.slicer.Tick()
+	n.pssP.Tick(ctx)
+	n.slicer.Tick(ctx)
 
 	if cur := n.currentSlice(); cur != n.lastSlice {
 		// Slice changed: the old mates are no longer ours.
@@ -328,13 +344,13 @@ func (n *Node) Tick() {
 		n.lastSlice = cur
 	}
 	n.intra.Expire(n.round)
-	n.discoverMates()
+	n.discoverMates(ctx)
 
 	if n.size != nil {
-		n.size.Tick()
+		n.size.Tick(ctx)
 	}
 	if n.ae != nil && n.cfg.AntiEntropyEvery > 0 && n.round%uint64(n.cfg.AntiEntropyEvery) == 0 {
-		n.ae.Tick()
+		n.ae.Tick(ctx)
 	}
 	n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
 }
@@ -343,7 +359,7 @@ func (n *Node) Tick() {
 // for members of our slice. When slices are scarce (large k) the
 // passive PSS stream rarely delivers mates and this active path carries
 // the load — the cost regime behind the paper's Figure 4.
-func (n *Node) discoverMates() {
+func (n *Node) discoverMates(ctx context.Context) {
 	mine := n.currentSlice()
 	if mine == slicing.SliceUnknown {
 		return
@@ -360,41 +376,43 @@ func (n *Node) discoverMates() {
 		n.met.Inc(metrics.MsgSent)
 		n.met.Inc(metrics.DiscoverySent)
 		msg := &MateQuery{Slice: mine}
-		if err := n.route(msg).Send(context.Background(), peer, msg); err != nil {
+		if err := n.route(msg).Send(ctx, peer, msg); err != nil {
 			n.met.Inc(metrics.MsgDropped)
+			n.countSendErr(err)
 		}
 	}
 }
 
 // HandleMessage dispatches one delivered message. It must only be
-// called from the node's driving loop.
-func (n *Node) HandleMessage(env transport.Envelope) {
+// called from the node's driving loop. ctx bounds any sends the
+// handlers make (acks, replies, relays).
+func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
 	n.met.Inc(metrics.MsgRecv)
-	if n.pssP.Handle(env.From, env.Msg) {
+	if n.pssP.Handle(ctx, env.From, env.Msg) {
 		return
 	}
-	if n.slicer.Handle(env.From, env.Msg) {
+	if n.slicer.Handle(ctx, env.From, env.Msg) {
 		return
 	}
-	if n.size != nil && n.size.Handle(env.From, env.Msg) {
+	if n.size != nil && n.size.Handle(ctx, env.From, env.Msg) {
 		return
 	}
-	if n.ae != nil && n.ae.Handle(env.From, env.Msg) {
+	if n.ae != nil && n.ae.Handle(ctx, env.From, env.Msg) {
 		return
 	}
 	switch m := env.Msg.(type) {
 	case *PutRequest:
-		n.onPut(m)
+		n.onPut(ctx, m)
 	case *PutBatchRequest:
-		n.onPutBatch(m)
+		n.onPutBatch(ctx, m)
 	case *GetRequest:
-		n.onGet(m)
+		n.onGet(ctx, m)
 	case *DeleteRequest:
-		n.onDelete(m)
+		n.onDelete(ctx, m)
 	case *DeleteBatchRequest:
-		n.onDeleteBatch(m)
+		n.onDeleteBatch(ctx, m)
 	case *MateQuery:
-		n.onMateQuery(env.From, m)
+		n.onMateQuery(ctx, env.From, m)
 	case *MateReply:
 		n.onMateReply(m)
 	case *PutAck, *PutBatchAck, *GetReply, *DeleteAck, *DeleteBatchAck:
@@ -409,7 +427,7 @@ func (n *Node) HandleMessage(env transport.Envelope) {
 // onPut implements §IV-B routing for writes. Messages are immutable
 // (the fabric may deliver one pointer to many recipients): relays work
 // on copies.
-func (n *Node) onPut(m *PutRequest) {
+func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 	if n.dedup.Seen(m.ID) {
 		n.met.Inc(metrics.DuplicatesSuppressed)
 		return
@@ -432,13 +450,13 @@ func (n *Node) onPut(m *PutRequest) {
 				n.met.Inc(metrics.PutsServed)
 				if !m.NoAck && m.Origin != 0 {
 					n.learnOrigin(m.Origin, m.OriginAddr)
-					n.sendData(m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
+					n.sendData(ctx, m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
 				}
 			}
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 			return
 		}
 		// Intra-phase copy: no ack obligation, so the write can ride
@@ -447,7 +465,7 @@ func (n *Node) onPut(m *PutRequest) {
 		if m.TTL > 0 {
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -461,7 +479,7 @@ func (n *Node) onPut(m *PutRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // first hop from a client: stamp the budget
 	}
-	n.relayGlobal(ttl, func(next uint8) interface{} {
+	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -518,7 +536,7 @@ func (n *Node) flushCoalesced() {
 
 // onPutBatch routes a multi-object write exactly like onPut, but a
 // target-slice node applies the whole batch in one store.PutBatch call.
-func (n *Node) onPutBatch(m *PutBatchRequest) {
+func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 	if n.dedup.Seen(m.ID) {
 		n.met.Inc(metrics.DuplicatesSuppressed)
 		return
@@ -540,18 +558,18 @@ func (n *Node) onPutBatch(m *PutBatchRequest) {
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
+				n.sendData(ctx, m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
 			}
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -563,7 +581,7 @@ func (n *Node) onPutBatch(m *PutBatchRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // batches are writes: full-coverage budget
 	}
-	n.relayGlobal(ttl, func(next uint8) interface{} {
+	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -573,7 +591,7 @@ func (n *Node) onPutBatch(m *PutBatchRequest) {
 // onDelete routes a delete like a write (the whole target slice must
 // apply it). Version store.Latest is resolved independently by each
 // replica's store, mirroring Get.
-func (n *Node) onDelete(m *DeleteRequest) {
+func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 	if n.dedup.Seen(m.ID) {
 		n.met.Inc(metrics.DuplicatesSuppressed)
 		return
@@ -592,18 +610,18 @@ func (n *Node) onDelete(m *DeleteRequest) {
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
+				n.sendData(ctx, m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
 			}
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -615,7 +633,7 @@ func (n *Node) onDelete(m *DeleteRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // deletes are writes: full-coverage budget
 	}
-	n.relayGlobal(ttl, func(next uint8) interface{} {
+	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -626,7 +644,7 @@ func (n *Node) onDelete(m *DeleteRequest) {
 // a target-slice node applies the whole batch in one pass over its
 // store. The ack carries how many items named objects this replica
 // really held, which is what a Redis-style multi-key DEL reports.
-func (n *Node) onDeleteBatch(m *DeleteBatchRequest) {
+func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
 	if n.dedup.Seen(m.ID) {
 		n.met.Inc(metrics.DuplicatesSuppressed)
 		return
@@ -646,18 +664,18 @@ func (n *Node) onDeleteBatch(m *DeleteBatchRequest) {
 		if !m.Intra {
 			if firstErr == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
+				n.sendData(ctx, m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
 			}
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(&fwd)
+			n.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -669,7 +687,7 @@ func (n *Node) onDeleteBatch(m *DeleteBatchRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // batch deletes are writes: full-coverage budget
 	}
-	n.relayGlobal(ttl, func(next uint8) interface{} {
+	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -745,7 +763,7 @@ func (n *Node) applyDeleteBatch(items []DeleteItem) (applied int, firstErr error
 }
 
 // onGet implements §IV-B routing for reads.
-func (n *Node) onGet(m *GetRequest) {
+func (n *Node) onGet(ctx context.Context, m *GetRequest) {
 	if n.dedup.Seen(m.ID) {
 		n.met.Inc(metrics.DuplicatesSuppressed)
 		return
@@ -761,7 +779,7 @@ func (n *Node) onGet(m *GetRequest) {
 		if err == nil && ok {
 			n.met.Inc(metrics.GetsServed)
 			n.learnOrigin(m.Origin, m.OriginAddr)
-			n.sendData(m.Origin, &GetReply{
+			n.sendData(ctx, m.Origin, &GetReply{
 				ID: m.ID, Key: m.Key, Version: actual, Value: val, Slice: mine,
 			})
 			return
@@ -777,7 +795,7 @@ func (n *Node) onGet(m *GetRequest) {
 		} else {
 			fwd.TTL--
 		}
-		n.relayIntra(&fwd)
+		n.relayIntra(ctx, &fwd)
 		return
 	}
 
@@ -788,7 +806,7 @@ func (n *Node) onGet(m *GetRequest) {
 	if ttl == TTLUnset {
 		ttl = n.getTTL() // first hop from a client: stamp the budget
 	}
-	n.relayGlobal(ttl, func(next uint8) interface{} {
+	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -799,7 +817,7 @@ func (n *Node) onGet(m *GetRequest) {
 // peers. build constructs the forwarded copy given the decremented TTL;
 // the same copy is shared across peers because receivers never mutate
 // messages.
-func (n *Node) relayGlobal(ttl uint8, build func(uint8) interface{}) {
+func (n *Node) relayGlobal(ctx context.Context, ttl uint8, build func(uint8) interface{}) {
 	if ttl == 0 {
 		return
 	}
@@ -810,19 +828,19 @@ func (n *Node) relayGlobal(ttl uint8, build func(uint8) interface{}) {
 	fwd := build(ttl - 1)
 	n.met.Inc(metrics.RequestsRelayed)
 	for _, p := range peers {
-		n.sendData(p, fwd)
+		n.sendData(ctx, p, fwd)
 	}
 }
 
 // relayIntra forwards a request to the intra-slice view.
-func (n *Node) relayIntra(fwd interface{}) {
+func (n *Node) relayIntra(ctx context.Context, fwd interface{}) {
 	mates := n.intra.Sample(n.rng, n.cfg.IntraFanout)
 	if len(mates) == 0 {
 		return
 	}
 	n.met.Inc(metrics.RequestsRelayed)
 	for _, p := range mates {
-		n.sendData(p, fwd)
+		n.sendData(ctx, p, fwd)
 	}
 }
 
@@ -836,7 +854,7 @@ func (n *Node) learnOrigin(origin transport.NodeID, addr string) {
 // maxMateReply bounds descriptors per MateReply.
 const maxMateReply = 16
 
-func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
+func (n *Node) onMateQuery(ctx context.Context, from transport.NodeID, m *MateQuery) {
 	var mates []pss.Descriptor
 	if n.currentSlice() == m.Slice {
 		attr, slice := float64(0), m.Slice
@@ -863,8 +881,9 @@ func (n *Node) onMateQuery(from transport.NodeID, m *MateQuery) {
 	n.met.Inc(metrics.MsgSent)
 	n.met.Inc(metrics.DiscoverySent)
 	reply := &MateReply{Slice: m.Slice, Mates: mates}
-	if err := n.route(reply).Send(context.Background(), from, reply); err != nil {
+	if err := n.route(reply).Send(ctx, from, reply); err != nil {
 		n.met.Inc(metrics.MsgDropped)
+		n.countSendErr(err)
 	}
 }
 

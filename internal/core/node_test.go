@@ -86,7 +86,7 @@ func TestNodeStoresAndAcksInSlicePut(t *testing.T) {
 	n, cap := staticNode(t, id, k)
 	key := keyForSlice(t, 2, k)
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
 		Value: []byte("v"), Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -129,7 +129,7 @@ func TestNodeNoAckWhenStoreFails(t *testing.T) {
 	}, &failingStore{Store: store.NewMemory()}, cap.sender(id))
 	key := keyForSlice(t, 2, k)
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
 		Value: []byte("v"), Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -148,14 +148,14 @@ func TestNodeIntraPutStoresWithoutAck(t *testing.T) {
 	n, cap := staticNode(t, id, k)
 	key := keyForSlice(t, 2, k)
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
 		Value: []byte("v"), Origin: 0xC0000001, TTL: 4, Intra: true,
 	}})
 
 	// Intra copies ride the accumulation window; the next tick flushes
 	// them as one batch append.
-	n.Tick()
+	n.Tick(context.Background())
 	if _, _, ok, _ := n.Store().Get(key, 1); !ok {
 		t.Fatal("intra put not stored after tick")
 	}
@@ -176,11 +176,11 @@ func TestNodeCoalescedPutVisibleToGet(t *testing.T) {
 	n, cap := staticNode(t, id, k)
 	key := keyForSlice(t, 2, k)
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 1,
 		Value: []byte("v"), Origin: 0xC0000001, TTL: 4, Intra: true,
 	}})
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &GetRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 2), Key: key, Version: 1,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -209,7 +209,7 @@ func TestNodeCoalesceWindowDedupsAndCapFlushes(t *testing.T) {
 	key := keyForSlice(t, 2, k)
 
 	send := func(seq uint32, version uint64) {
-		n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+		n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 			ID: gossip.MakeRequestID(0xC0000001, seq), Key: key, Version: version,
 			Value: []byte("v"), TTL: 2, Intra: true,
 		}})
@@ -250,7 +250,7 @@ func TestNodeAppliesBatchViaOnePutBatch(t *testing.T) {
 			objs = append(objs, store.Object{Key: key, Version: 1, Value: []byte("v")})
 		}
 	}
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Objs: objs,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -270,7 +270,7 @@ func TestNodeAppliesBatchViaOnePutBatch(t *testing.T) {
 	}
 
 	// A duplicate delivery must not re-apply the batch.
-	n.HandleMessage(transport.Envelope{From: 78, To: id, Msg: &PutBatchRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 78, To: id, Msg: &PutBatchRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Objs: objs,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -303,7 +303,7 @@ func TestNodeRelaysForeignSliceBatch(t *testing.T) {
 	n.Bootstrap([]transport.NodeID{500, 501, 502})
 	key := keyForSlice(t, 3, k) // not ours
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutBatchRequest{
 		ID:   gossip.MakeRequestID(1, 1),
 		Objs: []store.Object{{Key: key, Version: 1, Value: []byte("v")}},
 		TTL:  TTLUnset,
@@ -330,7 +330,7 @@ func TestNodeDeletesAndAcks(t *testing.T) {
 	_ = n.Store().Put(key, 9, []byte("new"))
 
 	// Latest resolves to the newest stored version on this replica.
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: store.Latest,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -359,15 +359,15 @@ func TestNodeDeleteFlushesCoalescedPut(t *testing.T) {
 	n, _ := staticNode(t, id, k)
 	key := keyForSlice(t, 2, k)
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 1), Key: key, Version: 3,
 		Value: []byte("v"), TTL: 2, Intra: true,
 	}})
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
 		ID: gossip.MakeRequestID(0xC0000001, 2), Key: key, Version: 3,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
-	n.Tick()
+	n.Tick(context.Background())
 	if _, _, ok, _ := n.Store().Get(key, 3); ok {
 		t.Fatal("coalesced put resurrected a deleted object")
 	}
@@ -379,7 +379,7 @@ func TestNodeRelaysForeignSliceDelete(t *testing.T) {
 	n, cap := staticNode(t, id, k)
 	n.Bootstrap([]transport.NodeID{500, 501})
 	key := keyForSlice(t, 3, k)
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &DeleteRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
 	}})
 	relays := cap.byType(func(m interface{}) bool { _, ok := m.(*DeleteRequest); return ok })
@@ -396,7 +396,7 @@ func TestNodeNoAckSuppressed(t *testing.T) {
 	id := findNodeInSlice(t, 2, k)
 	n, cap := staticNode(t, id, k)
 	key := keyForSlice(t, 2, k)
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1,
 		Origin: 0xC0000001, TTL: TTLUnset, NoAck: true,
 	}})
@@ -417,7 +417,7 @@ func TestNodeRelaysForeignSlicePut(t *testing.T) {
 	n.Bootstrap(seeds)
 	key := keyForSlice(t, 3, k) // not ours
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
 	}})
 
@@ -443,7 +443,7 @@ func TestNodeDropsExpiredTTL(t *testing.T) {
 	n, cap := staticNode(t, id, k)
 	n.Bootstrap([]transport.NodeID{500, 501})
 	key := keyForSlice(t, 3, k)
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: 0,
 	}})
 	if len(cap.sent) != 0 {
@@ -460,9 +460,9 @@ func TestNodeSuppressesDuplicates(t *testing.T) {
 		ID: gossip.MakeRequestID(1, 7), Key: key, Version: 1,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: req})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: req})
 	before := len(cap.sent)
-	n.HandleMessage(transport.Envelope{From: 78, To: id, Msg: req})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 78, To: id, Msg: req})
 	if len(cap.sent) != before {
 		t.Fatal("duplicate triggered more traffic")
 	}
@@ -481,7 +481,7 @@ func TestNodeServesGetAndReportsSlice(t *testing.T) {
 	key := keyForSlice(t, 2, k)
 	_ = n.Store().Put(key, 3, []byte("served"))
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &GetRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 3,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -510,7 +510,7 @@ func TestNodeGetLatestVersion(t *testing.T) {
 	_ = n.Store().Put(key, 1, []byte("old"))
 	_ = n.Store().Put(key, 9, []byte("new"))
 
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &GetRequest{
 		ID: gossip.MakeRequestID(1, 2), Key: key, Version: store.Latest,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -528,7 +528,7 @@ func TestNodeMissingObjectKeepsRequestAlive(t *testing.T) {
 
 	// No intra view yet → nothing to relay to, but critically: no
 	// reply must be sent (a replica without the object stays silent).
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &GetRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &GetRequest{
 		ID: gossip.MakeRequestID(1, 3), Key: key, Version: 1,
 		Origin: 0xC0000001, TTL: TTLUnset,
 	}})
@@ -542,7 +542,7 @@ func TestNodeMateQueryAnswersWithSelf(t *testing.T) {
 	id := findNodeInSlice(t, 2, k)
 	n, cap := staticNode(t, id, k)
 
-	n.HandleMessage(transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 2}})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 2}})
 	replies := cap.byType(func(m interface{}) bool { _, ok := m.(*MateReply); return ok })
 	if len(replies) != 1 {
 		t.Fatalf("mate replies = %+v", cap.sent)
@@ -563,7 +563,7 @@ func TestNodeMateQueryForeignSliceSilentWhenUnknown(t *testing.T) {
 	const k = 4
 	id := findNodeInSlice(t, 2, k)
 	n, cap := staticNode(t, id, k)
-	n.HandleMessage(transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 3}})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 88, To: id, Msg: &MateQuery{Slice: 3}})
 	if len(cap.sent) != 0 {
 		t.Fatalf("replied without knowing any slice-3 node: %+v", cap.sent)
 	}
@@ -577,7 +577,7 @@ func TestNodeMateReplyFillsIntraView(t *testing.T) {
 	if mate == id {
 		mate = findNextNodeInSlice(t, 2, k, id)
 	}
-	n.HandleMessage(transport.Envelope{From: 99, To: id, Msg: &MateReply{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 99, To: id, Msg: &MateReply{
 		Slice: 2,
 		Mates: []pssDescriptor{{ID: mate, Slice: 2}},
 	}})
@@ -586,7 +586,7 @@ func TestNodeMateReplyFillsIntraView(t *testing.T) {
 	}
 	// A reply for a slice we are not in is ignored.
 	other := findNodeInSlice(t, 3, k)
-	n.HandleMessage(transport.Envelope{From: 99, To: id, Msg: &MateReply{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 99, To: id, Msg: &MateReply{
 		Slice: 3,
 		Mates: []pssDescriptor{{ID: other, Slice: 3}},
 	}})
@@ -663,8 +663,8 @@ func findNextNodeInSlice(t *testing.T, want int32, k int, after transport.NodeID
 
 func TestNodeTickCountsRounds(t *testing.T) {
 	n, _ := staticNode(t, 1, 4)
-	n.Tick()
-	n.Tick()
+	n.Tick(context.Background())
+	n.Tick(context.Background())
 	if n.Round() != 2 {
 		t.Errorf("Round = %d", n.Round())
 	}
@@ -676,7 +676,7 @@ func TestNodeMetricsCountTraffic(t *testing.T) {
 	n, _ := staticNode(t, id, k)
 	n.Bootstrap([]transport.NodeID{500, 501, 502})
 	key := keyForSlice(t, 3, k)
-	n.HandleMessage(transport.Envelope{From: 77, To: id, Msg: &PutRequest{
+	n.HandleMessage(context.Background(), transport.Envelope{From: 77, To: id, Msg: &PutRequest{
 		ID: gossip.MakeRequestID(1, 1), Key: key, Version: 1, TTL: TTLUnset,
 	}})
 	m := n.Metrics()
@@ -693,9 +693,9 @@ func TestNodeMetricsCountTraffic(t *testing.T) {
 
 func TestNodeIgnoresUnknownMessages(t *testing.T) {
 	n, cap := staticNode(t, 1, 4)
-	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: "mystery"})
-	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &PutAck{}})
-	n.HandleMessage(transport.Envelope{From: 2, To: 1, Msg: &GetReply{}})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 2, To: 1, Msg: "mystery"})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 2, To: 1, Msg: &PutAck{}})
+	n.HandleMessage(context.Background(), transport.Envelope{From: 2, To: 1, Msg: &GetReply{}})
 	if len(cap.sent) != 0 {
 		t.Fatal("unknown messages triggered traffic")
 	}

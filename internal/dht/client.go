@@ -110,12 +110,16 @@ func (c *Client) issue(op *clientOp) {
 		return
 	}
 	contact := c.nodes[c.rng.IntN(len(c.nodes))]
+	// Both sends are fire-and-forget by design: the DHT client retries
+	// on its own deadline, so a failed send costs one timeout round.
 	if op.isPut {
+		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &PutRequest{
 			ID: op.id, Key: op.key, Version: op.version, Value: op.value, Origin: c.id,
 		})
 		return
 	}
+	//flasks:fire-and-forget
 	_ = c.out.Send(context.Background(), contact, &GetRequest{
 		ID: op.id, Key: op.key, Origin: c.id, Attempt: op.attempt,
 	})

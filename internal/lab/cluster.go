@@ -19,6 +19,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"path/filepath"
@@ -75,6 +76,11 @@ type ClusterConfig struct {
 type Cluster struct {
 	Engine *sim.Engine
 	Net    *transport.SimNetwork
+
+	// ctx is the cluster-lifetime context threaded into every node's
+	// Tick and HandleMessage; the simulated fabric never blocks, so it
+	// only carries the plumbing contract, not cancellation pressure.
+	ctx context.Context
 
 	cfg     ClusterConfig
 	rng     *rand.Rand
@@ -136,6 +142,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c := &Cluster{
 		Engine:  engine,
 		Net:     net,
+		ctx:     context.Background(),
 		cfg:     cfg,
 		rng:     sim.RNG(cfg.Seed, 0x1ab),
 		nodes:   make(map[transport.NodeID]*core.Node, cfg.N),
@@ -166,7 +173,7 @@ func (c *Cluster) addNode() transport.NodeID {
 	}
 
 	var n *core.Node
-	sender := c.Net.Attach(id, func(env transport.Envelope) { n.HandleMessage(env) })
+	sender := c.Net.Attach(id, func(env transport.Envelope) { n.HandleMessage(c.ctx, env) })
 	n = core.NewNode(id, nodeCfg, c.cfg.StoreFactory(id), sender)
 	c.nodes[id] = n
 	c.insertOrdered(id)
@@ -174,7 +181,7 @@ func (c *Cluster) addNode() transport.NodeID {
 	// Stagger ticks uniformly inside the round so the cluster is not in
 	// lockstep (Minha models the same phase noise).
 	offset := time.Duration(c.rng.Int64N(int64(Round)))
-	stop := c.Engine.Ticker(c.Engine.Now()+offset, Round, func(time.Duration) { n.Tick() })
+	stop := c.Engine.Ticker(c.Engine.Now()+offset, Round, func(time.Duration) { n.Tick(c.ctx) })
 	c.tickers[id] = stop
 	return id
 }
@@ -307,7 +314,7 @@ func (c *Cluster) Inject(contact transport.NodeID, msg interface{}) {
 		return
 	}
 	c.Engine.Schedule(0, func() {
-		n.HandleMessage(transport.Envelope{From: 0, To: contact, Msg: msg})
+		n.HandleMessage(c.ctx, transport.Envelope{From: 0, To: contact, Msg: msg})
 	})
 }
 

@@ -1,0 +1,154 @@
+// Package leakcheck fails a test binary whose goroutines outlive its
+// tests. It is a dependency-free stand-in for goleak: TestMain hands
+// the *testing.M to Main, which runs the package's tests and then
+// snapshots runtime.Stack until every non-benign goroutine has exited
+// or a grace period expires. A goroutine still alive after the grace
+// period is a leak — a transport reader missing a Close path, an event
+// loop without a stop channel — and its full stack is printed so the
+// culprit's creation site is one read away.
+//
+// Usage:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Main waits for goroutines to wind down after the
+// tests pass. Shutdown is asynchronous (closed listeners unwind their
+// accept loops, tickers fire one last time), so the check retries
+// instead of failing on the first racy snapshot.
+const grace = 5 * time.Second
+
+// benignMarks identify goroutines the Go toolchain itself runs during
+// a test binary's lifetime; their presence is not a leak.
+var benignMarks = []string{
+	"testing.Main(",
+	"testing.runTests(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"os/signal.signal_recv(",
+	"os/signal.loop(",
+	"runtime.ensureSigM(",
+	"runtime/trace.Start.",
+	"runtime.ReadTrace(",
+}
+
+// Main runs the package's tests, then enforces that no goroutines
+// leak. It returns the exit code for os.Exit: the tests' own code
+// when they fail (a leak report would only bury the real failure),
+// 1 when the tests pass but goroutines remain.
+func Main(m *testing.M) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	leaked := await(grace)
+	if len(leaked) == 0 {
+		return code
+	}
+	fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) outlived the tests:\n\n", len(leaked))
+	for _, g := range leaked {
+		fmt.Fprintf(os.Stderr, "%s\n\n", g)
+	}
+	return 1
+}
+
+// Check asserts mid-test that no extra goroutines are running beyond
+// those in before (a snapshot from Snapshot). It lets individual
+// tests bracket a start/stop cycle tightly instead of relying on the
+// end-of-binary sweep.
+func Check(t *testing.T, before map[string]bool) {
+	t.Helper()
+	deadline := time.Now().Add(grace)
+	for {
+		var fresh []string
+		for _, g := range stacks() {
+			if !before[creator(g)] {
+				fresh = append(fresh, g)
+			}
+		}
+		if len(fresh) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, g := range fresh {
+				t.Errorf("leakcheck: goroutine outlived the test:\n%s", g)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Snapshot records the currently running goroutines (by creation
+// site) for a later Check.
+func Snapshot() map[string]bool {
+	out := make(map[string]bool)
+	for _, g := range stacks() {
+		out[creator(g)] = true
+	}
+	return out
+}
+
+// await polls until no leaked goroutines remain or the grace period
+// expires, returning the survivors.
+func await(d time.Duration) []string {
+	deadline := time.Now().Add(d)
+	for {
+		leaked := stacks()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stacks returns the stack of every live goroutine except the calling
+// one and the toolchain's own, one string per goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	// The first chunk is the calling goroutine itself.
+	for _, g := range strings.Split(string(buf), "\n\n")[1:] {
+		if g = strings.TrimSpace(g); g == "" || benign(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func benign(g string) bool {
+	for _, m := range benignMarks {
+		if strings.Contains(g, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// creator extracts the "created by ..." line that identifies where a
+// goroutine was started (the whole stack when the line is absent, as
+// for goroutine 1).
+func creator(g string) string {
+	if i := strings.LastIndex(g, "created by "); i >= 0 {
+		return strings.TrimSpace(g[i:])
+	}
+	return g
+}

@@ -1,0 +1,50 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsBlockedGoroutine proves the snapshot machinery sees a
+// deliberately leaked goroutine and that Check clears once it exits.
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	before := Snapshot()
+	release := make(chan struct{})
+	go func() { <-release }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if snapshotContains("leakcheck.TestDetectsBlockedGoroutine") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stacks() never observed the leaked goroutine")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	Check(t, before) // must converge to clean once the goroutine exits
+}
+
+func snapshotContains(mark string) bool {
+	for _, g := range stacks() {
+		if strings.Contains(g, mark) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCreatorExtractsSpawnSite pins the keying used by Snapshot/Check.
+func TestCreatorExtractsSpawnSite(t *testing.T) {
+	g := "goroutine 7 [chan receive]:\nmain.worker()\n\t/x/main.go:10\ncreated by main.start\n\t/x/main.go:5"
+	got := creator(g)
+	if !strings.HasPrefix(got, "created by main.start") {
+		t.Fatalf("creator() = %q, want created-by line", got)
+	}
+	if creator("goroutine 1 [running]:\nmain.main()") == "" {
+		t.Fatal("creator() must fall back to the stack when no created-by line exists")
+	}
+}

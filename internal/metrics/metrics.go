@@ -82,6 +82,11 @@ const (
 	RequestsRelayed
 	// DuplicatesSuppressed counts requests dropped by the dedup cache.
 	DuplicatesSuppressed
+	// WireSendErrors counts fabric sends that returned an error from any
+	// protocol or routing path — the errors that used to be silently
+	// discarded with `_ =`. MsgDropped counts the subset observed by the
+	// node's accounting sender; WireSendErrors covers every send site.
+	WireSendErrors
 
 	numCounters
 )
@@ -107,6 +112,7 @@ var counterNames = [...]string{
 	CoalescedPuts:             "coalesced_puts",
 	RequestsRelayed:           "requests_relayed",
 	DuplicatesSuppressed:      "duplicates_suppressed",
+	WireSendErrors:            "wire_send_errors",
 }
 
 // String returns the snake_case name of the counter.

@@ -17,6 +17,10 @@ type CyclonConfig struct {
 	// SelfAddr is this node's dialable address, gossiped with its
 	// descriptor (empty in simulations).
 	SelfAddr string
+	// OnSendErr observes shuffle send failures. Epidemic rounds never
+	// retry — view turnover handles dead peers — but failures must not
+	// vanish either; the node runtime counts them (wire_send_errors).
+	OnSendErr func(error)
 }
 
 func (c *CyclonConfig) defaults() {
@@ -110,8 +114,15 @@ func (c *Cyclon) selfDescriptor() Descriptor {
 	return Descriptor{ID: c.self, Age: 0, Attr: attr, Slice: slice, Addr: c.cfg.SelfAddr}
 }
 
+// sendErr reports a failed shuffle send to the configured observer.
+func (c *Cyclon) sendErr(err error) {
+	if err != nil && c.cfg.OnSendErr != nil {
+		c.cfg.OnSendErr(err)
+	}
+}
+
 // Tick implements Protocol: one shuffle initiation.
-func (c *Cyclon) Tick() {
+func (c *Cyclon) Tick(ctx context.Context) {
 	c.view.IncrementAges()
 	target, ok := c.view.Oldest()
 	if !ok {
@@ -127,14 +138,14 @@ func (c *Cyclon) Tick() {
 	c.pendingPeer = target.ID
 	c.pendingSent = sample
 	c.hasPending = true
-	_ = c.out.Send(context.Background(), target.ID, &ShuffleRequest{Sample: sample})
+	c.sendErr(c.out.Send(ctx, target.ID, &ShuffleRequest{Sample: sample}))
 }
 
 // Handle implements Protocol.
-func (c *Cyclon) Handle(from transport.NodeID, msg interface{}) bool {
+func (c *Cyclon) Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool {
 	switch m := msg.(type) {
 	case *ShuffleRequest:
-		c.onRequest(from, m)
+		c.onRequest(ctx, from, m)
 		return true
 	case *ShuffleReply:
 		c.onReply(from, m)
@@ -144,14 +155,14 @@ func (c *Cyclon) Handle(from transport.NodeID, msg interface{}) bool {
 	}
 }
 
-func (c *Cyclon) onRequest(from transport.NodeID, m *ShuffleRequest) {
+func (c *Cyclon) onRequest(ctx context.Context, from transport.NodeID, m *ShuffleRequest) {
 	// Answer with a random sample of our own. A fresh self-descriptor
 	// tops up short replies: without it, two nodes that both just
 	// shuffled their last entry away would trade empty samples forever
 	// and a sparsely-bootstrapped overlay could never grow.
 	reply := c.view.RandomSubset(c.rng, c.cfg.ShuffleLen-1)
 	reply = append(reply, c.selfDescriptor())
-	_ = c.out.Send(context.Background(), from, &ShuffleReply{Sample: reply})
+	c.sendErr(c.out.Send(ctx, from, &ShuffleReply{Sample: reply}))
 	c.merge(m.Sample, reply)
 }
 

@@ -14,6 +14,9 @@ type NewscastConfig struct {
 	// SelfAddr is this node's dialable address, gossiped with its
 	// descriptor (empty in simulations).
 	SelfAddr string
+	// OnSendErr observes exchange send failures (no retries — view
+	// turnover handles dead peers — but the runtime counts them).
+	OnSendErr func(error)
 }
 
 func (c *NewscastConfig) defaults() {
@@ -93,23 +96,30 @@ func (n *Newscast) selfDescriptor() Descriptor {
 	return Descriptor{ID: n.self, Age: 0, Attr: attr, Slice: slice, Addr: n.cfg.SelfAddr}
 }
 
+// sendErr reports a failed exchange send to the configured observer.
+func (n *Newscast) sendErr(err error) {
+	if err != nil && n.cfg.OnSendErr != nil {
+		n.cfg.OnSendErr(err)
+	}
+}
+
 // Tick implements Protocol: exchange views with one random neighbour.
-func (n *Newscast) Tick() {
+func (n *Newscast) Tick(ctx context.Context) {
 	n.view.IncrementAges()
 	target, ok := n.view.Random(n.rng)
 	if !ok {
 		return
 	}
 	sample := append(n.view.Entries(), n.selfDescriptor())
-	_ = n.out.Send(context.Background(), target.ID, &ShuffleRequest{Sample: sample})
+	n.sendErr(n.out.Send(ctx, target.ID, &ShuffleRequest{Sample: sample}))
 }
 
 // Handle implements Protocol.
-func (n *Newscast) Handle(from transport.NodeID, msg interface{}) bool {
+func (n *Newscast) Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool {
 	switch m := msg.(type) {
 	case *ShuffleRequest:
 		reply := append(n.view.Entries(), n.selfDescriptor())
-		_ = n.out.Send(context.Background(), from, &ShuffleReply{Sample: reply})
+		n.sendErr(n.out.Send(ctx, from, &ShuffleReply{Sample: reply}))
 		n.merge(m.Sample)
 		return true
 	case *ShuffleReply:

@@ -38,7 +38,7 @@ func (f *fakeNet) deliverAll() {
 			continue
 		}
 		if p, ok := f.handlers[env.To]; ok {
-			p.Handle(env.From, env.Msg)
+			p.Handle(context.Background(), env.From, env.Msg)
 		}
 	}
 }
@@ -64,7 +64,7 @@ func buildCyclonNet(t *testing.T, n int, cfg CyclonConfig) (*fakeNet, []*Cyclon)
 func runRounds(net *fakeNet, nodes []*Cyclon, rounds int) {
 	for r := 0; r < rounds; r++ {
 		for _, c := range nodes {
-			c.Tick()
+			c.Tick(context.Background())
 		}
 		net.deliverAll()
 	}
@@ -155,7 +155,7 @@ func TestCyclonSelfInfoPiggybacked(t *testing.T) {
 	a.Bootstrap([]transport.NodeID{2})
 	b.Bootstrap([]transport.NodeID{1})
 
-	a.Tick()
+	a.Tick(context.Background())
 	net.deliverAll()
 
 	d, ok := b.view.Get(1)
@@ -197,7 +197,7 @@ func TestNewscastConvergesAndStaysFresh(t *testing.T) {
 	}
 	for r := 0; r < 20; r++ {
 		for _, nc := range nodes {
-			nc.Tick()
+			nc.Tick(context.Background())
 		}
 		net.deliverAll()
 	}
@@ -233,7 +233,7 @@ func TestBootstrapSkipsSelf(t *testing.T) {
 func TestCyclonHandleForeignMessage(t *testing.T) {
 	c := NewCyclon(1, CyclonConfig{}, newFakeNet().sender(1),
 		rand.New(rand.NewPCG(1, 1)), nil)
-	if c.Handle(2, "not a pss message") {
+	if c.Handle(context.Background(), 2, "not a pss message") {
 		t.Error("Handle claimed a foreign message")
 	}
 }

@@ -1,6 +1,7 @@
 package pss
 
 import (
+	"context"
 	"errors"
 
 	"dataflasks/internal/transport"
@@ -36,11 +37,13 @@ type ShuffleReply struct {
 type Protocol interface {
 	// Bootstrap seeds the view with initial contacts.
 	Bootstrap(seeds []transport.NodeID)
-	// Tick runs one gossip round (initiates one exchange).
-	Tick()
+	// Tick runs one gossip round (initiates one exchange). ctx bounds
+	// the round's sends.
+	Tick(ctx context.Context)
 	// Handle processes a message; it reports false when the message is
-	// not a peer-sampling message.
-	Handle(from transport.NodeID, msg interface{}) bool
+	// not a peer-sampling message. ctx bounds any sends the handler
+	// makes (shuffle replies).
+	Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool
 	// View returns a copy of the current partial view.
 	View() []Descriptor
 	// RandomPeers returns up to n distinct peers drawn uniformly from

@@ -1,6 +1,10 @@
 package slicing
 
-import "dataflasks/internal/transport"
+import (
+	"context"
+
+	"dataflasks/internal/transport"
+)
 
 // RankSlicerConfig tunes the rank-estimation slicer.
 type RankSlicerConfig struct {
@@ -115,11 +119,12 @@ func (s *RankSlicer) Observe(id transport.NodeID, attr float64) {
 
 // Handle implements Slicer. The rank slicer is message-free: all its
 // input piggybacks on peer sampling.
-func (s *RankSlicer) Handle(transport.NodeID, interface{}) bool { return false }
+func (s *RankSlicer) Handle(context.Context, transport.NodeID, interface{}) bool { return false }
 
 // Tick implements Slicer: fold this round's samples into the estimate
-// and update the claim under hysteresis.
-func (s *RankSlicer) Tick() {
+// and update the claim under hysteresis. The slicer sends nothing, so
+// ctx is unused.
+func (s *RankSlicer) Tick(context.Context) {
 	if s.roundTotal < s.cfg.MinSamples {
 		return
 	}

@@ -17,6 +17,8 @@
 package slicing
 
 import (
+	"context"
+
 	"dataflasks/internal/hashmix"
 	"dataflasks/internal/transport"
 )
@@ -33,11 +35,12 @@ type Slicer interface {
 	SetSliceCount(k int)
 	// Observe feeds one uniform sample from the peer-sampling stream.
 	Observe(id transport.NodeID, attr float64)
-	// Tick runs one protocol round.
-	Tick()
+	// Tick runs one protocol round; ctx bounds the round's sends.
+	Tick(ctx context.Context)
 	// Handle processes a message, reporting false when it is not a
-	// slicing message.
-	Handle(from transport.NodeID, msg interface{}) bool
+	// slicing message. ctx bounds any sends the handler makes (swap
+	// replies).
+	Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool
 }
 
 // SliceUnknown is returned before a slicer has made its first decision.

@@ -89,7 +89,7 @@ func feedRank(s *RankSlicer, population []float64, ids []transport.NodeID, round
 			j := rng.IntN(len(population))
 			s.Observe(ids[j], population[j])
 		}
-		s.Tick()
+		s.Tick(context.Background())
 	}
 }
 
@@ -129,7 +129,7 @@ func TestRankSlicerUnknownBeforeSamples(t *testing.T) {
 	if s.Slice() != SliceUnknown {
 		t.Errorf("slice = %d before any samples, want unknown", s.Slice())
 	}
-	s.Tick() // no samples: still unknown
+	s.Tick(context.Background()) // no samples: still unknown
 	if s.Slice() != SliceUnknown {
 		t.Error("tick without samples decided a slice")
 	}
@@ -141,7 +141,7 @@ func TestRankSlicerHysteresis(t *testing.T) {
 	s.Observe(2, 0.9)
 	s.Observe(3, 0.8)
 	s.Observe(4, 0.7)
-	s.Tick()
+	s.Tick(context.Background())
 	if s.Slice() != 0 {
 		t.Fatalf("initial slice = %d, want 0", s.Slice())
 	}
@@ -149,7 +149,7 @@ func TestRankSlicerHysteresis(t *testing.T) {
 	s.Observe(2, 0.1)
 	s.Observe(3, 0.2)
 	s.Observe(4, 0.3)
-	s.Tick()
+	s.Tick(context.Background())
 	if s.Slice() != 0 {
 		t.Fatalf("one noisy round flipped the slice")
 	}
@@ -158,7 +158,7 @@ func TestRankSlicerHysteresis(t *testing.T) {
 		s.Observe(2, 0.1)
 		s.Observe(3, 0.2)
 		s.Observe(4, 0.3)
-		s.Tick()
+		s.Tick(context.Background())
 	}
 	if s.Slice() != 1 {
 		t.Fatalf("sustained change did not flip the slice: %d", s.Slice())
@@ -169,7 +169,7 @@ func TestRankSlicerSetSliceCount(t *testing.T) {
 	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 2, MinSamples: 1})
 	s.Observe(2, 0.9)
 	s.Observe(3, 0.1)
-	s.Tick()
+	s.Tick(context.Background())
 	if s.SliceCount() != 2 {
 		t.Fatalf("SliceCount = %d", s.SliceCount())
 	}
@@ -190,7 +190,7 @@ func TestRankSlicerSetSliceCount(t *testing.T) {
 func TestRankSlicerIgnoresSelfSamples(t *testing.T) {
 	s := NewRankSlicer(1, 0.5, RankSlicerConfig{Slices: 2, MinSamples: 1})
 	s.Observe(1, 0.9) // self: ignored
-	s.Tick()
+	s.Tick(context.Background())
 	if s.Slice() != SliceUnknown {
 		t.Error("self sample advanced the estimate")
 	}
@@ -238,11 +238,11 @@ func newSwapHarness(n int, k int, attrs []float64) *swapHarness {
 
 func (h *swapHarness) round() {
 	for _, id := range h.ids {
-		h.nodes[id].Tick()
+		h.nodes[id].Tick(context.Background())
 		for len(h.queue) > 0 {
 			env := h.queue[0]
 			h.queue = h.queue[1:]
-			h.nodes[env.To].Handle(env.From, env.Msg)
+			h.nodes[env.To].Handle(context.Background(), env.From, env.Msg)
 		}
 	}
 }
@@ -340,9 +340,9 @@ func TestStaticSlicerSpreadsAndIsStable(t *testing.T) {
 func TestStaticSlicerNoProtocolActivity(t *testing.T) {
 	s := NewStaticSlicer(1, 4)
 	before := s.Slice()
-	s.Tick()
+	s.Tick(context.Background())
 	s.Observe(2, 0.5)
-	if s.Handle(2, &SwapRequest{}) {
+	if s.Handle(context.Background(), 2, &SwapRequest{}) {
 		t.Error("static slicer claimed a message")
 	}
 	if s.Slice() != before {

@@ -1,6 +1,8 @@
 package slicing
 
 import (
+	"context"
+
 	"dataflasks/internal/hashmix"
 	"dataflasks/internal/transport"
 )
@@ -47,7 +49,7 @@ func (s *StaticSlicer) SetSliceCount(k int) {
 func (s *StaticSlicer) Observe(transport.NodeID, float64) {}
 
 // Tick implements Slicer (no-op).
-func (s *StaticSlicer) Tick() {}
+func (s *StaticSlicer) Tick(context.Context) {}
 
 // Handle implements Slicer (no-op).
-func (s *StaticSlicer) Handle(transport.NodeID, interface{}) bool { return false }
+func (s *StaticSlicer) Handle(context.Context, transport.NodeID, interface{}) bool { return false }

@@ -33,6 +33,10 @@ type SwapReply struct {
 type SwapSlicerConfig struct {
 	// Slices is the initial slice count k.
 	Slices int
+	// OnSendErr observes swap send failures. A lost exchange costs a
+	// round (the pending flag clears at the next Tick), but the
+	// failure is counted, never silently dropped (wire_send_errors).
+	OnSendErr func(error)
 }
 
 // PartnerFunc supplies a random gossip partner (typically from the
@@ -64,6 +68,7 @@ type SwapSlicer struct {
 	out     transport.Sender
 	partner PartnerFunc
 	rng     *rand.Rand
+	onErr   func(error)
 
 	hasPending  bool
 	pendingPeer transport.NodeID
@@ -89,6 +94,14 @@ func NewSwapSlicer(self transport.NodeID, attr float64, cfg SwapSlicerConfig, ou
 		out:     out,
 		partner: partner,
 		rng:     rng,
+		onErr:   cfg.OnSendErr,
+	}
+}
+
+// sendErr reports a failed swap send to the configured observer.
+func (s *SwapSlicer) sendErr(err error) {
+	if err != nil && s.onErr != nil {
+		s.onErr(err)
 	}
 }
 
@@ -115,7 +128,7 @@ func (s *SwapSlicer) Observe(transport.NodeID, float64) {}
 // Tick implements Slicer: initiate one exchange. A still-outstanding
 // exchange from the previous round (lost reply, dead partner) is
 // abandoned first.
-func (s *SwapSlicer) Tick() {
+func (s *SwapSlicer) Tick(ctx context.Context) {
 	s.hasPending = false
 	peer, ok := s.partner()
 	if !ok || peer == s.self {
@@ -124,25 +137,25 @@ func (s *SwapSlicer) Tick() {
 	s.seq++
 	s.hasPending = true
 	s.pendingPeer = peer
-	_ = s.out.Send(context.Background(), peer, &SwapRequest{Attr: s.attr, X: s.x, Seq: s.seq})
+	s.sendErr(s.out.Send(ctx, peer, &SwapRequest{Attr: s.attr, X: s.x, Seq: s.seq}))
 }
 
 // Handle implements Slicer.
-func (s *SwapSlicer) Handle(from transport.NodeID, msg interface{}) bool {
+func (s *SwapSlicer) Handle(ctx context.Context, from transport.NodeID, msg interface{}) bool {
 	switch m := msg.(type) {
 	case *SwapRequest:
 		if s.hasPending {
 			// Our own exchange is in flight; swapping now would
 			// invalidate the value we promised the other partner.
-			_ = s.out.Send(context.Background(), from, &SwapReply{Busy: true, Seq: m.Seq})
+			s.sendErr(s.out.Send(ctx, from, &SwapReply{Busy: true, Seq: m.Seq}))
 			return true
 		}
 		myAttr, myX := s.attr, s.x
 		if misordered(m.Attr, from, m.X, myAttr, s.self, myX) {
 			s.x = m.X // commit our half atomically
-			_ = s.out.Send(context.Background(), from, &SwapReply{Attr: myAttr, X: myX, Swapped: true, Seq: m.Seq})
+			s.sendErr(s.out.Send(ctx, from, &SwapReply{Attr: myAttr, X: myX, Swapped: true, Seq: m.Seq}))
 		} else {
-			_ = s.out.Send(context.Background(), from, &SwapReply{Attr: myAttr, X: myX, Swapped: false, Seq: m.Seq})
+			s.sendErr(s.out.Send(ctx, from, &SwapReply{Attr: myAttr, X: myX, Swapped: false, Seq: m.Seq}))
 		}
 		return true
 	case *SwapReply:

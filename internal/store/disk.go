@@ -231,6 +231,10 @@ func (d *Disk) Get(key string, version uint64) ([]byte, uint64, bool, error) {
 	if err != nil || !ok {
 		return nil, 0, false, err
 	}
+	// The disk engine is a deliberately serialized design: reads hold
+	// the store lock across the file read so a concurrent Delete cannot
+	// unlink between the index hit and the open.
+	//flasks:lockhold-ok
 	data, err := os.ReadFile(filepath.Join(d.dir, objectName(key, actual)))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -263,6 +267,8 @@ func (d *Disk) Delete(key string, version uint64) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	// Unlink under the store lock: index and directory must agree.
+	//flasks:lockhold-ok
 	if err := os.Remove(filepath.Join(d.dir, objectName(key, actual))); err != nil && !os.IsNotExist(err) {
 		return false, fmt.Errorf("store: delete object: %w", err)
 	}
@@ -290,6 +296,8 @@ func (d *Disk) DeleteBatch(items []Deletion) ([]bool, error) {
 		if !ok {
 			continue
 		}
+		// Same serialized-engine contract as Delete.
+		//flasks:lockhold-ok
 		if err := os.Remove(filepath.Join(d.dir, objectName(it.Key, actual))); err != nil && !os.IsNotExist(err) {
 			return existed, fmt.Errorf("store: delete object: %w", err)
 		}

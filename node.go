@@ -1,6 +1,7 @@
 package dataflasks
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strconv"
@@ -57,12 +58,17 @@ type Node struct {
 
 	mailbox chan transport.Envelope
 	done    chan struct{}
+	cancel  context.CancelFunc // aborts in-flight sends at shutdown
 	wg      sync.WaitGroup
 
 	// drops counts mailbox overflow: messages the TCP fabric delivered
 	// but the event loop was too slow to accept. Incremented from
 	// connection goroutines, hence the shared counter.
 	drops metrics.SharedCounter
+	// sendErrs mirrors the core's wire_send_errors counter into an
+	// atomic the status reporter can read without racing the event
+	// loop's own metrics.
+	sendErrs metrics.SharedCounter
 
 	closeOnce sync.Once
 }
@@ -166,6 +172,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	coreCfg.RoundPeriod = cfg.RoundPeriod
 	coreCfg.AdvertiseAddr = tcpNet.Addr()
 	coreCfg.AddressBook = tcpNet
+	coreCfg.OnSendErr = func(error) { n.sendErrs.Inc() }
 	n.core = core.NewNode(cfg.ID, coreCfg, n.st, tcpNet.Sender())
 
 	seedIDs := make([]NodeID, 0, len(cfg.Seeds))
@@ -181,6 +188,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.core.Bootstrap(seedIDs)
 
+	// The lifecycle context bounds every send the event loop makes;
+	// Close cancels it first, so a round blocked on a slow peer stops
+	// dialing instead of stalling shutdown.
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -189,9 +201,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		for {
 			select {
 			case env := <-n.mailbox:
-				n.core.HandleMessage(env)
+				n.core.HandleMessage(ctx, env)
 			case <-ticker.C:
-				n.core.Tick()
+				n.core.Tick(ctx)
 			case <-n.done:
 				return
 			}
@@ -220,6 +232,11 @@ func (n *Node) PeersKnown() int { return n.net.PeerCount() }
 // because the node's mailbox was full (event loop congestion).
 func (n *Node) MailboxDropped() uint64 { return n.drops.Load() }
 
+// SendErrors returns how many fabric sends failed across every
+// protocol and routing path (the core's wire_send_errors counter,
+// mirrored atomically for concurrent readers).
+func (n *Node) SendErrors() uint64 { return n.sendErrs.Load() }
+
 // WireStats reports wire-level accounting shared by the node's TCP and
 // UDP fabrics: encoded bytes, codec fallbacks, and datagram counters.
 func (n *Node) WireStats() metrics.WireSnapshot { return n.wstats.Snapshot() }
@@ -244,6 +261,7 @@ func (n *Node) closeFabrics() {
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
+		n.cancel()
 		close(n.done)
 		n.wg.Wait()
 		if n.udp != nil {
