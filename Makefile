@@ -32,6 +32,7 @@ smoke:
 	$(GO) run ./cmd/flaskbench -exp pipeline -quick
 	$(GO) run ./cmd/flaskbench -exp resp -quick
 	$(GO) run ./cmd/flaskbench -exp churn -quick -json BENCH_churn.json
+	$(GO) run ./cmd/flaskbench -exp bootstrap -quick -json BENCH_bootstrap.json
 
 # check runs the repo's own invariant analyzers (wire table, event
 # loop, ctx plumbing, lock holds, counter names). Zero findings or the

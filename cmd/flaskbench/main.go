@@ -8,7 +8,7 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood store compact pipeline resp.
+// fanout reconfig putflood store compact pipeline resp bootstrap.
 package main
 
 import (
@@ -30,11 +30,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, bootstrap, all)")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		quick    = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns       = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
-		jsonPath = flag.String("json", "", "write machine-readable results to this file (currently: the churn experiment's convergence comparison)")
+		jsonPath = flag.String("json", "", "write machine-readable results to this file (currently: the churn and bootstrap experiments)")
 	)
 	flag.Parse()
 
@@ -63,8 +63,9 @@ func main() {
 		"compact":    func() { runCompact(*quick) },
 		"pipeline":   func() { runPipeline(*seed, *quick) },
 		"resp":       func() { runRESP(*seed, *quick) },
+		"bootstrap":  func() { runBootstrap(*seed, *quick, *jsonPath) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline", "resp"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline", "resp", "bootstrap"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -252,6 +253,81 @@ func runChurnConvergence(seed uint64, quick bool, jsonPath string) {
 	}
 	if ratio < 5 {
 		fmt.Fprintf(os.Stderr, "flaskbench: churn experiment regressed (bloom digest saving %.1fx < 5x)\n", ratio)
+		os.Exit(1)
+	}
+}
+
+// runBootstrap is E18: cold-joiner recovery — segment-streaming
+// bootstrap vs the object-wise anti-entropy baseline, plus the
+// mixed-version cluster where no peer speaks the protocol. The CI
+// smoke step runs it with hard gates: every mode must converge, the
+// mixed cluster must fall back cleanly (with the fallback visible in
+// bootstrap_fallback_objects), and segment bootstrap must recover the
+// slice >= 5x faster than object repair.
+func runBootstrap(seed uint64, quick bool, jsonPath string) {
+	done := header("E18: cold-join bootstrap — segment streaming vs object-wise repair")
+	defer done()
+	opts := lab.BootstrapRecoveryOptions{
+		N: 100, Slices: 5, Records: 10000, Rounds: 300, Seed: seed,
+	}
+	if quick {
+		opts = lab.BootstrapRecoveryOptions{
+			N: 50, Slices: 5, Records: 5000, Rounds: 200, Seed: seed,
+		}
+	}
+	segment, object := lab.BootstrapRecoveryCompare(opts)
+	opts.Segment, opts.DisablePeerBootstrap = true, true
+	fallback := lab.BootstrapRecovery(opts)
+
+	fmt.Printf("%18s %8s %10s %10s %12s %10s %10s\n",
+		"mode", "rounds", "sliceobjs", "segments", "KiB", "rejected", "fellback")
+	for _, r := range []lab.BootstrapRecoveryResult{segment, object, fallback} {
+		fmt.Printf("%18s %8d %10d %10d %12.1f %10d %10v\n",
+			r.Mode, r.JoinRounds, r.SliceObjects, r.BootstrapSegments,
+			float64(r.BootstrapBytes)/1024, r.ChunksRejected, r.FellBack)
+	}
+	ratio := 0.0
+	if segment.JoinRounds > 0 {
+		ratio = float64(object.JoinRounds) / float64(segment.JoinRounds)
+	}
+	fmt.Printf("cold join: segment bootstrap is %.1fx faster than object-wise repair\n", ratio)
+
+	if jsonPath != "" {
+		out := struct {
+			Experiment string                      `json:"experiment"`
+			Seed       uint64                      `json:"seed"`
+			Quick      bool                        `json:"quick"`
+			Segment    lab.BootstrapRecoveryResult `json:"segment"`
+			Object     lab.BootstrapRecoveryResult `json:"object"`
+			Fallback   lab.BootstrapRecoveryResult `json:"fallback"`
+			RoundRatio float64                     `json:"round_ratio"`
+		}{"bootstrap-recovery", seed, quick, segment, object, fallback, ratio}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flaskbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	// Regression gates (the CI smoke step relies on the exit code).
+	if segment.JoinRounds < 0 || object.JoinRounds < 0 || fallback.JoinRounds < 0 {
+		fmt.Fprintln(os.Stderr, "flaskbench: bootstrap experiment regressed (a mode never recovered the slice)")
+		os.Exit(1)
+	}
+	if segment.FellBack {
+		fmt.Fprintln(os.Stderr, "flaskbench: bootstrap experiment regressed (segment joiner fell back to object repair)")
+		os.Exit(1)
+	}
+	if !fallback.FellBack || fallback.FallbackObjects == 0 {
+		fmt.Fprintln(os.Stderr, "flaskbench: bootstrap experiment regressed (mixed-version cluster did not fall back cleanly)")
+		os.Exit(1)
+	}
+	if ratio < 5 {
+		fmt.Fprintf(os.Stderr, "flaskbench: bootstrap experiment regressed (segment speedup %.1fx < 5x)\n", ratio)
 		os.Exit(1)
 	}
 }

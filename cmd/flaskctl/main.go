@@ -7,6 +7,7 @@
 //	flaskctl -seeds 1@127.0.0.1:7001 del greeting
 //	flaskctl -seeds 1@127.0.0.1:7001 del greeting 1
 //	flaskctl -seeds 1@127.0.0.1:7001 bench -ops 1000 -mode pipeline
+//	flaskctl -seeds 1@127.0.0.1:7001 snapshot ./backup
 package main
 
 import (
@@ -34,6 +35,16 @@ func main() {
 	if *seeds == "" || flag.NArg() == 0 {
 		usage()
 	}
+	args := flag.Args()
+	if args[0] == "snapshot" {
+		// Snapshots talk the segment-streaming protocol directly to one
+		// node; they do not need the epidemic client.
+		if len(args) != 2 {
+			usage()
+		}
+		runSnapshot(strings.Split(*seeds, ",")[0], args[1], *timeout)
+		return
+	}
 	cl, err := dataflasks.ConnectClient("127.0.0.1:0", strings.Split(*seeds, ","), dataflasks.Config{Slices: *slices})
 	if err != nil {
 		fatal(err)
@@ -43,7 +54,6 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	args := flag.Args()
 	switch args[0] {
 	case "ping":
 		if len(args) != 1 {
@@ -126,6 +136,28 @@ func runPing(cl *dataflasks.Client, seeds string, timeout time.Duration) {
 	fmt.Printf("PONG in %s (write acknowledged by a replica)\n", rtt.Round(100*time.Microsecond))
 }
 
+// runSnapshot downloads one node's sealed segments into dir as a
+// restorable snapshot, printing per-segment progress.
+func runSnapshot(seed, dir string, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	var lastSeg uint64
+	sawSeg := false
+	res, err := dataflasks.DownloadSnapshot(ctx, seed, dir, dataflasks.Config{}, func(segment uint64, bytes int64) {
+		if !sawSeg || segment != lastSeg {
+			sawSeg = true
+			lastSeg = segment
+			fmt.Printf("  segment %d...\n", segment)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("SNAPSHOT %s: %d segments, %d bytes in %s (restore with flasksd -restore %s)\n",
+		dir, res.Segments, res.Bytes, time.Since(start).Round(time.Millisecond), dir)
+}
+
 func parseVersion(s string) uint64 {
 	version, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
@@ -192,7 +224,8 @@ func usage() {
   flaskctl -seeds id@host:port[,...] put <key> <version> <value>
   flaskctl -seeds id@host:port[,...] get <key> [version]
   flaskctl -seeds id@host:port[,...] del <key> [version]
-  flaskctl -seeds id@host:port[,...] bench [-ops N] [-mode blocking|pipeline|batch] [-acks N]`)
+  flaskctl -seeds id@host:port[,...] bench [-ops N] [-mode blocking|pipeline|batch] [-acks N]
+  flaskctl -seeds id@host:port[,...] snapshot <dir>`)
 	os.Exit(2)
 }
 

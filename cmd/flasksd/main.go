@@ -54,6 +54,10 @@ func main() {
 		aeRate      = flag.Int("ae-rate", 0, "repair push bytes allowed per anti-entropy round, token bucket (0: unlimited)")
 		aeFullEvery = flag.Int("ae-full-every", 0, "full-header repair round cadence; other rounds send Bloom summaries (0: 8 default; 1: always full headers)")
 
+		bootstrap     = flag.Bool("bootstrap", false, "bulk-recover this node's slice data at startup by streaming sealed segments from a slice-mate")
+		bootstrapRate = flag.Int("bootstrap-rate", 0, "segment bytes streamed to joiners per gossip round, token bucket (0: 1 MiB default, <0 unlimited)")
+		restoreDir    = flag.String("restore", "", "replay a flaskctl snapshot directory into the store before starting (empty: none)")
+
 		respAddr     = flag.String("resp-addr", "", "serve the cluster to Redis clients on this address (empty: disabled)")
 		respInflight = flag.Int("resp-inflight", 0, "max pipelined RESP commands in flight per connection (0: 128 default)")
 		respGetWait  = flag.Duration("resp-get-timeout", 0, "RESP read attempt budget; a missing key answers null after ~2x this (0: 2s default)")
@@ -109,6 +113,8 @@ func main() {
 		MaxPushBytes:           *aePushBytes,
 		RepairRateBytes:        *aeRate,
 		BloomFullEvery:         *aeFullEvery,
+		Bootstrap:              *bootstrap,
+		BootstrapRateBytes:     *bootstrapRate,
 	}
 	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
 		ID:          dataflasks.NodeID(*id),
@@ -116,6 +122,7 @@ func main() {
 		Advertise:   *advertise,
 		Seeds:       seedList,
 		DataDir:     *dataDir,
+		RestoreDir:  *restoreDir,
 		RoundPeriod: *period,
 		UDPBind:     *udpAddr,
 		Config:      cfg,
@@ -168,6 +175,10 @@ func main() {
 				ws := node.WireStats()
 				log.Printf("flasksd: wire encode_bytes=%d codec_fallbacks=%d udp sent=%d dropped=%d oversize=%d",
 					ws.EncodeBytes, ws.CodecFallbacks, ws.UDPSent, ws.UDPDropped, ws.UDPOversize)
+				if bs := node.BootstrapStats(); *bootstrap || bs.Sent > 0 {
+					log.Printf("flasksd: bootstrap done=%t fellback=%t sent=%d segments=%d bytes=%d rejected=%d fallback_objects=%d",
+						bs.Done, bs.FellBack, bs.Sent, bs.Segments, bs.Bytes, bs.ChunksRejected, bs.FallbackObjects)
+				}
 				if gateway != nil {
 					calls, errs := respStats.Totals()
 					log.Printf("flasksd: resp conns=%d cmds=%d errors=%d p50=%s p99=%s",

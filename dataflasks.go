@@ -159,6 +159,19 @@ type Config struct {
 	// slice change (off by default, like the paper's conservative
 	// stance).
 	EvictForeign bool
+	// Bootstrap makes the node recover its slice's data in bulk at
+	// startup: it asks a slice-mate for whole sealed segments
+	// (internal/bootstrap) and lets anti-entropy mop up the delta. Off
+	// by default; set it on a node (re)joining a cluster that already
+	// holds data.
+	Bootstrap bool
+	// DisableBootstrap removes the segment-streaming protocol entirely:
+	// the node neither joins via segments nor serves them to joiners.
+	DisableBootstrap bool
+	// BootstrapRateBytes caps the bytes a node streams to joiners per
+	// gossip round (0 = 1 MiB default, negative = unlimited), so serving
+	// a cold joiner cannot starve foreground traffic.
+	BootstrapRateBytes int
 	// Engine selects the persistence engine used with a data
 	// directory (default LogEngine).
 	Engine Engine
@@ -213,6 +226,9 @@ func (c Config) coreConfig() core.Config {
 	cc.AntiEntropyMaxPushBytes = c.MaxPushBytes
 	cc.AntiEntropyRateBytes = c.RepairRateBytes
 	cc.AntiEntropyFullEvery = c.BloomFullEvery
+	cc.Bootstrap = c.Bootstrap
+	cc.DisableBootstrap = c.DisableBootstrap
+	cc.BootstrapRateBytes = c.BootstrapRateBytes
 	cc.Store = core.StoreConfig{
 		Fsync:                  c.Fsync,
 		SegmentMaxBytes:        c.SegmentMaxBytes,

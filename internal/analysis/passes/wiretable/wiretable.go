@@ -47,6 +47,7 @@ var sendScope = map[string]bool{
 	"core":        true,
 	"client":      true,
 	"dht":         true,
+	"bootstrap":   true,
 }
 
 // Analyzer is the wiretable pass.

@@ -9,11 +9,12 @@ import (
 )
 
 // TestWiretable loads the fixture table (kind collision, zero kind,
-// missing codec, Name/New mismatch, missing golden frame) together
-// with a protocol package sending an unregistered message, in one
-// program — the cross-package check resolves against the fixture
-// table, not the real one.
+// missing codec, Name/New mismatch, missing golden frame, and a
+// segment-kind block with its own collision) together with two
+// protocol packages — core and the segment-streaming bootstrap — each
+// sending an unregistered message, in one program. The cross-package
+// check resolves against the fixture table, not the real one.
 func TestWiretable(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "..", "testdata"), wiretable.Analyzer,
-		"wiretable", "wiretable_send")
+		"wiretable", "wiretable_send", "wiretable_boot")
 }

@@ -24,6 +24,9 @@ type Zero struct{}
 type Stray struct{}
 type NoCodec struct{}
 type NoGolden struct{}
+type SegManifest struct{}
+type SegChunk struct{}
+type SegCollide struct{}
 
 var Messages = []Spec{
 	{Kind: 1, Name: "wire.Ping", Plane: ControlPlane,
@@ -55,6 +58,32 @@ var Messages = []Spec{
 		dec: func(r *reader) interface{} { return &NoGolden{} },
 	},
 	{Kind: 6, Name: "core.Registered", Plane: ControlPlane,
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return nil },
+	},
+	// The segment-streaming block mirrors the real table's kinds 30+:
+	// two clean specs, then a new message grabbing an already-assigned
+	// segment kind — the exact mistake the pass exists to catch when
+	// the bulk-transfer range grows.
+	{Kind: 30, Name: "wire.SegManifest", Plane: ControlPlane,
+		New: func() interface{} { return &SegManifest{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &SegManifest{} },
+	},
+	{Kind: 31, Name: "wire.SegChunk", Plane: ControlPlane,
+		New: func() interface{} { return &SegChunk{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &SegChunk{} },
+	},
+	{Kind: 30, Name: "wire.SegCollide", Plane: ControlPlane, // want `wire.SegCollide reuses kind 30, already taken by wire.SegManifest`
+		New: func() interface{} { return &SegCollide{} },
+		enc: func(b []byte, msg interface{}) []byte { return b },
+		dec: func(r *reader) interface{} { return &SegCollide{} },
+	},
+	// Registered on behalf of the bootstrap fixture package (its send
+	// sites resolve to "bootstrap.SegFetch"); declared New-less like
+	// core.Registered since fixtures do not import each other.
+	{Kind: 32, Name: "bootstrap.SegFetch", Plane: ControlPlane,
 		enc: func(b []byte, msg interface{}) []byte { return b },
 		dec: func(r *reader) interface{} { return nil },
 	},

@@ -1,0 +1,29 @@
+// Package bootstrap is a wiretable fixture: the segment-streaming
+// protocol package is in the analyzer's send scope, so any message it
+// puts on the fabric must be registered in the wire table.
+package bootstrap
+
+import "context"
+
+type sender interface {
+	Send(ctx context.Context, to uint64, msg interface{}) error
+}
+
+// SegFetch mirrors a registered segment message (fixture table, kind
+// 32); Probe is a new message someone forgot to register.
+type SegFetch struct {
+	Segment uint64
+	Offset  int64
+}
+
+type Probe struct{}
+
+func fetch(ctx context.Context, out sender) {
+	if err := out.Send(ctx, 1, &SegFetch{Segment: 3}); err != nil { // ok: in the fixture table
+		_ = err
+	}
+	req := &Probe{}
+	if err := out.Send(ctx, 1, req); err != nil { // want `message bootstrap.Probe sent over the fabric but not registered in wire.Messages`
+		_ = err
+	}
+}

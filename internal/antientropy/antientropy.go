@@ -344,9 +344,12 @@ func (p *Protocol) digest() []Header {
 
 // summary encodes every local header into a Bloom filter. Unlike
 // digest it is never sampled down — the whole point is that O(bits)
-// covers the whole store.
+// covers the whole store. Each summary draws a fresh salt so a header
+// that false-positives this round is tested under an independent hash
+// family next round instead of being skipped until the full-header
+// fallback (see Filter).
 func (p *Protocol) summary() Filter {
-	f := NewFilter(p.env.Store.Count())
+	f := NewFilterSalted(p.env.Store.Count(), p.rng.Uint64())
 	_ = p.env.Store.ForEach(func(key string, version uint64) bool {
 		f.Add(key, version)
 		return true

@@ -19,9 +19,22 @@ import "dataflasks/internal/hashmix"
 // cost two 64-bit mixes regardless of K. The zero Filter is valid and
 // contains nothing — an empty store summarizes to "I have nothing",
 // making the responder push everything it may.
+//
+// Salt perturbs the hash family. Without it, whether a given header
+// false-positives against a given object set is a pure function of the
+// keys involved — the SAME ~1% of headers is skipped on every Bloom
+// round between every pair, and only the periodic full-header round
+// can repair them. With a fresh random salt per summary, each round
+// draws an independent false-positive set, so a header skipped this
+// round is overwhelmingly likely to be repaired a round or two later
+// instead of waiting out FullEvery. Salt travels inside the filter, so
+// the tester always probes with the builder's hash family; a zero salt
+// reproduces the unsalted family, keeping old frames meaningful.
 type Filter struct {
 	// K is the number of bit probes per header.
 	K uint32
+	// Salt perturbs the hash family (zero: unsalted legacy family).
+	Salt uint64
 	// Bits is the bit array, packed 64 per word.
 	Bits []uint64
 }
@@ -34,19 +47,27 @@ const (
 	filterHashes = 7
 )
 
-// NewFilter returns an empty filter sized for n headers.
-func NewFilter(n int) *Filter {
+// NewFilter returns an empty unsalted filter sized for n headers.
+func NewFilter(n int) *Filter { return NewFilterSalted(n, 0) }
+
+// NewFilterSalted returns an empty filter sized for n headers hashing
+// with the given salt's family.
+func NewFilterSalted(n int, salt uint64) *Filter {
 	if n < 1 {
 		n = 1
 	}
 	words := (n*filterBitsPerHeader + 63) / 64
-	return &Filter{K: filterHashes, Bits: make([]uint64, words)}
+	return &Filter{K: filterHashes, Salt: salt, Bits: make([]uint64, words)}
 }
 
-// headerHashes derives the double-hashing pair for one header. h2 is
-// forced odd so consecutive probes never collapse onto one bit.
-func headerHashes(key string, version uint64) (h1, h2 uint64) {
+// headerHashes derives the double-hashing pair for one header under
+// one salt's hash family. h2 is forced odd so consecutive probes never
+// collapse onto one bit. Salt zero is exactly the unsalted family.
+func headerHashes(key string, version uint64, salt uint64) (h1, h2 uint64) {
 	h1 = hashmix.HashString(key) ^ hashmix.HashUint64(version)
+	if salt != 0 {
+		h1 ^= hashmix.Mix64(salt)
+	}
 	h2 = hashmix.Mix64(h1) | 1
 	return
 }
@@ -57,7 +78,7 @@ func (f *Filter) Add(key string, version uint64) {
 	if m == 0 {
 		return
 	}
-	h1, h2 := headerHashes(key, version)
+	h1, h2 := headerHashes(key, version, f.Salt)
 	k := f.K
 	if k == 0 {
 		k = 1
@@ -76,7 +97,7 @@ func (f *Filter) Contains(key string, version uint64) bool {
 	if m == 0 {
 		return false
 	}
-	h1, h2 := headerHashes(key, version)
+	h1, h2 := headerHashes(key, version, f.Salt)
 	k := f.K
 	if k == 0 {
 		k = 1
@@ -91,8 +112,9 @@ func (f *Filter) Contains(key string, version uint64) bool {
 }
 
 // SizeBytes approximates the filter's wire footprint (bit words plus
-// the K field) — what digest-bandwidth accounting charges per Summary.
-func (f *Filter) SizeBytes() int { return len(f.Bits)*8 + 4 }
+// the K and Salt fields) — what digest-bandwidth accounting charges
+// per Summary.
+func (f *Filter) SizeBytes() int { return len(f.Bits)*8 + 12 }
 
 // Summary opens a Bloom round: a constant-bits-per-object encoding of
 // every local header (unlike full Digests, it is never sampled down).

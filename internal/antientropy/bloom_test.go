@@ -91,23 +91,57 @@ func TestBloomExchangeSyncsBothWays(t *testing.T) {
 	}
 }
 
-// TestBloomFalsePositiveFallsBackToFullRound seeds a provable false
-// positive — an object B holds whose header the initiator A's filter
-// wrongly claims present — and shows the Bloom rounds skip it while
-// the periodic full-header round repairs it. This is the convergence
-// guarantee the FullEvery fallback exists for.
-func TestBloomFalsePositiveFallsBackToFullRound(t *testing.T) {
-	const slice, k = 1, 4
-	h := newPair(t, Config{FullEvery: 3}, slice, k)
+// TestFilterSaltZeroIsLegacyFamily pins wire compatibility: a filter
+// that arrives without a salt (older peer, zero value) must hash
+// exactly like the pre-salt implementation, i.e. identically to
+// NewFilter's output.
+func TestFilterSaltZeroIsLegacyFamily(t *testing.T) {
+	a, b := NewFilter(256), NewFilterSalted(256, 0)
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("key%06d", i)
+		a.Add(key, uint64(i+1))
+		b.Add(key, uint64(i+1))
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			t.Fatalf("salt-0 filter diverged from legacy filter at word %d", i)
+		}
+	}
+}
 
-	// Seed A so its filter has enough set bits for false positives to
-	// exist, then search deterministically for a victim header that
-	// false-positives against it.
+// TestBloomFalsePositiveRepairedByResalting is the seeded regression
+// test for per-summary filter salting. Unsalted, whether a header
+// false-positives against a given object set is a pure function of the
+// keys — the SAME headers are skipped on every Bloom round and only
+// the periodic full-header round can repair them. With a fresh salt
+// per summary, round 2 draws an independent hash family, so a header
+// skipped in round 1 is repaired by the very next Bloom round: here
+// FullEvery is -1 (no full-header fallback at all) and the victim
+// still converges.
+func TestBloomFalsePositiveRepairedByResalting(t *testing.T) {
+	const slice, k = 1, 4
+	h := newPair(t, Config{FullEvery: -1}, slice, k) // Bloom only
+
 	base := keysInSlice(t, slice, k, 48)
 	for i, key := range base {
 		_ = h.sa.Put(key, uint64(i+1), []byte("base"))
 	}
-	fA := h.a.summary()
+
+	// A's summary salts come from its deterministic rng (seeded like
+	// newPair seeds it); clone the stream to know round 1's and round
+	// 2's filters in advance, and pick a victim header that
+	// false-positives under the first salt but not the second.
+	saltRNG := sim.RNG(1, 1)
+	salt1, salt2 := saltRNG.Uint64(), saltRNG.Uint64()
+	buildFilter := func(salt uint64) *Filter {
+		f := NewFilterSalted(h.sa.Count(), salt)
+		_ = h.sa.ForEach(func(key string, version uint64) bool {
+			f.Add(key, version)
+			return true
+		})
+		return f
+	}
+	f1, f2 := buildFilter(salt1), buildFilter(salt2)
 	const victimVersion = 7
 	victim := ""
 	for i := 0; i < 2_000_000 && victim == ""; i++ {
@@ -115,7 +149,7 @@ func TestBloomFalsePositiveFallsBackToFullRound(t *testing.T) {
 		if slicing.KeySlice(key, k) != slice {
 			continue
 		}
-		if fA.Contains(key, victimVersion) {
+		if f1.Contains(key, victimVersion) && !f2.Contains(key, victimVersion) {
 			victim = key
 		}
 	}
@@ -124,21 +158,19 @@ func TestBloomFalsePositiveFallsBackToFullRound(t *testing.T) {
 	}
 	_ = h.sb.Put(victim, victimVersion, []byte("precious"))
 
-	// Rounds 1 and 2 are Bloom rounds: B tests the victim against A's
-	// filter, sees (wrongly) "A has it", pushes nothing.
-	for round := 1; round <= 2; round++ {
-		h.a.Tick(context.Background())
-		h.deliverAll()
-		if _, _, ok, _ := h.sa.Get(victim, victimVersion); ok {
-			t.Fatalf("round %d (Bloom) repaired the false positive — it should be invisible to filters", round)
-		}
+	// Round 1: B tests the victim against A's salt1 filter, wrongly
+	// sees "A has it", pushes nothing.
+	h.a.Tick(context.Background())
+	h.deliverAll()
+	if _, _, ok, _ := h.sa.Get(victim, victimVersion); ok {
+		t.Fatal("round 1 repaired the victim — it should false-positive under salt1")
 	}
-	// Round 3 is the full-header fallback: B's DigestReply names the
-	// victim explicitly, A pulls it.
+	// Round 2: a fresh salt, an independent hash family — the victim
+	// no longer hides, and a plain Bloom round repairs it.
 	h.a.Tick(context.Background())
 	h.deliverAll()
 	if val, _, ok, _ := h.sa.Get(victim, victimVersion); !ok || string(val) != "precious" {
-		t.Fatalf("full-header fallback did not repair the false positive: ok=%v val=%q", ok, val)
+		t.Fatalf("re-salted Bloom round did not repair the false positive: ok=%v val=%q", ok, val)
 	}
 }
 

@@ -1,0 +1,195 @@
+package bootstrap
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// DownloadOptions tunes a remote snapshot download.
+type DownloadOptions struct {
+	// Timeout bounds each wait for a reply before the request is
+	// re-issued (default 3s).
+	Timeout time.Duration
+	// Retries bounds re-issues per request before the download fails
+	// (default 5).
+	Retries int
+	// OnProgress, when non-nil, observes verified bytes as they land.
+	OnProgress func(segment uint64, bytes int64)
+}
+
+func (o *DownloadOptions) defaults() {
+	if o.Timeout <= 0 {
+		o.Timeout = 3 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+}
+
+// Download pulls a remote node's sealed segments into dir as a
+// snapshot (segment files plus MANIFEST.json) — `flaskctl snapshot`
+// without stopping the node. It drives the same manifest/fetch/chunk
+// protocol a joining node uses, synchronously over the given sender
+// and inbound envelope stream, verifying every chunk CRC and every
+// completed segment against the manifest. Unlike a joiner it has no
+// anti-entropy to fall back on, so verification failures and exhausted
+// retries are errors, not detours. The manifest is written last, so an
+// aborted download leaves no usable snapshot.
+func Download(ctx context.Context, send transport.Sender, peer transport.NodeID, inbox <-chan transport.Envelope, dir string, opts DownloadOptions) (store.SnapshotManifest, error) {
+	opts.defaults()
+	var man store.SnapshotManifest
+
+	recv := func() (interface{}, error) {
+		timer := time.NewTimer(opts.Timeout)
+		defer timer.Stop()
+		select {
+		case env, ok := <-inbox:
+			if !ok {
+				return nil, fmt.Errorf("bootstrap: inbox closed")
+			}
+			if env.From != peer {
+				return nil, nil // stray traffic; caller keeps waiting
+			}
+			return env.Msg, nil
+		case <-timer.C:
+			return nil, nil // timeout; caller re-issues
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Fetch the manifest. Slice -1: a snapshot wants everything the
+	// peer holds, whatever slice it claims.
+	var segs []store.SegmentInfo
+	got := false
+	for attempt := 0; attempt <= opts.Retries && !got; attempt++ {
+		if err := send.Send(ctx, peer, &ManifestRequest{Slice: -1}); err != nil {
+			return man, fmt.Errorf("bootstrap: manifest request: %w", err)
+		}
+		deadline := time.Now().Add(opts.Timeout)
+		for time.Now().Before(deadline) && !got {
+			msg, err := recv()
+			if err != nil {
+				return man, err
+			}
+			if r, ok := msg.(*ManifestReply); ok {
+				segs = r.Segments
+				got = true
+			}
+		}
+	}
+	if !got {
+		return man, fmt.Errorf("bootstrap: node %s did not answer the manifest probe (is it running a build with bootstrap support?)", peer)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].ID < segs[j].ID })
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return man, fmt.Errorf("bootstrap: create snapshot dir: %w", err)
+	}
+	kept := make([]store.SegmentInfo, 0, len(segs))
+	for _, info := range segs {
+		if info.Bytes <= 0 {
+			continue
+		}
+		ok, err := downloadSegment(ctx, send, peer, recv, dir, info, opts)
+		if err != nil {
+			return man, err
+		}
+		if ok {
+			kept = append(kept, info)
+		}
+	}
+	return store.WriteManifest(dir, kept)
+}
+
+// downloadSegment fetches one segment into its snapshot file. ok is
+// false when the server reported the segment missing (compacted away
+// mid-download) — skipped, not fatal.
+func downloadSegment(ctx context.Context, send transport.Sender, peer transport.NodeID, recv func() (interface{}, error), dir string, info store.SegmentInfo, opts DownloadOptions) (ok bool, err error) {
+	path := filepath.Join(dir, store.SegmentFileName(info.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return false, fmt.Errorf("bootstrap: create segment file: %w", err)
+	}
+	defer func() {
+		f.Close()
+		if err != nil || !ok {
+			os.Remove(path)
+		}
+	}()
+
+	var next int64
+	var crc uint32
+	retries := 0
+	fetch := func() error {
+		return send.Send(ctx, peer, &SegmentFetch{Segment: info.ID, Offset: next})
+	}
+	if err := fetch(); err != nil {
+		return false, fmt.Errorf("bootstrap: segment fetch: %w", err)
+	}
+	for {
+		msg, rerr := recv()
+		if rerr != nil {
+			return false, rerr
+		}
+		switch m := msg.(type) {
+		case *SegmentChunk:
+			if m.Segment != info.ID || m.Offset != next {
+				continue // stray, duplicate or out of order; re-fetch resyncs
+			}
+			if crc32.ChecksumIEEE(m.Data) != m.CRC {
+				return false, fmt.Errorf("bootstrap: segment %d: chunk at %d failed CRC", info.ID, m.Offset)
+			}
+			if _, err := f.Write(m.Data); err != nil {
+				return false, fmt.Errorf("bootstrap: write segment: %w", err)
+			}
+			next += int64(len(m.Data))
+			crc = crc32.Update(crc, crc32.IEEETable, m.Data)
+			retries = 0
+			if opts.OnProgress != nil {
+				opts.OnProgress(info.ID, next)
+			}
+		case *SegmentDone:
+			if m.Segment != info.ID {
+				continue
+			}
+			if m.Missing {
+				return false, nil
+			}
+			if m.Bytes > next {
+				// Lost chunks; resume at our verified offset.
+				if err := fetch(); err != nil {
+					return false, err
+				}
+				continue
+			}
+			if next != info.Bytes || crc != info.CRC {
+				return false, fmt.Errorf("bootstrap: segment %d: downloaded %d bytes CRC %08x, manifest says %d bytes CRC %08x",
+					info.ID, next, crc, info.Bytes, info.CRC)
+			}
+			if err := f.Sync(); err != nil {
+				return false, fmt.Errorf("bootstrap: sync segment: %w", err)
+			}
+			return true, nil
+		case nil:
+			// Timeout or stray sender: the server may be throttling
+			// (token budget) or a message was lost — either way, resume
+			// at our offset.
+			retries++
+			if retries > opts.Retries {
+				return false, fmt.Errorf("bootstrap: segment %d stalled at offset %d after %d retries", info.ID, next, opts.Retries)
+			}
+			if err := fetch(); err != nil {
+				return false, err
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package bootstrap
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// TestDownloadSnapshotRoundTrip drives the synchronous snapshot client
+// against a served Protocol: every Download send is handled inline by
+// the server, whose replies land in the client's inbox. The downloaded
+// directory must restore into an empty store as an exact copy.
+func TestDownloadSnapshotRoundTrip(t *testing.T) {
+	keys := keysInSlice(t, 60)
+	server := openServerLog(t, keys)
+
+	inbox := make(chan transport.Envelope, 4096)
+	const clientID, serverID = transport.NodeID(9), transport.NodeID(2)
+	srv := New(Config{RateBytesPerRound: -1}, Env{
+		Store: server,
+		Send: transport.SenderFunc(func(_ context.Context, to transport.NodeID, msg interface{}) error {
+			inbox <- transport.Envelope{From: serverID, To: to, Msg: msg}
+			return nil
+		}),
+		Partner:    fixedPartner(clientID),
+		Slice:      func() int32 { return testSlice },
+		KeyInSlice: func(string) bool { return true },
+	}, sim.RNG(1, uint64(serverID)))
+	toServer := transport.SenderFunc(func(ctx context.Context, to transport.NodeID, msg interface{}) error {
+		srv.Handle(ctx, clientID, msg)
+		return nil
+	})
+
+	dir := t.TempDir()
+	var progressed bool
+	man, err := Download(context.Background(), toServer, serverID, inbox, dir, DownloadOptions{
+		Timeout:    100 * time.Millisecond,
+		OnProgress: func(uint64, int64) { progressed = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) < 2 {
+		t.Fatalf("snapshot holds %d segments, want a multi-segment transfer", len(man.Segments))
+	}
+	if !progressed {
+		t.Error("OnProgress never fired")
+	}
+
+	restored := store.NewMemory()
+	stats, err := store.Restore(dir, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedSegments != 0 {
+		t.Errorf("clean download restored with %d truncated segments", stats.TruncatedSegments)
+	}
+	for _, key := range keys {
+		val, _, ok, err := restored.Get(key, 1)
+		if err != nil || !ok {
+			t.Fatalf("restored store missing %q (err=%v)", key, err)
+		}
+		if string(val) != string(valueFor(key)) {
+			t.Fatalf("restored value for %q = %q", key, val)
+		}
+	}
+}

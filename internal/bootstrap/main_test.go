@@ -1,0 +1,15 @@
+package bootstrap
+
+import (
+	"os"
+	"testing"
+
+	"dataflasks/internal/leakcheck"
+)
+
+// TestMain fails the package if any goroutine outlives the tests: the
+// protocol is single-threaded by contract, so a surviving goroutine
+// means a harness leaked one.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

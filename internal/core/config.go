@@ -204,6 +204,21 @@ type Config struct {
 	// paper keeps data conservatively (§VII).
 	EvictForeign bool
 
+	// Bootstrap makes the node recover its slice's data in bulk at
+	// startup: once it knows its slice it asks a slice mate for whole
+	// sealed segments (internal/bootstrap) and lets anti-entropy mop up
+	// the delta. Off by default — fresh nodes in a new cluster have
+	// nothing to recover.
+	Bootstrap bool
+	// DisableBootstrap removes the segment-streaming protocol entirely:
+	// the node neither joins via segments nor serves them. For
+	// experiments that need an object-repair-only baseline.
+	DisableBootstrap bool
+	// BootstrapRateBytes is the per-round token budget for serving
+	// segment chunks (0 = 1 MiB default, negative = unlimited), the
+	// bulk-transfer analogue of AntiEntropyRateBytes.
+	BootstrapRateBytes int
+
 	// RoundPeriod is the live-runtime gossip period (default 500ms);
 	// simulations drive ticks explicitly and ignore it.
 	RoundPeriod time.Duration

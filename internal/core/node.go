@@ -8,6 +8,7 @@ import (
 
 	"dataflasks/internal/aggregate"
 	"dataflasks/internal/antientropy"
+	"dataflasks/internal/bootstrap"
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/metrics"
 	"dataflasks/internal/pss"
@@ -38,7 +39,8 @@ type Node struct {
 	dedup  *gossip.Dedup
 	intra  *intraView
 	ae     *antientropy.Protocol
-	size   *aggregate.Extrema // nil when SystemSize is configured
+	boot   *bootstrap.Protocol // nil when DisableBootstrap
+	size   *aggregate.Extrema  // nil when SystemSize is configured
 
 	met   *metrics.NodeMetrics
 	rng   *rand.Rand
@@ -162,6 +164,31 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 			n.rng,
 		)
 	}
+
+	if !cfg.DisableBootstrap {
+		// Every node serves segments; only a node configured to join
+		// drives the fetch state machine. The bootstrap partner is a
+		// slice-mate: the intra view is the only peer set whose stores
+		// hold our slice's data.
+		n.boot = bootstrap.New(
+			bootstrap.Config{
+				Join:              cfg.Bootstrap,
+				RateBytesPerRound: cfg.BootstrapRateBytes,
+			},
+			bootstrap.Env{
+				Store:           st,
+				Send:            n.sender(metrics.BootstrapSent),
+				Partner:         func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
+				Slice:           n.currentSlice,
+				KeyInSlice:      n.keyInMySlice,
+				OnSegment:       func() { n.met.Inc(metrics.BootstrapSegments) },
+				OnBytes:         func(b int) { n.met.Add(metrics.BootstrapBytes, uint64(b)) },
+				OnChunkRejected: func() { n.met.Inc(metrics.BootstrapChunksRejected) },
+				OnSendErr:       n.countSendErr,
+			},
+			n.rng,
+		)
+	}
 	return n
 }
 
@@ -246,6 +273,15 @@ func (n *Node) SystemSizeEstimate() int { return n.systemSize() }
 
 // Bootstrap seeds the PSS view with initial contacts.
 func (n *Node) Bootstrap(seeds []transport.NodeID) { n.pssP.Bootstrap(seeds) }
+
+// BootstrapDone reports whether the startup segment bootstrap finished
+// (trivially true when the node was not configured to join, or the
+// protocol is disabled).
+func (n *Node) BootstrapDone() bool { return n.boot == nil || n.boot.Done() }
+
+// BootstrapFellBack reports whether the segment bootstrap gave up and
+// left convergence to object-wise anti-entropy repair.
+func (n *Node) BootstrapFellBack() bool { return n.boot != nil && n.boot.FellBack() }
 
 func (n *Node) currentSlice() int32 {
 	if n.slicer == nil {
@@ -352,6 +388,9 @@ func (n *Node) Tick(ctx context.Context) {
 	if n.ae != nil && n.cfg.AntiEntropyEvery > 0 && n.round%uint64(n.cfg.AntiEntropyEvery) == 0 {
 		n.ae.Tick(ctx)
 	}
+	if n.boot != nil {
+		n.boot.Tick(ctx)
+	}
 	n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
 }
 
@@ -396,6 +435,17 @@ func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
 	}
 	if n.size != nil && n.size.Handle(ctx, env.From, env.Msg) {
 		return
+	}
+	if n.boot != nil {
+		if m, ok := env.Msg.(*antientropy.Push); ok && n.boot.FellBack() {
+			// After a failed segment bootstrap, repair pushes ARE the
+			// recovery path; count what rides it so the fallback is
+			// visible in metrics (bootstrap_fallback_objects).
+			n.met.Add(metrics.BootstrapFallbackObjects, uint64(len(m.Objects)))
+		}
+		if n.boot.Handle(ctx, env.From, env.Msg) {
+			return
+		}
 	}
 	if n.ae != nil && n.ae.Handle(ctx, env.From, env.Msg) {
 		return

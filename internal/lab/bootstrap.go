@@ -1,0 +1,181 @@
+package lab
+
+import (
+	"dataflasks/internal/core"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/slicing"
+	"dataflasks/internal/store"
+	"dataflasks/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E18 — cold-join bootstrap: segment streaming vs object-wise repair
+
+// BootstrapRecoveryOptions configures one cold-joiner recovery run.
+type BootstrapRecoveryOptions struct {
+	// N is the cluster size, Slices the slice count k.
+	N, Slices int
+	// Records is the preloaded key-space size.
+	Records int
+	// ValueSize is the object payload size (default 128).
+	ValueSize int
+	// Rounds bounds the measured window after the join.
+	Rounds int
+	// AntiEntropyEvery is the repair cadence in gossip rounds
+	// (default 2 — the same aggressive regime as the churn experiments,
+	// so the object-wise baseline is as fast as repair gets).
+	AntiEntropyEvery int
+	// Segment enables the joiner's segment bootstrap; off measures the
+	// object-wise anti-entropy baseline.
+	Segment bool
+	// DisablePeerBootstrap removes the protocol from the pre-existing
+	// population — the mixed-version cluster where nobody can answer
+	// the joiner's manifest probe and it must fall back cleanly.
+	DisablePeerBootstrap bool
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+func (o *BootstrapRecoveryOptions) defaults() {
+	if o.ValueSize <= 0 {
+		o.ValueSize = 128
+	}
+	if o.AntiEntropyEvery <= 0 {
+		o.AntiEntropyEvery = 2
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 200
+	}
+}
+
+// BootstrapRecoveryResult reports one cold-joiner run.
+type BootstrapRecoveryResult struct {
+	// Mode labels the recovery path ("segment", "object" or
+	// "segment-fallback" for the mixed-version cluster).
+	Mode string
+	// JoinRounds is the first round (after the spawn) where the joiner
+	// claimed a slice and held every preloaded object of it (-1 if the
+	// window expired first).
+	JoinRounds int
+	// SliceObjects is how many preloaded objects the joiner's final
+	// slice holds — the recovery workload size.
+	SliceObjects int
+	// BootstrapSegments and BootstrapBytes are the joiner's verified
+	// segment-streaming counters; ChunksRejected counts failed
+	// verifications.
+	BootstrapSegments uint64
+	BootstrapBytes    uint64
+	ChunksRejected    uint64
+	// FallbackObjects counts objects that reached the joiner via
+	// anti-entropy pushes AFTER its segment bootstrap fell back.
+	FallbackObjects uint64
+	// FellBack reports the joiner gave up on segment streaming.
+	FellBack bool
+}
+
+// BootstrapRecovery preloads a fully replicated key space, spawns one
+// cold joiner and measures how many rounds it needs to hold its whole
+// slice — via segment-streaming bootstrap (Segment) or via the
+// object-wise anti-entropy baseline. The ratio of the two is the
+// subsystem's headline number: bulk transfer moves a slice in a few
+// rounds, while object repair pays the per-round push caps.
+func BootstrapRecovery(opts BootstrapRecoveryOptions) BootstrapRecoveryResult {
+	opts.defaults()
+	mode := "object"
+	if opts.Segment {
+		mode = "segment"
+		if opts.DisablePeerBootstrap {
+			mode = "segment-fallback"
+		}
+	}
+	c := NewCluster(ClusterConfig{
+		N:    opts.N,
+		Seed: opts.Seed,
+		Node: core.Config{
+			Slices:           opts.Slices,
+			AntiEntropyEvery: opts.AntiEntropyEvery,
+			DisableBootstrap: opts.DisablePeerBootstrap,
+		},
+	})
+	defer c.Close()
+	c.Run(40) // let slicing and the intra views converge
+
+	// Preload: exact slice-complete replication (bulk-load style), so
+	// the joiner's recovery is the only repair the window measures.
+	value := make([]byte, opts.ValueSize)
+	keys := make([]string, opts.Records)
+	bySlice := make(map[int32][]store.Object, opts.Slices)
+	for i := range keys {
+		keys[i] = workload.Key(i)
+		s := slicing.KeySlice(keys[i], opts.Slices)
+		bySlice[s] = append(bySlice[s], store.Object{Key: keys[i], Version: 1, Value: value})
+	}
+	for _, n := range c.Nodes() {
+		if batch := bySlice[n.Slice()]; len(batch) > 0 {
+			if err := n.Store().PutBatch(batch); err != nil {
+				panic("lab: bootstrap recovery preload: " + err.Error())
+			}
+		}
+	}
+	c.ResetMetrics()
+
+	joinerID := c.SpawnWith(func(cfg *core.Config) {
+		cfg.Bootstrap = opts.Segment
+		cfg.DisableBootstrap = false
+	})
+	joiner := c.Node(joinerID)
+
+	res := BootstrapRecoveryResult{Mode: mode, JoinRounds: -1}
+	for r := 1; r <= opts.Rounds; r++ {
+		c.Run(1)
+		if res.JoinRounds < 0 && joinerHoldsSlice(joiner, keys, opts.Slices) {
+			res.JoinRounds = r
+			break
+		}
+	}
+	if s := joiner.Slice(); s != slicing.SliceUnknown {
+		for _, key := range keys {
+			if slicing.KeySlice(key, opts.Slices) == s {
+				res.SliceObjects++
+			}
+		}
+	}
+	m := joiner.Metrics()
+	res.BootstrapSegments = m.Get(metrics.BootstrapSegments)
+	res.BootstrapBytes = m.Get(metrics.BootstrapBytes)
+	res.ChunksRejected = m.Get(metrics.BootstrapChunksRejected)
+	res.FallbackObjects = m.Get(metrics.BootstrapFallbackObjects)
+	res.FellBack = joiner.BootstrapFellBack()
+	return res
+}
+
+// joinerHoldsSlice reports whether the joiner claims a slice and holds
+// every preloaded object mapping to it.
+func joinerHoldsSlice(joiner *core.Node, keys []string, k int) bool {
+	s := joiner.Slice()
+	if s == slicing.SliceUnknown {
+		return false
+	}
+	inSlice := 0
+	for _, key := range keys {
+		if slicing.KeySlice(key, k) != s {
+			continue
+		}
+		inSlice++
+		if _, _, ok, err := joiner.Store().Get(key, 1); err != nil || !ok {
+			return false
+		}
+	}
+	return inSlice > 0
+}
+
+// BootstrapRecoveryCompare runs the identical cold-join scenario with
+// segment bootstrap on and off and returns both results.
+func BootstrapRecoveryCompare(opts BootstrapRecoveryOptions) (segment, object BootstrapRecoveryResult) {
+	opts.DisablePeerBootstrap = false
+	opts.Segment = true
+	segment = BootstrapRecovery(opts)
+	opts.Segment = false
+	object = BootstrapRecovery(opts)
+	return segment, object
+}

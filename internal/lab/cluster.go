@@ -162,7 +162,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 }
 
 // addNode creates, attaches and schedules one node (without bootstrap).
-func (c *Cluster) addNode() transport.NodeID {
+func (c *Cluster) addNode() transport.NodeID { return c.addNodeWith(nil) }
+
+// addNodeWith is addNode with a config modifier applied to the fresh
+// node (e.g. a joiner that bootstraps via segment streaming while the
+// rest of the population does not).
+func (c *Cluster) addNodeWith(mod func(*core.Config)) transport.NodeID {
 	id := c.nextID
 	c.nextID++
 
@@ -170,6 +175,9 @@ func (c *Cluster) addNode() transport.NodeID {
 	nodeCfg.Seed = c.cfg.Seed
 	if !c.cfg.AutoSystemSize {
 		nodeCfg.SystemSize = c.cfg.N
+	}
+	if mod != nil {
+		mod(&nodeCfg)
 	}
 
 	var n *core.Node
@@ -275,6 +283,13 @@ func (c *Cluster) Close() {
 // live seeds.
 func (c *Cluster) Spawn() transport.NodeID {
 	id := c.addNode()
+	c.nodes[id].Bootstrap(c.randomSeeds(id))
+	return id
+}
+
+// SpawnWith is Spawn with a config modifier for the fresh node.
+func (c *Cluster) SpawnWith(mod func(*core.Config)) transport.NodeID {
+	id := c.addNodeWith(mod)
 	c.nodes[id].Bootstrap(c.randomSeeds(id))
 	return id
 }

@@ -87,6 +87,24 @@ const (
 	// discarded with `_ =`. MsgDropped counts the subset observed by the
 	// node's accounting sender; WireSendErrors covers every send site.
 	WireSendErrors
+	// BootstrapSent counts segment-bootstrap protocol messages sent
+	// (manifest probes and replies, fetches, chunks, dones).
+	BootstrapSent
+	// BootstrapSegments counts whole segments a joiner streamed down and
+	// verified end to end against the peer's manifest.
+	BootstrapSegments
+	// BootstrapBytes sums the verified segment bytes a joiner applied.
+	BootstrapBytes
+	// BootstrapChunksRejected counts received bootstrap chunks (or
+	// completed segments) that failed CRC or manifest verification; each
+	// rejection abandons the serving peer and re-fetches elsewhere.
+	BootstrapChunksRejected
+	// BootstrapFallbackObjects counts objects that arrived via
+	// object-wise anti-entropy pushes AFTER the joiner gave up on
+	// segment streaming (no peer answered the manifest probe) — the
+	// mixed-cluster fallback path doing the work segment streaming
+	// could not.
+	BootstrapFallbackObjects
 
 	numCounters
 )
@@ -113,6 +131,11 @@ var counterNames = [...]string{
 	RequestsRelayed:           "requests_relayed",
 	DuplicatesSuppressed:      "duplicates_suppressed",
 	WireSendErrors:            "wire_send_errors",
+	BootstrapSent:             "bootstrap_sent",
+	BootstrapSegments:         "bootstrap_segments",
+	BootstrapBytes:            "bootstrap_bytes",
+	BootstrapChunksRejected:   "bootstrap_chunks_rejected",
+	BootstrapFallbackObjects:  "bootstrap_fallback_objects",
 }
 
 // String returns the snake_case name of the counter.

@@ -1,0 +1,150 @@
+package store
+
+// RecordApplier applies verbatim record chunks (bootstrap fetches,
+// snapshot restores) to a store. Puts are batched — one PutBatch, and
+// in the log engine one group-commit fsync, per accumulated batch
+// instead of per record — and tombstones are DEFERRED until Finish:
+// chunks may arrive from parallel segment fetches in any order, and a
+// tombstone applied before the put it supersedes has even arrived
+// would silently resurrect the deleted object when that put lands. At
+// Finish, a tombstone is dropped if a put of the same (key, version)
+// appeared LATER in the stream order (segment id, then offset) — the
+// re-put-after-delete case — and every survivor is applied in one
+// DeleteBatch.
+//
+// Not safe for concurrent use; one applier serves one stream.
+type RecordApplier struct {
+	st     Store
+	filter func(key string) bool // nil accepts everything
+
+	batch      []Object
+	batchBytes int
+	arena      []byte // value backing for the current batch
+
+	// tombs maps each tombstoned pair to the stream position of its
+	// newest tombstone; puts tracks the newest put position of pairs
+	// that currently have a pending tombstone.
+	tombs map[Ref]recPos
+	puts  map[Ref]recPos
+}
+
+// recPos orders records across a segment stream.
+type recPos struct {
+	seg uint64
+	off int64
+}
+
+func (p recPos) after(q recPos) bool {
+	if p.seg != q.seg {
+		return p.seg > q.seg
+	}
+	return p.off > q.off
+}
+
+// applierBatchObjects / applierBatchBytes bound the put batch: large
+// enough to amortize the fsync, small enough to bound arena memory.
+const (
+	applierBatchObjects = 512
+	applierBatchBytes   = 1 << 20
+)
+
+// NewRecordApplier creates an applier writing into st. filter, when
+// non-nil, selects which keys to apply (a bootstrap joiner passes its
+// slice predicate so a peer's foreign records are not even stored);
+// filtered-out records are skipped silently, tombstones included.
+func NewRecordApplier(st Store, filter func(key string) bool) *RecordApplier {
+	return &RecordApplier{
+		st:     st,
+		filter: filter,
+		tombs:  make(map[Ref]recPos),
+		puts:   make(map[Ref]recPos),
+	}
+}
+
+// Apply decodes one record-aligned chunk of segment seg starting at
+// byte offset off and stages its records. It returns how many put
+// records were accepted (post-filter). Chunk data may alias a reused
+// buffer: values are copied into the applier's arena before Apply
+// returns.
+func (a *RecordApplier) Apply(seg uint64, off int64, data []byte) (objects int, err error) {
+	// All records of one chunk share the chunk's base position: a
+	// chunk is staged atomically in stream order, so finer granularity
+	// cannot change which of a put/tombstone pair wins.
+	pos := recPos{seg: seg, off: off}
+	_, err = DecodeRecords(data, func(o Object, tombstone bool) bool {
+		if a.filter != nil && !a.filter(o.Key) {
+			return true
+		}
+		if !tombstone {
+			objects++
+		}
+		a.stage(o, tombstone, pos)
+		return true
+	})
+	if err != nil {
+		return objects, err
+	}
+	if len(a.batch) >= applierBatchObjects || a.batchBytes >= applierBatchBytes {
+		err = a.Flush()
+	}
+	return objects, err
+}
+
+// stage records one decoded record at stream position pos.
+func (a *RecordApplier) stage(o Object, tombstone bool, pos recPos) {
+	ref := Ref{Key: o.Key, Version: o.Version}
+	if tombstone {
+		if prev, ok := a.tombs[ref]; !ok || pos.after(prev) {
+			a.tombs[ref] = pos
+		}
+		return
+	}
+	if prev, ok := a.puts[ref]; !ok || pos.after(prev) {
+		a.puts[ref] = pos
+	}
+	start := len(a.arena)
+	a.arena = append(a.arena, o.Value...)
+	a.batch = append(a.batch, Object{Key: o.Key, Version: o.Version, Value: a.arena[start:len(a.arena):len(a.arena)]})
+	a.batchBytes += len(o.Value)
+}
+
+// Flush writes the staged put batch to the store.
+func (a *RecordApplier) Flush() error {
+	if len(a.batch) == 0 {
+		return nil
+	}
+	err := a.st.PutBatch(a.batch)
+	a.batch = a.batch[:0]
+	a.arena = a.arena[:0]
+	a.batchBytes = 0
+	return err
+}
+
+// Finish flushes the final batch and applies the surviving tombstones:
+// those not superseded by a later put of the same pair. It returns how
+// many deletions were applied. The applier is reusable afterwards
+// (fresh stream).
+func (a *RecordApplier) Finish() (tombstones int, err error) {
+	if err := a.Flush(); err != nil {
+		return 0, err
+	}
+	items := make([]Deletion, 0, len(a.tombs))
+	for ref, tpos := range a.tombs {
+		if ppos, ok := a.puts[ref]; ok && ppos.after(tpos) {
+			continue // re-put after delete: the put wins
+		}
+		items = append(items, Deletion{Key: ref.Key, Version: ref.Version})
+	}
+	a.tombs = make(map[Ref]recPos)
+	a.puts = make(map[Ref]recPos)
+	if len(items) == 0 {
+		return 0, nil
+	}
+	existed, err := a.st.DeleteBatch(items)
+	for _, e := range existed {
+		if e {
+			tombstones++
+		}
+	}
+	return tombstones, err
+}

@@ -121,6 +121,9 @@ type segment struct {
 	f    *os.File
 	size int64
 	live int64 // bytes of records the index still points at
+	// manifest caches the sealed segment's bulk-transfer metadata
+	// (Segments()); valid because sealed segment bytes never change.
+	manifest *SegmentInfo
 }
 
 // recLoc locates one record inside a segment.

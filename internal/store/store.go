@@ -57,6 +57,51 @@ type Ref struct {
 // sentinels.
 func ReservedVersion(v uint64) bool { return v == Latest || v == AllVersions }
 
+// SegmentInfo describes one sealed, immutable unit of bulk transfer:
+// in the log engine a sealed segment file, in the other engines a
+// synthetic segment covering the whole object set. The manifest is
+// what a bootstrap peer advertises and what a snapshot records, so it
+// carries everything a receiver needs to schedule and verify the
+// transfer without reading a byte of data: size, record count, a CRC
+// of the full record stream, and the key range for slice-coverage
+// decisions.
+type SegmentInfo struct {
+	// ID is the engine-local segment identifier. IDs are only
+	// meaningful to the store that issued the manifest; two nodes'
+	// segment 3 share nothing.
+	ID uint64
+	// Bytes is the exact length of the segment's record stream.
+	Bytes int64
+	// Records counts records (puts and tombstones) in the stream.
+	Records int
+	// CRC is the IEEE CRC32 of the full record stream, chunk CRCs
+	// chained in order — the end-to-end check after a chunked fetch.
+	CRC uint32
+	// MinKey and MaxKey bound the keys appearing in the segment
+	// (both empty for an empty segment). Receivers use them to skip
+	// segments entirely outside their slice's key coverage.
+	MinKey, MaxKey string
+}
+
+// SegmentRef names a piece of a sealed segment to stream: the whole
+// segment when Offset is 0, or a resume point (a chunk boundary a
+// previous stream reported) otherwise.
+type SegmentRef struct {
+	ID     uint64
+	Offset int64
+}
+
+// SegmentChunk is one verbatim piece of a sealed segment's record
+// stream, aligned to record boundaries so every chunk parses on its
+// own. Data may alias a buffer reused between callbacks: receivers
+// copy what they keep.
+type SegmentChunk struct {
+	Segment uint64
+	Offset  int64 // byte offset of Data within the record stream
+	Data    []byte
+	Last    bool // true on the chunk that reaches the segment's end
+}
+
 // Store is the node-local persistence interface.
 //
 // Implementations must be safe for concurrent use: the node event loop,
@@ -110,6 +155,26 @@ type Store interface {
 	// must copy what it keeps and must not call back into the store.
 	// Returning false from fn stops the stream early.
 	StreamObjects(refs []Ref, fn func(o Object) bool) (corrupt int, err error)
+	// Segments returns the manifest of sealed, immutable segments in
+	// ascending id order — the units a bootstrap peer or snapshot can
+	// stream in bulk. The log engine lists its sealed segment files
+	// (never the active one, whose delta anti-entropy mops up); the
+	// memory and disk engines synthesize a single segment covering the
+	// whole object set. An empty store returns an empty manifest.
+	Segments() ([]SegmentInfo, error)
+	// StreamSegments streams the verbatim record bytes of the named
+	// sealed segments, chunk by chunk in offset order, calling fn once
+	// per chunk. Chunks align to record boundaries and every record is
+	// CRC-re-verified as it is read, so a chunk that reaches fn is
+	// whole and parseable on its own; a record that fails verification
+	// stops that segment's stream with ErrCorrupt (a corrupt byte must
+	// never be shipped verbatim — the receiver falls back to the
+	// object-wise path for the remainder). A ref whose segment no
+	// longer exists (compacted away since the manifest) is skipped
+	// silently. Chunk data may alias a reused buffer: fn copies what
+	// it keeps and must not call back into the store. Returning false
+	// from fn stops the whole stream early.
+	StreamSegments(refs []SegmentRef, fn func(c SegmentChunk) bool) error
 	// ForEach visits every stored object header (no value) in
 	// unspecified order; returning false stops iteration. Used to build
 	// anti-entropy digests and slice handoffs.

@@ -6,6 +6,7 @@ import (
 
 	"dataflasks/internal/aggregate"
 	"dataflasks/internal/antientropy"
+	"dataflasks/internal/bootstrap"
 	"dataflasks/internal/core"
 	"dataflasks/internal/dht"
 	"dataflasks/internal/pss"
@@ -40,8 +41,8 @@ func fixtures() []Envelope {
 		&aggregate.PushSumMsg{Sum: 12.5, Weight: 0.5},
 		&antientropy.Digest{Slice: 3, Headers: headers},
 		&antientropy.DigestReply{Slice: 3, Headers: headers[:1]},
-		&antientropy.Summary{Slice: 1, Filter: antientropy.Filter{K: 4, Bits: []uint64{0xdeadbeef, 0x1}}},
-		&antientropy.SummaryReply{Slice: 1, Filter: antientropy.Filter{K: 4, Bits: []uint64{0xcafe}}},
+		&antientropy.Summary{Slice: 1, Filter: antientropy.Filter{K: 4, Salt: 0x5a17, Bits: []uint64{0xdeadbeef, 0x1}}},
+		&antientropy.SummaryReply{Slice: 1, Filter: antientropy.Filter{K: 4, Salt: 0x1d5a, Bits: []uint64{0xcafe}}},
 		&antientropy.Pull{Headers: headers},
 		&antientropy.Push{Objects: objs},
 		&core.PutRequest{ID: 42, Key: "k", Version: 3, Value: []byte("val"),
@@ -68,6 +69,14 @@ func fixtures() []Envelope {
 		&dht.PutAck{ID: 47},
 		&dht.GetRequest{ID: 48, Key: "k", Origin: 9, Hops: 2, Attempt: 1},
 		&dht.GetReply{ID: 48, Key: "k", Version: 3, Value: []byte("val"), Found: true},
+		&bootstrap.ManifestRequest{Slice: 4},
+		&bootstrap.ManifestReply{Slice: 4, Segments: []store.SegmentInfo{
+			{ID: 3, Bytes: 4096, Records: 17, CRC: 0xfeedf00d, MinKey: "alpha", MaxKey: "zed"},
+			{ID: 5, Bytes: 128, Records: 1, CRC: 0x1, MinKey: "m", MaxKey: "m"},
+		}},
+		&bootstrap.SegmentFetch{Segment: 3, Offset: 2048},
+		&bootstrap.SegmentChunk{Segment: 3, Offset: 2048, CRC: 0xabad1dea, Data: []byte("record bytes")},
+		&bootstrap.SegmentDone{Segment: 3, Bytes: 4096, Missing: true},
 	}
 	envs := make([]Envelope, len(msgs))
 	for i, m := range msgs {
@@ -148,6 +157,7 @@ func TestControlPlaneSplit(t *testing.T) {
 		&antientropy.Summary{}, &antientropy.SummaryReply{}, &antientropy.Pull{},
 		&core.MateQuery{}, &core.MateReply{},
 		&dht.Gossip{},
+		&bootstrap.ManifestRequest{},
 	}
 	data := []interface{}{
 		&antientropy.Push{},
@@ -155,6 +165,8 @@ func TestControlPlaneSplit(t *testing.T) {
 		&core.GetRequest{}, &core.GetReply{},
 		&core.DeleteRequest{}, &core.DeleteAck{}, &core.DeleteBatchRequest{}, &core.DeleteBatchAck{},
 		&dht.PutRequest{}, &dht.PutAck{}, &dht.GetRequest{}, &dht.GetReply{},
+		&bootstrap.ManifestReply{}, &bootstrap.SegmentFetch{},
+		&bootstrap.SegmentChunk{}, &bootstrap.SegmentDone{},
 	}
 	for _, m := range control {
 		if !Control(m) {

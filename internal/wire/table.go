@@ -5,6 +5,7 @@ import (
 
 	"dataflasks/internal/aggregate"
 	"dataflasks/internal/antientropy"
+	"dataflasks/internal/bootstrap"
 	"dataflasks/internal/core"
 	"dataflasks/internal/dht"
 	"dataflasks/internal/gossip"
@@ -448,6 +449,62 @@ var Messages = []Spec{
 			}
 		},
 	},
+
+	// -- segment-streaming bootstrap --
+	{Kind: 30, Name: "bootstrap.ManifestRequest", Plane: ControlPlane,
+		New: func() interface{} { return &bootstrap.ManifestRequest{} },
+		enc: func(b []byte, m interface{}) []byte { return appendI32(b, m.(*bootstrap.ManifestRequest).Slice) },
+		dec: func(r *reader) interface{} { return &bootstrap.ManifestRequest{Slice: r.i32()} },
+	},
+	{Kind: 31, Name: "bootstrap.ManifestReply", Plane: DataPlane,
+		New: func() interface{} { return &bootstrap.ManifestReply{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*bootstrap.ManifestReply)
+			b = appendI32(b, v.Slice)
+			return appendSegmentInfos(b, v.Segments)
+		},
+		dec: func(r *reader) interface{} {
+			return &bootstrap.ManifestReply{Slice: r.i32(), Segments: readSegmentInfos(r)}
+		},
+	},
+	{Kind: 32, Name: "bootstrap.SegmentFetch", Plane: DataPlane,
+		New: func() interface{} { return &bootstrap.SegmentFetch{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*bootstrap.SegmentFetch)
+			b = appendU64(b, v.Segment)
+			return appendU64(b, uint64(v.Offset))
+		},
+		dec: func(r *reader) interface{} {
+			return &bootstrap.SegmentFetch{Segment: r.u64(), Offset: int64(r.u64())}
+		},
+	},
+	{Kind: 33, Name: "bootstrap.SegmentChunk", Plane: DataPlane,
+		New: func() interface{} { return &bootstrap.SegmentChunk{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*bootstrap.SegmentChunk)
+			b = appendU64(b, v.Segment)
+			b = appendU64(b, uint64(v.Offset))
+			b = appendU32(b, v.CRC)
+			return appendBytes(b, v.Data)
+		},
+		dec: func(r *reader) interface{} {
+			return &bootstrap.SegmentChunk{
+				Segment: r.u64(), Offset: int64(r.u64()), CRC: r.u32(), Data: r.blob(),
+			}
+		},
+	},
+	{Kind: 34, Name: "bootstrap.SegmentDone", Plane: DataPlane,
+		New: func() interface{} { return &bootstrap.SegmentDone{} },
+		enc: func(b []byte, m interface{}) []byte {
+			v := m.(*bootstrap.SegmentDone)
+			b = appendU64(b, v.Segment)
+			b = appendU64(b, uint64(v.Bytes))
+			return appendBool(b, v.Missing)
+		},
+		dec: func(r *reader) interface{} {
+			return &bootstrap.SegmentDone{Segment: r.u64(), Bytes: int64(r.u64()), Missing: r.boolean()}
+		},
+	},
 }
 
 var (
@@ -552,6 +609,7 @@ func readObjects(r *reader) []store.Object {
 
 func appendFilter(b []byte, f antientropy.Filter) []byte {
 	b = appendU32(b, f.K)
+	b = appendU64(b, f.Salt)
 	b = appendLen(b, len(f.Bits))
 	for _, w := range f.Bits {
 		b = appendU64(b, w)
@@ -560,7 +618,7 @@ func appendFilter(b []byte, f antientropy.Filter) []byte {
 }
 
 func readFilter(r *reader) antientropy.Filter {
-	f := antientropy.Filter{K: r.u32()}
+	f := antientropy.Filter{K: r.u32(), Salt: r.u64()}
 	n := r.length()
 	if n == 0 || r.err != nil {
 		return f
@@ -570,4 +628,32 @@ func readFilter(r *reader) antientropy.Filter {
 		f.Bits = append(f.Bits, r.u64())
 	}
 	return f
+}
+
+func appendSegmentInfos(b []byte, segs []store.SegmentInfo) []byte {
+	b = appendLen(b, len(segs))
+	for _, s := range segs {
+		b = appendU64(b, s.ID)
+		b = appendU64(b, uint64(s.Bytes))
+		b = appendU32(b, uint32(s.Records))
+		b = appendU32(b, s.CRC)
+		b = appendStr(b, s.MinKey)
+		b = appendStr(b, s.MaxKey)
+	}
+	return b
+}
+
+func readSegmentInfos(r *reader) []store.SegmentInfo {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	segs := make([]store.SegmentInfo, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		segs = append(segs, store.SegmentInfo{
+			ID: r.u64(), Bytes: int64(r.u64()), Records: int(r.u32()), CRC: r.u32(),
+			MinKey: r.str(), MaxKey: r.str(),
+		})
+	}
+	return segs
 }

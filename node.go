@@ -30,6 +30,12 @@ type NodeConfig struct {
 	Seeds []string
 	// DataDir persists objects on disk; empty keeps them in memory.
 	DataDir string
+	// RestoreDir, when set, replays a snapshot (written by
+	// `flaskctl snapshot` or store.WriteSnapshot) into the node's store
+	// before it starts gossiping — disaster recovery for a node whose
+	// data directory was lost. Existing objects win by version as usual,
+	// so restoring over a live data directory is safe.
+	RestoreDir string
 	// RoundPeriod is the gossip period (default 500ms).
 	RoundPeriod time.Duration
 	// UDPBind enables the datagram control plane: PSS shuffles, slicing
@@ -169,6 +175,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.st = st
+	if cfg.RestoreDir != "" {
+		if _, err := store.Restore(cfg.RestoreDir, st); err != nil {
+			n.closeFabrics()
+			_ = n.st.Close()
+			return nil, fmt.Errorf("dataflasks: restore %s: %w", cfg.RestoreDir, err)
+		}
+	}
 	coreCfg.RoundPeriod = cfg.RoundPeriod
 	coreCfg.AdvertiseAddr = tcpNet.Addr()
 	coreCfg.AddressBook = tcpNet
@@ -240,6 +253,34 @@ func (n *Node) SendErrors() uint64 { return n.sendErrs.Load() }
 // WireStats reports wire-level accounting shared by the node's TCP and
 // UDP fabrics: encoded bytes, codec fallbacks, and datagram counters.
 func (n *Node) WireStats() metrics.WireSnapshot { return n.wstats.Snapshot() }
+
+// BootstrapStats is a snapshot of segment-bootstrap progress: the
+// bootstrap_* counters plus the joiner's terminal state. Done is true
+// on nodes that never joined via segments (nothing left to do).
+type BootstrapStats struct {
+	Sent            uint64 // protocol messages sent (serving + joining)
+	Segments        uint64 // whole segments received and CRC-verified
+	Bytes           uint64 // verbatim segment bytes applied
+	ChunksRejected  uint64 // chunks discarded for CRC/parse failure
+	FallbackObjects uint64 // objects repaired after falling back
+	Done            bool
+	FellBack        bool
+}
+
+// BootstrapStats reports segment-bootstrap progress, for status lines
+// and tests.
+func (n *Node) BootstrapStats() BootstrapStats {
+	m := n.core.Metrics()
+	return BootstrapStats{
+		Sent:            m.Get(metrics.BootstrapSent),
+		Segments:        m.Get(metrics.BootstrapSegments),
+		Bytes:           m.Get(metrics.BootstrapBytes),
+		ChunksRejected:  m.Get(metrics.BootstrapChunksRejected),
+		FallbackObjects: m.Get(metrics.BootstrapFallbackObjects),
+		Done:            n.core.BootstrapDone(),
+		FellBack:        n.core.BootstrapFellBack(),
+	}
+}
 
 // UDPAddr returns the datagram listener's bound address, or "" when
 // the datagram control plane is disabled.
