@@ -552,7 +552,16 @@ func (p *Protocol) handleDone(ctx context.Context, from transport.NodeID, m *Seg
 		return
 	}
 	if m.Bytes > fs.next {
-		// Done outran us: chunks were lost. Fetch the missing tail.
+		// Done outran us: chunks were lost. Fetch the missing tail —
+		// but charge the re-issue against the segment's budget, or a
+		// peer whose chunks are persistently lost (only its Done frames
+		// get through) would be re-fetched forever: the Done would keep
+		// resetting the stall clock and the stall path would never run.
+		fs.refetches++
+		if fs.refetches > p.cfg.MaxRefetches {
+			p.abandonPeer(ctx)
+			return
+		}
 		fs.progress = true // the Done itself is progress
 		p.sendFetch(ctx, m.Segment, fs.next)
 		return

@@ -249,6 +249,47 @@ func TestCorruptChunkAbandonsPeer(t *testing.T) {
 	}
 }
 
+// TestLostChunksExhaustRefetches pins the Done-outran-us budget: a
+// peer whose chunks are persistently lost while its Done frames get
+// through must be abandoned after MaxRefetches re-issues — the Done
+// resets the stall clock, so without charging these re-issues the
+// joiner would re-fetch the same segment forever.
+func TestLostChunksExhaustRefetches(t *testing.T) {
+	keys := keysInSlice(t, 60)
+	lossyServer := openServerLog(t, keys)
+	goodServer := openServerLog(t, keys)
+
+	h := newHarness()
+	// Every chunk from the lossy server vanishes in flight; its Done
+	// frames still arrive.
+	h.mutate = func(env *transport.Envelope) bool {
+		_, isChunk := env.Msg.(*SegmentChunk)
+		return !(isChunk && env.From == 2)
+	}
+	probes := 0
+	partner := func() (transport.NodeID, bool) {
+		probes++
+		if probes == 1 {
+			return 2, true
+		}
+		return 3, true
+	}
+	h.add(2, Config{}, lossyServer, fixedPartner(1), nil)
+	h.add(3, Config{}, goodServer, fixedPartner(1), nil)
+	joiner := h.add(1, Config{Join: true}, store.NewMemory(), partner, nil)
+	h.run(t, joiner, 60)
+
+	if !joiner.Done() || joiner.FellBack() {
+		t.Fatalf("done=%v fellBack=%v; want the lossy peer abandoned and the join finished elsewhere",
+			joiner.Done(), joiner.FellBack())
+	}
+	for _, key := range keys {
+		if _, _, ok, _ := h.nodes[1].env.Store.Get(key, 1); !ok {
+			t.Fatalf("joiner missing %q after abandoning the lossy peer", key)
+		}
+	}
+}
+
 func TestThrottledServerStreamsAcrossRounds(t *testing.T) {
 	keys := keysInSlice(t, 60)
 	server := openServerLog(t, keys)

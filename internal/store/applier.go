@@ -67,18 +67,18 @@ func NewRecordApplier(st Store, filter func(key string) bool) *RecordApplier {
 // buffer: values are copied into the applier's arena before Apply
 // returns.
 func (a *RecordApplier) Apply(seg uint64, off int64, data []byte) (objects int, err error) {
-	// All records of one chunk share the chunk's base position: a
-	// chunk is staged atomically in stream order, so finer granularity
-	// cannot change which of a put/tombstone pair wins.
-	pos := recPos{seg: seg, off: off}
-	_, err = DecodeRecords(data, func(o Object, tombstone bool) bool {
+	// Each record gets its true stream position (chunk base + offset
+	// within the chunk): a tombstone followed by a re-put of the same
+	// (key, version) later in the SAME chunk must lose to that put at
+	// Finish, exactly as log replay would resolve it.
+	_, err = DecodeRecords(data, func(recOff int, o Object, tombstone bool) bool {
 		if a.filter != nil && !a.filter(o.Key) {
 			return true
 		}
 		if !tombstone {
 			objects++
 		}
-		a.stage(o, tombstone, pos)
+		a.stage(o, tombstone, recPos{seg: seg, off: off + int64(recOff)})
 		return true
 	})
 	if err != nil {

@@ -267,17 +267,19 @@ func truncatedNeed(b []byte, remaining int64) (need int64, truncated bool) {
 // as produced by StreamSegments) back into objects and deletions, in
 // stream order. It is the receiver half of segment streaming: a
 // bootstrap joiner or snapshot restore applies the puts via PutBatch
-// and resolves the tombstones afterwards. Values alias b; callers that
-// keep them past b's lifetime must copy. n is the count of bytes
-// consumed — short of len(b) only when err is non-nil (ErrCorrupt).
-func DecodeRecords(b []byte, fn func(o Object, tombstone bool) bool) (n int, err error) {
+// and resolves the tombstones afterwards. fn receives each record's
+// byte offset within b, so callers can order records within a chunk,
+// not just across chunks. Values alias b; callers that keep them past
+// b's lifetime must copy. n is the count of bytes consumed — short of
+// len(b) only when err is non-nil (ErrCorrupt).
+func DecodeRecords(b []byte, fn func(off int, o Object, tombstone bool) bool) (n int, err error) {
 	off := 0
 	for off < len(b) {
 		rec, rn, ok := parseRecord(b[off:])
 		if !ok {
 			return off, fmt.Errorf("%w: offset %d", ErrCorrupt, off)
 		}
-		if !fn(Object{Key: rec.key, Version: rec.version, Value: rec.value}, rec.typ == recTomb) {
+		if !fn(off, Object{Key: rec.key, Version: rec.version, Value: rec.value}, rec.typ == recTomb) {
 			return off, nil
 		}
 		off += rn

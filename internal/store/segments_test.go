@@ -74,7 +74,7 @@ func decodeAll(t *testing.T, streams map[uint64][]byte) map[Ref][]byte {
 	t.Helper()
 	out := make(map[Ref][]byte)
 	for id, stream := range streams {
-		_, err := DecodeRecords(stream, func(o Object, tombstone bool) bool {
+		_, err := DecodeRecords(stream, func(_ int, o Object, tombstone bool) bool {
 			if tombstone {
 				delete(out, Ref{Key: o.Key, Version: o.Version})
 				return true
@@ -353,6 +353,39 @@ func TestRecordApplierTombstoneOrdering(t *testing.T) {
 	}
 	if _, _, ok, _ := st2.Get("k", 7); !ok {
 		t.Fatal("re-put after tombstone must survive")
+	}
+
+	// tomb then re-put within the SAME chunk → alive: records must
+	// carry their byte offset inside the chunk, not the chunk base, or
+	// the pair compares equal and the tombstone wrongly survives.
+	st3 := NewMemory()
+	a3 := NewRecordApplier(st3, nil)
+	chunk := enc(tomb, true)
+	chunk = append(chunk, enc(obj, false)...)
+	if _, err := a3.Apply(1, 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a3.Finish(); err != nil || n != 0 {
+		t.Fatalf("Finish = %d, %v; want 0 deletions", n, err)
+	}
+	if _, _, ok, _ := st3.Get("k", 7); !ok {
+		t.Fatal("re-put later in the same chunk must survive the tombstone")
+	}
+
+	// ...and the mirror case: re-put then tomb in the same chunk, at a
+	// non-zero chunk base → deleted.
+	st4 := NewMemory()
+	a4 := NewRecordApplier(st4, nil)
+	chunk = enc(obj, false)
+	chunk = append(chunk, enc(tomb, true)...)
+	if _, err := a4.Apply(1, 4096, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a4.Finish(); err != nil || n != 1 {
+		t.Fatalf("Finish = %d, %v; want 1 deletion", n, err)
+	}
+	if _, _, ok, _ := st4.Get("k", 7); ok {
+		t.Fatal("tombstone later in the same chunk must delete the object")
 	}
 }
 

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/hex"
 	"reflect"
 	"testing"
 
@@ -145,6 +147,61 @@ func TestCrossCodecDecode(t *testing.T) {
 		if got, err := bin.Decode(gf); err != nil || !reflect.DeepEqual(&env, got) {
 			t.Fatalf("binary codec failed on gob frame of %T: %v", env.Msg, err)
 		}
+	}
+}
+
+// TestFilterLegacyFrameCompat pins the rolling-upgrade contract for
+// Bloom summaries. Salt rides as an optional TRAILING filter field, so
+// three things must hold: the pre-salt frame layout (K, word count,
+// bit words — no Salt) still decodes; a zero-salt filter encodes
+// byte-identically to that legacy layout; and a salted frame is
+// exactly the legacy frame plus eight trailing salt bytes, which
+// pre-salt decoders leave unread — they see the same filter, unsalted,
+// and over-push rather than mis-parse.
+func TestFilterLegacyFrameCompat(t *testing.T) {
+	codec := BinaryCodec()
+	// The antientropy.Summary golden frame as pinned before salting
+	// existed (testdata/frames.golden at the pre-salt release).
+	legacy, err := hex.DecodeString(
+		"0109006c00000000000000d0000000000000000d31302e302e302e313a3730" +
+			"3030010000000400000002efbeadde000000000100000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := codec.Decode(legacy)
+	if err != nil {
+		t.Fatalf("pre-salt Summary frame no longer decodes: %v", err)
+	}
+	got, ok := env.Msg.(*antientropy.Summary)
+	if !ok {
+		t.Fatalf("pre-salt frame decoded to %T", env.Msg)
+	}
+	want := antientropy.Summary{Slice: 1, Filter: antientropy.Filter{K: 4, Bits: []uint64{0xdeadbeef, 0x1}}}
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("pre-salt frame decoded to %+v, want %+v", *got, want)
+	}
+
+	header := Envelope{From: 108, FromAddr: "10.0.0.1:7000", To: 208}
+
+	unsalted := header
+	unsalted.Msg = &want
+	frame, err := codec.Encode(nil, &unsalted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, legacy) {
+		t.Fatalf("zero-salt Summary drifted from the pre-salt layout\n got  %x\n want %x", frame, legacy)
+	}
+
+	salted := header
+	salted.Msg = &antientropy.Summary{Slice: 1,
+		Filter: antientropy.Filter{K: 4, Salt: 0x5a17, Bits: []uint64{0xdeadbeef, 0x1}}}
+	frame, err = codec.Encode(nil, &salted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != len(legacy)+8 || !bytes.Equal(frame[:len(legacy)], legacy) {
+		t.Fatalf("salted Summary must be the legacy frame plus trailing salt\n got  %x\n want %x + 8 salt bytes", frame, legacy)
 	}
 }
 

@@ -607,25 +607,38 @@ func readObjects(r *reader) []store.Object {
 	return objs
 }
 
+// appendFilter keeps the pre-salt frame layout (K, word count, bit
+// words) and carries Salt as an OPTIONAL TRAILING field, emitted only
+// when non-zero. Pre-salt decoders stop after the bit words and ignore
+// trailing frame bytes, so a salted Summary degrades on an old node to
+// an unsalted probe (over-push, never a lost repair), while zero-salt
+// filters stay byte-identical to pre-salt frames. This compatibility
+// trick only works because Filter is the FINAL field of every message
+// that carries one — keep it last in any future message.
 func appendFilter(b []byte, f antientropy.Filter) []byte {
 	b = appendU32(b, f.K)
-	b = appendU64(b, f.Salt)
 	b = appendLen(b, len(f.Bits))
 	for _, w := range f.Bits {
 		b = appendU64(b, w)
+	}
+	if f.Salt != 0 {
+		b = appendU64(b, f.Salt)
 	}
 	return b
 }
 
 func readFilter(r *reader) antientropy.Filter {
-	f := antientropy.Filter{K: r.u32(), Salt: r.u64()}
+	f := antientropy.Filter{K: r.u32()}
 	n := r.length()
-	if n == 0 || r.err != nil {
-		return f
+	if n > 0 && r.err == nil {
+		f.Bits = make([]uint64, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			f.Bits = append(f.Bits, r.u64())
+		}
 	}
-	f.Bits = make([]uint64, 0, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		f.Bits = append(f.Bits, r.u64())
+	// Pre-salt frames end here; salted frames carry the trailing salt.
+	if r.err == nil && r.off < len(r.b) {
+		f.Salt = r.u64()
 	}
 	return f
 }
@@ -635,7 +648,7 @@ func appendSegmentInfos(b []byte, segs []store.SegmentInfo) []byte {
 	for _, s := range segs {
 		b = appendU64(b, s.ID)
 		b = appendU64(b, uint64(s.Bytes))
-		b = appendU32(b, uint32(s.Records))
+		b = appendU64(b, uint64(s.Records))
 		b = appendU32(b, s.CRC)
 		b = appendStr(b, s.MinKey)
 		b = appendStr(b, s.MaxKey)
@@ -651,7 +664,7 @@ func readSegmentInfos(r *reader) []store.SegmentInfo {
 	segs := make([]store.SegmentInfo, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		segs = append(segs, store.SegmentInfo{
-			ID: r.u64(), Bytes: int64(r.u64()), Records: int(r.u32()), CRC: r.u32(),
+			ID: r.u64(), Bytes: int64(r.u64()), Records: int(r.u64()), CRC: r.u32(),
 			MinKey: r.str(), MaxKey: r.str(),
 		})
 	}
