@@ -199,6 +199,15 @@ func WithRetries(n int) OpOption {
 	}
 }
 
+// WithTraceID stamps the operation with a non-zero trace id. Every
+// node the request touches — entry point, relays, replicas — journals
+// its lifecycle under that id in the node's /trace ring (served by the
+// observability plane), so one put or get can be stitched across hops
+// with `flaskctl trace`. Retried attempts keep the same id.
+func WithTraceID(id uint64) OpOption {
+	return func(s *opSettings) { s.opts.TraceID = id }
+}
+
 func (c *Client) resolveSettings(opts []OpOption) client.Opts {
 	var s opSettings
 	for _, o := range opts {

@@ -29,13 +29,38 @@ func main() {
 		seeds   = flag.String("seeds", "", "comma-separated contacts, each id@host:port (required)")
 		slices  = flag.Int("slices", 10, "cluster slice count (must match the deployment)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+		trace   = flag.Uint64("trace", 0, "stamp data operations with this trace id (inspect with: flaskctl trace <http-addr> <id>)")
 	)
 	flag.Parse()
 
-	if *seeds == "" || flag.NArg() == 0 {
+	if flag.NArg() == 0 {
 		usage()
 	}
 	args := flag.Args()
+	switch args[0] {
+	case "stats":
+		// stats and trace scrape a node's observability plane over
+		// plain HTTP; they need its -http-addr, not the epidemic client
+		// or any seeds.
+		if len(args) != 2 {
+			usage()
+		}
+		runStats(args[1], *timeout)
+		return
+	case "trace":
+		if len(args) != 2 && len(args) != 3 {
+			usage()
+		}
+		traceID := ""
+		if len(args) == 3 {
+			traceID = args[2]
+		}
+		runTrace(args[1], traceID, *timeout)
+		return
+	}
+	if *seeds == "" {
+		usage()
+	}
 	if args[0] == "snapshot" {
 		// Snapshots talk the segment-streaming protocol directly to one
 		// node; they do not need the epidemic client.
@@ -54,6 +79,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	var opts []dataflasks.OpOption
+	if *trace != 0 {
+		opts = append(opts, dataflasks.WithTraceID(*trace))
+	}
+
 	switch args[0] {
 	case "ping":
 		if len(args) != 1 {
@@ -65,21 +95,21 @@ func main() {
 			usage()
 		}
 		version := parseVersion(args[2])
-		if err := cl.Put(ctx, args[1], version, []byte(args[3])); err != nil {
+		if err := cl.Put(ctx, args[1], version, []byte(args[3]), opts...); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("OK %s v%d (%d bytes)\n", args[1], version, len(args[3]))
 	case "get":
 		switch len(args) {
 		case 2:
-			value, version, err := cl.GetLatest(ctx, args[1])
+			value, version, err := cl.GetLatest(ctx, args[1], opts...)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("%s v%d: %s\n", args[1], version, value)
 		case 3:
 			version := parseVersion(args[2])
-			value, err := cl.Get(ctx, args[1], version)
+			value, err := cl.Get(ctx, args[1], version, opts...)
 			if err != nil {
 				fatal(err)
 			}
@@ -91,13 +121,13 @@ func main() {
 		switch len(args) {
 		case 2:
 			// No version: delete each replica's newest stored version.
-			if err := cl.Delete(ctx, args[1], dataflasks.Latest); err != nil {
+			if err := cl.Delete(ctx, args[1], dataflasks.Latest, opts...); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("DELETED %s (latest)\n", args[1])
 		case 3:
 			version := parseVersion(args[2])
-			if err := cl.Delete(ctx, args[1], version); err != nil {
+			if err := cl.Delete(ctx, args[1], version, opts...); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("DELETED %s v%d\n", args[1], version)
@@ -225,7 +255,9 @@ func usage() {
   flaskctl -seeds id@host:port[,...] get <key> [version]
   flaskctl -seeds id@host:port[,...] del <key> [version]
   flaskctl -seeds id@host:port[,...] bench [-ops N] [-mode blocking|pipeline|batch] [-acks N]
-  flaskctl -seeds id@host:port[,...] snapshot <dir>`)
+  flaskctl -seeds id@host:port[,...] snapshot <dir>
+  flaskctl stats <http-addr>            (scrape a node's /metrics; needs flasksd -http-addr)
+  flaskctl trace <http-addr> [trace-id] (dump a node's /trace journal, optionally one request)`)
 	os.Exit(2)
 }
 

@@ -61,6 +61,9 @@ func main() {
 		respAddr     = flag.String("resp-addr", "", "serve the cluster to Redis clients on this address (empty: disabled)")
 		respInflight = flag.Int("resp-inflight", 0, "max pipelined RESP commands in flight per connection (0: 128 default)")
 		respGetWait  = flag.Duration("resp-get-timeout", 0, "RESP read attempt budget; a missing key answers null after ~2x this (0: 2s default)")
+
+		httpAddr    = flag.String("http-addr", "", "serve the observability plane (/metrics, /healthz, /readyz, /trace, /debug/pprof/) on this address (empty: disabled)")
+		traceEvents = flag.Int("trace-events", 0, "size of the /trace event ring (0: 1024 default, <0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -116,6 +119,13 @@ func main() {
 		Bootstrap:              *bootstrap,
 		BootstrapRateBytes:     *bootstrapRate,
 	}
+	// The gateway's per-command stats registry is created up front so
+	// the observability plane (which starts with the node) can export
+	// it; the gateway itself starts after the node it loops back onto.
+	var respStats *metrics.CommandStats
+	if *respAddr != "" {
+		respStats = metrics.NewCommandStats()
+	}
 	node, err := dataflasks.StartNode(dataflasks.NodeConfig{
 		ID:          dataflasks.NodeID(*id),
 		Bind:        *bind,
@@ -125,6 +135,9 @@ func main() {
 		RestoreDir:  *restoreDir,
 		RoundPeriod: *period,
 		UDPBind:     *udpAddr,
+		HTTPAddr:    *httpAddr,
+		TraceEvents: *traceEvents,
+		RESPStats:   respStats,
 		Config:      cfg,
 	})
 	if err != nil {
@@ -134,19 +147,20 @@ func main() {
 	if ua := node.UDPAddr(); ua != "" {
 		log.Printf("flasksd: datagram control plane on %s", ua)
 	}
+	if ha := node.HTTPAddr(); ha != "" {
+		log.Printf("flasksd: observability plane listening on %s", ha)
+	}
 
 	// The RESP gateway serves Redis clients through one shared
 	// DataFlasks client looped back onto this node, so every gateway
 	// command takes the same epidemic path a remote client would.
 	var gateway *resp.Server
-	var respStats *metrics.CommandStats
 	if *respAddr != "" {
 		cl, err := dataflasks.ConnectClient("127.0.0.1:0",
 			[]string{fmt.Sprintf("%d@%s", *id, node.Addr())}, cfg)
 		if err != nil {
 			log.Fatalf("flasksd: resp gateway client: %v", err)
 		}
-		respStats = metrics.NewCommandStats()
 		gateway = resp.NewServer(cl, resp.Config{
 			MaxInflight: *respInflight,
 			GetTimeout:  *respGetWait,

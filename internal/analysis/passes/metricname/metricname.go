@@ -11,6 +11,12 @@
 // cross-references the Counter const block (the typed-iota enum ending
 // in an unexported sentinel) and greps DocFiles — resolved against the
 // module root — for each name.
+//
+// It applies the same discipline to the observability plane: a package
+// declaring `var metricNames = [...]string{...}` with plain string
+// elements (internal/obs' /metrics family inventory) must name every
+// family exactly once and have each documented in DocFiles, so a
+// family added to /metrics without a row in the docs table fails CI.
 package metricname
 
 import (
@@ -38,35 +44,58 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	table, tablePos := findNames(pass.Pkg)
-	if table == nil {
+	families, famPos := findFamilies(pass.Pkg)
+	if table == nil && families == nil {
 		return nil
 	}
 	docs, missingDocs := loadDocs(pass.Program.RootDir)
+	reportAt := tablePos
+	if reportAt == token.NoPos {
+		reportAt = famPos
+	}
 	for _, path := range missingDocs {
-		pass.Reportf(tablePos, "counter documentation file %s is unreadable", path)
+		pass.Reportf(reportAt, "counter documentation file %s is unreadable", path)
 	}
 
-	consts := counterConsts(pass.Pkg)
-	seen := map[string]string{} // name → counter const that claimed it
-	keyed := map[string]bool{}  // counter consts present in the table
-	for _, e := range table {
-		keyed[e.key] = true
-		if e.name == "" {
-			pass.Reportf(e.pos, "counter %s has an empty name", e.key)
-			continue
+	if table != nil {
+		consts := counterConsts(pass.Pkg)
+		seen := map[string]string{} // name → counter const that claimed it
+		keyed := map[string]bool{}  // counter consts present in the table
+		for _, e := range table {
+			keyed[e.key] = true
+			if e.name == "" {
+				pass.Reportf(e.pos, "counter %s has an empty name", e.key)
+				continue
+			}
+			if prev, dup := seen[e.name]; dup {
+				pass.Reportf(e.pos, "counter name %q registered twice (%s and %s)", e.name, prev, e.key)
+			} else {
+				seen[e.name] = e.key
+			}
+			if len(docs) > 0 && !documented(docs, e.name) {
+				pass.Reportf(e.pos, "counter name %q appears in no status-line documentation (%s)", e.name, strings.Join(DocFiles, ", "))
+			}
 		}
-		if prev, dup := seen[e.name]; dup {
-			pass.Reportf(e.pos, "counter name %q registered twice (%s and %s)", e.name, prev, e.key)
-		} else {
-			seen[e.name] = e.key
-		}
-		if len(docs) > 0 && !documented(docs, e.name) {
-			pass.Reportf(e.pos, "counter name %q appears in no status-line documentation (%s)", e.name, strings.Join(DocFiles, ", "))
+		for _, c := range consts {
+			if !keyed[c.name] {
+				pass.Reportf(c.pos, "counter %s has no entry in counterNames; Counter.String() would render \"\"", c.name)
+			}
 		}
 	}
-	for _, c := range consts {
-		if !keyed[c.name] {
-			pass.Reportf(c.pos, "counter %s has no entry in counterNames; Counter.String() would render \"\"", c.name)
+
+	seenFam := map[string]bool{}
+	for _, e := range families {
+		if e.name == "" {
+			pass.Reportf(e.pos, "metric family with an empty name in metricNames")
+			continue
+		}
+		if seenFam[e.name] {
+			pass.Reportf(e.pos, "metric family %q registered twice in metricNames", e.name)
+		} else {
+			seenFam[e.name] = true
+		}
+		if len(docs) > 0 && !documented(docs, e.name) {
+			pass.Reportf(e.pos, "metric family %q appears in no metrics documentation (%s)", e.name, strings.Join(DocFiles, ", "))
 		}
 	}
 	return nil
@@ -115,6 +144,40 @@ func findNames(pkg *analysis.Package) ([]entry, token.Pos) {
 						e.name, _ = strconv.Unquote(bl.Value)
 					}
 					entries = append(entries, e)
+				}
+				return entries, vs.Pos()
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// findFamilies parses `var metricNames = [...]string{"name", ...}` —
+// the observability plane's index-less family inventory.
+func findFamilies(pkg *analysis.Package) ([]entry, token.Pos) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gen.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "metricNames" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				var entries []entry
+				for _, elt := range lit.Elts {
+					bl, ok := elt.(*ast.BasicLit)
+					if !ok || bl.Kind != token.STRING {
+						continue
+					}
+					name, _ := strconv.Unquote(bl.Value)
+					entries = append(entries, entry{pos: bl.Pos(), name: name})
 				}
 				return entries, vs.Pos()
 			}

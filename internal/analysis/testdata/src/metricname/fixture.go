@@ -19,3 +19,13 @@ var counterNames = [...]string{
 	MsgRecv:      "msg_sent",             // want `counter name "msg_sent" registered twice \(MsgSent and MsgRecv\)`
 	Undocumented: "undocumented_counter", // want `counter name "undocumented_counter" appears in no status-line documentation`
 }
+
+// metricNames mirrors the observability plane's /metrics family
+// inventory: index-less string elements, each of which must be unique
+// and documented.
+var metricNames = [...]string{
+	"flasks_documented_family_total",
+	"flasks_documented_family_total", // want `metric family "flasks_documented_family_total" registered twice in metricNames`
+	"flasks_ghost_family",            // want `metric family "flasks_ghost_family" appears in no metrics documentation`
+	"",                               // want `metric family with an empty name in metricNames`
+}

@@ -96,6 +96,10 @@ type Env struct {
 	KeyInSlice func(key string) bool
 	// OnSent, when non-nil, is called once per protocol message emitted.
 	OnSent func()
+	// OnFetch, when non-nil, observes every segment fetch the joiner
+	// requests (segment id and resume offset) — the trace journal's
+	// boot_fetch events.
+	OnFetch func(segment uint64, offset int64)
 	// OnSegment, when non-nil, is called once per segment the joiner
 	// completed and verified (bootstrap_segments).
 	OnSegment func()
@@ -325,6 +329,9 @@ func (p *Protocol) pumpFetches(ctx context.Context) {
 }
 
 func (p *Protocol) sendFetch(ctx context.Context, id uint64, off int64) {
+	if p.env.OnFetch != nil {
+		p.env.OnFetch(id, off)
+	}
 	p.send(ctx, p.peer, &SegmentFetch{Segment: id, Offset: off})
 }
 

@@ -90,6 +90,10 @@ type Opts struct {
 	// Retries overrides the retry budget: 0 inherits, negative means
 	// no retries (one attempt only).
 	Retries int
+	// TraceID, when non-zero, stamps the request so every node it
+	// touches journals its lifecycle in the node's /trace ring. Retries
+	// keep the same trace id: the attempts are one logical operation.
+	TraceID uint64
 }
 
 type opKind int
@@ -119,6 +123,7 @@ type pending struct {
 	wantAcks     int
 	timeoutTicks int
 	maxRetries   int
+	traceID      uint64
 
 	ackFrom     map[transport.NodeID]bool
 	deadline    uint64
@@ -201,6 +206,7 @@ func (c *Core) resolve(op *pending, opts Opts) {
 	} else if opts.Retries < 0 {
 		op.maxRetries = 0
 	}
+	op.traceID = opts.TraceID
 }
 
 // StartPut begins an asynchronous put with the config defaults; done
@@ -372,35 +378,35 @@ func (c *Core) launch(op *pending) {
 		_ = c.out.Send(context.Background(), contact, &core.PutRequest{
 			ID: op.id, Key: op.key, Version: op.version, Value: op.value,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
-			TTL: core.TTLUnset, NoAck: op.noAck,
+			TTL: core.TTLUnset, NoAck: op.noAck, TraceID: op.traceID,
 		})
 	case opGet:
 		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.GetRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
-			TTL: core.TTLUnset,
+			TTL: core.TTLUnset, TraceID: op.traceID,
 		})
 	case opDelete:
 		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.DeleteRequest{
 			ID: op.id, Key: op.key, Version: op.version,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
-			TTL: core.TTLUnset, NoAck: op.noAck,
+			TTL: core.TTLUnset, NoAck: op.noAck, TraceID: op.traceID,
 		})
 	case opPutBatch:
 		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.PutBatchRequest{
 			ID: op.id, Objs: op.objs,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
-			TTL: core.TTLUnset, NoAck: op.noAck,
+			TTL: core.TTLUnset, NoAck: op.noAck, TraceID: op.traceID,
 		})
 	case opDeleteBatch:
 		//flasks:fire-and-forget
 		_ = c.out.Send(context.Background(), contact, &core.DeleteBatchRequest{
 			ID: op.id, Items: op.items,
 			Origin: c.id, OriginAddr: c.cfg.SelfAddr,
-			TTL: core.TTLUnset, NoAck: op.noAck,
+			TTL: core.TTLUnset, NoAck: op.noAck, TraceID: op.traceID,
 		})
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dataflasks/internal/obs"
 	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 )
@@ -237,6 +238,12 @@ type Config struct {
 
 	// Seed feeds the node's deterministic RNG stream.
 	Seed uint64
+
+	// Trace, when non-nil, journals protocol round events and traced
+	// request lifecycles into this ring (served by the observability
+	// plane's /trace). Nil keeps tracing entirely off the event loop's
+	// path — no event is even constructed.
+	Trace *obs.Ring
 }
 
 // withDefaults returns a copy with zero fields filled in.

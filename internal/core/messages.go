@@ -33,6 +33,13 @@ type PutRequest struct {
 	Intra      bool
 	// NoAck suppresses PutAck (fire-and-forget writes).
 	NoAck bool
+	// TraceID, when non-zero, journals this request's lifecycle in
+	// every hop's /trace ring so one put can be stitched across
+	// relays. On the wire it is an optional trailing field (same
+	// backward-compatible trick as the Bloom filter salt): old nodes
+	// ignore it, old frames decode with it zero — and it must stay the
+	// LAST field of this message.
+	TraceID uint64
 }
 
 // PutAck confirms a put was stored by one replica. It is emitted only
@@ -58,6 +65,9 @@ type GetRequest struct {
 	OriginAddr string
 	TTL        uint8
 	Intra      bool
+	// TraceID mirrors PutRequest.TraceID (optional trailing wire
+	// field; must stay last).
+	TraceID uint64
 }
 
 // GetReply answers a GetRequest.
@@ -90,6 +100,9 @@ type PutBatchRequest struct {
 	TTL        uint8
 	Intra      bool
 	NoAck      bool
+	// TraceID mirrors PutRequest.TraceID (optional trailing wire
+	// field; must stay last).
+	TraceID uint64
 }
 
 // PutBatchAck confirms a whole batch was stored by one replica, with
@@ -115,6 +128,9 @@ type DeleteRequest struct {
 	Intra      bool
 	// NoAck suppresses DeleteAck (fire-and-forget deletes).
 	NoAck bool
+	// TraceID mirrors PutRequest.TraceID (optional trailing wire
+	// field; must stay last).
+	TraceID uint64
 }
 
 // DeleteAck confirms a delete was applied by one replica.
@@ -150,6 +166,9 @@ type DeleteBatchRequest struct {
 	Intra      bool
 	// NoAck suppresses DeleteBatchAck (fire-and-forget deletes).
 	NoAck bool
+	// TraceID mirrors PutRequest.TraceID (optional trailing wire
+	// field; must stay last).
+	TraceID uint64
 }
 
 // DeleteBatchAck confirms a whole delete batch was applied by one

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"dataflasks/internal/aggregate"
 	"dataflasks/internal/antientropy"
 	"dataflasks/internal/bootstrap"
 	"dataflasks/internal/gossip"
 	"dataflasks/internal/metrics"
+	"dataflasks/internal/obs"
 	"dataflasks/internal/pss"
 	"dataflasks/internal/sim"
 	"dataflasks/internal/slicing"
@@ -46,6 +48,12 @@ type Node struct {
 	rng   *rand.Rand
 	round uint64
 	attr  float64
+
+	// trace is Config.Trace (nil: tracing off-path). tickDur is the
+	// per-tick duration histogram the observability plane exports; it
+	// is atomic, so the plane reads it live while the loop observes.
+	trace   *obs.Ring
+	tickDur metrics.LatencyHistogram
 
 	lastSlice int32
 
@@ -85,9 +93,14 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 		dedup:     gossip.NewDedup(cfg.DedupCapacity),
 		met:       &metrics.NodeMetrics{},
 		rng:       sim.RNG(cfg.Seed, uint64(id)),
+		trace:     cfg.Trace,
 		lastSlice: slicing.SliceUnknown,
 	}
 	n.intra = newIntraView(cfg.IntraViewTarget*2, cfg.IntraStaleRounds)
+	// The gauge must be right from round zero: the owner may have
+	// restored a snapshot into the store before assembling the node,
+	// and waiting for the first Tick would report 0 objects meanwhile.
+	n.met.Set(metrics.StoredObjects, uint64(st.Count()))
 
 	attr := cfg.Capacity
 	if attr == 0 {
@@ -176,12 +189,22 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 				RateBytesPerRound: cfg.BootstrapRateBytes,
 			},
 			bootstrap.Env{
-				Store:           st,
-				Send:            n.sender(metrics.BootstrapSent),
-				Partner:         func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
-				Slice:           n.currentSlice,
-				KeyInSlice:      n.keyInMySlice,
-				OnSegment:       func() { n.met.Inc(metrics.BootstrapSegments) },
+				Store:      st,
+				Send:       n.sender(metrics.BootstrapSent),
+				Partner:    func() (transport.NodeID, bool) { return n.intra.Random(n.rng) },
+				Slice:      n.currentSlice,
+				KeyInSlice: n.keyInMySlice,
+				OnFetch: func(segment uint64, offset int64) {
+					if n.trace != nil {
+						n.trace.Add(obs.Event{Kind: obs.TraceBootFetch, Seg: segment, Bytes: uint64(offset)})
+					}
+				},
+				OnSegment: func() {
+					n.met.Inc(metrics.BootstrapSegments)
+					if n.trace != nil {
+						n.trace.Add(obs.Event{Kind: obs.TraceBootSegment})
+					}
+				},
 				OnBytes:         func(b int) { n.met.Add(metrics.BootstrapBytes, uint64(b)) },
 				OnChunkRejected: func() { n.met.Inc(metrics.BootstrapChunksRejected) },
 				OnSendErr:       n.countSendErr,
@@ -239,6 +262,25 @@ func (n *Node) ID() transport.NodeID { return n.id }
 
 // Metrics exposes the node's counters (read by harnesses after runs).
 func (n *Node) Metrics() *metrics.NodeMetrics { return n.met }
+
+// TickDurations exposes the per-tick duration histogram. Unlike the
+// plain counters it is atomic, so the observability plane reads it
+// concurrently with the event loop.
+func (n *Node) TickDurations() *metrics.LatencyHistogram { return &n.tickDur }
+
+// traceOp journals one traced request's lifecycle step. It is on
+// every data-path hop unconditionally, so the disabled cases return
+// before an event is even built: tracing off (nil ring) or an
+// untraced request (zero id).
+func (n *Node) traceOp(kind obs.TraceKind, traceID uint64, key string, bytes, objects int) {
+	if n.trace == nil || traceID == 0 {
+		return
+	}
+	n.trace.Add(obs.Event{
+		Kind: kind, TraceID: traceID, Key: key,
+		Bytes: uint64(bytes), Objects: uint64(objects),
+	})
+}
 
 // Store exposes the node's local store.
 func (n *Node) Store() store.Store { return n.st }
@@ -369,9 +411,16 @@ func (n *Node) intraTTL() uint8 {
 // the round makes; it is the owner's lifecycle context, so an
 // in-flight round stops dialing the moment the node shuts down.
 func (n *Node) Tick(ctx context.Context) {
+	tickStart := time.Now()
 	n.round++
 	n.flushCoalesced()
-	n.pssP.Tick(ctx)
+	if n.trace != nil {
+		t0 := time.Now()
+		n.pssP.Tick(ctx)
+		n.trace.Add(obs.Event{Kind: obs.TraceShuffle, Dur: time.Since(t0)})
+	} else {
+		n.pssP.Tick(ctx)
+	}
 	n.slicer.Tick(ctx)
 
 	if cur := n.currentSlice(); cur != n.lastSlice {
@@ -386,12 +435,29 @@ func (n *Node) Tick(ctx context.Context) {
 		n.size.Tick(ctx)
 	}
 	if n.ae != nil && n.cfg.AntiEntropyEvery > 0 && n.round%uint64(n.cfg.AntiEntropyEvery) == 0 {
-		n.ae.Tick(ctx)
+		if n.trace != nil {
+			// Journal the round's repair cost as counter deltas around
+			// the tick: the digest bytes charged and objects pushed from
+			// this round's exchange start (replies land in later events'
+			// deltas only if traced rounds repeat — good enough to see a
+			// repair storm in /trace).
+			dig0 := n.met.Get(metrics.AntiEntropyDigestBytes)
+			obj0 := n.met.Get(metrics.AntiEntropyPushedObjects)
+			t0 := time.Now()
+			n.ae.Tick(ctx)
+			n.trace.Add(obs.Event{Kind: obs.TraceAERound,
+				Bytes:   n.met.Get(metrics.AntiEntropyDigestBytes) - dig0,
+				Objects: n.met.Get(metrics.AntiEntropyPushedObjects) - obj0,
+				Dur:     time.Since(t0)})
+		} else {
+			n.ae.Tick(ctx)
+		}
 	}
 	if n.boot != nil {
 		n.boot.Tick(ctx)
 	}
 	n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
+	n.tickDur.Observe(time.Since(tickStart))
 }
 
 // discoverMates tops up the intra-slice view by querying random peers
@@ -444,10 +510,19 @@ func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
 			n.met.Add(metrics.BootstrapFallbackObjects, uint64(len(m.Objects)))
 		}
 		if n.boot.Handle(ctx, env.From, env.Msg) {
+			// Bootstrap chunks ingest objects in bulk between ticks;
+			// refresh the gauge so a scrape mid-join sees them.
+			n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
 			return
 		}
 	}
 	if n.ae != nil && n.ae.Handle(ctx, env.From, env.Msg) {
+		if _, ok := env.Msg.(*antientropy.Push); ok {
+			// Repair pushes (including the bootstrap fallback path)
+			// change the store outside the put path; keep the gauge
+			// honest without waiting for the next tick.
+			n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
+		}
 		return
 	}
 	switch m := env.Msg.(type) {
@@ -498,11 +573,13 @@ func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 			err := n.st.Put(m.Key, m.Version, m.Value)
 			if err == nil {
 				n.met.Inc(metrics.PutsServed)
+				n.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
 				if !m.NoAck && m.Origin != 0 {
 					n.learnOrigin(m.Origin, m.OriginAddr)
 					n.sendData(ctx, m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
 				}
 			}
+			n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
@@ -511,8 +588,10 @@ func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 		}
 		// Intra-phase copy: no ack obligation, so the write can ride
 		// the accumulation window and land as part of one batch append.
+		n.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
 		n.coalescePut(m.Key, m.Version, m.Value)
 		if m.TTL > 0 {
+			n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.TTL--
 			n.relayIntra(ctx, &fwd)
@@ -529,6 +608,7 @@ func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // first hop from a client: stamp the budget
 	}
+	n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
 	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
@@ -604,12 +684,14 @@ func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 		err := n.st.PutBatch(m.Objs)
 		if err == nil {
 			n.met.Add(metrics.PutsServed, uint64(len(m.Objs)))
+			n.traceOp(obs.TracePutApply, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 		}
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
 				n.sendData(ctx, m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
 			}
+			n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
@@ -617,6 +699,7 @@ func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 			return
 		}
 		if m.TTL > 0 {
+			n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 			fwd := *m
 			fwd.TTL--
 			n.relayIntra(ctx, &fwd)
@@ -631,6 +714,7 @@ func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // batches are writes: full-coverage budget
 	}
+	n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
@@ -656,12 +740,14 @@ func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 		existed, err := n.applyDelete(m.Key, m.Version)
 		if err == nil && existed {
 			n.met.Inc(metrics.DeletesServed)
+			n.traceOp(obs.TraceDeleteApply, m.TraceID, m.Key, 0, 1)
 		}
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
 				n.sendData(ctx, m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
 			}
+			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
@@ -669,6 +755,7 @@ func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 			return
 		}
 		if m.TTL > 0 {
+			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.TTL--
 			n.relayIntra(ctx, &fwd)
@@ -683,6 +770,7 @@ func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // deletes are writes: full-coverage budget
 	}
+	n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
 	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
@@ -711,11 +799,13 @@ func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
 		n.flushCoalesced()
 		applied, firstErr := n.applyDeleteBatch(m.Items)
 		n.met.Add(metrics.DeletesServed, uint64(applied))
+		n.traceOp(obs.TraceDeleteApply, m.TraceID, m.Items[0].Key, 0, applied)
 		if !m.Intra {
 			if firstErr == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
 				n.sendData(ctx, m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
 			}
+			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
 			fwd := *m
 			fwd.Intra = true
 			fwd.TTL = n.intraTTL()
@@ -723,6 +813,7 @@ func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
 			return
 		}
 		if m.TTL > 0 {
+			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
 			fwd := *m
 			fwd.TTL--
 			n.relayIntra(ctx, &fwd)
@@ -737,6 +828,7 @@ func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
 	if ttl == TTLUnset {
 		ttl = n.putTTL() // batch deletes are writes: full-coverage budget
 	}
+	n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
 	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
@@ -828,6 +920,7 @@ func (n *Node) onGet(ctx context.Context, m *GetRequest) {
 		val, actual, ok, err := n.st.Get(m.Key, m.Version)
 		if err == nil && ok {
 			n.met.Inc(metrics.GetsServed)
+			n.traceOp(obs.TraceGetServe, m.TraceID, m.Key, len(val), 1)
 			n.learnOrigin(m.Origin, m.OriginAddr)
 			n.sendData(ctx, m.Origin, &GetReply{
 				ID: m.ID, Key: m.Key, Version: actual, Value: val, Slice: mine,
@@ -836,6 +929,7 @@ func (n *Node) onGet(ctx context.Context, m *GetRequest) {
 		}
 		// We are a replica but do not hold it (fresh in the slice):
 		// keep the request alive among the mates.
+		n.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
 		fwd := *m
 		if !m.Intra {
 			fwd.Intra = true
@@ -856,6 +950,7 @@ func (n *Node) onGet(ctx context.Context, m *GetRequest) {
 	if ttl == TTLUnset {
 		ttl = n.getTTL() // first hop from a client: stamp the budget
 	}
+	n.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
 	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next

@@ -70,6 +70,88 @@ func TestLatencyHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)                     // bucket 0
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // bucket 1
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(365 * 24 * time.Hour)  // clamped into the last bucket
+
+	b := h.Buckets()
+	if b[0] != 2 || b[1] != 1 || b[2] != 1 || b[NumLatencyBuckets-1] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+	var total uint64
+	for _, c := range b {
+		total += c
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != count %d", total, h.Count())
+	}
+	if h.SumMicroseconds() != 1+3+uint64(365*24*time.Hour/time.Microsecond) {
+		t.Fatalf("sum = %dµs", h.SumMicroseconds())
+	}
+	if BucketBound(0) != time.Microsecond || BucketBound(3) != 8*time.Microsecond {
+		t.Fatalf("bounds: %s %s", BucketBound(0), BucketBound(3))
+	}
+}
+
+// TestLatencyHistogramBucketsConcurrent races Buckets snapshots
+// against a storm of Observe calls; under -race this proves the
+// accessor is safe for a scraper thread, and the final snapshot must
+// account for every sample.
+func TestLatencyHistogramBucketsConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := h.Buckets()
+				var total uint64
+				for _, c := range b {
+					total += c
+				}
+				if total > workers*per {
+					t.Errorf("snapshot total %d exceeds samples", total)
+					return
+				}
+				_ = h.SumMicroseconds()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	b := h.Buckets()
+	var total uint64
+	for _, c := range b {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("final bucket total = %d, want %d", total, workers*per)
+	}
+}
+
 func TestCommandStats(t *testing.T) {
 	s := NewCommandStats()
 	s.Stat("get").Observe(time.Millisecond, false)

@@ -256,6 +256,11 @@ func (w *WireStats) Snapshot() WireSnapshot {
 // ever observe.
 const latencyBuckets = 40
 
+// NumLatencyBuckets exports the LatencyHistogram bucket count for
+// renderers (the Prometheus exposition writer) that need to size
+// snapshots and compute bucket bounds.
+const NumLatencyBuckets = latencyBuckets
+
 // LatencyHistogram is a lock-free histogram of durations in
 // power-of-two microsecond buckets, safe for concurrent Observe from
 // many goroutines (RESP connections record completions concurrently).
@@ -284,6 +289,34 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 
 // Count returns how many durations were observed.
 func (h *LatencyHistogram) Count() uint64 { return h.count.Load() }
+
+// SumMicroseconds returns the sum of observed durations in
+// microseconds (the exposition writer's `_sum`).
+func (h *LatencyHistogram) SumMicroseconds() uint64 { return h.sumUsec.Load() }
+
+// Buckets copies the per-bucket counts. The copy is not atomic across
+// buckets — concurrent Observe calls can land mid-read — so readers
+// must derive totals from the returned array rather than pairing it
+// with a separate Count call.
+func (h *LatencyHistogram) Buckets() [NumLatencyBuckets]uint64 {
+	var out [NumLatencyBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketBound returns bucket i's exclusive upper bound: bucket 0 holds
+// sub-microsecond observations (bound 1 µs = 2^0 µs) and bucket i ≥ 1
+// covers [2^(i-1), 2^i) µs (bound 2^i µs). The last bucket also
+// absorbs every larger observation, so its bound is only nominal —
+// exposition renders it as +Inf.
+func BucketBound(i int) time.Duration {
+	if i < 0 || i >= latencyBuckets {
+		panic("metrics: bucket index out of range")
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
 
 // Mean returns the mean observed duration (0 when empty).
 func (h *LatencyHistogram) Mean() time.Duration {

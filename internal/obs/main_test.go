@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"os"
+	"testing"
+
+	"dataflasks/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

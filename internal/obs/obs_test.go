@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestReadyzFlips pins the readiness contract: 503 with a reason while
+// the published status is not ready, 200 the moment it is.
+func TestReadyzFlips(t *testing.T) {
+	var status atomic.Pointer[Status]
+	status.Store(&Status{Slice: -1, Reason: "slice not yet assigned"})
+	s := NewServer(Sources{Status: func() Status { return *status.Load() }})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "slice not yet assigned") {
+		t.Fatalf("not-ready readyz = %d %q", code, body)
+	}
+	status.Store(&Status{Slice: 2, BootstrapDone: true, Ready: true})
+	code, body, _ = get(t, srv, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("ready readyz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatal("healthz must always answer 200")
+	}
+}
+
+func TestMetricsContentTypeAndParse(t *testing.T) {
+	s := NewServer(fullSources(nil, nil, nil))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if _, err := ParseExposition([]byte(body)); err != nil {
+		t.Fatalf("served exposition invalid: %v", err)
+	}
+}
+
+func TestTraceEndpointFilters(t *testing.T) {
+	ring := NewRing(16)
+	ring.Add(Event{Kind: TracePutApply, TraceID: 42, Key: "a"})
+	ring.Add(Event{Kind: TracePutRelay, TraceID: 42})
+	ring.Add(Event{Kind: TraceShuffle})
+	s := NewServer(Sources{NodeID: 9, Trace: ring})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var dump struct {
+		Node   uint64 `json:"node"`
+		Events []struct {
+			Kind    string `json:"kind"`
+			TraceID uint64 `json:"trace_id"`
+		} `json:"events"`
+	}
+	_, body, _ := get(t, srv, "/trace")
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != 9 || len(dump.Events) != 3 {
+		t.Fatalf("unfiltered dump: node=%d events=%d", dump.Node, len(dump.Events))
+	}
+	if dump.Events[0].Kind != "put_apply" {
+		t.Fatalf("kind rendered as %q", dump.Events[0].Kind)
+	}
+
+	_, body, _ = get(t, srv, "/trace?id=42")
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 2 {
+		t.Fatalf("filtered dump has %d events, want 2", len(dump.Events))
+	}
+	for _, ev := range dump.Events {
+		if ev.TraceID != 42 {
+			t.Fatalf("foreign event in filtered dump: %+v", ev)
+		}
+	}
+
+	if code, _, _ := get(t, srv, "/trace?id=notanumber"); code != http.StatusBadRequest {
+		t.Fatal("bad trace id must 400")
+	}
+}
+
+func TestTraceEndpointDisabledRing(t *testing.T) {
+	s := NewServer(Sources{NodeID: 9})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace with nil ring = %d", code)
+	}
+	if !strings.Contains(body, `"events": []`) {
+		t.Fatalf("nil-ring dump should have an empty events array: %s", body)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := NewServer(Sources{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+}
+
+func TestListenAndClose(t *testing.T) {
+	s := NewServer(Sources{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != addr || addr == "" {
+		t.Fatalf("addr %q vs %q", s.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,299 @@
+// Exposition parsing: the validating counterpart of prom.go. Tests,
+// the flasksd smoke test and flaskctl stats all parse scrapes through
+// ParseExposition, so a malformed document fails loudly everywhere
+// instead of only in a real Prometheus server's logs.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name, including histogram suffixes.
+	Name string
+	// Labels maps label names to unescaped values.
+	Labels map[string]string
+	// Value is the sample value (+Inf allowed on bucket bounds only
+	// in the le label, never here — exposition values may still be
+	// +Inf for gauges, so the parser accepts it).
+	Value float64
+}
+
+// Family is one parsed metric family: its HELP/TYPE head and samples.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// ParseExposition parses a Prometheus text-format document and
+// enforces the structural rules /metrics promises: every family
+// declares # HELP then # TYPE exactly once before its samples, every
+// sample belongs to the family declared above it, values parse, and
+// histogram series are internally consistent (ascending le bounds,
+// cumulative non-decreasing buckets, a +Inf bucket equal to _count,
+// exactly one _sum and _count per label set). Families are returned
+// keyed by name.
+func ParseExposition(data []byte) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	var cur *Family
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, help, ok := strings.Cut(line[len("# HELP "):], " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			families[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE %s without a preceding HELP", lineNo, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: family %s typed twice", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			cur.Type = typ
+		case strings.HasPrefix(line, "#"):
+			// Plain comment.
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if cur == nil || cur.Type == "" {
+				return nil, fmt.Errorf("line %d: sample %s before its family's HELP/TYPE", lineNo, s.Name)
+			}
+			base := s.Name
+			if cur.Type == "histogram" {
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if t := strings.TrimSuffix(base, suf); t != base {
+						base = t
+						break
+					}
+				}
+			}
+			if base != cur.Name {
+				return nil, fmt.Errorf("line %d: sample %s inside family %s", lineNo, s.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) {
+					return nil, fmt.Errorf("counter %s has value %v", f.Name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// validateHistogram checks each label set's series for internal
+// consistency.
+func validateHistogram(f *Family) error {
+	type series struct {
+		les     []float64
+		buckets []float64
+		sum     int
+		count   float64
+		counts  int
+	}
+	groups := map[string]*series{}
+	group := func(labels map[string]string) *series {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sig strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sig, "%s=%q,", k, labels[k])
+		}
+		g, ok := groups[sig.String()]
+		if !ok {
+			g = &series{}
+			groups[sig.String()] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := group(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			g.les = append(g.les, bound)
+			g.buckets = append(g.buckets, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.sum++
+		case strings.HasSuffix(s.Name, "_count"):
+			g.counts++
+			g.count = s.Value
+		}
+	}
+	for sig, g := range groups {
+		where := f.Name
+		if sig != "" {
+			where += "{" + strings.TrimSuffix(sig, ",") + "}"
+		}
+		if g.sum != 1 || g.counts != 1 {
+			return fmt.Errorf("%s: want exactly one _sum and _count, got %d/%d", where, g.sum, g.counts)
+		}
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("%s: histogram with no buckets", where)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s: le bounds not ascending", where)
+			}
+			if g.buckets[i] < g.buckets[i-1] {
+				return fmt.Errorf("%s: bucket counts not cumulative", where)
+			}
+		}
+		last := len(g.les) - 1
+		if !math.IsInf(g.les[last], 1) {
+			return fmt.Errorf("%s: missing +Inf bucket", where)
+		}
+		if g.buckets[last] != g.count {
+			return fmt.Errorf("%s: +Inf bucket %v != _count %v", where, g.buckets[last], g.count)
+		}
+	}
+	return nil
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i]) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %v", s.Name, err)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	valueStr, _, _ := strings.Cut(rest, " ") // drop the optional timestamp
+	v, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, valueStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` into m and returns what
+// follows the closing brace.
+func parseLabels(in string, m map[string]string) (string, error) {
+	for {
+		in = strings.TrimLeft(in, " ")
+		if strings.HasPrefix(in, "}") {
+			return in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq <= 0 {
+			return "", fmt.Errorf("malformed labels")
+		}
+		name := strings.TrimSpace(in[:eq])
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		in = in[1:]
+		var val strings.Builder
+		for {
+			if in == "" {
+				return "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[0]
+			in = in[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if in == "" {
+					return "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[0] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[0])
+				}
+				in = in[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := m[name]; dup {
+			return "", fmt.Errorf("label %s repeated", name)
+		}
+		m[name] = val.String()
+		if strings.HasPrefix(in, ",") {
+			in = in[1:]
+		}
+	}
+}

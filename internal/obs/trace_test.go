@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingNilIsDisabled(t *testing.T) {
+	var r *Ring
+	r.Add(Event{Kind: TracePutApply})
+	if r.Len() != 0 {
+		t.Error("nil ring has events")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil ring snapshots non-nil")
+	}
+	if NewRing(0) != nil || NewRing(-1) != nil {
+		t.Error("NewRing(<=0) must return the disabled (nil) ring")
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 40; i++ {
+		r.Add(Event{Kind: TraceShuffle, Bytes: uint64(i)})
+	}
+	if r.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot holds %d events, want 16", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(24 + i); ev.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest events must be overwritten in order)", i, ev.Seq, want)
+		}
+		if ev.Bytes != ev.Seq {
+			t.Fatalf("event %d payload torn: Bytes=%d", ev.Seq, ev.Bytes)
+		}
+		if ev.Time == 0 {
+			t.Fatalf("event %d missing publication time", ev.Seq)
+		}
+	}
+}
+
+func TestRingKeepsCallerTimestamp(t *testing.T) {
+	r := NewRing(16)
+	r.Add(Event{Kind: TraceAERound, Time: 12345})
+	if got := r.Snapshot()[0].Time; got != 12345 {
+		t.Fatalf("caller timestamp overwritten: %d", got)
+	}
+}
+
+// TestRingConcurrentSnapshot runs one writer against snapshotting
+// readers under the race detector: snapshots must never tear and must
+// stay sorted by Seq.
+func TestRingConcurrentSnapshot(t *testing.T) {
+	r := NewRing(64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				for j := 1; j < len(snap); j++ {
+					if snap[j].Seq <= snap[j-1].Seq {
+						t.Error("snapshot out of order")
+						return
+					}
+					if snap[j].Bytes != snap[j].Seq {
+						t.Errorf("torn event: seq %d bytes %d", snap[j].Seq, snap[j].Bytes)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		r.Add(Event{Kind: TracePutApply, Bytes: uint64(i), Time: 1})
+	}
+	close(done)
+	wg.Wait()
+	if r.Len() != 5000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+// TestRingDisabledAllocs pins the acceptance requirement: with tracing
+// disabled (nil ring), the hot-path Add must not allocate — the event
+// loop calls it unconditionally on every put, get and protocol round.
+func TestRingDisabledAllocs(t *testing.T) {
+	var r *Ring
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Add(Event{Kind: TracePutApply, TraceID: 7, Key: "k", Bytes: 100, Dur: time.Second})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled ring allocates %.1f times per Add, want 0", allocs)
+	}
+}
+
+func BenchmarkRingDisabled(b *testing.B) {
+	var r *Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(Event{Kind: TracePutApply, TraceID: 7, Key: "k", Bytes: 100})
+	}
+}
+
+func BenchmarkRingEnabled(b *testing.B) {
+	r := NewRing(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(Event{Kind: TracePutApply, TraceID: 7, Key: "k", Bytes: 100})
+	}
+}

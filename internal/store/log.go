@@ -64,6 +64,9 @@ type Log struct {
 	// compactErr is the result of the most recent compaction pass; the
 	// background loop has no caller to return it to.
 	compactErr error
+	// compactPasses counts passes that found candidates and rewrote
+	// them (Stats), guarded by mu like the rest of the bookkeeping.
+	compactPasses uint64
 	// compactMu serializes compaction passes (the background loop and
 	// direct Compact calls) without blocking the store lock.
 	compactMu sync.Mutex
@@ -79,6 +82,7 @@ type Log struct {
 }
 
 var _ Store = (*Log)(nil)
+var _ StatsProvider = (*Log)(nil)
 
 // LogOptions tunes the log engine. The zero value is a working
 // configuration: no fsync, 64 MiB segments, compaction below 50% live.
@@ -889,6 +893,20 @@ func (l *Log) SegmentCount() int {
 	return len(l.segIDs)
 }
 
+// Stats implements StatsProvider: segment count, the live/dead byte
+// split compaction works from, and how many passes have rewritten
+// segments so far.
+func (l *Log) Stats() Stats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := Stats{Segments: len(l.segIDs), CompactionPasses: l.compactPasses}
+	for _, seg := range l.segs {
+		s.LiveBytes += seg.live
+		s.DeadBytes += seg.size - seg.live
+	}
+	return s
+}
+
 // commitLoop is the group committer: it turns any number of pending
 // durability waiters into one fsync of the active segment.
 func (l *Log) commitLoop() {
@@ -995,6 +1013,9 @@ func (l *Log) compactPass() error {
 	if len(candidates) == 0 {
 		return nil
 	}
+	l.mu.Lock()
+	l.compactPasses++
+	l.mu.Unlock()
 	for _, cs := range candidates {
 		if err := l.copyLive(cs); err != nil {
 			return err

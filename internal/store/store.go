@@ -185,6 +185,31 @@ type Store interface {
 	Close() error
 }
 
+// Stats is a point-in-time snapshot of an engine's physical state —
+// what capacity planning and compaction monitoring need beyond the
+// logical object Count. Engines without segment files report zeros.
+type Stats struct {
+	// Segments is the number of segment files, including the active one.
+	Segments int
+	// LiveBytes is the byte total of records the index still points at.
+	LiveBytes int64
+	// DeadBytes is the byte total of overwritten, deleted or tombstone
+	// records awaiting compaction (file size minus live bytes).
+	DeadBytes int64
+	// CompactionPasses counts compaction passes that found candidate
+	// segments and rewrote them (passes that found nothing are free and
+	// uncounted).
+	CompactionPasses uint64
+}
+
+// StatsProvider is implemented by engines that can report physical
+// Stats (the log engine). Callers type-assert: the interface is
+// optional so simple engines and test stubs need not fake segment
+// accounting.
+type StatsProvider interface {
+	Stats() Stats
+}
+
 // Errors shared by engines.
 var (
 	// ErrClosed reports use after Close.

@@ -48,20 +48,24 @@ func fixtures() []Envelope {
 		&antientropy.Pull{Headers: headers},
 		&antientropy.Push{Objects: objs},
 		&core.PutRequest{ID: 42, Key: "k", Version: 3, Value: []byte("val"),
-			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+			TraceID: 0x7ace1},
 		&core.PutAck{ID: 42, Key: "k", Version: 3},
 		&core.PutBatchRequest{ID: 43, Objs: objs, Origin: 9,
-			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: false, NoAck: false},
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: false, NoAck: false,
+			TraceID: 0x7ace2},
 		&core.PutBatchAck{ID: 43, Stored: 2},
 		&core.GetRequest{ID: 44, Key: "k", Version: store.Latest, Origin: 9,
-			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true},
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, TraceID: 0x7ace3},
 		&core.GetReply{ID: 44, Key: "k", Version: 3, Value: []byte("val"), Slice: 2},
 		&core.DeleteRequest{ID: 45, Key: "k", Version: 3, Origin: 9,
-			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+			TraceID: 0x7ace4},
 		&core.DeleteAck{ID: 45, Key: "k", Version: 3},
 		&core.DeleteBatchRequest{ID: 46,
 			Items:  []core.DeleteItem{{Key: "a", Version: 1}, {Key: "b", Version: store.Latest}},
-			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+			TraceID: 0x7ace5},
 		&core.DeleteBatchAck{ID: 46, Applied: 2},
 		&core.MateQuery{Slice: 5},
 		&core.MateReply{Slice: 5, Mates: descs},
@@ -202,6 +206,126 @@ func TestFilterLegacyFrameCompat(t *testing.T) {
 	}
 	if len(frame) != len(legacy)+8 || !bytes.Equal(frame[:len(legacy)], legacy) {
 		t.Fatalf("salted Summary must be the legacy frame plus trailing salt\n got  %x\n want %x + 8 salt bytes", frame, legacy)
+	}
+}
+
+// TestTraceIDLegacyFrameCompat pins the rolling-upgrade contract for
+// request tracing, which reuses the Bloom-salt trick on all five
+// request messages: TraceID rides as an optional TRAILING field. Three
+// things must hold per message: the pre-trace frame layout still
+// decodes (TraceID zero); an untraced request encodes byte-identically
+// to that legacy layout; and a traced frame is exactly the legacy
+// frame plus eight trailing bytes, which pre-trace decoders leave
+// unread — they route the same request, just without journaling it.
+func TestTraceIDLegacyFrameCompat(t *testing.T) {
+	codec := BinaryCodec()
+	objs := []store.Object{
+		{Key: "alpha", Version: 1, Value: []byte("v1")},
+		{Key: "beta", Version: 2, Value: nil},
+	}
+	// The request golden frames as pinned before TraceID existed
+	// (testdata/frames.golden at the pre-trace release).
+	cases := []struct {
+		name     string
+		legacy   string
+		from, to transport.NodeID
+		untraced interface{}
+		traced   interface{}
+	}{
+		{
+			name: "PutRequest",
+			legacy: "010d007000000000000000d4000000000000000d31302e302e302e313a373030302a000000" +
+				"00000000016b03000000000000000376616c09000000000000000d31302e302e302e393a37303039040101",
+			from: 112, to: 212,
+			untraced: &core.PutRequest{ID: 42, Key: "k", Version: 3, Value: []byte("val"),
+				Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			traced: &core.PutRequest{ID: 42, Key: "k", Version: 3, Value: []byte("val"),
+				Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+				TraceID: 0x7ace1},
+		},
+		{
+			name: "PutBatchRequest",
+			legacy: "010f007200000000000000d6000000000000000d31302e302e302e313a373030302b000000" +
+				"000000000205616c70686101000000000000000276310462657461020000000000000000090000000000" +
+				"00000d31302e302e302e393a37303039040000",
+			from: 114, to: 214,
+			untraced: &core.PutBatchRequest{ID: 43, Objs: objs, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4},
+			traced: &core.PutBatchRequest{ID: 43, Objs: objs, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4, TraceID: 0x7ace2},
+		},
+		{
+			name: "GetRequest",
+			legacy: "0111007400000000000000d8000000000000000d31302e302e302e313a373030302c000000" +
+				"00000000016bffffffffffffffff09000000000000000d31302e302e302e393a373030390401",
+			from: 116, to: 216,
+			untraced: &core.GetRequest{ID: 44, Key: "k", Version: store.Latest, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true},
+			traced: &core.GetRequest{ID: 44, Key: "k", Version: store.Latest, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, TraceID: 0x7ace3},
+		},
+		{
+			name: "DeleteRequest",
+			legacy: "0113007600000000000000da000000000000000d31302e302e302e313a373030302d000000" +
+				"00000000016b030000000000000009000000000000000d31302e302e302e393a37303039040101",
+			from: 118, to: 218,
+			untraced: &core.DeleteRequest{ID: 45, Key: "k", Version: 3, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			traced: &core.DeleteRequest{ID: 45, Key: "k", Version: 3, Origin: 9,
+				OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+				TraceID: 0x7ace4},
+		},
+		{
+			name: "DeleteBatchRequest",
+			legacy: "0115007800000000000000dc000000000000000d31302e302e302e313a373030302e000000" +
+				"0000000002016101000000000000000162ffffffffffffffff09000000000000000d31302e302e302e39" +
+				"3a37303039040101",
+			from: 120, to: 220,
+			untraced: &core.DeleteBatchRequest{ID: 46,
+				Items:  []core.DeleteItem{{Key: "a", Version: 1}, {Key: "b", Version: store.Latest}},
+				Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true},
+			traced: &core.DeleteBatchRequest{ID: 46,
+				Items:  []core.DeleteItem{{Key: "a", Version: 1}, {Key: "b", Version: store.Latest}},
+				Origin: 9, OriginAddr: "10.0.0.9:7009", TTL: 4, Intra: true, NoAck: true,
+				TraceID: 0x7ace5},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := hex.DecodeString(tc.legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := codec.Decode(legacy)
+			if err != nil {
+				t.Fatalf("pre-trace frame no longer decodes: %v", err)
+			}
+			if !reflect.DeepEqual(env.Msg, tc.untraced) {
+				t.Fatalf("pre-trace frame decoded to %+v, want %+v", env.Msg, tc.untraced)
+			}
+
+			header := Envelope{From: tc.from, FromAddr: "10.0.0.1:7000", To: tc.to}
+
+			unsalted := header
+			unsalted.Msg = tc.untraced
+			frame, err := codec.Encode(nil, &unsalted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(frame, legacy) {
+				t.Fatalf("untraced request drifted from the pre-trace layout\n got  %x\n want %x", frame, legacy)
+			}
+
+			traced := header
+			traced.Msg = tc.traced
+			frame, err = codec.Encode(nil, &traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(frame) != len(legacy)+8 || !bytes.Equal(frame[:len(legacy)], legacy) {
+				t.Fatalf("traced request must be the legacy frame plus a trailing trace id\n got  %x\n want %x + 8 trace bytes", frame, legacy)
+			}
+		})
 	}
 }
 

@@ -179,13 +179,15 @@ var Messages = []Spec{
 			b = appendStr(b, v.OriginAddr)
 			b = appendU8(b, v.TTL)
 			b = appendBool(b, v.Intra)
-			return appendBool(b, v.NoAck)
+			b = appendBool(b, v.NoAck)
+			return appendTraceID(b, v.TraceID)
 		},
 		dec: func(r *reader) interface{} {
 			return &core.PutRequest{
 				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(), Value: r.blob(),
 				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
 				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+				TraceID: readTraceID(r),
 			}
 		},
 	},
@@ -211,13 +213,15 @@ var Messages = []Spec{
 			b = appendStr(b, v.OriginAddr)
 			b = appendU8(b, v.TTL)
 			b = appendBool(b, v.Intra)
-			return appendBool(b, v.NoAck)
+			b = appendBool(b, v.NoAck)
+			return appendTraceID(b, v.TraceID)
 		},
 		dec: func(r *reader) interface{} {
 			return &core.PutBatchRequest{
 				ID: gossip.RequestID(r.u64()), Objs: readObjects(r),
 				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
 				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+				TraceID: readTraceID(r),
 			}
 		},
 	},
@@ -242,13 +246,15 @@ var Messages = []Spec{
 			b = appendU64(b, uint64(v.Origin))
 			b = appendStr(b, v.OriginAddr)
 			b = appendU8(b, v.TTL)
-			return appendBool(b, v.Intra)
+			b = appendBool(b, v.Intra)
+			return appendTraceID(b, v.TraceID)
 		},
 		dec: func(r *reader) interface{} {
 			return &core.GetRequest{
 				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(),
 				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
 				TTL: r.u8(), Intra: r.boolean(),
+				TraceID: readTraceID(r),
 			}
 		},
 	},
@@ -280,13 +286,15 @@ var Messages = []Spec{
 			b = appendStr(b, v.OriginAddr)
 			b = appendU8(b, v.TTL)
 			b = appendBool(b, v.Intra)
-			return appendBool(b, v.NoAck)
+			b = appendBool(b, v.NoAck)
+			return appendTraceID(b, v.TraceID)
 		},
 		dec: func(r *reader) interface{} {
 			return &core.DeleteRequest{
 				ID: gossip.RequestID(r.u64()), Key: r.str(), Version: r.u64(),
 				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
 				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+				TraceID: readTraceID(r),
 			}
 		},
 	},
@@ -316,7 +324,8 @@ var Messages = []Spec{
 			b = appendStr(b, v.OriginAddr)
 			b = appendU8(b, v.TTL)
 			b = appendBool(b, v.Intra)
-			return appendBool(b, v.NoAck)
+			b = appendBool(b, v.NoAck)
+			return appendTraceID(b, v.TraceID)
 		},
 		dec: func(r *reader) interface{} {
 			id := gossip.RequestID(r.u64())
@@ -332,6 +341,7 @@ var Messages = []Spec{
 				ID: id, Items: items,
 				Origin: transport.NodeID(r.u64()), OriginAddr: r.str(),
 				TTL: r.u8(), Intra: r.boolean(), NoAck: r.boolean(),
+				TraceID: readTraceID(r),
 			}
 		},
 	},
@@ -641,6 +651,29 @@ func readFilter(r *reader) antientropy.Filter {
 		f.Salt = r.u64()
 	}
 	return f
+}
+
+// appendTraceID carries a request's TraceID with the same
+// optional-trailing-field trick as appendFilter's salt: emitted only
+// when non-zero, so untraced requests stay byte-identical to
+// pre-trace frames and pre-trace decoders ignore the trailing bytes
+// of a traced one (the request still routes; only its journal entries
+// on old nodes are lost). Works only because TraceID is the FINAL
+// field of every request that carries one — any future field on those
+// messages needs a new kind, not another trailing field.
+func appendTraceID(b []byte, id uint64) []byte {
+	if id != 0 {
+		b = appendU64(b, id)
+	}
+	return b
+}
+
+func readTraceID(r *reader) uint64 {
+	// Pre-trace frames end before this field.
+	if r.err == nil && r.off < len(r.b) {
+		return r.u64()
+	}
+	return 0
 }
 
 func appendSegmentInfos(b []byte, segs []store.SegmentInfo) []byte {

@@ -7,11 +7,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dataflasks/internal/client"
 	"dataflasks/internal/core"
 	"dataflasks/internal/metrics"
+	"dataflasks/internal/obs"
 	"dataflasks/internal/store"
 	"dataflasks/internal/transport"
 	"dataflasks/internal/wire"
@@ -48,6 +50,20 @@ type NodeConfig struct {
 	// after it answers a probe, so traffic to UDP-less nodes stays on
 	// TCP.
 	UDPBind string
+	// HTTPAddr enables the observability plane: an HTTP listener
+	// ("host:port", port 0 allowed) serving /metrics (Prometheus text
+	// exposition), /healthz, /readyz, /trace and /debug/pprof/. Empty
+	// disables the plane entirely.
+	HTTPAddr string
+	// TraceEvents sizes the /trace ring (rounded up to a power of two;
+	// default 1024, negative disables tracing). Only meaningful with
+	// HTTPAddr: without the plane no ring is created and trace calls
+	// cost two compares on the event loop.
+	TraceEvents int
+	// RESPStats, when set, is the RESP gateway's per-command registry;
+	// the plane exports it as the flasks_resp_* families. The caller
+	// (cmd/flasksd) owns it and shares it with the gateway.
+	RESPStats *metrics.CommandStats
 	// Config carries the protocol configuration.
 	Config Config
 }
@@ -75,6 +91,13 @@ type Node struct {
 	// atomic the status reporter can read without racing the event
 	// loop's own metrics.
 	sendErrs metrics.SharedCounter
+
+	// status is the latest obs.Status snapshot, published by the event
+	// loop once per tick (and on readiness flips) so the observability
+	// plane and status reporters never read live event-loop state.
+	status atomic.Pointer[obs.Status]
+	trace  *obs.Ring   // /trace journal; nil when the plane is off
+	obsSrv *obs.Server // nil unless HTTPAddr was set
 
 	closeOnce sync.Once
 }
@@ -186,6 +209,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	coreCfg.AdvertiseAddr = tcpNet.Addr()
 	coreCfg.AddressBook = tcpNet
 	coreCfg.OnSendErr = func(error) { n.sendErrs.Inc() }
+	if cfg.HTTPAddr != "" && cfg.TraceEvents >= 0 {
+		events := cfg.TraceEvents
+		if events == 0 {
+			events = 1024
+		}
+		n.trace = obs.NewRing(events)
+		coreCfg.Trace = n.trace
+	}
 	n.core = core.NewNode(cfg.ID, coreCfg, n.st, tcpNet.Sender())
 
 	seedIDs := make([]NodeID, 0, len(cfg.Seeds))
@@ -200,6 +231,39 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		seedIDs = append(seedIDs, id)
 	}
 	n.core.Bootstrap(seedIDs)
+	// First snapshot before anything concurrent can read: status is
+	// never nil once StartNode returns.
+	n.publishStatus()
+
+	if cfg.HTTPAddr != "" {
+		src := obs.Sources{
+			NodeID: uint64(cfg.ID),
+			Status: func() obs.Status {
+				if st := n.status.Load(); st != nil {
+					return *st
+				}
+				return obs.Status{Reason: "no status published"}
+			},
+			Wire:            n.wstats.Snapshot,
+			RESP:            cfg.RESPStats,
+			TickDur:         n.core.TickDurations(),
+			MailboxDepth:    func() int { return len(n.mailbox) },
+			MailboxCapacity: cap(n.mailbox),
+			MailboxDropped:  n.drops.Load,
+			SendErrors:      n.sendErrs.Load,
+			Trace:           n.trace,
+		}
+		if sp, ok := n.st.(store.StatsProvider); ok {
+			src.Store = sp.Stats
+		}
+		srv := obs.NewServer(src)
+		if _, err := srv.Listen(cfg.HTTPAddr); err != nil {
+			n.closeFabrics()
+			_ = n.st.Close()
+			return nil, fmt.Errorf("dataflasks: observability plane: %w", err)
+		}
+		n.obsSrv = srv
+	}
 
 	// The lifecycle context bounds every send the event loop makes;
 	// Close cancels it first, so a round blocked on a slow peer stops
@@ -211,12 +275,21 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		defer n.wg.Done()
 		ticker := time.NewTicker(cfg.RoundPeriod)
 		defer ticker.Stop()
+		ready := n.status.Load().Ready
 		for {
 			select {
 			case env := <-n.mailbox:
 				n.core.HandleMessage(ctx, env)
+				// Bootstrap can finish on a handled message; /readyz
+				// must flip the moment it does, not a tick later.
+				if r := n.coreReady(); r != ready {
+					n.publishStatus()
+					ready = r
+				}
 			case <-ticker.C:
 				n.core.Tick(ctx)
+				n.publishStatus()
+				ready = n.status.Load().Ready
 			case <-n.done:
 				return
 			}
@@ -225,14 +298,42 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
+// coreReady computes the readiness predicate from live core state.
+// Event-loop goroutine only.
+func (n *Node) coreReady() bool {
+	return n.core.Slice() >= 0 && n.core.BootstrapDone()
+}
+
+// publishStatus snapshots the core into an immutable obs.Status for
+// concurrent readers (observability plane, BootstrapStats, status
+// reporters). Event-loop goroutine only (plus once before it starts).
+func (n *Node) publishStatus() {
+	st := &obs.Status{
+		Counters:          n.core.Metrics().Snapshot(),
+		Slice:             n.core.Slice(),
+		BootstrapDone:     n.core.BootstrapDone(),
+		BootstrapFellBack: n.core.BootstrapFellBack(),
+	}
+	switch {
+	case st.Slice < 0:
+		st.Reason = "slice not yet assigned"
+	case !st.BootstrapDone:
+		st.Reason = "bootstrap in progress"
+	default:
+		st.Ready = true
+	}
+	n.status.Store(st)
+}
+
 // ID returns the node id.
 func (n *Node) ID() NodeID { return n.id }
 
 // Addr returns the advertised address.
 func (n *Node) Addr() string { return n.net.Addr() }
 
-// Slice returns the node's current slice claim (-1 while undecided).
-func (n *Node) Slice() int32 { return n.core.Slice() }
+// Slice returns the node's current slice claim (-1 while undecided),
+// from the latest published snapshot.
+func (n *Node) Slice() int32 { return n.status.Load().Slice }
 
 // StoredObjects returns how many object versions the node holds.
 func (n *Node) StoredObjects() int { return n.st.Count() }
@@ -268,17 +369,18 @@ type BootstrapStats struct {
 }
 
 // BootstrapStats reports segment-bootstrap progress, for status lines
-// and tests.
+// and tests. It reads the event loop's published snapshot — at most
+// one tick stale, never racing the loop's live counters.
 func (n *Node) BootstrapStats() BootstrapStats {
-	m := n.core.Metrics()
+	st := n.status.Load()
 	return BootstrapStats{
-		Sent:            m.Get(metrics.BootstrapSent),
-		Segments:        m.Get(metrics.BootstrapSegments),
-		Bytes:           m.Get(metrics.BootstrapBytes),
-		ChunksRejected:  m.Get(metrics.BootstrapChunksRejected),
-		FallbackObjects: m.Get(metrics.BootstrapFallbackObjects),
-		Done:            n.core.BootstrapDone(),
-		FellBack:        n.core.BootstrapFellBack(),
+		Sent:            st.Counters[metrics.BootstrapSent],
+		Segments:        st.Counters[metrics.BootstrapSegments],
+		Bytes:           st.Counters[metrics.BootstrapBytes],
+		ChunksRejected:  st.Counters[metrics.BootstrapChunksRejected],
+		FallbackObjects: st.Counters[metrics.BootstrapFallbackObjects],
+		Done:            st.BootstrapDone,
+		FellBack:        st.BootstrapFellBack,
 	}
 }
 
@@ -291,6 +393,19 @@ func (n *Node) UDPAddr() string {
 	return n.udp.Addr()
 }
 
+// HTTPAddr returns the observability plane's bound address, or ""
+// when the plane is disabled.
+func (n *Node) HTTPAddr() string {
+	if n.obsSrv == nil {
+		return ""
+	}
+	return n.obsSrv.Addr()
+}
+
+// Ready reports the /readyz verdict from the latest published
+// snapshot: slice assigned and bootstrap finished.
+func (n *Node) Ready() bool { return n.status.Load().Ready }
+
 func (n *Node) closeFabrics() {
 	if n.udp != nil {
 		_ = n.udp.Close()
@@ -302,6 +417,9 @@ func (n *Node) closeFabrics() {
 func (n *Node) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
+		if n.obsSrv != nil {
+			_ = n.obsSrv.Close()
+		}
 		n.cancel()
 		close(n.done)
 		n.wg.Wait()
