@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -110,7 +111,7 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 		opt(c)
 	}
 	for i := 0; i < n; i++ {
-		if _, err := c.addNodeLocked(); err != nil {
+		if _, _, err := c.addNodeLocked(); err != nil {
 			return nil, err
 		}
 	}
@@ -140,13 +141,17 @@ func containsID(ids []NodeID, id NodeID) bool {
 	return false
 }
 
-// addNodeLocked creates and registers a node (not yet running).
-func (c *Cluster) addNodeLocked() (NodeID, error) {
+// addNodeLocked creates and registers a node (not yet running). The
+// returned closure launches the node's loop; on a stopped cluster it
+// is nil (Start consumes the deferred list instead). Callers must
+// finish seeding the node (Bootstrap) before invoking it — the loop
+// goroutine reads protocol state from its first instant.
+func (c *Cluster) addNodeLocked() (NodeID, func(), error) {
 	id := c.nextID
 	c.nextID++
 	mailbox, sender, err := c.net.Attach(id, defaultMailbox)
 	if err != nil {
-		return 0, fmt.Errorf("dataflasks: attach node %s: %w", id, err)
+		return 0, nil, fmt.Errorf("dataflasks: attach node %s: %w", id, err)
 	}
 	nodeCfg := c.cfg.coreConfig()
 	nodeCfg.RoundPeriod = c.period
@@ -154,24 +159,27 @@ func (c *Cluster) addNodeLocked() (NodeID, error) {
 	c.nodes[id] = n
 	stop := make(chan struct{})
 	c.stops[id] = stop
-	if c.started {
-		c.runNode(n, mailbox, stop)
-	} else {
+	run := func() { c.runNode(n, mailbox, stop) }
+	if !c.started {
 		// Defer the goroutine to Start; remember the mailbox by
 		// closure.
-		c.deferredRuns = append(c.deferredRuns, func() { c.runNode(n, mailbox, stop) })
+		c.deferredRuns = append(c.deferredRuns, run)
+		run = nil
 	}
-	return id, nil
+	return id, run, nil
 }
 
 func (c *Cluster) runNode(n *core.Node, mailbox <-chan transport.Envelope, stop chan struct{}) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		// Per-node lifecycle context: bounds every send the node makes
-		// and dies with the node's loop.
+		// Per-node lifecycle context: bounds every send the node makes.
+		// StopShards runs before cancel (LIFO defers) so the shard
+		// drain's sends still reach the fabric.
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
+		defer n.StopShards()
+		n.StartShards(ctx)
 		ticker := time.NewTicker(c.period)
 		defer ticker.Stop()
 		for {
@@ -260,7 +268,7 @@ func (c *Cluster) AddNode() (NodeID, error) {
 	if c.closed {
 		return 0, errors.New("dataflasks: cluster is stopped")
 	}
-	id, err := c.addNodeLocked()
+	id, run, err := c.addNodeLocked()
 	if err != nil {
 		return 0, err
 	}
@@ -275,10 +283,11 @@ func (c *Cluster) AddNode() (NodeID, error) {
 		seeds = append(seeds, cand)
 	}
 	c.nodes[id].Bootstrap(seeds)
-	if c.started {
-		// Already running: the deferred run list was consumed in
-		// addNodeLocked via runNode.
-		_ = id
+	if run != nil {
+		// On a running cluster the loop launches only now, after the
+		// bootstrap seeding above — the loop goroutine reads protocol
+		// state immediately.
+		run()
 	}
 	return id, nil
 }
@@ -327,6 +336,33 @@ func (c *Cluster) ReplicaCount(key string, version uint64) int {
 		}
 	}
 	return count
+}
+
+// DumpStore returns node id's logical store inventory — key to stored
+// versions in ascending order — a testing/observability helper like
+// ReplicaCount, used by equivalence experiments to compare converged
+// cluster states. Stores are safe for concurrent readers, so the dump
+// may run while the cluster gossips; it is only a consistent snapshot
+// once traffic has quiesced.
+func (c *Cluster) DumpStore(id NodeID) (map[string][]uint64, error) {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dataflasks: unknown node %s", id)
+	}
+	out := make(map[string][]uint64)
+	err := n.Store().ForEach(func(key string, version uint64) bool {
+		out[key] = append(out[key], version)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, vs := range out {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	return out, nil
 }
 
 // NewClient attaches a client endpoint to the cluster.

@@ -8,7 +8,8 @@
 //	flaskbench -exp fig3 -quick     # reduced sweep for smoke runs
 //
 // Experiments: fig3 fig4 slicing correlated churn repair lb dht pss
-// fanout reconfig putflood store compact pipeline resp bootstrap.
+// fanout reconfig putflood store compact pipeline resp bootstrap
+// shards.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, bootstrap, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, slicing, correlated, churn, repair, lb, dht, pss, fanout, reconfig, putflood, store, compact, pipeline, resp, bootstrap, shards, all)")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		quick    = flag.Bool("quick", false, "reduced scales for smoke runs")
 		ns       = flag.String("ns", "", "override node sweep, e.g. 500,1000,2000")
@@ -64,8 +66,9 @@ func main() {
 		"pipeline":   func() { runPipeline(*seed, *quick) },
 		"resp":       func() { runRESP(*seed, *quick) },
 		"bootstrap":  func() { runBootstrap(*seed, *quick, *jsonPath) },
+		"shards":     func() { runShards(*seed, *quick, *jsonPath) },
 	}
-	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline", "resp", "bootstrap"}
+	order := []string{"fig3", "fig4", "slicing", "correlated", "churn", "repair", "lb", "dht", "pss", "fanout", "reconfig", "putflood", "store", "compact", "pipeline", "resp", "bootstrap", "shards"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -328,6 +331,91 @@ func runBootstrap(seed uint64, quick bool, jsonPath string) {
 	}
 	if ratio < 5 {
 		fmt.Fprintf(os.Stderr, "flaskbench: bootstrap experiment regressed (segment speedup %.1fx < 5x)\n", ratio)
+		os.Exit(1)
+	}
+}
+
+// runShards is E19: the sharded data-plane runtime. Two halves, both
+// gated. Scaling: one node's put/get throughput at 1 vs 8 shards — on
+// a multi-core host (>= 4 cores) 8 shards must clear 2x the
+// single-shard rate, and the CI smoke step relies on the exit code; on
+// smaller hosts the ratio is report-only (goroutines cannot outrun one
+// core). Equivalence: a 1-shard and an 8-shard cluster fed the same
+// seeded workload must converge to identical per-node stores — that
+// gate holds everywhere.
+func runShards(seed uint64, quick bool, jsonPath string) {
+	done := header("E19: data-plane sharding — throughput scaling and state equivalence")
+	defer done()
+	cores := runtime.GOMAXPROCS(0)
+	gateScaling := cores >= 4
+
+	scaleOpts := lab.ShardScalingOptions{
+		Shards: []int{1, 8}, Keys: 4096, Producers: 4,
+		Duration: 2 * time.Second, Seed: seed,
+	}
+	eqOpts := lab.ShardEquivalenceOptions{
+		N: 16, Slices: 4, Keys: 90, Shards: 8, Seed: seed,
+	}
+	if quick {
+		scaleOpts.Duration = 500 * time.Millisecond
+		eqOpts = lab.ShardEquivalenceOptions{
+			N: 10, Slices: 3, Keys: 36, Shards: 8, Seed: seed,
+		}
+	}
+
+	results := lab.ShardScaling(scaleOpts)
+	fmt.Printf("%8s %12s %10s %14s\n", "shards", "ops", "dropped", "ops/sec")
+	for _, r := range results {
+		fmt.Printf("%8d %12d %10d %14.0f\n", r.Shards, r.Ops, r.Dropped, r.OpsPerSec)
+	}
+	ratio := 0.0
+	if len(results) == 2 && results[0].OpsPerSec > 0 {
+		ratio = results[1].OpsPerSec / results[0].OpsPerSec
+	}
+	fmt.Printf("scaling: %d shards serve %.2fx the single-shard rate (%d cores, gate %s)\n",
+		results[len(results)-1].Shards, ratio, cores, map[bool]string{true: "enforced", false: "report-only"}[gateScaling])
+
+	eq, err := lab.ShardEquivalence(eqOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaskbench: shards equivalence: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("equivalence: equal=%v nodes=%d objects=%d waited=%s\n",
+		eq.Equal, eq.Nodes, eq.Objects, eq.Waited.Round(time.Millisecond))
+
+	if jsonPath != "" {
+		out := struct {
+			Experiment   string                     `json:"experiment"`
+			Seed         uint64                     `json:"seed"`
+			Quick        bool                       `json:"quick"`
+			Cores        int                        `json:"cores"`
+			GateEnforced bool                       `json:"gate_enforced"`
+			Scaling      []lab.ShardScalingResult   `json:"scaling"`
+			Ratio        float64                    `json:"ratio"`
+			Equivalence  lab.ShardEquivalenceResult `json:"equivalence"`
+		}{"shards", seed, quick, cores, gateScaling, results, ratio, eq}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flaskbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	// Regression gates (the CI smoke step relies on the exit code).
+	if !eq.Equal {
+		fmt.Fprintf(os.Stderr, "flaskbench: shards experiment regressed (sharded cluster diverged at node %s)\n", eq.Mismatch)
+		os.Exit(1)
+	}
+	if eq.Objects == 0 {
+		fmt.Fprintln(os.Stderr, "flaskbench: shards experiment regressed (equivalence converged on empty stores)")
+		os.Exit(1)
+	}
+	if gateScaling && ratio < 2 {
+		fmt.Fprintf(os.Stderr, "flaskbench: shards experiment regressed (8-shard speedup %.2fx < 2x on %d cores)\n", ratio, cores)
 		os.Exit(1)
 	}
 }

@@ -30,25 +30,26 @@ import (
 
 func main() {
 	var (
-		id        = flag.Uint64("id", 0, "unique node id in [1, 2^32) (required)")
-		bind      = flag.String("bind", "127.0.0.1:0", "listen address")
-		advertise = flag.String("advertise", "", "address peers dial (default: bind)")
-		seeds     = flag.String("seeds", "", "comma-separated bootstrap contacts, each id@host:port")
-		dataDir   = flag.String("data", "", "object directory (empty: in-memory)")
-		engine    = flag.String("engine", "log", "persistence engine with -data: log, disk or memory")
-		fsync     = flag.Bool("fsync", true, "block writes until durable (log engine group-commits)")
-		segBytes  = flag.Int64("segment-bytes", 0, "log segment roll size (0: 64 MiB default)")
-		commitWin = flag.Duration("commit-window", 0, "log group-commit window (0: natural batching)")
-		compact   = flag.Float64("compact-live", 0, "compact sealed log segments below this live ratio (0: 0.5 default, <0 disables)")
-		compactBw = flag.Int64("compact-rate", 0, "log compaction copy throughput cap in bytes/sec (0: unlimited)")
-		slices    = flag.Int("slices", 10, "number of slices k")
-		slicer    = flag.String("slicer", "rank", "slice manager: rank, swap or static (static decides instantly; required for single-node deployments)")
-		size      = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
-		capacity  = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
-		period    = flag.Duration("period", 500*time.Millisecond, "gossip round period")
-		status    = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
-		wireCodec = flag.String("wire-codec", "binary", "frame encoding on peer links: binary or gob (peers negotiate, so mixed clusters interoperate)")
-		udpAddr   = flag.String("udp-addr", "", "datagram control-plane bind address; must share -bind's port, or \"auto\" to derive it (empty: all traffic on TCP)")
+		id         = flag.Uint64("id", 0, "unique node id in [1, 2^32) (required)")
+		bind       = flag.String("bind", "127.0.0.1:0", "listen address")
+		advertise  = flag.String("advertise", "", "address peers dial (default: bind)")
+		seeds      = flag.String("seeds", "", "comma-separated bootstrap contacts, each id@host:port")
+		dataDir    = flag.String("data", "", "object directory (empty: in-memory)")
+		engine     = flag.String("engine", "log", "persistence engine with -data: log, disk or memory")
+		fsync      = flag.Bool("fsync", true, "block writes until durable (log engine group-commits)")
+		segBytes   = flag.Int64("segment-bytes", 0, "log segment roll size (0: 64 MiB default)")
+		commitWin  = flag.Duration("commit-window", 0, "log group-commit window (0: natural batching)")
+		compact    = flag.Float64("compact-live", 0, "compact sealed log segments below this live ratio (0: 0.5 default, <0 disables)")
+		compactBw  = flag.Int64("compact-rate", 0, "log compaction copy throughput cap in bytes/sec (0: unlimited)")
+		slices     = flag.Int("slices", 10, "number of slices k")
+		slicer     = flag.String("slicer", "rank", "slice manager: rank, swap or static (static decides instantly; required for single-node deployments)")
+		size       = flag.Int("system-size", 0, "expected cluster size N (0: gossip-estimated)")
+		capacity   = flag.Float64("capacity", 0, "slicing attribute, e.g. free GB (0: derived from id)")
+		period     = flag.Duration("period", 500*time.Millisecond, "gossip round period")
+		dataShards = flag.Int("data-shards", 0, "data-plane shard goroutines, partitioned by key hash (0 or 1: single shard; raise on multi-core hosts)")
+		status     = flag.Duration("status", 10*time.Second, "status line interval (0: quiet)")
+		wireCodec  = flag.String("wire-codec", "binary", "frame encoding on peer links: binary or gob (peers negotiate, so mixed clusters interoperate)")
+		udpAddr    = flag.String("udp-addr", "", "datagram control-plane bind address; must share -bind's port, or \"auto\" to derive it (empty: all traffic on TCP)")
 
 		aePushBytes = flag.Int("ae-push-bytes", 0, "value bytes per anti-entropy repair push (0: 1 MiB default)")
 		aeRate      = flag.Int("ae-rate", 0, "repair push bytes allowed per anti-entropy round, token bucket (0: unlimited)")
@@ -118,6 +119,7 @@ func main() {
 		BloomFullEvery:         *aeFullEvery,
 		Bootstrap:              *bootstrap,
 		BootstrapRateBytes:     *bootstrapRate,
+		DataShards:             *dataShards,
 	}
 	// The gateway's per-command stats registry is created up front so
 	// the observability plane (which starts with the node) can export

@@ -192,6 +192,13 @@ type Config struct {
 	// compaction copy I/O in bytes per second (0 = unlimited), keeping
 	// maintenance from starving foreground requests.
 	CompactRateBytesPerSec int64
+	// DataShards partitions the node's data plane (puts, gets, deletes
+	// and their batches) across this many shard goroutines by key hash,
+	// each with its own mailbox and coalescing window, while the
+	// epidemic control plane stays single-threaded. Raise it on
+	// multi-core hosts saturated by data traffic; keep the default on
+	// small nodes. 0 or 1 means one shard (the classic runtime).
+	DataShards int
 	// Seed makes a cluster's randomness reproducible (0 = fixed
 	// default seed).
 	Seed uint64
@@ -205,6 +212,7 @@ func (c Config) coreConfig() core.Config {
 		Capacity:     c.Capacity,
 		Seed:         c.Seed,
 		EvictForeign: c.EvictForeign,
+		DataShards:   c.DataShards,
 	}
 	switch c.PSS {
 	case Newscast:

@@ -1,0 +1,50 @@
+// Shard-router fixture: the route-view pattern. A router that sends on
+// the fabric or sleeps while holding the view mutex serializes every
+// shard behind one lock — the contention the snapshot-publish design
+// exists to avoid. The clean pattern is copy-under-lock, act-after.
+package store
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type routeState struct {
+	mu    sync.RWMutex
+	view  []uint64
+	wire  sender
+	ticks chan struct{}
+}
+
+func (r *routeState) sendUnderViewLock(ctx context.Context) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_ = r.wire.Send(ctx, r.view[0], "digest") // want `fabric Send while a mutex is held`
+}
+
+func (r *routeState) sleepUnderViewLock() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while a mutex is held`
+	r.view = r.view[:0]
+	r.mu.Unlock()
+}
+
+func (r *routeState) snapshotThenSend(ctx context.Context) {
+	r.mu.RLock()
+	snap := make([]uint64, len(r.view))
+	copy(snap, r.view)
+	r.mu.RUnlock()
+	for _, to := range snap {
+		_ = r.wire.Send(ctx, to, "digest") // ok: lock released before the wire
+	}
+}
+
+func (r *routeState) funcLitDefersWork() {
+	r.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond) // ok: the shard goroutine runs after the unlock
+		<-r.ticks
+	}()
+	r.mu.Unlock()
+}

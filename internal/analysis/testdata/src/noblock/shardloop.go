@@ -1,0 +1,39 @@
+// Shard-loop fixture: the data-plane shard goroutines live in package
+// core too, and a shard loop that sleeps or blocks on a channel send
+// stalls every key hashed to that shard — the same latency rule as the
+// control event loop, multiplied by partitioning.
+package core
+
+import "time"
+
+type shardFixture struct {
+	mailbox  chan int
+	coalesce chan int
+	stop     chan struct{}
+}
+
+func (s *shardFixture) runShardLoop() {
+	for {
+		select {
+		case m := <-s.mailbox:
+			s.coalesce <- m              // want `bare channel send`
+			time.Sleep(time.Microsecond) // want `time.Sleep stalls the core event loop`
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *shardFixture) dispatchNonBlocking(m int) bool {
+	select {
+	case s.mailbox <- m: // ok: overflow drops instead of blocking the router
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *shardFixture) drainWaiver() {
+	//flasks:noblock-ok drain: StopShards hands the final flush to the store on purpose
+	s.coalesce <- 0
+}

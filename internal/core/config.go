@@ -164,8 +164,22 @@ type Config struct {
 	DiscoveryMaxQueries int
 
 	// DedupCapacity bounds the request-id suppression cache
-	// (default 8192).
+	// (default 8192). With DataShards > 1 the capacity is divided
+	// across the per-shard caches (a key's requests always hash to the
+	// same shard, so the split loses nothing).
 	DedupCapacity int
+
+	// DataShards partitions the data plane (put/get/delete, batches,
+	// coalescing) by key hash into this many independent shard states.
+	// When the owner runs the shards (Node.StartShards) each shard is
+	// its own goroutine with its own mailbox, dedup cache, coalescing
+	// window and counters, so data operations on different shards
+	// proceed in parallel while the epidemic control plane (PSS,
+	// slicing, aggregation, anti-entropy, bootstrap) stays on the
+	// single-threaded loop. Without StartShards the shard states are
+	// still used but driven inline by HandleMessage, preserving
+	// single-threaded simulation semantics. Default 1.
+	DataShards int
 
 	// CoalesceMax is the event loop's put accumulation window:
 	// intra-slice relay puts (which carry no ack obligation) are
@@ -280,6 +294,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DedupCapacity <= 0 {
 		c.DedupCapacity = 8192
+	}
+	if c.DataShards <= 0 {
+		c.DataShards = 1
 	}
 	if c.CoalesceMax == 0 {
 		c.CoalesceMax = 64

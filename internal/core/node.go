@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dataflasks/internal/aggregate"
@@ -38,7 +40,6 @@ type Node struct {
 	pssP   pss.Protocol
 	slicer slicing.Slicer
 	st     store.Store
-	dedup  *gossip.Dedup
 	intra  *intraView
 	ae     *antientropy.Protocol
 	boot   *bootstrap.Protocol // nil when DisableBootstrap
@@ -57,12 +58,16 @@ type Node struct {
 
 	lastSlice int32
 
-	// coalesce is the put accumulation window (Config.CoalesceMax):
-	// intra-slice relay puts buffered for one batched store append.
-	// coalesceSeen de-duplicates (key, version) within the buffer —
-	// distinct request ids can carry the same object (client retries).
-	coalesce     []store.Object
-	coalesceSeen map[objRef]struct{}
+	// shards hold the data plane's per-partition state — dedup cache,
+	// coalescing window, relay RNG, counters (see shard.go). external
+	// flips true while StartShards-launched goroutines drive them;
+	// routeSnap is the control plane's published routing snapshot those
+	// goroutines read instead of live protocol state.
+	shards    []*dataShard
+	external  atomic.Bool
+	shardStop chan struct{}
+	shardWG   sync.WaitGroup
+	routeSnap atomic.Pointer[routeView]
 }
 
 // objRef identifies one (key, version) pair in the coalesce buffer.
@@ -90,12 +95,12 @@ func NewNode(id transport.NodeID, cfg Config, st store.Store, out transport.Send
 		cfg:       cfg,
 		raw:       out,
 		st:        st,
-		dedup:     gossip.NewDedup(cfg.DedupCapacity),
 		met:       &metrics.NodeMetrics{},
 		rng:       sim.RNG(cfg.Seed, uint64(id)),
 		trace:     cfg.Trace,
 		lastSlice: slicing.SliceUnknown,
 	}
+	n.shards = newShards(n, cfg)
 	n.intra = newIntraView(cfg.IntraViewTarget*2, cfg.IntraStaleRounds)
 	// The gauge must be right from round zero: the owner may have
 	// restored a snapshot into the store before assembling the node,
@@ -248,20 +253,30 @@ func (n *Node) countSendErr(err error) {
 	}
 }
 
-func (n *Node) sendData(ctx context.Context, to transport.NodeID, msg interface{}) {
-	n.met.Inc(metrics.MsgSent)
-	n.met.Inc(metrics.DataSent)
-	if err := n.raw.Send(ctx, to, msg); err != nil {
-		n.met.Inc(metrics.MsgDropped)
-		n.countSendErr(err)
-	}
-}
-
 // ID returns the node's identifier.
 func (n *Node) ID() transport.NodeID { return n.id }
 
-// Metrics exposes the node's counters (read by harnesses after runs).
-func (n *Node) Metrics() *metrics.NodeMetrics { return n.met }
+// Metrics returns a merged copy of the node's counters: the control
+// loop's own plus every data shard's. Harnesses read it after runs;
+// the live runtime snapshots it once per tick from the control loop.
+// The copy is detached — to zero the node's counters use ResetMetrics.
+func (n *Node) Metrics() *metrics.NodeMetrics {
+	out := &metrics.NodeMetrics{}
+	*out = *n.met
+	for _, s := range n.shards {
+		s.met.AddTo(out)
+	}
+	return out
+}
+
+// ResetMetrics zeroes the control loop's and every shard's counters
+// (harnesses reset between quiesced experiment phases).
+func (n *Node) ResetMetrics() {
+	n.met.Reset()
+	for _, s := range n.shards {
+		s.met.Reset()
+	}
+}
 
 // TickDurations exposes the per-tick duration histogram. Unlike the
 // plain counters it is atomic, so the observability plane reads it
@@ -307,14 +322,28 @@ func (n *Node) PSSView() []pss.Descriptor { return n.pssP.View() }
 func (n *Node) Round() uint64 { return n.round }
 
 // HasSeen reports whether the node processed a request with this id
-// (observability hook for dissemination experiments).
-func (n *Node) HasSeen(id gossip.RequestID) bool { return n.dedup.Contains(id) }
+// (observability hook for dissemination experiments). It reads the
+// per-shard dedup caches without synchronization, so it is only valid
+// while the node is driven inline (simulations) or quiesced.
+func (n *Node) HasSeen(id gossip.RequestID) bool {
+	for _, s := range n.shards {
+		if s.dedup.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
 
 // SystemSizeEstimate returns the node's working estimate of N.
 func (n *Node) SystemSizeEstimate() int { return n.systemSize() }
 
 // Bootstrap seeds the PSS view with initial contacts.
-func (n *Node) Bootstrap(seeds []transport.NodeID) { n.pssP.Bootstrap(seeds) }
+func (n *Node) Bootstrap(seeds []transport.NodeID) {
+	n.pssP.Bootstrap(seeds)
+	if n.external.Load() {
+		n.publishRoute()
+	}
+}
 
 // BootstrapDone reports whether the startup segment bootstrap finished
 // (trivially true when the node was not configured to join, or the
@@ -413,7 +442,14 @@ func (n *Node) intraTTL() uint8 {
 func (n *Node) Tick(ctx context.Context) {
 	tickStart := time.Now()
 	n.round++
-	n.flushCoalesced()
+	if !n.external.Load() {
+		// Inline mode: the tick owns the shard states; flush every
+		// coalescing window. Externally-run shards flush on their own
+		// loops' tickers instead.
+		for _, s := range n.shards {
+			s.flush()
+		}
+	}
 	if n.trace != nil {
 		t0 := time.Now()
 		n.pssP.Tick(ctx)
@@ -457,6 +493,9 @@ func (n *Node) Tick(ctx context.Context) {
 		n.boot.Tick(ctx)
 	}
 	n.met.Set(metrics.StoredObjects, uint64(n.st.Count()))
+	if n.external.Load() {
+		n.publishRoute()
+	}
 	n.tickDur.Observe(time.Since(tickStart))
 }
 
@@ -490,8 +529,17 @@ func (n *Node) discoverMates(ctx context.Context) {
 
 // HandleMessage dispatches one delivered message. It must only be
 // called from the node's driving loop. ctx bounds any sends the
-// handlers make (acks, replies, relays).
+// handlers make (acks, replies, relays). With externally-run shards
+// (StartShards) data-plane messages are forwarded to the owning
+// shard's mailbox and everything else — the control plane — is
+// handled here, republishing the routing snapshot afterwards.
 func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
+	if n.DispatchData(env) {
+		return // a shard goroutine owns it; counted on delivery there
+	}
+	if n.external.Load() {
+		defer n.publishRoute()
+	}
 	n.met.Inc(metrics.MsgRecv)
 	if n.pssP.Handle(ctx, env.From, env.Msg) {
 		return
@@ -526,16 +574,11 @@ func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
 		return
 	}
 	switch m := env.Msg.(type) {
-	case *PutRequest:
-		n.onPut(ctx, m)
-	case *PutBatchRequest:
-		n.onPutBatch(ctx, m)
-	case *GetRequest:
-		n.onGet(ctx, m)
-	case *DeleteRequest:
-		n.onDelete(ctx, m)
-	case *DeleteBatchRequest:
-		n.onDeleteBatch(ctx, m)
+	case *PutRequest, *PutBatchRequest, *GetRequest, *DeleteRequest, *DeleteBatchRequest:
+		// Inline mode (DispatchData declined above): run the data
+		// handler synchronously on the owning shard's state.
+		key, _ := dataShardKey(env.Msg)
+		n.handleData(ctx, n.shardFor(key), env.Msg)
 	case *MateQuery:
 		n.onMateQuery(ctx, env.From, m)
 	case *MateReply:
@@ -552,13 +595,13 @@ func (n *Node) HandleMessage(ctx context.Context, env transport.Envelope) {
 // onPut implements §IV-B routing for writes. Messages are immutable
 // (the fabric may deliver one pointer to many recipients): relays work
 // on copies.
-func (n *Node) onPut(ctx context.Context, m *PutRequest) {
-	if n.dedup.Seen(m.ID) {
-		n.met.Inc(metrics.DuplicatesSuppressed)
+func (n *Node) onPut(ctx context.Context, s *dataShard, m *PutRequest) {
+	if s.dedup.Seen(m.ID) {
+		s.met.Inc(metrics.DuplicatesSuppressed)
 		return
 	}
-	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
-	mine := n.currentSlice()
+	mine, k := s.sliceInfo()
+	target := slicing.KeySlice(m.Key, k)
 
 	if mine == target {
 		if !m.Intra {
@@ -572,29 +615,29 @@ func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 			// still succeed.
 			err := n.st.Put(m.Key, m.Version, m.Value)
 			if err == nil {
-				n.met.Inc(metrics.PutsServed)
-				n.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
+				s.met.Inc(metrics.PutsServed)
+				s.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
 				if !m.NoAck && m.Origin != 0 {
 					n.learnOrigin(m.Origin, m.OriginAddr)
-					n.sendData(ctx, m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
+					s.sendData(ctx, m.Origin, &PutAck{ID: m.ID, Key: m.Key, Version: m.Version})
 				}
 			}
-			n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
+			s.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.Intra = true
-			fwd.TTL = n.intraTTL()
-			n.relayIntra(ctx, &fwd)
+			fwd.TTL = s.intraTTL()
+			s.relayIntra(ctx, &fwd)
 			return
 		}
 		// Intra-phase copy: no ack obligation, so the write can ride
 		// the accumulation window and land as part of one batch append.
-		n.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
-		n.coalescePut(m.Key, m.Version, m.Value)
+		s.traceOp(obs.TracePutApply, m.TraceID, m.Key, len(m.Value), 1)
+		s.coalescePut(m.Key, m.Version, m.Value)
 		if m.TTL > 0 {
-			n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
+			s.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(ctx, &fwd)
+			s.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -606,103 +649,55 @@ func (n *Node) onPut(ctx context.Context, m *PutRequest) {
 	}
 	ttl := m.TTL
 	if ttl == TTLUnset {
-		ttl = n.putTTL() // first hop from a client: stamp the budget
+		ttl = s.putTTL() // first hop from a client: stamp the budget
 	}
-	n.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
-	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
+	s.traceOp(obs.TracePutRelay, m.TraceID, m.Key, 0, 0)
+	s.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
 	})
 }
 
-// coalescePut buffers one intra-slice relay put for the next batched
-// flush; with coalescing disabled it stores directly.
-func (n *Node) coalescePut(key string, version uint64, value []byte) {
-	if n.cfg.CoalesceMax <= 0 {
-		if n.st.Put(key, version, value) == nil {
-			n.met.Inc(metrics.PutsServed)
-		}
-		return
-	}
-	ref := objRef{key: key, version: version}
-	if n.coalesceSeen == nil {
-		n.coalesceSeen = make(map[objRef]struct{}, n.cfg.CoalesceMax)
-	}
-	if _, dup := n.coalesceSeen[ref]; dup {
-		return // same object via two request ids (client retry)
-	}
-	n.coalesceSeen[ref] = struct{}{}
-	// Messages are immutable, so referencing the value is safe; engines
-	// copy on store.
-	n.coalesce = append(n.coalesce, store.Object{Key: key, Version: version, Value: value})
-	if len(n.coalesce) >= n.cfg.CoalesceMax {
-		n.flushCoalesced()
-	}
-}
-
-// flushCoalesced applies the accumulation window as one store.PutBatch.
-// A batch-level failure (one invalid object fails the whole batch with
-// no side effects) degrades to individual puts so valid objects are not
-// lost to a poisoned batch.
-func (n *Node) flushCoalesced() {
-	if len(n.coalesce) == 0 {
-		return
-	}
-	batch := n.coalesce
-	n.coalesce = nil
-	n.coalesceSeen = nil
-	if err := n.st.PutBatch(batch); err != nil {
-		for _, o := range batch {
-			if n.st.Put(o.Key, o.Version, o.Value) == nil {
-				n.met.Inc(metrics.PutsServed)
-			}
-		}
-		return
-	}
-	n.met.Add(metrics.PutsServed, uint64(len(batch)))
-	n.met.Add(metrics.CoalescedPuts, uint64(len(batch)))
-}
-
 // onPutBatch routes a multi-object write exactly like onPut, but a
 // target-slice node applies the whole batch in one store.PutBatch call.
-func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
-	if n.dedup.Seen(m.ID) {
-		n.met.Inc(metrics.DuplicatesSuppressed)
+func (n *Node) onPutBatch(ctx context.Context, s *dataShard, m *PutBatchRequest) {
+	if s.dedup.Seen(m.ID) {
+		s.met.Inc(metrics.DuplicatesSuppressed)
 		return
 	}
 	if len(m.Objs) == 0 {
 		return
 	}
-	target := slicing.KeySlice(m.Objs[0].Key, n.slicer.SliceCount())
-	mine := n.currentSlice()
+	mine, k := s.sliceInfo()
+	target := slicing.KeySlice(m.Objs[0].Key, k)
 
 	if mine == target {
 		// Flush buffered relay puts first so the store applies writes
 		// in arrival order.
-		n.flushCoalesced()
+		s.flush()
 		err := n.st.PutBatch(m.Objs)
 		if err == nil {
-			n.met.Add(metrics.PutsServed, uint64(len(m.Objs)))
-			n.traceOp(obs.TracePutApply, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
+			s.met.Add(metrics.PutsServed, uint64(len(m.Objs)))
+			s.traceOp(obs.TracePutApply, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 		}
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(ctx, m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
+				s.sendData(ctx, m.Origin, &PutBatchAck{ID: m.ID, Stored: len(m.Objs)})
 			}
-			n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
+			s.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 			fwd := *m
 			fwd.Intra = true
-			fwd.TTL = n.intraTTL()
-			n.relayIntra(ctx, &fwd)
+			fwd.TTL = s.intraTTL()
+			s.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
-			n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
+			s.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(ctx, &fwd)
+			s.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -712,10 +707,10 @@ func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 	}
 	ttl := m.TTL
 	if ttl == TTLUnset {
-		ttl = n.putTTL() // batches are writes: full-coverage budget
+		ttl = s.putTTL() // batches are writes: full-coverage budget
 	}
-	n.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
-	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
+	s.traceOp(obs.TracePutRelay, m.TraceID, m.Objs[0].Key, 0, len(m.Objs))
+	s.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -725,40 +720,40 @@ func (n *Node) onPutBatch(ctx context.Context, m *PutBatchRequest) {
 // onDelete routes a delete like a write (the whole target slice must
 // apply it). Version store.Latest is resolved independently by each
 // replica's store, mirroring Get.
-func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
-	if n.dedup.Seen(m.ID) {
-		n.met.Inc(metrics.DuplicatesSuppressed)
+func (n *Node) onDelete(ctx context.Context, s *dataShard, m *DeleteRequest) {
+	if s.dedup.Seen(m.ID) {
+		s.met.Inc(metrics.DuplicatesSuppressed)
 		return
 	}
-	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
-	mine := n.currentSlice()
+	mine, k := s.sliceInfo()
+	target := slicing.KeySlice(m.Key, k)
 
 	if mine == target {
 		// A buffered relay put for this key must be applied before the
 		// delete, or the flush would resurrect the object.
-		n.flushCoalesced()
+		s.flush()
 		existed, err := n.applyDelete(m.Key, m.Version)
 		if err == nil && existed {
-			n.met.Inc(metrics.DeletesServed)
-			n.traceOp(obs.TraceDeleteApply, m.TraceID, m.Key, 0, 1)
+			s.met.Inc(metrics.DeletesServed)
+			s.traceOp(obs.TraceDeleteApply, m.TraceID, m.Key, 0, 1)
 		}
 		if !m.Intra {
 			if err == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(ctx, m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
+				s.sendData(ctx, m.Origin, &DeleteAck{ID: m.ID, Key: m.Key, Version: m.Version})
 			}
-			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
+			s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.Intra = true
-			fwd.TTL = n.intraTTL()
-			n.relayIntra(ctx, &fwd)
+			fwd.TTL = s.intraTTL()
+			s.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
-			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
+			s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(ctx, &fwd)
+			s.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -768,10 +763,10 @@ func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 	}
 	ttl := m.TTL
 	if ttl == TTLUnset {
-		ttl = n.putTTL() // deletes are writes: full-coverage budget
+		ttl = s.putTTL() // deletes are writes: full-coverage budget
 	}
-	n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
-	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
+	s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Key, 0, 0)
+	s.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -782,41 +777,41 @@ func (n *Node) onDelete(ctx context.Context, m *DeleteRequest) {
 // a target-slice node applies the whole batch in one pass over its
 // store. The ack carries how many items named objects this replica
 // really held, which is what a Redis-style multi-key DEL reports.
-func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
-	if n.dedup.Seen(m.ID) {
-		n.met.Inc(metrics.DuplicatesSuppressed)
+func (n *Node) onDeleteBatch(ctx context.Context, s *dataShard, m *DeleteBatchRequest) {
+	if s.dedup.Seen(m.ID) {
+		s.met.Inc(metrics.DuplicatesSuppressed)
 		return
 	}
 	if len(m.Items) == 0 {
 		return
 	}
-	target := slicing.KeySlice(m.Items[0].Key, n.slicer.SliceCount())
-	mine := n.currentSlice()
+	mine, k := s.sliceInfo()
+	target := slicing.KeySlice(m.Items[0].Key, k)
 
 	if mine == target {
 		// Buffered relay puts must land first, or the flush would
 		// resurrect objects this batch deletes.
-		n.flushCoalesced()
+		s.flush()
 		applied, firstErr := n.applyDeleteBatch(m.Items)
-		n.met.Add(metrics.DeletesServed, uint64(applied))
-		n.traceOp(obs.TraceDeleteApply, m.TraceID, m.Items[0].Key, 0, applied)
+		s.met.Add(metrics.DeletesServed, uint64(applied))
+		s.traceOp(obs.TraceDeleteApply, m.TraceID, m.Items[0].Key, 0, applied)
 		if !m.Intra {
 			if firstErr == nil && !m.NoAck && m.Origin != 0 {
 				n.learnOrigin(m.Origin, m.OriginAddr)
-				n.sendData(ctx, m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
+				s.sendData(ctx, m.Origin, &DeleteBatchAck{ID: m.ID, Applied: applied})
 			}
-			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
+			s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
 			fwd := *m
 			fwd.Intra = true
-			fwd.TTL = n.intraTTL()
-			n.relayIntra(ctx, &fwd)
+			fwd.TTL = s.intraTTL()
+			s.relayIntra(ctx, &fwd)
 			return
 		}
 		if m.TTL > 0 {
-			n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
+			s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
 			fwd := *m
 			fwd.TTL--
-			n.relayIntra(ctx, &fwd)
+			s.relayIntra(ctx, &fwd)
 		}
 		return
 	}
@@ -826,10 +821,10 @@ func (n *Node) onDeleteBatch(ctx context.Context, m *DeleteBatchRequest) {
 	}
 	ttl := m.TTL
 	if ttl == TTLUnset {
-		ttl = n.putTTL() // batch deletes are writes: full-coverage budget
+		ttl = s.putTTL() // batch deletes are writes: full-coverage budget
 	}
-	n.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
-	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
+	s.traceOp(obs.TraceDeleteRelay, m.TraceID, m.Items[0].Key, 0, len(m.Items))
+	s.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
@@ -905,41 +900,41 @@ func (n *Node) applyDeleteBatch(items []DeleteItem) (applied int, firstErr error
 }
 
 // onGet implements §IV-B routing for reads.
-func (n *Node) onGet(ctx context.Context, m *GetRequest) {
-	if n.dedup.Seen(m.ID) {
-		n.met.Inc(metrics.DuplicatesSuppressed)
+func (n *Node) onGet(ctx context.Context, s *dataShard, m *GetRequest) {
+	if s.dedup.Seen(m.ID) {
+		s.met.Inc(metrics.DuplicatesSuppressed)
 		return
 	}
-	target := slicing.KeySlice(m.Key, n.slicer.SliceCount())
-	mine := n.currentSlice()
+	mine, k := s.sliceInfo()
+	target := slicing.KeySlice(m.Key, k)
 
 	if mine == target {
 		// Serve reads against everything received, including puts still
 		// sitting in the accumulation window.
-		n.flushCoalesced()
+		s.flush()
 		val, actual, ok, err := n.st.Get(m.Key, m.Version)
 		if err == nil && ok {
-			n.met.Inc(metrics.GetsServed)
-			n.traceOp(obs.TraceGetServe, m.TraceID, m.Key, len(val), 1)
+			s.met.Inc(metrics.GetsServed)
+			s.traceOp(obs.TraceGetServe, m.TraceID, m.Key, len(val), 1)
 			n.learnOrigin(m.Origin, m.OriginAddr)
-			n.sendData(ctx, m.Origin, &GetReply{
+			s.sendData(ctx, m.Origin, &GetReply{
 				ID: m.ID, Key: m.Key, Version: actual, Value: val, Slice: mine,
 			})
 			return
 		}
 		// We are a replica but do not hold it (fresh in the slice):
 		// keep the request alive among the mates.
-		n.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
+		s.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
 		fwd := *m
 		if !m.Intra {
 			fwd.Intra = true
-			fwd.TTL = n.intraTTL()
+			fwd.TTL = s.intraTTL()
 		} else if m.TTL == 0 {
 			return
 		} else {
 			fwd.TTL--
 		}
-		n.relayIntra(ctx, &fwd)
+		s.relayIntra(ctx, &fwd)
 		return
 	}
 
@@ -948,45 +943,14 @@ func (n *Node) onGet(ctx context.Context, m *GetRequest) {
 	}
 	ttl := m.TTL
 	if ttl == TTLUnset {
-		ttl = n.getTTL() // first hop from a client: stamp the budget
+		ttl = s.getTTL() // first hop from a client: stamp the budget
 	}
-	n.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
-	n.relayGlobal(ctx, ttl, func(next uint8) interface{} {
+	s.traceOp(obs.TraceGetRelay, m.TraceID, m.Key, 0, 0)
+	s.relayGlobal(ctx, ttl, func(next uint8) interface{} {
 		fwd := *m
 		fwd.TTL = next
 		return &fwd
 	})
-}
-
-// relayGlobal forwards a request in its global phase to fanout random
-// peers. build constructs the forwarded copy given the decremented TTL;
-// the same copy is shared across peers because receivers never mutate
-// messages.
-func (n *Node) relayGlobal(ctx context.Context, ttl uint8, build func(uint8) interface{}) {
-	if ttl == 0 {
-		return
-	}
-	peers := n.pssP.RandomPeers(n.fanout())
-	if len(peers) == 0 {
-		return
-	}
-	fwd := build(ttl - 1)
-	n.met.Inc(metrics.RequestsRelayed)
-	for _, p := range peers {
-		n.sendData(ctx, p, fwd)
-	}
-}
-
-// relayIntra forwards a request to the intra-slice view.
-func (n *Node) relayIntra(ctx context.Context, fwd interface{}) {
-	mates := n.intra.Sample(n.rng, n.cfg.IntraFanout)
-	if len(mates) == 0 {
-		return
-	}
-	n.met.Inc(metrics.RequestsRelayed)
-	for _, p := range mates {
-		n.sendData(ctx, p, fwd)
-	}
 }
 
 // learnOrigin teaches the fabric how to dial a reply's destination.

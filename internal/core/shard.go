@@ -1,0 +1,518 @@
+// Data-plane sharding: the node's put/get/delete path partitioned by
+// key hash into independent shard states.
+//
+// A dataShard owns everything the data handlers mutate — the dedup
+// cache, the coalescing window, the relay RNG and the counters — so a
+// shard can run on its own goroutine without touching another shard's
+// state. The epidemic control plane (PSS, slicing, aggregation,
+// anti-entropy, bootstrap) stays on the node's single-threaded loop;
+// shards see its routing decisions through an immutable routeView
+// snapshot the control loop republishes after every tick and control
+// message. The shared store is the only mutable structure shards touch
+// concurrently, and store.Store is safe for concurrent use by
+// contract.
+//
+// Two driving modes share the handler code:
+//
+//   - inline (simulations, the default): HandleMessage calls the data
+//     handlers synchronously with the owning shard's state. Routing
+//     reads live control-plane state and relays draw from the node's
+//     RNG, preserving single-threaded semantics exactly.
+//   - external (live nodes, in-process clusters): StartShards gives
+//     every shard a mailbox and a goroutine; DispatchData routes data
+//     envelopes to the owning shard's mailbox with a non-blocking
+//     send. Routing reads the routeView snapshot and relays draw from
+//     the shard's own RNG.
+//
+// A key's requests always hash to the same shard, so per-shard dedup
+// caches and coalescing windows lose nothing: two deliveries of one
+// request id meet in the same cache, and a read or delete flushing its
+// shard's window observes every buffered put for its key.
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/obs"
+	"dataflasks/internal/sim"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// shardMailboxCap bounds each shard's mailbox; overflow drops the
+// message (counted per shard), which epidemic redundancy tolerates.
+const shardMailboxCap = 1024
+
+// shardSalt decorrelates the shard hash from slicing.KeySlice: all of
+// one node's keys share a slice, so the shard partition must come from
+// an independent hash of the same keys.
+const shardSalt = 0x9e3779b97f4a7c15
+
+// shardRNGSalt decorrelates per-shard RNG streams from the node's.
+const shardRNGSalt = 0x5a4dbeef
+
+// shardIndex maps a key to its owning shard (FNV-1a over the key,
+// salted so it is independent of the slice hash).
+func shardIndex(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037) ^ shardSalt
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}
+
+// dataShardKey classifies an envelope's message: data-plane requests
+// return their routing key (batches route by first key, matching the
+// target-slice choice in the handlers) and true; everything else —
+// control protocols, mate discovery, client-bound acks — returns
+// false.
+func dataShardKey(msg interface{}) (string, bool) {
+	switch m := msg.(type) {
+	case *PutRequest:
+		return m.Key, true
+	case *GetRequest:
+		return m.Key, true
+	case *DeleteRequest:
+		return m.Key, true
+	case *PutBatchRequest:
+		if len(m.Objs) > 0 {
+			return m.Objs[0].Key, true
+		}
+		return "", true
+	case *DeleteBatchRequest:
+		if len(m.Items) > 0 {
+			return m.Items[0].Key, true
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// routeView is the control plane's routing state as one immutable
+// snapshot: slice identity, gossip budgets and the peer/mate id sets
+// relays sample from. The control loop republishes it (publishRoute)
+// after every tick and handled control message; shard goroutines load
+// it per operation and never mutate it — sampling copies.
+type routeView struct {
+	slice      int32
+	sliceCount int
+	fanout     int
+	putTTL     uint8
+	getTTL     uint8
+	intraTTL   uint8
+	mates      []transport.NodeID
+	peers      []transport.NodeID
+}
+
+// dataShard is one data-plane partition's private state.
+type dataShard struct {
+	n  *Node
+	id int
+
+	// mailbox carries dispatched data envelopes in external mode (nil
+	// inline). drops counts producer-side overflow.
+	mailbox chan transport.Envelope
+	drops   metrics.SharedCounter
+
+	// dedup and rng are this shard's request suppression cache and
+	// relay-sampling stream.
+	dedup *gossip.Dedup
+	rng   *rand.Rand
+
+	// met absorbs every counter the data handlers touch; reads merge
+	// it with the control loop's NodeMetrics (Node.Metrics).
+	met metrics.ShardCounters
+
+	// tickDur observes shard-loop flush ticks (external mode), the
+	// per-shard analogue of the node's tick histogram.
+	tickDur metrics.LatencyHistogram
+
+	// coalesce is this shard's put accumulation window (see
+	// Config.CoalesceMax); coalesceSeen de-duplicates (key, version)
+	// within the buffer.
+	coalesce     []store.Object
+	coalesceSeen map[objRef]struct{}
+}
+
+// newShards builds the per-shard states. The dedup capacity is divided
+// across shards: a request id only ever reaches the shard its key
+// hashes to.
+func newShards(n *Node, cfg Config) []*dataShard {
+	count := cfg.DataShards
+	dedupCap := cfg.DedupCapacity / count
+	if dedupCap < 128 {
+		dedupCap = 128
+	}
+	shards := make([]*dataShard, count)
+	for i := range shards {
+		shards[i] = &dataShard{
+			n:     n,
+			id:    i,
+			dedup: gossip.NewDedup(dedupCap),
+			rng:   sim.RNG(cfg.Seed, uint64(n.id)*1000003+uint64(i)^shardRNGSalt),
+		}
+	}
+	return shards
+}
+
+// shardFor returns the shard owning key.
+func (n *Node) shardFor(key string) *dataShard {
+	return n.shards[shardIndex(key, len(n.shards))]
+}
+
+// handleData dispatches one data-plane message on shard s. The caller
+// is either HandleMessage (inline mode) or the shard's own loop.
+func (n *Node) handleData(ctx context.Context, s *dataShard, msg interface{}) {
+	switch m := msg.(type) {
+	case *PutRequest:
+		n.onPut(ctx, s, m)
+	case *PutBatchRequest:
+		n.onPutBatch(ctx, s, m)
+	case *GetRequest:
+		n.onGet(ctx, s, m)
+	case *DeleteRequest:
+		n.onDelete(ctx, s, m)
+	case *DeleteBatchRequest:
+		n.onDeleteBatch(ctx, s, m)
+	}
+}
+
+// StartShards moves the data plane onto per-shard goroutines: every
+// shard gets a mailbox and a loop that handles dispatched envelopes
+// and flushes its coalescing window once per round period. ctx bounds
+// the sends shard handlers make (acks, replies, relays); the owner
+// must keep it alive until StopShards returns, or draining could not
+// ack what it applies. Call at most once, before messages flow.
+func (n *Node) StartShards(ctx context.Context) {
+	if n.external.Load() {
+		panic("core: StartShards called twice")
+	}
+	n.shardStop = make(chan struct{})
+	for _, s := range n.shards {
+		s.mailbox = make(chan transport.Envelope, shardMailboxCap)
+	}
+	n.publishRoute()
+	n.external.Store(true)
+	for _, s := range n.shards {
+		n.shardWG.Add(1)
+		go n.runShard(ctx, s)
+	}
+}
+
+// StopShards drains and stops the shard goroutines: each shard
+// consumes what its mailbox already holds, flushes its coalescing
+// window, and exits. It returns after every shard goroutine is gone,
+// so the owner can close the store next without racing an in-flight
+// write ("drain before close"). Safe to call when shards never
+// started; not safe concurrently with StartShards.
+func (n *Node) StopShards() {
+	if !n.external.Load() {
+		return
+	}
+	close(n.shardStop)
+	n.shardWG.Wait()
+	n.external.Store(false)
+}
+
+// DispatchData routes a data-plane envelope to its owning shard's
+// mailbox. It reports false when the caller must deliver the envelope
+// to HandleMessage instead: shards are not running externally, or the
+// message is not data-plane. Safe from any goroutine (fabric handlers
+// call it directly to keep data off the control loop); a full mailbox
+// drops the message and counts it.
+func (n *Node) DispatchData(env transport.Envelope) bool {
+	if !n.external.Load() {
+		return false
+	}
+	key, ok := dataShardKey(env.Msg)
+	if !ok {
+		return false
+	}
+	s := n.shardFor(key)
+	select {
+	case s.mailbox <- env:
+	default:
+		s.drops.Inc()
+	}
+	return true
+}
+
+// runShard is one shard's goroutine: dispatched data envelopes, a
+// per-round flush tick, then a final drain on stop.
+func (n *Node) runShard(ctx context.Context, s *dataShard) {
+	defer n.shardWG.Done()
+	ticker := time.NewTicker(n.cfg.RoundPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case env := <-s.mailbox:
+			s.met.Inc(metrics.MsgRecv)
+			n.handleData(ctx, s, env.Msg)
+		case <-ticker.C:
+			t0 := time.Now()
+			s.flush()
+			s.tickDur.Observe(time.Since(t0))
+		case <-n.shardStop:
+			n.drainShard(ctx, s)
+			return
+		}
+	}
+}
+
+// drainShard consumes everything the mailbox holds at stop time and
+// flushes the coalescing window, so no accepted write is lost between
+// the last round and the store closing.
+func (n *Node) drainShard(ctx context.Context, s *dataShard) {
+	for {
+		select {
+		case env := <-s.mailbox:
+			s.met.Inc(metrics.MsgRecv)
+			n.handleData(ctx, s, env.Msg)
+		default:
+			s.flush()
+			return
+		}
+	}
+}
+
+// publishRoute snapshots the control plane's routing state for shard
+// goroutines. Only meaningful in external mode; the control loop calls
+// it after ticks and control messages (cheap enough there — control
+// traffic is a few messages per round).
+func (n *Node) publishRoute() {
+	view := n.pssP.View()
+	peers := make([]transport.NodeID, 0, len(view))
+	for _, d := range view {
+		peers = append(peers, d.ID)
+	}
+	n.routeSnap.Store(&routeView{
+		slice:      n.currentSlice(),
+		sliceCount: n.slicer.SliceCount(),
+		fanout:     n.fanout(),
+		putTTL:     n.putTTL(),
+		getTTL:     n.getTTL(),
+		intraTTL:   n.intraTTL(),
+		mates:      n.intra.IDs(),
+		peers:      peers,
+	})
+}
+
+// sliceInfo returns the slice claim and slice count the data path must
+// route by: the published snapshot when shards run externally, the
+// live slicer inline.
+func (s *dataShard) sliceInfo() (int32, int) {
+	if v := s.n.routeSnap.Load(); v != nil {
+		return v.slice, v.sliceCount
+	}
+	return s.n.currentSlice(), s.n.slicer.SliceCount()
+}
+
+func (s *dataShard) putTTL() uint8 {
+	if v := s.n.routeSnap.Load(); v != nil {
+		return v.putTTL
+	}
+	return s.n.putTTL()
+}
+
+func (s *dataShard) getTTL() uint8 {
+	if v := s.n.routeSnap.Load(); v != nil {
+		return v.getTTL
+	}
+	return s.n.getTTL()
+}
+
+func (s *dataShard) intraTTL() uint8 {
+	if v := s.n.routeSnap.Load(); v != nil {
+		return v.intraTTL
+	}
+	return s.n.intraTTL()
+}
+
+// sampleIDs draws up to k ids uniformly without replacement. ids is
+// shared snapshot state: the sample copies before shuffling.
+func sampleIDs(rng *rand.Rand, ids []transport.NodeID, k int) []transport.NodeID {
+	if len(ids) == 0 || k <= 0 {
+		return nil
+	}
+	out := make([]transport.NodeID, len(ids))
+	copy(out, ids)
+	if k >= len(out) {
+		return out
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(len(out)-i)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out[:k]
+}
+
+// relayGlobal forwards a request in its global phase to fanout random
+// peers. build constructs the forwarded copy given the decremented
+// TTL; the same copy is shared across peers because receivers never
+// mutate messages.
+func (s *dataShard) relayGlobal(ctx context.Context, ttl uint8, build func(uint8) interface{}) {
+	if ttl == 0 {
+		return
+	}
+	var peers []transport.NodeID
+	if v := s.n.routeSnap.Load(); v != nil {
+		peers = sampleIDs(s.rng, v.peers, v.fanout)
+	} else {
+		peers = s.n.pssP.RandomPeers(s.n.fanout())
+	}
+	if len(peers) == 0 {
+		return
+	}
+	fwd := build(ttl - 1)
+	s.met.Inc(metrics.RequestsRelayed)
+	for _, p := range peers {
+		s.sendData(ctx, p, fwd)
+	}
+}
+
+// relayIntra forwards a request to a sample of the intra-slice view.
+func (s *dataShard) relayIntra(ctx context.Context, fwd interface{}) {
+	var mates []transport.NodeID
+	if v := s.n.routeSnap.Load(); v != nil {
+		mates = sampleIDs(s.rng, v.mates, s.n.cfg.IntraFanout)
+	} else {
+		mates = s.n.intra.Sample(s.n.rng, s.n.cfg.IntraFanout)
+	}
+	if len(mates) == 0 {
+		return
+	}
+	s.met.Inc(metrics.RequestsRelayed)
+	for _, p := range mates {
+		s.sendData(ctx, p, fwd)
+	}
+}
+
+// sendData mirrors Node.sendData with the shard's counters.
+func (s *dataShard) sendData(ctx context.Context, to transport.NodeID, msg interface{}) {
+	s.met.Inc(metrics.MsgSent)
+	s.met.Inc(metrics.DataSent)
+	if err := s.n.raw.Send(ctx, to, msg); err != nil {
+		s.met.Inc(metrics.MsgDropped)
+		s.countSendErr(err)
+	}
+}
+
+// countSendErr mirrors Node.countSendErr with the shard's counters.
+// Config.OnSendErr must be safe for concurrent use when shards run
+// externally.
+func (s *dataShard) countSendErr(err error) {
+	s.met.Inc(metrics.WireSendErrors)
+	if s.n.cfg.OnSendErr != nil {
+		s.n.cfg.OnSendErr(err)
+	}
+}
+
+// traceOp journals one traced request's lifecycle step, stamped with
+// the 1-based id of the shard that handled it (0 in /trace output
+// means a control-plane event). The ring's publish step is one atomic
+// claim plus one pointer store, so shard goroutines and the control
+// loop journal into the same ring safely.
+func (s *dataShard) traceOp(kind obs.TraceKind, traceID uint64, key string, bytes, objects int) {
+	if s.n.trace == nil || traceID == 0 {
+		return
+	}
+	s.n.trace.Add(obs.Event{
+		Kind: kind, TraceID: traceID, Key: key,
+		Bytes: uint64(bytes), Objects: uint64(objects),
+		Shard: uint64(s.id) + 1,
+	})
+}
+
+// coalescePut buffers one intra-slice relay put for the next batched
+// flush; with coalescing disabled it stores directly.
+func (s *dataShard) coalescePut(key string, version uint64, value []byte) {
+	if s.n.cfg.CoalesceMax <= 0 {
+		if s.n.st.Put(key, version, value) == nil {
+			s.met.Inc(metrics.PutsServed)
+		}
+		return
+	}
+	ref := objRef{key: key, version: version}
+	if s.coalesceSeen == nil {
+		s.coalesceSeen = make(map[objRef]struct{}, s.n.cfg.CoalesceMax)
+	}
+	if _, dup := s.coalesceSeen[ref]; dup {
+		return // same object via two request ids (client retry)
+	}
+	s.coalesceSeen[ref] = struct{}{}
+	// Messages are immutable, so referencing the value is safe; engines
+	// copy on store.
+	s.coalesce = append(s.coalesce, store.Object{Key: key, Version: version, Value: value})
+	if len(s.coalesce) >= s.n.cfg.CoalesceMax {
+		s.flush()
+	}
+}
+
+// flush applies the accumulation window as one store.PutBatch. A
+// batch-level failure (one invalid object fails the whole batch with
+// no side effects) degrades to individual puts so valid objects are
+// not lost to a poisoned batch.
+func (s *dataShard) flush() {
+	if len(s.coalesce) == 0 {
+		return
+	}
+	batch := s.coalesce
+	s.coalesce = nil
+	s.coalesceSeen = nil
+	if err := s.n.st.PutBatch(batch); err != nil {
+		for _, o := range batch {
+			if s.n.st.Put(o.Key, o.Version, o.Value) == nil {
+				s.met.Inc(metrics.PutsServed)
+			}
+		}
+		return
+	}
+	s.met.Add(metrics.PutsServed, uint64(len(batch)))
+	s.met.Add(metrics.CoalescedPuts, uint64(len(batch)))
+}
+
+// ShardCount returns how many data-plane shards the node runs.
+func (n *Node) ShardCount() int { return len(n.shards) }
+
+// ShardMailboxCapacity returns the per-shard mailbox bound.
+func (n *Node) ShardMailboxCapacity() int { return shardMailboxCap }
+
+// ShardDepth returns shard i's current mailbox depth (0 before
+// StartShards or for an out-of-range index). Safe from any goroutine.
+func (n *Node) ShardDepth(i int) int {
+	if i < 0 || i >= len(n.shards) {
+		return 0
+	}
+	s := n.shards[i]
+	if s.mailbox == nil {
+		return 0
+	}
+	return len(s.mailbox)
+}
+
+// ShardTickDurations exposes shard i's flush-tick histogram (atomic;
+// the observability plane reads it live). Nil for an out-of-range
+// index.
+func (n *Node) ShardTickDurations(i int) *metrics.LatencyHistogram {
+	if i < 0 || i >= len(n.shards) {
+		return nil
+	}
+	return &n.shards[i].tickDur
+}
+
+// ShardDropped sums producer-side shard mailbox drops across shards.
+func (n *Node) ShardDropped() uint64 {
+	var total uint64
+	for _, s := range n.shards {
+		total += s.drops.Load()
+	}
+	return total
+}

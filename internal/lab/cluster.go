@@ -338,7 +338,7 @@ func (c *Cluster) Inject(contact transport.NodeID, msg interface{}) {
 // paper's experiments.
 func (c *Cluster) ResetMetrics() {
 	for _, n := range c.nodes {
-		n.Metrics().Reset()
+		n.ResetMetrics()
 	}
 }
 

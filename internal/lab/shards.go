@@ -1,0 +1,329 @@
+// Experiment E19: the sharded data-plane runtime.
+//
+// Two claims are measured. Scaling: with the data plane partitioned
+// across shard goroutines, one node's put/get throughput grows with
+// cores instead of saturating one event loop — ShardScaling drives a
+// single node's shards directly and reports ops/sec per shard count.
+// Equivalence: sharding must not change what the protocol computes —
+// ShardEquivalence runs the same seeded workload against a 1-shard
+// and an 8-shard cluster and demands every node converge to an
+// identical store inventory (keys, versions, deletions applied).
+package lab
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"time"
+
+	"dataflasks"
+	"dataflasks/internal/core"
+	"dataflasks/internal/gossip"
+	"dataflasks/internal/metrics"
+	"dataflasks/internal/store"
+	"dataflasks/internal/transport"
+)
+
+// ShardScalingOptions sizes the single-node shard throughput bench.
+type ShardScalingOptions struct {
+	// Shards lists the shard counts to measure (e.g. 1 and 8).
+	Shards []int
+	// Keys is the preloaded keyspace the gets hit.
+	Keys int
+	// ValueBytes sizes each stored value.
+	ValueBytes int
+	// Producers is how many goroutines feed the shard mailboxes.
+	Producers int
+	// Duration is the measurement window per shard count.
+	Duration time.Duration
+	// Seed keys the node's deterministic RNG lanes.
+	Seed uint64
+}
+
+// ShardScalingResult is one shard count's measurement.
+type ShardScalingResult struct {
+	Shards    int           `json:"shards"`
+	Ops       uint64        `json:"ops"`
+	Dropped   uint64        `json:"dropped"`
+	Elapsed   time.Duration `json:"elapsed_nanos"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+}
+
+// ShardScaling measures one node's data-plane throughput as its shard
+// count grows. The node owns a single slice (static slicer, k=1) so
+// every request is served locally: the measured work is the real
+// handler path — dedup, route lookup, store access, reply build —
+// with the wire swallowed by a no-op sender. Producers dispatch a
+// 90/10 get/put mix through DispatchData exactly as a live fabric
+// would; ops counts requests the shards actually served.
+func ShardScaling(opts ShardScalingOptions) []ShardScalingResult {
+	if opts.Keys <= 0 {
+		opts.Keys = 4096
+	}
+	if opts.ValueBytes <= 0 {
+		opts.ValueBytes = 128
+	}
+	if opts.Producers <= 0 {
+		opts.Producers = 4
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	results := make([]ShardScalingResult, 0, len(opts.Shards))
+	for _, shards := range opts.Shards {
+		results = append(results, shardScalingRun(opts, shards))
+	}
+	return results
+}
+
+func shardScalingRun(opts ShardScalingOptions, shards int) ShardScalingResult {
+	st := store.NewMemory()
+	discard := transport.SenderFunc(func(context.Context, transport.NodeID, interface{}) error { return nil })
+	n := core.NewNode(1, core.Config{
+		Slices:     1,
+		Slicer:     core.SlicerStatic,
+		DataShards: shards,
+		Seed:       opts.Seed,
+	}, st, discard)
+
+	val := make([]byte, opts.ValueBytes)
+	key := func(i int) string { return fmt.Sprintf("bench-%d", i) }
+	for i := 0; i < opts.Keys; i++ {
+		if err := st.Put(key(i), 1, val); err != nil {
+			panic(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n.StartShards(ctx)
+
+	stop := make(chan struct{})
+	done := make(chan struct{}, opts.Producers)
+	start := time.Now()
+	for p := 0; p < opts.Producers; p++ {
+		go func(p int) {
+			defer func() { done <- struct{}{} }()
+			// Per-producer id lane keeps request ids unique without
+			// cross-producer coordination.
+			base := uint64(p+1) << 40
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(int(i) % opts.Keys)
+				var msg interface{}
+				if i%10 == 0 {
+					msg = &core.PutRequest{
+						ID: gossip.RequestID(base | i), Key: k, Version: i,
+						Value: val, NoAck: true, TTL: core.TTLUnset,
+					}
+				} else {
+					msg = &core.GetRequest{
+						ID: gossip.RequestID(base | i), Key: k,
+						Version: store.Latest, Origin: 2, TTL: core.TTLUnset,
+					}
+				}
+				n.DispatchData(transport.Envelope{From: 2, To: 1, Msg: msg})
+			}
+		}(p)
+	}
+	time.Sleep(opts.Duration)
+	close(stop)
+	for p := 0; p < opts.Producers; p++ {
+		<-done
+	}
+	n.StopShards()
+	elapsed := time.Since(start)
+
+	m := n.Metrics()
+	ops := m.Get(metrics.GetsServed) + m.Get(metrics.PutsServed)
+	return ShardScalingResult{
+		Shards:    shards,
+		Ops:       ops,
+		Dropped:   n.ShardDropped(),
+		Elapsed:   elapsed,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+	}
+}
+
+// ShardEquivalenceOptions sizes the sharded-vs-unsharded cluster
+// comparison.
+type ShardEquivalenceOptions struct {
+	// N is the cluster size, Slices the slice count.
+	N, Slices int
+	// Keys is the workload keyspace; each key gets a few versions and
+	// some keys are deleted again.
+	Keys int
+	// Shards is the sharded cluster's DataShards (the baseline runs 1).
+	Shards int
+	// Period is the gossip round period.
+	Period time.Duration
+	// Timeout bounds the convergence wait per cluster pair.
+	Timeout time.Duration
+	// Seed drives both clusters identically.
+	Seed uint64
+}
+
+// ShardEquivalenceResult reports the comparison's verdict.
+type ShardEquivalenceResult struct {
+	Equal bool `json:"equal"`
+	// Nodes is how many node stores were compared.
+	Nodes int `json:"nodes"`
+	// Objects is the converged object-version total per cluster.
+	Objects int `json:"objects"`
+	// Waited is how long convergence took.
+	Waited time.Duration `json:"waited_nanos"`
+	// Mismatch names the first diverging node, empty when Equal.
+	Mismatch string `json:"mismatch,omitempty"`
+}
+
+// ShardEquivalence runs one seeded workload — versioned puts, batch
+// puts, deletes — against two identically-configured clusters that
+// differ only in DataShards (1 vs opts.Shards), waits for both to
+// converge, and compares every node's store inventory. The static
+// slicer pins node-to-slice assignment to the node id, so converged
+// stores must match node by node: same keys, same versions, deletions
+// equally absent.
+//
+// Deletes need care: anti-entropy repairs by pushing objects a
+// slice-mate is missing and carries no deletion record, so a replica
+// the delete flood missed resurrects the object on everyone else —
+// whether a deleted version survives depends on flood-vs-repair
+// timing, not on the shard count. The driver therefore re-issues each
+// delete until no replica holds the version; once globally absent,
+// anti-entropy has nothing left to push and the outcome is pinned.
+func ShardEquivalence(opts ShardEquivalenceOptions) (ShardEquivalenceResult, error) {
+	if opts.N <= 0 {
+		opts.N = 12
+	}
+	if opts.Slices <= 0 {
+		opts.Slices = 3
+	}
+	if opts.Keys <= 0 {
+		opts.Keys = 60
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Period <= 0 {
+		opts.Period = 20 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+
+	run := func(shards int) (*dataflasks.Cluster, error) {
+		cluster, err := dataflasks.NewCluster(opts.N, dataflasks.Config{
+			Slices:     opts.Slices,
+			SystemSize: opts.N,
+			Slicer:     dataflasks.StaticSlicer,
+			DataShards: shards,
+			Seed:       opts.Seed,
+		}, dataflasks.WithRoundPeriod(opts.Period))
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.Start(); err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+		cl, err := cluster.NewClient()
+		if err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+		defer cancel()
+		key := func(i int) string { return fmt.Sprintf("eq-%d", i) }
+		// Two versions per key, written one by one and as per-slice
+		// batches; every third key loses its first version again.
+		for i := 0; i < opts.Keys; i++ {
+			if err := cl.Put(ctx, key(i), 1, []byte(key(i))); err != nil {
+				cluster.Stop()
+				return nil, fmt.Errorf("put %s: %w", key(i), err)
+			}
+		}
+		batch := make([]dataflasks.Object, 0, opts.Keys)
+		for i := 0; i < opts.Keys; i++ {
+			batch = append(batch, dataflasks.Object{Key: key(i), Version: 2, Value: []byte("v2")})
+		}
+		if err := cl.PutBatch(ctx, batch); err != nil {
+			cluster.Stop()
+			return nil, fmt.Errorf("putbatch: %w", err)
+		}
+		// Drive every third key's first version to global absence:
+		// re-issue the delete while any replica still holds it (see the
+		// resurrection note above). Each retry is a fresh request id,
+		// so per-shard dedup does not swallow it.
+		for i := 0; i < opts.Keys; i += 3 {
+			for cluster.ReplicaCount(key(i), 1) > 0 {
+				if err := cl.Delete(ctx, key(i), 1); err != nil {
+					cluster.Stop()
+					return nil, fmt.Errorf("delete %s: %w", key(i), err)
+				}
+				if ctx.Err() != nil {
+					cluster.Stop()
+					return nil, fmt.Errorf("delete %s: %w", key(i), ctx.Err())
+				}
+				time.Sleep(opts.Period)
+			}
+		}
+		return cluster, nil
+	}
+
+	base, err := run(1)
+	if err != nil {
+		return ShardEquivalenceResult{}, err
+	}
+	defer base.Stop()
+	sharded, err := run(opts.Shards)
+	if err != nil {
+		return ShardEquivalenceResult{}, err
+	}
+	defer sharded.Stop()
+
+	// Convergence: poll until every node's inventory matches across the
+	// two clusters (anti-entropy keeps spreading replicas until the
+	// slice holds everything), or the timeout reports the first
+	// mismatch.
+	start := time.Now()
+	deadline := start.Add(opts.Timeout)
+	res := ShardEquivalenceResult{Nodes: opts.N}
+	for {
+		equal := true
+		objects := 0
+		res.Mismatch = ""
+		for _, id := range base.NodeIDs() {
+			a, err := base.DumpStore(id)
+			if err != nil {
+				return res, err
+			}
+			b, err := sharded.DumpStore(id)
+			if err != nil {
+				return res, err
+			}
+			if !reflect.DeepEqual(a, b) {
+				equal = false
+				res.Mismatch = id.String()
+				break
+			}
+			for _, vs := range a {
+				objects += len(vs)
+			}
+		}
+		if equal && objects > 0 {
+			res.Equal = true
+			res.Objects = objects
+			res.Waited = time.Since(start)
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			res.Waited = time.Since(start)
+			return res, nil
+		}
+		time.Sleep(opts.Period)
+	}
+}

@@ -1,0 +1,55 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardEquivalence pins the determinism claim behind the sharded
+// runtime: a cluster running eight data shards per node must converge
+// to exactly the same per-node store inventory — keys, versions,
+// deletions — as a single-shard cluster fed the identical seeded
+// workload. Any divergence means shard routing or the coalescing
+// windows changed what the protocol computes, not just how fast.
+func TestShardEquivalence(t *testing.T) {
+	opts := ShardEquivalenceOptions{
+		N: 12, Slices: 3, Keys: 60, Shards: 8,
+		Period: 15 * time.Millisecond, Timeout: 60 * time.Second, Seed: 7,
+	}
+	if testing.Short() {
+		opts.N, opts.Keys = 8, 24
+	}
+	res, err := ShardEquivalence(opts)
+	if err != nil {
+		t.Fatalf("ShardEquivalence: %v", err)
+	}
+	t.Logf("result=%+v", res)
+	if !res.Equal {
+		t.Fatalf("clusters diverged: first mismatch at node %s after %s", res.Mismatch, res.Waited)
+	}
+	if res.Objects == 0 {
+		t.Fatal("converged on empty stores — workload never landed")
+	}
+}
+
+// TestShardScalingRuns smoke-tests the throughput experiment shape (the
+// >=2x scaling gate itself lives in cmd/flaskbench, where core count is
+// checked): both shard counts must serve traffic and report sane rates.
+func TestShardScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed benchmark; skipped in -short")
+	}
+	results := ShardScaling(ShardScalingOptions{
+		Shards: []int{1, 4}, Keys: 256, Producers: 2,
+		Duration: 150 * time.Millisecond, Seed: 7,
+	})
+	for _, r := range results {
+		t.Logf("shards=%d ops=%d dropped=%d ops/sec=%.0f", r.Shards, r.Ops, r.Dropped, r.OpsPerSec)
+		if r.Ops == 0 {
+			t.Errorf("shards=%d served no requests", r.Shards)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Errorf("shards=%d non-positive rate %f", r.Shards, r.OpsPerSec)
+		}
+	}
+}

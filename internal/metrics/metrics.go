@@ -183,6 +183,44 @@ func (m *NodeMetrics) Reset() {
 	}
 }
 
+// ShardCounters is one data-plane shard's counter array: the same
+// Counter index space as NodeMetrics, but atomic — a shard goroutine
+// counts concurrently with the control loop and with /metrics scrapes.
+// The array is padded on both sides to a cache-line multiple so two
+// shards allocated back to back never false-share a line; within a
+// shard the counters are hot only on that shard's core, so intra-array
+// adjacency is free. The zero value is ready to use.
+type ShardCounters struct {
+	_      [64]byte
+	counts [numCounters]atomic.Uint64
+	_      [64]byte
+}
+
+// Inc adds one to counter c.
+func (m *ShardCounters) Inc(c Counter) { m.counts[c].Add(1) }
+
+// Add adds delta to counter c.
+func (m *ShardCounters) Add(c Counter, delta uint64) { m.counts[c].Add(delta) }
+
+// Get returns the current value of counter c.
+func (m *ShardCounters) Get(c Counter) uint64 { return m.counts[c].Load() }
+
+// AddTo accumulates this shard's counters into dst (the merge step of
+// a whole-node metrics read).
+func (m *ShardCounters) AddTo(dst *NodeMetrics) {
+	for i := range m.counts {
+		dst.counts[i] += m.counts[i].Load()
+	}
+}
+
+// Reset zeroes all counters. Concurrent Inc/Add calls can survive a
+// reset; harnesses reset only between quiesced phases.
+func (m *ShardCounters) Reset() {
+	for i := range m.counts {
+		m.counts[i].Store(0)
+	}
+}
+
 // SharedCounter is an atomic counter for paths crossed by multiple
 // goroutines — unlike NodeMetrics, which is owned by one event loop.
 // The canonical use is mailbox overflow: transport goroutines drop

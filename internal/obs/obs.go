@@ -67,6 +67,19 @@ type Sources struct {
 	MailboxDropped func() uint64
 	// SendErrors reads the accounting sender's error counter.
 	SendErrors func() uint64
+	// Shards is the data-plane shard count; with ShardDepth/ShardTickDur
+	// it drives the per-shard flasks_shard_* families. Zero omits them.
+	Shards int
+	// ShardDepth reads shard i's current mailbox depth.
+	ShardDepth func(i int) int
+	// ShardCapacity is each shard mailbox's fixed capacity.
+	ShardCapacity int
+	// ShardDropped reads the messages dropped on shard-mailbox
+	// overflow, summed across shards.
+	ShardDropped func() uint64
+	// ShardTickDur returns shard i's per-tick (coalesce flush) duration
+	// histogram.
+	ShardTickDur func(i int) *metrics.LatencyHistogram
 	// Trace is the protocol-event journal; nil disables /trace.
 	Trace *Ring
 }

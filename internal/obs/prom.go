@@ -68,6 +68,11 @@ var metricNames = [...]string{
 	"flasks_mailbox_dropped_total",
 	"flasks_transport_send_errors_total",
 	"flasks_tick_duration_seconds",
+	// Data-plane shards, labeled by shard.
+	"flasks_shard_mailbox_depth",
+	"flasks_shard_mailbox_capacity",
+	"flasks_shard_mailbox_dropped_total",
+	"flasks_shard_tick_duration_seconds",
 	// Store engine.
 	"flasks_store_segments",
 	"flasks_store_live_bytes",
@@ -242,6 +247,35 @@ func WriteMetrics(w io.Writer, src Sources) error {
 		e.head(name, "histogram",
 			"Event-loop round (Tick) duration. "+histogramHelp)
 		e.histogram(name, "", src.TickDur)
+	}
+
+	if src.Shards > 0 && src.ShardDepth != nil {
+		name := "flasks_shard_mailbox_depth"
+		e.head(name, "gauge",
+			"Messages queued in each data-plane shard's mailbox right now, by shard.")
+		for i := 0; i < src.Shards; i++ {
+			e.printf("%s{shard=\"%d\"} %d\n", name, i, src.ShardDepth(i))
+		}
+	}
+	if src.Shards > 0 && src.ShardCapacity > 0 {
+		e.gauge("flasks_shard_mailbox_capacity",
+			"Per-shard mailbox capacity; a shard's depth at capacity means the dispatcher is dropping.",
+			float64(src.ShardCapacity))
+	}
+	if src.Shards > 0 && src.ShardDropped != nil {
+		e.counter("flasks_shard_mailbox_dropped_total",
+			"Data messages dropped because their shard's mailbox was full, summed across shards.",
+			src.ShardDropped())
+	}
+	if src.Shards > 0 && src.ShardTickDur != nil {
+		name := "flasks_shard_tick_duration_seconds"
+		e.head(name, "histogram",
+			"Per-shard tick (coalesce window flush) duration, by shard. "+histogramHelp)
+		for i := 0; i < src.Shards; i++ {
+			if h := src.ShardTickDur(i); h != nil {
+				e.histogram(name, fmt.Sprintf("shard=\"%d\",", i), h)
+			}
+		}
 	}
 
 	if src.Store != nil {

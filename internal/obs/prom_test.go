@@ -39,6 +39,11 @@ func fullSources(tick *metrics.LatencyHistogram, resp *metrics.CommandStats, rin
 		MailboxCapacity: 1024,
 		MailboxDropped:  func() uint64 { return 7 },
 		SendErrors:      func() uint64 { return 8 },
+		Shards:          2,
+		ShardDepth:      func(i int) int { return i },
+		ShardCapacity:   256,
+		ShardDropped:    func() uint64 { return 9 },
+		ShardTickDur:    func(i int) *metrics.LatencyHistogram { return tick },
 		Trace:           ring,
 	}
 }

@@ -1,11 +1,12 @@
 // Trace ring: a per-node lock-free journal of protocol round events.
 //
-// The event loop is the writer; /trace scrapes are the readers. The
-// ring is a power-of-two slot array of atomic pointers: the writer
-// claims a slot with one atomic add, builds the Event on its own
-// stack, and publishes it with one pointer store — no lock, no reader
-// coordination, and a slow scraper can never stall the event loop (it
-// just misses overwritten slots). A nil *Ring is the disabled plane:
+// The control loop and the data-plane shard goroutines are the
+// writers; /trace scrapes are the readers. The ring is a power-of-two
+// slot array of atomic pointers: a writer claims a slot with one
+// atomic add, builds the Event on its own stack, and publishes it with
+// one pointer store — no lock, no reader coordination, and a slow
+// scraper can never stall an event loop (it just misses overwritten
+// slots). A nil *Ring is the disabled plane:
 // every method is a no-op that allocates nothing, so trace calls stay
 // on the hot path unconditionally and cost two compares when tracing
 // is off (asserted by BenchmarkRingDisabled).
@@ -93,6 +94,9 @@ type Event struct {
 	Peer uint64 `json:"peer,omitempty"`
 	// Seg is the segment id on bootstrap events.
 	Seg uint64 `json:"seg,omitempty"`
+	// Shard is the 1-based id of the data-plane shard that journaled
+	// the event; 0 (omitted) means a control-plane event.
+	Shard uint64 `json:"shard,omitempty"`
 	// Bytes and Objects are kind-specific volume operands.
 	Bytes   uint64 `json:"bytes,omitempty"`
 	Objects uint64 `json:"objects,omitempty"`
@@ -122,8 +126,8 @@ func NewRing(n int) *Ring {
 }
 
 // Add publishes one event, stamping Seq and (when unset) Time. Safe
-// for one writer and any number of concurrent Snapshot readers; a nil
-// receiver is a no-op. The publish step lives in its own function so
+// for any number of concurrent writers (the slot claim is one atomic
+// add) and Snapshot readers; a nil receiver is a no-op. The publish step lives in its own function so
 // the heap copy it forces (&ev escapes into the slot) is not hoisted
 // into the nil fast path — disabled tracing must not allocate.
 func (r *Ring) Add(ev Event) {

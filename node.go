@@ -80,8 +80,12 @@ type Node struct {
 
 	mailbox chan transport.Envelope
 	done    chan struct{}
-	cancel  context.CancelFunc // aborts in-flight sends at shutdown
-	wg      sync.WaitGroup
+	cancel  context.CancelFunc // aborts in-flight control-loop sends at shutdown
+	// dataCancel bounds the shard goroutines' sends. It is cancelled
+	// only after Close drains the shard mailboxes, so queued acks still
+	// reach the wire during the drain.
+	dataCancel context.CancelFunc
+	wg         sync.WaitGroup
 
 	// drops counts mailbox overflow: messages the TCP fabric delivered
 	// but the event loop was too slow to accept. Incremented from
@@ -252,6 +256,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			MailboxDropped:  n.drops.Load,
 			SendErrors:      n.sendErrs.Load,
 			Trace:           n.trace,
+			Shards:          n.core.ShardCount(),
+			ShardDepth:      n.core.ShardDepth,
+			ShardCapacity:   n.core.ShardMailboxCapacity(),
+			ShardDropped:    n.core.ShardDropped,
+			ShardTickDur:    n.core.ShardTickDurations,
 		}
 		if sp, ok := n.st.(store.StatsProvider); ok {
 			src.Store = sp.Stats
@@ -270,6 +279,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	// dialing instead of stalling shutdown.
 	ctx, cancel := context.WithCancel(context.Background())
 	n.cancel = cancel
+	// The data-plane shards run as their own goroutines and outlive the
+	// control loop by one drain: their sends get a separate context that
+	// Close cancels only after StopShards returns.
+	dataCtx, dataCancel := context.WithCancel(context.Background())
+	n.dataCancel = dataCancel
+	n.core.StartShards(dataCtx)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -343,8 +358,9 @@ func (n *Node) StoredObjects() int { return n.st.Count() }
 func (n *Node) PeersKnown() int { return n.net.PeerCount() }
 
 // MailboxDropped returns how many delivered messages were discarded
-// because the node's mailbox was full (event loop congestion).
-func (n *Node) MailboxDropped() uint64 { return n.drops.Load() }
+// because a mailbox was full: the fabric mailbox (event loop
+// congestion) plus the per-shard data mailboxes (shard congestion).
+func (n *Node) MailboxDropped() uint64 { return n.drops.Load() + n.core.ShardDropped() }
 
 // SendErrors returns how many fabric sends failed across every
 // protocol and routing path (the core's wire_send_errors counter,
@@ -423,6 +439,12 @@ func (n *Node) Close() error {
 		n.cancel()
 		close(n.done)
 		n.wg.Wait()
+		// The control loop is gone, so nothing dispatches into the shard
+		// mailboxes anymore; drain them before the fabrics and the store
+		// go away so every accepted write lands and its ack gets a live
+		// connection to leave on.
+		n.core.StopShards()
+		n.dataCancel()
 		if n.udp != nil {
 			err = n.udp.Close()
 		}

@@ -1,0 +1,209 @@
+package dataflasks_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dataflasks"
+)
+
+// TestClusterShardHammer storms a sharded in-process cluster with
+// concurrent clients mixing puts, gets, deletes and batch puts while
+// membership churns underneath: a cold node joins and an original one
+// crashes mid-hammer. The point is the race detector's view of the
+// shard runtime — per-shard mailboxes, coalescing windows and counters
+// racing against the control plane's gossip, slicing and anti-entropy
+// — so it runs (reduced) even in -short CI.
+func TestClusterShardHammer(t *testing.T) {
+	c := startCluster(t, 20, dataflasks.Config{Slices: 3, DataShards: 4, Seed: 9})
+	time.Sleep(500 * time.Millisecond)
+
+	iters := 120
+	if testing.Short() {
+		iters = 30
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	const workers = 4
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cl, err := c.NewClient()
+		if err != nil {
+			t.Fatalf("NewClient %d: %v", w, err)
+		}
+		wg.Add(1)
+		go func(w int, cl *dataflasks.Client) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("hammer-%d", (w*iters+i)%64)
+				switch i % 4 {
+				case 0:
+					if err := cl.Put(ctx, key, uint64(i+1), []byte("v")); err != nil {
+						errs <- fmt.Errorf("worker %d put %s: %w", w, key, err)
+						return
+					}
+				case 1:
+					// Concurrent deletes make misses legitimate.
+					if _, _, err := cl.GetLatest(ctx, key); err != nil && !errors.Is(err, dataflasks.ErrNotFound) {
+						errs <- fmt.Errorf("worker %d get %s: %w", w, key, err)
+						return
+					}
+				case 2:
+					objs := []dataflasks.Object{
+						{Key: key, Version: uint64(i + 2), Value: []byte("b1")},
+						{Key: fmt.Sprintf("hammer-b-%d", i%64), Version: uint64(i + 1), Value: []byte("b2")},
+					}
+					if err := cl.PutBatch(ctx, objs); err != nil {
+						errs <- fmt.Errorf("worker %d putbatch: %w", w, err)
+						return
+					}
+				case 3:
+					if err := cl.Delete(ctx, key, uint64(i)); err != nil {
+						errs <- fmt.Errorf("worker %d delete %s: %w", w, key, err)
+						return
+					}
+				}
+			}
+		}(w, cl)
+	}
+
+	// Churn while the hammer runs: one cold joiner, one crash.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := c.AddNode(); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := c.RemoveNode(c.NodeIDs()[2]); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLiveNodeShardHammer is the TCP variant with persistence in the
+// loop: log-engine stores with tiny segments and an aggressive compact
+// threshold (so compaction runs during the hammer), sharded data
+// planes, a cold bootstrap joiner streaming segments mid-traffic, and
+// a full Close at the end — which must drain every shard mailbox
+// before the stores shut down.
+func TestLiveNodeShardHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP hammer in -short mode")
+	}
+	const n = 4
+	cfg := dataflasks.Config{
+		Slices: 2, SystemSize: n + 1, Seed: 11,
+		DataShards:       4,
+		Engine:           dataflasks.LogEngine,
+		SegmentMaxBytes:  32 << 10,
+		CompactLiveRatio: 0.9,
+	}
+
+	var nodes []*dataflasks.Node
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	first, err := dataflasks.StartNode(dataflasks.NodeConfig{
+		ID: 1, Bind: "127.0.0.1:0", DataDir: t.TempDir(), Config: cfg,
+		RoundPeriod: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartNode 1: %v", err)
+	}
+	nodes = append(nodes, first)
+	seed := fmt.Sprintf("1@%s", first.Addr())
+	for i := 2; i <= n; i++ {
+		nd, err := dataflasks.StartNode(dataflasks.NodeConfig{
+			ID: dataflasks.NodeID(i), Bind: "127.0.0.1:0", DataDir: t.TempDir(),
+			Seeds: []string{seed}, Config: cfg, RoundPeriod: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartNode %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	time.Sleep(1500 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const workers = 3
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cl, err := dataflasks.ConnectClient("127.0.0.1:0", []string{seed}, cfg)
+		if err != nil {
+			t.Fatalf("ConnectClient %d: %v", w, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		wg.Add(1)
+		go func(w int, cl *dataflasks.Client) {
+			defer wg.Done()
+			val := make([]byte, 512) // push the tiny segments to roll
+			for i := 0; i < 80; i++ {
+				key := fmt.Sprintf("live-%d", (w*80+i)%48)
+				switch i % 4 {
+				case 0, 2:
+					if err := cl.Put(ctx, key, uint64(i+1), val); err != nil {
+						errs <- fmt.Errorf("worker %d put %s: %w", w, key, err)
+						return
+					}
+				case 1:
+					// A concurrently-deleted key only resolves ErrNotFound
+					// after the full attempt budget; keep it tight or the
+					// misses dominate the hammer's wall clock.
+					if _, _, err := cl.GetLatest(ctx, key,
+						dataflasks.WithTimeout(time.Second), dataflasks.WithRetries(1)); err != nil && !errors.Is(err, dataflasks.ErrNotFound) {
+						errs <- fmt.Errorf("worker %d get %s: %w", w, key, err)
+						return
+					}
+				case 3:
+					if err := cl.Delete(ctx, key, uint64(i-2)); err != nil {
+						errs <- fmt.Errorf("worker %d delete %s: %w", w, key, err)
+						return
+					}
+				}
+			}
+		}(w, cl)
+	}
+
+	// Cold joiner bootstraps its slice by segment streaming while the
+	// hammer is still writing.
+	time.Sleep(200 * time.Millisecond)
+	joinCfg := cfg
+	joinCfg.Bootstrap = true
+	joiner, err := dataflasks.StartNode(dataflasks.NodeConfig{
+		ID: n + 1, Bind: "127.0.0.1:0", DataDir: t.TempDir(),
+		Seeds: []string{seed}, Config: joinCfg, RoundPeriod: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartNode joiner: %v", err)
+	}
+	nodes = append(nodes, joiner)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Explicit ordered shutdown (cleanup would also do it, but the
+	// drain ordering is the point of the test): every Close must return
+	// cleanly with shard mailboxes flushed into still-open stores.
+	for _, nd := range nodes {
+		if err := nd.Close(); err != nil {
+			t.Errorf("Close %s: %v", nd.ID(), err)
+		}
+	}
+	nodes = nil
+}
